@@ -1,0 +1,20 @@
+//! # mcloud-bench
+//!
+//! The experiment layer: one function per table/figure of the paper's
+//! evaluation (Section 6), shared by the `repro` binary (which prints the
+//! paper-style series and writes CSV) and the criterion benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use std::path::PathBuf;
+
+/// Directory where `repro` writes its CSV outputs (`<workspace>/results`).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results")
+}

@@ -1,0 +1,691 @@
+//! The `mcloud` subcommands. Every command is a pure function from parsed
+//! flags to a report string, so the whole CLI is unit-testable without
+//! spawning processes.
+
+use mcloud_core::{simulate, DataMode, ExecConfig, SchedulePolicy, VmOverhead};
+use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Pricing};
+use mcloud_dag::{from_dax, to_dax, to_dot, DotStyle, Workflow};
+use mcloud_montage::{generate, Band, MosaicConfig};
+use mcloud_service::{bursty, poisson, simulate_service, ServiceConfig};
+use mcloud_sweep::{
+    cheapest_within_deadline, geometric_processors, pareto_frontier, processor_sweep,
+    CostTimePoint, Table,
+};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mcloud — cloud cost/performance planner for Montage-style workflows
+        (reproduction of Deelman et al., SC 2008)
+
+usage: mcloud <command> [flags]
+
+commands:
+  simulate    price one workflow execution plan
+  plan        sweep provisioning levels and recommend one
+  generate    emit a synthetic Montage workflow as DAX (and DOT)
+  info        analyze a DAX workflow file
+  economics   archive-vs-recompute and dataset-hosting break-evens
+  service     simulate a month of requests with cloud bursting
+  autoscale   simulate an auto-scaled standing pool (dynamic Question 2)
+  help        this text
+
+run `mcloud <command> --help` for per-command flags.";
+
+/// Dispatches a command line (without the program name).
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(rest),
+        "plan" => cmd_plan(rest),
+        "generate" => cmd_generate(rest),
+        "info" => cmd_info(rest),
+        "economics" => cmd_economics(rest),
+        "service" => cmd_service(rest),
+        "autoscale" => cmd_autoscale(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn wants_help(rest: &[String]) -> bool {
+    rest.iter().any(|a| a == "--help" || a == "-h")
+}
+
+fn parse_mode(s: &str) -> Result<DataMode, String> {
+    match s {
+        "remote-io" | "remoteio" => Ok(DataMode::RemoteIo),
+        "regular" => Ok(DataMode::Regular),
+        "cleanup" | "dynamic-cleanup" => Ok(DataMode::DynamicCleanup),
+        other => Err(format!("unknown mode '{other}' (remote-io | regular | cleanup)")),
+    }
+}
+
+fn parse_band(s: &str) -> Result<Band, String> {
+    match s {
+        "j" | "J" => Ok(Band::J),
+        "h" | "H" => Ok(Band::H),
+        "k" | "K" => Ok(Band::K),
+        other => Err(format!("unknown band '{other}' (j | h | k)")),
+    }
+}
+
+/// Shared workflow-building flags: `--degrees`, `--seed`, `--region`,
+/// `--band`.
+fn workflow_from(args: &Args) -> Result<Workflow, String> {
+    let degrees: f64 = args.get_or("degrees", 1.0)?;
+    if !(degrees.is_finite() && degrees > 0.0) {
+        return Err(format!("--degrees must be positive, got {degrees}"));
+    }
+    let mut cfg = MosaicConfig::new(degrees);
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        cfg = cfg.seed(seed);
+    }
+    if let Some(region) = args.get("region") {
+        cfg = cfg.region(region);
+    }
+    if let Some(band) = args.get("band") {
+        cfg = cfg.band(parse_band(band)?);
+    }
+    Ok(generate(&cfg))
+}
+
+/// Shared execution flags: mode, bandwidth, prestaged, vm, faults, outages.
+fn exec_from(args: &Args) -> Result<ExecConfig, String> {
+    let mut cfg = ExecConfig::paper_default();
+    if let Some(mode) = args.get("mode") {
+        cfg = cfg.mode(parse_mode(mode)?);
+    }
+    let mbps: f64 = args.get_or("bandwidth-mbps", 10.0)?;
+    cfg = cfg.bandwidth(mbps * 1e6);
+    if args.has("prestaged") {
+        cfg = cfg.prestaged(true);
+    }
+    if args.has("hourly-billing") {
+        cfg = cfg.with_granularity(mcloud_cost::ChargeGranularity::HourlyCpu);
+    }
+    if args.has("critical-path-first") {
+        cfg = cfg.with_policy(SchedulePolicy::CriticalPathFirst);
+    }
+    let startup: f64 = args.get_or("vm-startup-s", 0.0)?;
+    let teardown: f64 = args.get_or("vm-teardown-s", 0.0)?;
+    if startup > 0.0 || teardown > 0.0 {
+        cfg = cfg.with_vm_overhead(VmOverhead { startup_s: startup, teardown_s: teardown });
+    }
+    if let Some(p) = args.get_parsed::<f64>("failure-prob")? {
+        cfg = cfg.with_faults(p, args.get_or("failure-seed", 42u64)?);
+    }
+    for spec in args.get_all("outage") {
+        let (start, dur) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("--outage expects start:duration seconds, got '{spec}'"))?;
+        let start: f64 = start.parse().map_err(|_| format!("bad outage start '{start}'"))?;
+        let dur: f64 = dur.parse().map_err(|_| format!("bad outage duration '{dur}'"))?;
+        cfg = cfg.with_outage(start, dur);
+    }
+    Ok(cfg)
+}
+
+const SIM_FLAGS: &[&str] = &[
+    "degrees", "seed", "region", "band", "procs", "mode", "bandwidth-mbps", "prestaged",
+    "hourly-billing", "critical-path-first", "vm-startup-s", "vm-teardown-s",
+    "failure-prob", "failure-seed", "outage",
+];
+
+fn cmd_simulate(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud simulate — price one workflow execution plan
+
+flags:
+  --degrees D            mosaic size (default 1)
+  --procs P              fixed provisioning with P processors
+                         (omit for on-demand billing)
+  --mode M               remote-io | regular | cleanup (default regular)
+  --bandwidth-mbps B     link speed (default 10, the paper's)
+  --prestaged            inputs already in cloud storage
+  --hourly-billing       real 2008 EC2 hour-granular CPU billing
+  --critical-path-first  list-schedule by bottom level
+  --vm-startup-s S / --vm-teardown-s S
+  --failure-prob P [--failure-seed N]
+  --outage START:DUR     storage outage window (seconds; repeatable)
+  --seed / --region / --band   workload generator knobs"
+            .to_string());
+    }
+    let args = Args::parse(rest, SIM_FLAGS)?;
+    let wf = workflow_from(&args)?;
+    let mut cfg = exec_from(&args)?;
+    if let Some(p) = args.get_parsed::<u32>("procs")? {
+        cfg.provisioning = mcloud_core::Provisioning::Fixed { processors: p };
+    }
+    let r = simulate(&wf, &cfg);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "workflow      {} ({} tasks, {} files, {:.2} GB data, CCR {:.3})\n",
+        wf.name(),
+        wf.num_tasks(),
+        wf.num_files(),
+        wf.total_bytes() as f64 / 1e9,
+        wf.ccr_at_link(cfg.bandwidth_bps)
+    ));
+    out.push_str(&format!(
+        "plan          {} / {} @ {:.0} Mbps{}\n",
+        cfg.provisioning.label(),
+        cfg.mode.label(),
+        cfg.bandwidth_bps / 1e6,
+        if cfg.prestaged_inputs { " (prestaged inputs)" } else { "" }
+    ));
+    out.push_str(&format!("makespan      {:.3} h\n", r.makespan_hours()));
+    out.push_str(&format!(
+        "data          in {:.3} GB ({} transfers), out {:.3} GB ({} transfers)\n",
+        r.gb_in(),
+        r.transfers_in,
+        r.gb_out(),
+        r.transfers_out
+    ));
+    out.push_str(&format!(
+        "storage       {:.3} GB-hours (peak {:.3} GB)\n",
+        r.storage_gb_hours(),
+        r.storage_peak_bytes / 1e9
+    ));
+    if r.failed_attempts > 0 {
+        out.push_str(&format!(
+            "faults        {} failed attempts over {} executions\n",
+            r.failed_attempts, r.task_executions
+        ));
+    }
+    if let Some(p) = r.processors {
+        out.push_str(&format!(
+            "utilization   {:.0}% of {} processors\n",
+            r.cpu_utilization * 100.0,
+            p
+        ));
+    }
+    out.push_str(&format!(
+        "cost          {} (cpu {}, storage {}, in {}, out {})\n",
+        r.total_cost(),
+        r.costs.cpu,
+        r.costs.storage,
+        r.costs.transfer_in,
+        r.costs.transfer_out
+    ));
+    Ok(out)
+}
+
+fn cmd_plan(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud plan — sweep provisioning levels and recommend one
+
+flags:
+  --degrees D          mosaic size (default 1)
+  --deadline-hours H   turnaround promise (required)
+  --requests N         scale the bill to a campaign of N requests
+  --max-procs P        top of the geometric sweep (default 128)
+  plus all `mcloud simulate` execution flags"
+            .to_string());
+    }
+    let mut flags = SIM_FLAGS.to_vec();
+    flags.extend(["deadline-hours", "requests", "max-procs"]);
+    let args = Args::parse(rest, &flags)?;
+    let wf = workflow_from(&args)?;
+    let cfg = exec_from(&args)?;
+    let deadline: f64 = args.require("deadline-hours")?;
+    let requests: u64 = args.get_or("requests", 1u64)?;
+    let max_procs: u32 = args.get_or("max-procs", 128u32)?;
+
+    let points = processor_sweep(&wf, &cfg, &geometric_processors(max_procs));
+    let ct: Vec<CostTimePoint> = points
+        .iter()
+        .map(|p| CostTimePoint {
+            cost: p.report.total_cost().dollars(),
+            time: p.report.makespan.as_secs_f64(),
+        })
+        .collect();
+    let frontier = pareto_frontier(&ct);
+
+    let mut table = Table::new(vec!["procs", "cost", "hours", "campaign", "frontier"]);
+    for (i, p) in points.iter().enumerate() {
+        table.push_row(vec![
+            p.processors.to_string(),
+            format!("{:.3}", p.report.total_cost().dollars()),
+            format!("{:.3}", p.report.makespan_hours()),
+            format!("{:.2}", p.report.total_cost().dollars() * requests as f64),
+            if frontier.contains(&i) { "*".into() } else { String::new() },
+        ]);
+    }
+    let mut out = table.to_ascii();
+    match cheapest_within_deadline(&ct, deadline * 3600.0) {
+        Some(i) => {
+            let p = &points[i];
+            out.push_str(&format!(
+                "\nrecommendation: {} processors — {} per request at {:.2} h \
+                 ({} for {requests} requests)\n",
+                p.processors,
+                p.report.total_cost(),
+                p.report.makespan_hours(),
+                p.report.total_cost() * requests as f64
+            ));
+        }
+        None => {
+            out.push_str(&format!(
+                "\nno provisioning level meets a {deadline:.2} h deadline; \
+                 fastest is {:.2} h\n",
+                points
+                    .iter()
+                    .map(|p| p.report.makespan_hours())
+                    .fold(f64::INFINITY, f64::min)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_generate(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud generate — emit a synthetic Montage workflow
+
+flags:
+  --degrees D     mosaic size (default 1)
+  --out FILE      write DAX XML here (stdout summary otherwise)
+  --dot FILE      also write a Graphviz rendering
+  --seed / --region / --band"
+            .to_string());
+    }
+    let args = Args::parse(rest, &["degrees", "seed", "region", "band", "out", "dot"])?;
+    let wf = workflow_from(&args)?;
+    let dax = to_dax(&wf);
+    let mut out = format!(
+        "generated {}: {} tasks, {} files, {:.2} GB, depth {}\n",
+        wf.name(),
+        wf.num_tasks(),
+        wf.num_files(),
+        wf.total_bytes() as f64 / 1e9,
+        wf.depth()
+    );
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &dax).map_err(|e| format!("writing {path}: {e}"))?;
+            out.push_str(&format!("wrote {} bytes of DAX to {path}\n", dax.len()));
+        }
+        None => out.push_str(&dax),
+    }
+    if let Some(path) = args.get("dot") {
+        let dot = to_dot(&wf, DotStyle::Tasks);
+        std::fs::write(path, &dot).map_err(|e| format!("writing {path}: {e}"))?;
+        out.push_str(&format!("wrote DOT to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_info(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("mcloud info — analyze a DAX file\n\nflags:\n  --dax FILE   the workflow description".into());
+    }
+    let args = Args::parse(rest, &["dax"])?;
+    let path: String = args.require("dax")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let wf = from_dax(&text).map_err(|e| e.to_string())?;
+    let stats = wf.stats();
+    let mut modules = Table::new(vec!["module", "tasks", "mean_runtime_s", "output_gb"]);
+    for m in wf.module_summary() {
+        modules.push_row(vec![
+            m.module.clone(),
+            m.tasks.to_string(),
+            format!("{:.1}", m.mean_runtime_s),
+            format!("{:.4}", m.output_bytes as f64 / 1e9),
+        ]);
+    }
+    Ok(format!(
+        "workflow        {}\n\
+         tasks           {}\n\
+         files           {}\n\
+         depth           {} levels, widths {:?}\n\
+         total runtime   {:.1} CPU-hours\n\
+         total data      {:.3} GB ({:.3} GB external inputs, {:.3} GB deliverables)\n\
+         critical path   {:.1} min\n\
+         max parallelism {}\n\
+         CCR @ 10 Mbps   {:.4}\n\n{}",
+        wf.name(),
+        stats.tasks,
+        stats.files,
+        stats.depth,
+        wf.level_widths(),
+        stats.total_runtime_s / 3600.0,
+        stats.total_bytes as f64 / 1e9,
+        stats.external_input_bytes as f64 / 1e9,
+        stats.staged_out_bytes as f64 / 1e9,
+        stats.critical_path_s / 60.0,
+        stats.max_parallelism,
+        wf.ccr_at_link(10e6),
+        modules.to_ascii(),
+    ))
+}
+
+fn cmd_economics(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud economics — the paper's Question 2b/3 arithmetic
+
+flags:
+  --degrees D          mosaic size (default 1)
+  --dataset-tb T       hosted dataset size for break-even (default 12, 2MASS)
+  --campaign N         plates in a campaign (default 3900, the whole sky)"
+            .to_string());
+    }
+    let args = Args::parse(rest, &["degrees", "seed", "region", "band", "dataset-tb", "campaign"])?;
+    let wf = workflow_from(&args)?;
+    let pricing = Pricing::amazon_2008();
+    let staged = simulate(&wf, &ExecConfig::paper_default());
+    let hosted = simulate(&wf, &ExecConfig::paper_default().prestaged(true));
+    let dataset_tb: f64 = args.get_or("dataset-tb", 12.0)?;
+    let dataset_bytes = (dataset_tb * 1e12) as u64;
+    let campaign_n: u64 = args.get_or("campaign", 3_900u64)?;
+
+    let mosaic = wf
+        .staged_out_files()
+        .into_iter()
+        .map(|f| wf.file(f).clone())
+        .find(|f| f.name.ends_with(".fits"))
+        .ok_or("workflow delivers no FITS mosaic")?;
+    let archive = ArchiveOrRecompute {
+        recompute_cost: staged.costs.cpu,
+        product_bytes: mosaic.bytes,
+    };
+    let hosting = DatasetHosting {
+        dataset_bytes,
+        request_cost_staged: staged.total_cost(),
+        request_cost_hosted: hosted.total_cost(),
+    };
+    let campaign = Campaign { requests: campaign_n, cost_per_request: staged.total_cost() };
+
+    Ok(format!(
+        "request cost             {} staged / {} with hosted inputs\n\
+         campaign of {campaign_n}      {}\n\
+         mosaic archival          {:.0} MB, break-even {:.1} months of storage\n\
+         dataset hosting          {:.1} TB costs {} per month (+{} one-time ingest)\n\
+         hosting break-even       {:.0} requests/month\n",
+        staged.total_cost(),
+        hosted.total_cost(),
+        campaign.total(),
+        mosaic.bytes as f64 / 1e6,
+        archive.break_even_months(&pricing),
+        dataset_tb,
+        pricing.monthly_storage_cost(dataset_bytes),
+        hosting.ingest_cost(&pricing),
+        hosting.break_even_requests_per_month(&pricing),
+    ))
+}
+
+fn cmd_service(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud service — simulate request traffic with cloud bursting
+
+flags:
+  --rate R             requests/hour base rate (default 0.5)
+  --horizon-hours H    simulated span (default 720 = 30 days)
+  --degrees D          request size (default 1)
+  --slots N            local concurrent request slots (default 2)
+  --local-procs P      processors per local slot (default 8)
+  --cloud-procs P      processors per cloud burst (default 16)
+  --threshold K        burst when K requests wait (omit: never burst)
+  --burst S:D:M        overload window: start_h:duration_h:multiplier
+                       (repeatable)
+  --seed N             arrival stream seed (default 2008)"
+            .to_string());
+    }
+    let args = Args::parse(
+        rest,
+        &[
+            "rate", "horizon-hours", "degrees", "slots", "local-procs", "cloud-procs",
+            "threshold", "burst", "seed",
+        ],
+    )?;
+    let rate: f64 = args.get_or("rate", 0.5)?;
+    let horizon: f64 = args.get_or("horizon-hours", 720.0)?;
+    let degrees: f64 = args.get_or("degrees", 1.0)?;
+    let seed: u64 = args.get_or("seed", 2008u64)?;
+    let mut bursts = Vec::new();
+    for spec in args.get_all("burst") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("--burst expects start:duration:multiplier, got '{spec}'"));
+        }
+        let parse = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("bad burst component '{s}'"))
+        };
+        bursts.push((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
+    }
+    let arrivals = if bursts.is_empty() {
+        poisson(rate, horizon, degrees, seed)
+    } else {
+        bursty(rate, horizon, degrees, &bursts, seed)
+    };
+    let cfg = ServiceConfig {
+        local_slots: args.get_or("slots", 2u32)?,
+        local_procs_per_request: args.get_or("local-procs", 8u32)?,
+        cloud_procs_per_request: args.get_or("cloud-procs", 16u32)?,
+        burst_threshold: args.get_parsed::<usize>("threshold")?,
+        exec: ExecConfig::paper_default(),
+        local_cost_per_slot_hour: mcloud_cost::Money::ZERO,
+    };
+    cfg.validate()?;
+    let report = simulate_service(&arrivals, &cfg);
+    Ok(format!(
+        "traffic         {} requests over {horizon:.0} h ({:.2}/h observed)\n\
+         served          {} local, {} cloud\n\
+         cloud spend     {}\n\
+         waits           mean {:.2} h, max {:.2} h\n\
+         turnaround      mean {:.2} h, p95 {:.2} h\n",
+        arrivals.len(),
+        arrivals.len() as f64 / horizon,
+        report.local_requests(),
+        report.cloud_requests(),
+        report.cloud_cost,
+        report.mean_wait_hours(),
+        report.max_wait_hours(),
+        report.mean_turnaround_hours(),
+        report.turnaround_quantile(0.95),
+    ))
+}
+
+fn cmd_autoscale(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud autoscale — simulate an auto-scaled standing pool
+
+flags:
+  --rate R             requests/hour base rate (default 0.5)
+  --horizon-hours H    simulated span (default 720)
+  --degrees D          request size (default 1)
+  --min-slots N / --max-slots N   pool bounds (default 1..8)
+  --scale-up-queue K   rent a slot when K requests wait (default 2)
+  --boot-s S           VM boot delay per slot (default 120)
+  --procs-per-slot P   processors per slot (default 16)
+  --burst S:D:M        overload window (repeatable)
+  --seed N             arrival stream seed (default 2008)"
+            .to_string());
+    }
+    let args = Args::parse(
+        rest,
+        &[
+            "rate", "horizon-hours", "degrees", "min-slots", "max-slots",
+            "scale-up-queue", "boot-s", "procs-per-slot", "burst", "seed",
+        ],
+    )?;
+    let rate: f64 = args.get_or("rate", 0.5)?;
+    let horizon: f64 = args.get_or("horizon-hours", 720.0)?;
+    let degrees: f64 = args.get_or("degrees", 1.0)?;
+    let seed: u64 = args.get_or("seed", 2008u64)?;
+    let mut bursts = Vec::new();
+    for spec in args.get_all("burst") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("--burst expects start:duration:multiplier, got '{spec}'"));
+        }
+        let parse = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("bad burst component '{s}'"))
+        };
+        bursts.push((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
+    }
+    let arrivals = if bursts.is_empty() {
+        poisson(rate, horizon, degrees, seed)
+    } else {
+        bursty(rate, horizon, degrees, &bursts, seed)
+    };
+    use mcloud_service::{simulate_autoscale, AutoScaleConfig};
+    let procs: u32 = args.get_or("procs-per-slot", 16u32)?;
+    let cfg = AutoScaleConfig {
+        min_slots: args.get_or("min-slots", 1u32)?,
+        max_slots: args.get_or("max-slots", 8u32)?,
+        scale_up_queue: args.get_or("scale-up-queue", 2usize)?,
+        boot_s: args.get_or("boot-s", 120.0)?,
+        procs_per_slot: procs,
+        slot_cost_per_hour: mcloud_cost::Money::from_dollars(procs as f64 * 0.10),
+        exec: ExecConfig::paper_default(),
+    };
+    cfg.validate()?;
+    let r = simulate_autoscale(&arrivals, &cfg);
+    Ok(format!(
+        "traffic        {} requests over {horizon:.0} h\n\
+         pool           peak {} slots, {} rentals, {:.0} slot-hours\n\
+         spend          {} rental + {} data management = {}\n\
+         waits          mean {:.2} h, max {:.2} h\n",
+        arrivals.len(),
+        r.peak_slots,
+        r.rentals,
+        r.slot_hours,
+        r.rental_cost,
+        r.dm_cost,
+        r.total_cost(),
+        r.mean_wait_hours(),
+        r.max_wait_hours(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(cmdline: &str) -> Result<String, String> {
+        let argv: Vec<String> = cmdline.split_whitespace().map(String::from).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn help_paths() {
+        assert!(run(&[]).unwrap().contains("usage"));
+        assert!(run_str("help").unwrap().contains("commands:"));
+        assert!(run_str("simulate --help").unwrap().contains("--degrees"));
+        assert!(run_str("plan --help").unwrap().contains("--deadline-hours"));
+        assert!(run_str("service --help").unwrap().contains("--burst"));
+        assert!(run_str("bogus").unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn simulate_default_matches_paper_scale() {
+        let out = run_str("simulate --degrees 1 --procs 1").unwrap();
+        assert!(out.contains("203 tasks"), "{out}");
+        assert!(out.contains("fixed(1)"));
+        // ~$0.58 at ~5.4 h.
+        assert!(out.contains("makespan      5.4"), "{out}");
+        assert!(out.contains("$0.5"), "{out}");
+    }
+
+    #[test]
+    fn simulate_on_demand_and_modes() {
+        let out = run_str("simulate --degrees 1 --mode remote-io").unwrap();
+        assert!(out.contains("on-demand / remote-io"));
+        let err = run_str("simulate --mode sideways").unwrap_err();
+        assert!(err.contains("unknown mode"));
+    }
+
+    #[test]
+    fn simulate_with_extensions() {
+        let out = run_str(
+            "simulate --degrees 1 --procs 8 --failure-prob 0.1 --outage 10:60 \
+             --vm-startup-s 300 --hourly-billing",
+        )
+        .unwrap();
+        assert!(out.contains("failed attempts"), "{out}");
+    }
+
+    #[test]
+    fn plan_recommends_within_deadline() {
+        let out = run_str("plan --degrees 1 --deadline-hours 1 --requests 100").unwrap();
+        assert!(out.contains("recommendation:"), "{out}");
+        assert!(out.contains("frontier"));
+        // An impossible deadline is reported, not panicked.
+        let out = run_str("plan --degrees 1 --deadline-hours 0.01").unwrap();
+        assert!(out.contains("no provisioning level"), "{out}");
+    }
+
+    #[test]
+    fn generate_and_info_roundtrip() {
+        let dir = std::env::temp_dir().join("mcloud_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dax = dir.join("wf.dax");
+        let dot = dir.join("wf.dot");
+        let out = run_str(&format!(
+            "generate --degrees 0.5 --out {} --dot {}",
+            dax.display(),
+            dot.display()
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(std::fs::read_to_string(&dot).unwrap().starts_with("digraph"));
+        let info = run_str(&format!("info --dax {}", dax.display())).unwrap();
+        assert!(info.contains("max parallelism"), "{info}");
+        assert!(info.contains("CCR"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn info_requires_existing_file() {
+        let err = run_str("info --dax /nonexistent/x.dax").unwrap_err();
+        assert!(err.contains("reading"));
+    }
+
+    #[test]
+    fn economics_reports_break_evens() {
+        let out = run_str("economics --degrees 1").unwrap();
+        assert!(out.contains("break-even"), "{out}");
+        assert!(out.contains("$1800.00"), "{out}"); // 12 TB monthly
+    }
+
+    #[test]
+    fn service_runs_with_bursts() {
+        let out = run_str(
+            "service --rate 1 --horizon-hours 100 --slots 1 --threshold 1 \
+             --burst 10:5:8 --seed 3",
+        )
+        .unwrap();
+        assert!(out.contains("cloud spend"), "{out}");
+        assert!(out.contains("p95"));
+    }
+
+    #[test]
+    fn generate_without_out_prints_dax() {
+        let out = run_str("generate --degrees 0.5").unwrap();
+        assert!(out.contains("<adag"), "{out}");
+    }
+
+    #[test]
+    fn autoscale_command_reports_pool_and_spend() {
+        let out = run_str(
+            "autoscale --rate 1 --horizon-hours 48 --min-slots 0 --max-slots 4 \
+             --scale-up-queue 1 --seed 5",
+        )
+        .unwrap();
+        assert!(out.contains("peak"), "{out}");
+        assert!(out.contains("rental"), "{out}");
+        let err = run_str("autoscale --min-slots 4 --max-slots 1").unwrap_err();
+        assert!(err.contains("max_slots"), "{err}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Prints the per-mode data-management metrics for the Figure 3 example
+//! and the 1-degree Montage workflow — a compact view of what the three
+//! execution modes trade against each other.
+//!
+//! ```text
+//! cargo run -p mcloud-core --example modecheck --release
+//! ```
+
+use mcloud_core::{simulate, DataMode, ExecConfig};
+
+fn main() {
+    for (wf, label) in [
+        (mcloud_montage::paper_figure3(), "figure3"),
+        (mcloud_montage::montage_1_degree(), "montage-1deg"),
+    ] {
+        println!("{label}:");
+        for m in DataMode::ALL {
+            let r = simulate(&wf, &ExecConfig::on_demand(m));
+            println!(
+                "  {:10}: storage={:.5} GBh in={:.1} MB out={:.1} MB makespan={:.0}s \
+                 total={} (dm {})",
+                m.label(),
+                r.storage_gb_hours(),
+                r.gb_in() * 1000.0,
+                r.gb_out() * 1000.0,
+                r.makespan.as_secs_f64(),
+                r.total_cost(),
+                r.costs.data_management(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,608 @@
+//! The discrete-event workflow execution simulator.
+//!
+//! Models the paper's environment (Section 5): one compute site with `P`
+//! processors, an attached infinite-capacity storage resource, and a fixed
+//! 10 Mbps FCFS link between the user/archive and cloud storage. Input
+//! data starts co-located with the user; at the end of the run the net
+//! outputs are staged back out and the simulation completes.
+//!
+//! The three data-management modes (Section 3) differ in what the storage
+//! resource holds over time and in how often the link is used:
+//!
+//! * **Regular** — all external inputs are staged in at the start (one
+//!   FCFS pass over the link); every produced file stays on storage until
+//!   the last task finishes; then the net outputs are staged out and
+//!   everything is deleted.
+//! * **Dynamic cleanup** — identical schedule, but a file is deleted the
+//!   moment its last consumer finishes (deliverables survive until their
+//!   final stage-out).
+//! * **Remote I/O** — nothing is shared: each task stages its own inputs
+//!   in (even intermediates, which its producer previously staged *out* to
+//!   the user), runs, stages all its outputs out, and deletes its files. A
+//!   child can only start after its parents' outputs have landed back at
+//!   the user's site.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mcloud_cost::CostBreakdown;
+use mcloud_dag::{FileId, TaskId, Workflow};
+use mcloud_simkit::{
+    EventQueue, FcfsChannel, ProcId, ProcessorPool, SimDuration, SimTime, TimeWeighted,
+};
+
+use crate::config::{DataMode, ExecConfig, Provisioning, SchedulePolicy};
+use crate::report::{Report, TaskSpan};
+
+/// Simulates one execution plan over a workflow and reports the paper's
+/// metrics and costs.
+///
+/// # Panics
+/// Panics if the configuration fails [`ExecConfig::validate`].
+pub fn simulate(wf: &Workflow, cfg: &ExecConfig) -> Report {
+    cfg.validate().expect("invalid execution configuration");
+    Engine::new(wf, cfg).run()
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A shared stage-in transfer finished (Regular/Cleanup).
+    FileArrived(FileId),
+    /// One of a task's private input transfers finished (Remote I/O).
+    InputArrived { task: TaskId, bytes: u64 },
+    /// A task's compute finished.
+    TaskFinished { task: TaskId, proc: ProcId },
+    /// One of the final stage-out transfers finished (Regular/Cleanup).
+    FinalStageOutDone(FileId),
+    /// One of a task's private output transfers finished (Remote I/O).
+    OutputStagedOut { task: TaskId },
+    /// The provisioned VMs finished booting (fixed provisioning with a
+    /// nonzero startup overhead).
+    VmReady,
+}
+
+struct Engine<'a> {
+    wf: &'a Workflow,
+    cfg: &'a ExecConfig,
+    events: EventQueue<Ev>,
+    link: FcfsChannel,
+    /// Outbound channel when `duplex_link` is set; otherwise all traffic
+    /// shares `link`.
+    link_out: Option<FcfsChannel>,
+    pool: ProcessorPool,
+    storage: TimeWeighted,
+
+    // Readiness tracking.
+    pending_parents: Vec<u32>,
+    missing_inputs: Vec<u32>,
+    ready: BinaryHeap<Reverse<(u64, TaskId)>>,
+    /// Tasks that are ready but whose outputs do not currently fit within
+    /// the storage capacity; re-examined whenever space is freed.
+    storage_blocked: Vec<TaskId>,
+    /// Scheduling priority per task (lower pops first).
+    priority: Vec<u64>,
+    started: Vec<bool>,
+    start_time: Vec<SimTime>,
+    /// When each task first became runnable (for queue-wait statistics).
+    ready_time: Vec<SimTime>,
+    /// Wait between readiness and dispatch, per execution attempt.
+    wait_stats: mcloud_simkit::RunningStats,
+    /// Instant before which no task may start (VM boot).
+    vm_ready_at: SimTime,
+
+    // Mode-specific bookkeeping.
+    remaining_consumers: Vec<u32>,
+    is_staged_out: Vec<bool>,
+    counted_in_storage: Vec<bool>,
+    staged_in_bytes: Vec<u64>,
+    outputs_remaining: Vec<u32>,
+
+    // Progress and accounting.
+    tasks_done: usize,
+    stageouts_pending: usize,
+    bytes_in: u64,
+    bytes_out: u64,
+    transfers_in: u64,
+    transfers_out: u64,
+    end_time: SimTime,
+    trace: Vec<TaskSpan>,
+    /// Duration of every execution attempt (successes and failures), for
+    /// utilization-based billing.
+    run_seconds: Vec<f64>,
+    failed_attempts: u64,
+    /// Fault-draw RNG (present when the config enables failures).
+    fault_rng: Option<StdRng>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(wf: &'a Workflow, cfg: &'a ExecConfig) -> Self {
+        let n = wf.num_tasks();
+        let nf = wf.num_files();
+        let capacity = match cfg.provisioning {
+            Provisioning::Fixed { processors } => processors,
+            // "the number of processors greater than the maximum
+            // parallelism of the workflow" (Section 5): one slot per task
+            // can never be exhausted.
+            Provisioning::OnDemand => n as u32,
+        };
+        let mut is_staged_out = vec![false; nf];
+        for f in wf.staged_out_files() {
+            is_staged_out[f.index()] = true;
+        }
+        let priority: Vec<u64> = match cfg.policy {
+            SchedulePolicy::FifoById => (0..n as u64).collect(),
+            SchedulePolicy::CriticalPathFirst => {
+                // Rank tasks by descending bottom level; the rank becomes
+                // the priority (lower pops first), ties by id.
+                let bl = wf.bottom_levels();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| bl[b].total_cmp(&bl[a]).then(a.cmp(&b)));
+                let mut prio = vec![0u64; n];
+                for (rank, &t) in order.iter().enumerate() {
+                    prio[t] = rank as u64;
+                }
+                prio
+            }
+        };
+        let mut link = FcfsChannel::new(cfg.bandwidth_bps);
+        for &(start_s, dur_s) in &cfg.storage_outages {
+            let start = SimTime::from_secs_f64(start_s);
+            link.add_blackout(start, start + SimDuration::from_secs_f64(dur_s));
+        }
+        let link_out = cfg.duplex_link.then(|| link.clone());
+        let vm_ready_at = match cfg.provisioning {
+            Provisioning::Fixed { .. } => SimTime::from_secs_f64(cfg.vm.startup_s),
+            Provisioning::OnDemand => SimTime::ZERO,
+        };
+        Engine {
+            wf,
+            cfg,
+            events: EventQueue::new(),
+            link,
+            link_out,
+            pool: ProcessorPool::new(capacity),
+            storage: TimeWeighted::new(),
+            pending_parents: wf.task_ids().map(|t| wf.parents(t).len() as u32).collect(),
+            missing_inputs: vec![0; n],
+            ready: BinaryHeap::new(),
+            storage_blocked: Vec::new(),
+            priority,
+            started: vec![false; n],
+            start_time: vec![SimTime::ZERO; n],
+            ready_time: vec![SimTime::ZERO; n],
+            wait_stats: mcloud_simkit::RunningStats::new(),
+            vm_ready_at,
+            remaining_consumers: wf.file_ids().map(|f| wf.consumers(f).len() as u32).collect(),
+            is_staged_out,
+            counted_in_storage: vec![false; nf],
+            staged_in_bytes: vec![0; n],
+            outputs_remaining: vec![0; n],
+            tasks_done: 0,
+            stageouts_pending: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            transfers_in: 0,
+            transfers_out: 0,
+            end_time: SimTime::ZERO,
+            trace: Vec::new(),
+            run_seconds: Vec::with_capacity(n),
+            failed_attempts: 0,
+            fault_rng: cfg.faults.map(|f| StdRng::seed_from_u64(f.seed)),
+        }
+    }
+
+    fn run(mut self) -> Report {
+        self.bootstrap();
+        self.dispatch(SimTime::ZERO);
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                Ev::FileArrived(f) => self.on_file_arrived(now, f),
+                Ev::InputArrived { task, bytes } => self.on_input_arrived(now, task, bytes),
+                Ev::TaskFinished { task, proc } => self.on_task_finished(now, task, proc),
+                Ev::FinalStageOutDone(f) => self.on_final_stage_out(now, f),
+                Ev::OutputStagedOut { task } => self.on_output_staged_out(now, task),
+                Ev::VmReady => {}
+            }
+            self.dispatch(now);
+        }
+        if self.tasks_done != self.wf.num_tasks() {
+            assert!(
+                !self.storage_blocked.is_empty(),
+                "simulation deadlocked without storage pressure (engine bug)"
+            );
+            panic!(
+                "storage capacity {} bytes is insufficient: {} of {} tasks \
+                 completed, {} permanently blocked (peak occupancy so far {:.0} \
+                 bytes); raise the capacity or use DynamicCleanup",
+                self.cfg.storage_capacity_bytes.unwrap_or(0),
+                self.tasks_done,
+                self.wf.num_tasks(),
+                self.storage_blocked.len(),
+                self.storage.peak(),
+            );
+        }
+        self.finish()
+    }
+
+    /// Seeds the event queue with the initial transfers.
+    fn bootstrap(&mut self) {
+        if self.vm_ready_at > SimTime::ZERO {
+            self.events.push(self.vm_ready_at, Ev::VmReady);
+        }
+        match self.cfg.mode {
+            DataMode::Regular | DataMode::DynamicCleanup => {
+                // Count each task's wait on external (non-prestaged) inputs.
+                if !self.cfg.prestaged_inputs {
+                    for t in self.wf.task_ids() {
+                        let missing = self
+                            .wf
+                            .task(t)
+                            .inputs
+                            .iter()
+                            .filter(|f| self.wf.producer(**f).is_none())
+                            .count();
+                        self.missing_inputs[t.index()] = missing as u32;
+                    }
+                    // Stage in every external input up front, FCFS in file order.
+                    for f in self.wf.external_inputs() {
+                        let grant = self.link.submit(SimTime::ZERO, self.wf.file(f).bytes);
+                        self.bytes_in += grant.bytes;
+                        self.transfers_in += 1;
+                        self.events.push(grant.finish, Ev::FileArrived(f));
+                    }
+                }
+                for t in self.wf.task_ids() {
+                    self.maybe_ready(SimTime::ZERO, t);
+                }
+            }
+            DataMode::RemoteIo => {
+                for t in self.wf.task_ids() {
+                    self.missing_inputs[t.index()] = self.wf.task(t).inputs.len() as u32;
+                    self.outputs_remaining[t.index()] = self.wf.task(t).outputs.len() as u32;
+                }
+                // Parentless tasks can begin staging immediately.
+                for t in self.wf.task_ids() {
+                    if self.pending_parents[t.index()] == 0 {
+                        self.stage_task_inputs(SimTime::ZERO, t);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- shared-storage modes ----------------------------------------------
+
+    fn on_file_arrived(&mut self, now: SimTime, f: FileId) {
+        self.storage.add(now, self.wf.file(f).bytes as f64);
+        self.counted_in_storage[f.index()] = true;
+        let consumers: Vec<TaskId> = self.wf.consumers(f).to_vec();
+        for t in consumers {
+            self.missing_inputs[t.index()] -= 1;
+            self.maybe_ready(now, t);
+        }
+    }
+
+    fn on_final_stage_out(&mut self, now: SimTime, f: FileId) {
+        self.remove_from_storage(now, f);
+        self.stageouts_pending -= 1;
+        if self.stageouts_pending == 0 {
+            self.end_time = now;
+        }
+    }
+
+    fn remove_from_storage(&mut self, now: SimTime, f: FileId) {
+        if std::mem::take(&mut self.counted_in_storage[f.index()]) {
+            self.storage.add(now, -(self.wf.file(f).bytes as f64));
+            if self.cfg.storage_capacity_bytes.is_some() && !self.storage_blocked.is_empty()
+            {
+                self.unblock_storage_waiters(now);
+            }
+        }
+    }
+
+    // --- remote I/O mode -----------------------------------------------------
+
+    /// Submits the private stage-in transfers for one task's inputs.
+    fn stage_task_inputs(&mut self, now: SimTime, t: TaskId) {
+        let inputs = self.wf.task(t).inputs.clone();
+        for f in inputs {
+            let external = self.wf.producer(f).is_none();
+            if external && self.cfg.prestaged_inputs {
+                // Reads from the in-cloud archive are free and instant.
+                self.missing_inputs[t.index()] -= 1;
+                continue;
+            }
+            let bytes = self.wf.file(f).bytes;
+            let grant = self.link.submit(now, bytes);
+            self.bytes_in += bytes;
+            self.transfers_in += 1;
+            self.staged_in_bytes[t.index()] += bytes;
+            self.events.push(grant.finish, Ev::InputArrived { task: t, bytes });
+        }
+        self.maybe_ready(now, t);
+    }
+
+    fn on_input_arrived(&mut self, now: SimTime, t: TaskId, _bytes: u64) {
+        // Remote I/O occupancy follows the paper's accounting: "the files
+        // are present on the resource only during the execution of the
+        // current task", so occupancy is charged at task start (inputs)
+        // and task end (outputs), not at transfer arrival.
+        self.missing_inputs[t.index()] -= 1;
+        self.maybe_ready(now, t);
+    }
+
+    fn on_output_staged_out(&mut self, now: SimTime, t: TaskId) {
+        self.outputs_remaining[t.index()] -= 1;
+        if self.outputs_remaining[t.index()] == 0 {
+            self.task_fully_done(now, t);
+        }
+    }
+
+    /// Remote I/O working set: the staged input copies, charged to storage
+    /// for the execution window only. Outputs are written straight through
+    /// to the outbound link ("stage out the output data from the resource
+    /// and then delete"), so they never rest on the metered storage.
+    fn working_set_bytes(&self, t: TaskId) -> u64 {
+        self.staged_in_bytes[t.index()]
+    }
+
+    /// Remote I/O epilogue: all outputs have landed back at the user's
+    /// site; the task's children may begin staging.
+    fn task_fully_done(&mut self, now: SimTime, t: TaskId) {
+        self.tasks_done += 1;
+        if self.tasks_done == self.wf.num_tasks() {
+            self.end_time = now;
+        }
+        let children: Vec<TaskId> = self.wf.children(t).to_vec();
+        for c in children {
+            self.pending_parents[c.index()] -= 1;
+            if self.pending_parents[c.index()] == 0 {
+                self.stage_task_inputs(now, c);
+            }
+        }
+    }
+
+    // --- common ---------------------------------------------------------------
+
+    fn maybe_ready(&mut self, now: SimTime, t: TaskId) {
+        if !self.started[t.index()]
+            && self.pending_parents[t.index()] == 0
+            && self.missing_inputs[t.index()] == 0
+        {
+            self.started[t.index()] = true;
+            self.enqueue_ready(now, t);
+        }
+    }
+
+    fn enqueue_ready(&mut self, now: SimTime, t: TaskId) {
+        self.ready_time[t.index()] = now;
+        self.ready.push(Reverse((self.priority[t.index()], t)));
+    }
+
+    /// Submits an outbound (storage -> user) transfer on the appropriate
+    /// channel.
+    fn submit_out(&mut self, now: SimTime, bytes: u64) -> mcloud_simkit::TransferGrant {
+        match self.link_out.as_mut() {
+            Some(out) => out.submit(now, bytes),
+            None => self.link.submit(now, bytes),
+        }
+    }
+
+    /// True when starting `t` now would overflow a configured storage cap
+    /// (shared-storage modes reserve space for the task's outputs).
+    fn storage_would_overflow(&self, t: TaskId) -> bool {
+        let Some(cap) = self.cfg.storage_capacity_bytes else { return false };
+        if self.cfg.mode == DataMode::RemoteIo {
+            return false; // capacity modeling targets the shared store
+        }
+        let outputs: u64 = self
+            .wf
+            .task(t)
+            .outputs
+            .iter()
+            .map(|f| self.wf.file(*f).bytes)
+            .sum();
+        self.storage.value() + outputs as f64 > cap as f64
+    }
+
+    /// Moves storage-blocked tasks back into the ready queue (called when
+    /// space is freed).
+    fn unblock_storage_waiters(&mut self, now: SimTime) {
+        let blocked = std::mem::take(&mut self.storage_blocked);
+        for t in blocked {
+            self.enqueue_ready(now, t);
+        }
+    }
+
+    /// Starts as many ready tasks as there are free processors.
+    fn dispatch(&mut self, now: SimTime) {
+        if now < self.vm_ready_at {
+            return; // VMs still booting; Ev::VmReady re-triggers dispatch.
+        }
+        while let Some(&Reverse((_, t))) = self.ready.peek() {
+            if self.storage_would_overflow(t) {
+                self.ready.pop();
+                self.storage_blocked.push(t);
+                continue; // try the next-priority candidate
+            }
+            let Some(proc) = self.pool.try_acquire(now) else { break };
+            self.ready.pop();
+            self.start_time[t.index()] = now;
+            self.wait_stats.push(now.since(self.ready_time[t.index()]).as_secs_f64());
+            if self.cfg.mode == DataMode::RemoteIo {
+                // The task's working set (staged inputs + space for its
+                // outputs) occupies storage while it runs, and only then:
+                // "the files are present on the resource only during the
+                // execution of the current task". Outputs in flight back
+                // to the user ride the link, not the storage resource.
+                let held = self.working_set_bytes(t);
+                if held > 0 {
+                    self.storage.add(now, held as f64);
+                }
+            }
+            let runtime = SimDuration::from_secs_f64(self.wf.task(t).runtime_s);
+            self.events.push(now + runtime, Ev::TaskFinished { task: t, proc });
+        }
+    }
+
+    fn on_task_finished(&mut self, now: SimTime, t: TaskId, proc: ProcId) {
+        self.pool.release(now, proc);
+        self.run_seconds.push(self.wf.task(t).runtime_s);
+        if self.cfg.record_trace {
+            self.trace.push(TaskSpan {
+                task: t,
+                proc: proc.0,
+                start: self.start_time[t.index()],
+                finish: now,
+            });
+        }
+        // Fault injection: a failed attempt consumed its runtime (billed
+        // above) but produced nothing; the task goes back to the ready
+        // queue and retries.
+        if let (Some(rng), Some(model)) = (self.fault_rng.as_mut(), self.cfg.faults) {
+            if rng.gen::<f64>() < model.task_failure_prob {
+                self.failed_attempts += 1;
+                if self.cfg.mode == DataMode::RemoteIo {
+                    // Balance the working-set bookkeeping: the retry's
+                    // dispatch re-adds it (the staged copies are still at
+                    // the site; no re-transfer is modeled).
+                    let held = self.working_set_bytes(t);
+                    if held > 0 {
+                        self.storage.add(now, -(held as f64));
+                    }
+                }
+                self.enqueue_ready(now, t);
+                return;
+            }
+        }
+        match self.cfg.mode {
+            DataMode::Regular | DataMode::DynamicCleanup => {
+                // Outputs materialize on shared storage. (Consumers track
+                // intermediate availability through `pending_parents`, so
+                // only the occupancy bookkeeping happens here.)
+                let outputs = self.wf.task(t).outputs.clone();
+                for f in outputs {
+                    self.storage.add(now, self.wf.file(f).bytes as f64);
+                    self.counted_in_storage[f.index()] = true;
+                }
+                let children: Vec<TaskId> = self.wf.children(t).to_vec();
+                for c in children {
+                    self.pending_parents[c.index()] -= 1;
+                    self.maybe_ready(now, c);
+                }
+                if self.cfg.mode == DataMode::DynamicCleanup {
+                    let inputs = self.wf.task(t).inputs.clone();
+                    for f in inputs {
+                        self.remaining_consumers[f.index()] -= 1;
+                        if self.remaining_consumers[f.index()] == 0
+                            && !self.is_staged_out[f.index()]
+                        {
+                            self.remove_from_storage(now, f);
+                        }
+                    }
+                }
+                self.tasks_done += 1;
+                if self.tasks_done == self.wf.num_tasks() {
+                    self.begin_final_stage_out(now);
+                }
+            }
+            DataMode::RemoteIo => {
+                // The whole working set leaves the storage resource...
+                let held = self.working_set_bytes(t);
+                if held > 0 {
+                    self.storage.add(now, -(held as f64));
+                }
+                // ...and every output is staged back to the user's site.
+                let task = self.wf.task(t);
+                if task.outputs.is_empty() {
+                    self.task_fully_done(now, t);
+                    return;
+                }
+                let outputs = task.outputs.clone();
+                for f in outputs {
+                    let bytes = self.wf.file(f).bytes;
+                    let grant = self.submit_out(now, bytes);
+                    self.bytes_out += bytes;
+                    self.transfers_out += 1;
+                    self.events.push(grant.finish, Ev::OutputStagedOut { task: t });
+                }
+            }
+        }
+    }
+
+    fn begin_final_stage_out(&mut self, now: SimTime) {
+        let files = self.wf.staged_out_files();
+        if files.is_empty() {
+            self.end_time = now;
+            return;
+        }
+        self.stageouts_pending = files.len();
+        for f in files {
+            let bytes = self.wf.file(f).bytes;
+            let grant = self.submit_out(now, bytes);
+            self.bytes_out += bytes;
+            self.transfers_out += 1;
+            self.events.push(grant.finish, Ev::FinalStageOutDone(f));
+        }
+    }
+
+    fn finish(self) -> Report {
+        let makespan = self.end_time.since(SimTime::ZERO);
+        let makespan_s = makespan.as_secs_f64();
+        let task_runtime_seconds = self.wf.total_runtime_s();
+
+        let (instance_seconds, processors, cpu_utilization): (Vec<f64>, Option<u32>, f64) =
+            match self.cfg.provisioning {
+                Provisioning::Fixed { processors } => {
+                    let util = if makespan_s > 0.0 {
+                        self.pool.utilization(self.end_time)
+                    } else {
+                        0.0
+                    };
+                    // Instances are acquired at t=0 (boot time is inside
+                    // the makespan) and billed through teardown.
+                    let held = makespan_s + self.cfg.vm.teardown_s;
+                    (vec![held; processors as usize], Some(processors), util)
+                }
+                Provisioning::OnDemand => {
+                    // Billed exactly for what ran (including failed
+                    // attempts); each execution is its own instance
+                    // occupation for granularity purposes.
+                    (self.run_seconds.clone(), None, 1.0)
+                }
+            };
+        let cpu_seconds_billed: f64 = instance_seconds.iter().sum();
+
+        let storage_byte_seconds = self.storage.integral(self.end_time);
+        let costs = CostBreakdown {
+            cpu: self.cfg.granularity.cpu_cost(&self.cfg.pricing, &instance_seconds),
+            storage: self.cfg.pricing.storage_cost(storage_byte_seconds),
+            transfer_in: self.cfg.pricing.transfer_in_cost(self.bytes_in),
+            transfer_out: self.cfg.pricing.transfer_out_cost(self.bytes_out),
+        };
+
+        Report {
+            makespan,
+            bytes_in: self.bytes_in,
+            bytes_out: self.bytes_out,
+            transfers_in: self.transfers_in,
+            transfers_out: self.transfers_out,
+            storage_byte_seconds,
+            storage_peak_bytes: self.storage.peak(),
+            cpu_seconds_billed,
+            task_runtime_seconds,
+            costs,
+            processors,
+            peak_concurrency: self.pool.peak_in_use(),
+            cpu_utilization,
+            task_executions: self.run_seconds.len() as u64,
+            failed_attempts: self.failed_attempts,
+            queue_wait_mean_s: self.wait_stats.mean(),
+            queue_wait_max_s: self.wait_stats.max(),
+            trace: if self.cfg.record_trace { Some(self.trace) } else { None },
+        }
+    }
+}

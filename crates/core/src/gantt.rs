@@ -1,0 +1,139 @@
+//! Gantt-chart rendering of execution traces.
+//!
+//! Turns the per-task spans recorded by [`ExecConfig::record_trace`] into
+//! a text timeline (one row per processor slot) or a CSV of spans for
+//! external plotting. Useful for eyeballing why a provisioning level is
+//! underutilized — the paper's "CPU utilization can be low in the
+//! provisioned case" made visible.
+//!
+//! [`ExecConfig::record_trace`]: crate::ExecConfig::record_trace
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mcloud_dag::Workflow;
+
+use crate::report::{Report, TaskSpan};
+
+/// Renders a text Gantt chart, one row per processor, `width` columns
+/// spanning `[0, makespan]`. Busy cells show the first letter of the
+/// running task's module (e.g. `m` for every Montage stage, so custom
+/// modules are distinguishable); idle cells show `.`.
+///
+/// # Panics
+/// Panics if the report carries no trace or `width` is zero.
+pub fn gantt_text(wf: &Workflow, report: &Report, width: usize) -> String {
+    assert!(width > 0, "gantt width must be positive");
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("gantt rendering needs a report with record_trace enabled");
+    let horizon = report.makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+
+    let mut rows: BTreeMap<u32, Vec<char>> = BTreeMap::new();
+    for span in trace {
+        let row = rows.entry(span.proc).or_insert_with(|| vec!['.'; width]);
+        let glyph = wf
+            .task(span.task)
+            .module
+            .chars()
+            .next()
+            .unwrap_or('#')
+            .to_ascii_lowercase();
+        let a = (span.start.as_secs_f64() / horizon * width as f64).floor() as usize;
+        let b = (span.finish.as_secs_f64() / horizon * width as f64).ceil() as usize;
+        for cell in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+            *cell = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gantt: {} over {:.1}s ({} tasks, {} procs shown)",
+        wf.name(),
+        horizon,
+        trace.len(),
+        rows.len()
+    );
+    for (proc, row) in rows {
+        let _ = writeln!(out, "p{proc:<4} |{}|", row.iter().collect::<String>());
+    }
+    out
+}
+
+/// Emits the trace as CSV: `task,module,proc,start_s,finish_s`.
+pub fn gantt_csv(wf: &Workflow, trace: &[TaskSpan]) -> String {
+    let mut out = String::from("task,module,proc,start_s,finish_s\n");
+    for span in trace {
+        let task = wf.task(span.task);
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{:.6}",
+            task.name,
+            task.module,
+            span.proc,
+            span.start.as_secs_f64(),
+            span.finish.as_secs_f64()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, ExecConfig};
+    use mcloud_dag::WorkflowBuilder;
+
+    fn two_task_workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new("two");
+        let a = b.file("a", 0);
+        let x = b.file("x", 0);
+        let y = b.file("y", 0);
+        b.add_task("first", "alpha", 10.0, &[a], &[x]).unwrap();
+        b.add_task("second", "beta", 10.0, &[x], &[y]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn text_gantt_shows_both_modules() {
+        let wf = two_task_workflow();
+        let r = simulate(&wf, &ExecConfig::fixed(1).with_trace());
+        let g = gantt_text(&wf, &r, 20);
+        assert!(g.contains("p0"));
+        assert!(g.contains('a'), "{g}"); // alpha
+        assert!(g.contains('b'), "{g}"); // beta
+        // One processor: exactly one row.
+        assert_eq!(g.lines().count(), 2);
+    }
+
+    #[test]
+    fn rows_match_processors_used() {
+        let wf = mcloud_montage::paper_figure3();
+        let r = simulate(&wf, &ExecConfig::fixed(3).with_trace());
+        let g = gantt_text(&wf, &r, 40);
+        // Three procs busy at level 3.
+        assert_eq!(g.lines().count(), 4, "{g}");
+    }
+
+    #[test]
+    fn csv_lists_every_span() {
+        let wf = two_task_workflow();
+        let r = simulate(&wf, &ExecConfig::fixed(1).with_trace());
+        let csv = gantt_csv(&wf, r.trace.as_ref().unwrap());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "task,module,proc,start_s,finish_s");
+        assert!(lines[1].starts_with("first,alpha,0,"));
+        assert!(lines[2].starts_with("second,beta,0,10.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "record_trace")]
+    fn text_gantt_requires_a_trace() {
+        let wf = two_task_workflow();
+        let r = simulate(&wf, &ExecConfig::fixed(1));
+        gantt_text(&wf, &r, 10);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation output: the paper's four metrics (Section 5) plus the cost
+//! breakdown they imply and optional per-task traces.
+
+use mcloud_cost::{CostBreakdown, Money, BYTES_PER_GB};
+use mcloud_dag::TaskId;
+use mcloud_simkit::{SimDuration, SimTime};
+
+/// One task's execution span (a Gantt row), recorded when
+/// [`ExecConfig::record_trace`] is set.
+///
+/// [`ExecConfig::record_trace`]: crate::ExecConfig::record_trace
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// The task.
+    pub task: TaskId,
+    /// Processor slot it ran on.
+    pub proc: u32,
+    /// Execution start.
+    pub start: SimTime,
+    /// Execution finish.
+    pub finish: SimTime,
+}
+
+/// The result of simulating one execution plan.
+///
+/// Mirrors the metrics of interest listed in Section 5 of the paper:
+/// workflow execution time, data transferred in/out, and the storage
+/// integral ("area under the curve"), plus the monetary costs those imply
+/// under the configured rate card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Workflow execution time: from request start to the last stage-out.
+    pub makespan: SimDuration,
+    /// Total bytes moved from the user/archive into cloud storage.
+    pub bytes_in: u64,
+    /// Total bytes moved from cloud storage out to the user.
+    pub bytes_out: u64,
+    /// Number of individual inbound transfers.
+    pub transfers_in: u64,
+    /// Number of individual outbound transfers.
+    pub transfers_out: u64,
+    /// Storage occupancy integral over the run, in byte-seconds.
+    pub storage_byte_seconds: f64,
+    /// Peak storage occupancy, bytes.
+    pub storage_peak_bytes: f64,
+    /// CPU-seconds billed (P x makespan for fixed plans, the sum of task
+    /// runtimes for on-demand).
+    pub cpu_seconds_billed: f64,
+    /// Sum of task runtimes (invariant across modes and plans).
+    pub task_runtime_seconds: f64,
+    /// Dollar costs under the configured pricing and granularity.
+    pub costs: CostBreakdown,
+    /// Processors held, for fixed provisioning.
+    pub processors: Option<u32>,
+    /// Peak number of simultaneously running tasks.
+    pub peak_concurrency: u32,
+    /// Mean processor utilization (fixed plans only; 1.0 means always busy).
+    pub cpu_utilization: f64,
+    /// Total execution attempts, including failed ones (equals the task
+    /// count when fault injection is off).
+    pub task_executions: u64,
+    /// Execution attempts that failed and were retried.
+    pub failed_attempts: u64,
+    /// Mean seconds a runnable task waited for a processor (and, under a
+    /// storage cap, for space).
+    pub queue_wait_mean_s: f64,
+    /// Longest such wait, seconds.
+    pub queue_wait_max_s: f64,
+    /// Per-task spans, when tracing was requested.
+    pub trace: Option<Vec<TaskSpan>>,
+}
+
+impl Report {
+    /// Total cost of the run.
+    pub fn total_cost(&self) -> Money {
+        self.costs.total()
+    }
+
+    /// The paper's Figure 7-9 "storage used" metric, in GB-hours.
+    pub fn storage_gb_hours(&self) -> f64 {
+        self.storage_byte_seconds / BYTES_PER_GB / 3600.0
+    }
+
+    /// Makespan in hours (the unit of the paper's runtime plots).
+    pub fn makespan_hours(&self) -> f64 {
+        self.makespan.as_hours_f64()
+    }
+
+    /// Data staged in, in GB.
+    pub fn gb_in(&self) -> f64 {
+        self.bytes_in as f64 / BYTES_PER_GB
+    }
+
+    /// Data staged out, in GB.
+    pub fn gb_out(&self) -> f64 {
+        self.bytes_out as f64 / BYTES_PER_GB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcloud_cost::CostBreakdown;
+
+    fn sample() -> Report {
+        Report {
+            makespan: SimDuration::from_secs(7200),
+            bytes_in: 2_000_000_000,
+            bytes_out: 500_000_000,
+            transfers_in: 50,
+            transfers_out: 2,
+            storage_byte_seconds: 3.6e12,
+            storage_peak_bytes: 1e9,
+            cpu_seconds_billed: 7200.0,
+            task_runtime_seconds: 7000.0,
+            costs: CostBreakdown {
+                cpu: Money::from_dollars(0.2),
+                storage: Money::from_dollars(0.01),
+                transfer_in: Money::from_dollars(0.2),
+                transfer_out: Money::from_dollars(0.08),
+            },
+            processors: Some(1),
+            peak_concurrency: 1,
+            cpu_utilization: 0.97,
+            task_executions: 10,
+            failed_attempts: 0,
+            queue_wait_mean_s: 1.0,
+            queue_wait_max_s: 5.0,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = sample();
+        assert!((r.makespan_hours() - 2.0).abs() < 1e-12);
+        assert!((r.gb_in() - 2.0).abs() < 1e-12);
+        assert!((r.gb_out() - 0.5).abs() < 1e-12);
+        // 3.6e12 byte-seconds = 1 GB for 1 hour.
+        assert!((r.storage_gb_hours() - 1.0).abs() < 1e-12);
+        assert!(r.total_cost().approx_eq(Money::from_dollars(0.49), 1e-12));
+    }
+}

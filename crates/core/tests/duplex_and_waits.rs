@@ -1,0 +1,97 @@
+//! Tests for the duplex-link ablation and the queue-wait statistics.
+
+use mcloud_core::{simulate, DataMode, ExecConfig};
+use mcloud_dag::{Workflow, WorkflowBuilder};
+use mcloud_montage::montage_1_degree;
+
+const MB: u64 = 1_000_000;
+
+/// A producer whose output streams out while an independent consumer's
+/// input streams in — the duplex link lets those overlap.
+fn in_out_contention() -> Workflow {
+    let mut b = WorkflowBuilder::new("contention");
+    // Chain A: stage in a big input late.
+    let a_in = b.file("a_in", 50 * MB);
+    let a_out = b.file("a_out", 1);
+    b.add_task("a", "m", 10.0, &[a_in], &[a_out]).unwrap();
+    // Chain B: tiny input, big deliverable out.
+    let b_in = b.file("b_in", 1);
+    let b_out = b.file("b_out", 50 * MB);
+    b.add_task("b", "m", 10.0, &[b_in], &[b_out]).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn duplex_never_slows_a_remote_io_run() {
+    for wf in [in_out_contention(), montage_1_degree()] {
+        let shared = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo));
+        let duplex =
+            simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo).with_duplex_link());
+        assert!(duplex.makespan <= shared.makespan, "{}", wf.name());
+        // Same bytes and dollars per byte either way.
+        assert_eq!(duplex.bytes_in, shared.bytes_in);
+        assert_eq!(duplex.bytes_out, shared.bytes_out);
+        assert!(duplex
+            .costs
+            .transfer()
+            .approx_eq(shared.costs.transfer(), 1e-9));
+    }
+}
+
+#[test]
+fn duplex_speeds_up_remote_io_under_contention() {
+    // Remote I/O keeps both directions busy simultaneously; a montage run
+    // must get strictly faster on a duplex link.
+    let wf = montage_1_degree();
+    let shared = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo));
+    let duplex = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo).with_duplex_link());
+    assert!(
+        duplex.makespan.as_secs_f64() < shared.makespan.as_secs_f64() * 0.95,
+        "duplex {} vs shared {}",
+        duplex.makespan,
+        shared.makespan
+    );
+}
+
+#[test]
+fn duplex_barely_matters_for_regular_mode() {
+    // Regular mode's stage-in and stage-out phases do not overlap, so the
+    // second channel buys (almost) nothing — the ablation's conclusion.
+    let wf = montage_1_degree();
+    let shared = simulate(&wf, &ExecConfig::paper_default());
+    let duplex = simulate(&wf, &ExecConfig::paper_default().with_duplex_link());
+    let (a, b) = (shared.makespan.as_secs_f64(), duplex.makespan.as_secs_f64());
+    assert!(b <= a);
+    assert!((a - b) / a < 0.02, "regular-mode gap should be tiny: {a} vs {b}");
+}
+
+#[test]
+fn queue_waits_are_zero_with_ample_processors() {
+    let wf = montage_1_degree();
+    let r = simulate(&wf, &ExecConfig::paper_default());
+    assert!(r.queue_wait_mean_s < 1e-9, "on-demand never queues");
+    assert_eq!(r.queue_wait_max_s, 0.0);
+}
+
+#[test]
+fn queue_waits_grow_as_processors_shrink() {
+    let wf = montage_1_degree();
+    let one = simulate(&wf, &ExecConfig::fixed(1));
+    let four = simulate(&wf, &ExecConfig::fixed(4));
+    let many = simulate(&wf, &ExecConfig::fixed(128));
+    assert!(one.queue_wait_mean_s > four.queue_wait_mean_s);
+    assert!(four.queue_wait_mean_s > many.queue_wait_mean_s);
+    assert!(one.queue_wait_max_s >= four.queue_wait_max_s);
+    // On one processor the last task has waited on the order of the
+    // makespan.
+    assert!(one.queue_wait_max_s > 0.5 * one.makespan.as_secs_f64());
+}
+
+#[test]
+fn wait_statistics_are_internally_consistent() {
+    let wf = montage_1_degree();
+    let r = simulate(&wf, &ExecConfig::fixed(8));
+    assert!(r.queue_wait_mean_s >= 0.0);
+    assert!(r.queue_wait_max_s >= r.queue_wait_mean_s);
+    assert!(r.queue_wait_max_s <= r.makespan.as_secs_f64());
+}

@@ -1,0 +1,138 @@
+//! Per-category cost totals, matching the series plotted in the paper's
+//! Figures 4–11.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use crate::money::Money;
+
+/// Cost of one workflow execution, split the way the paper plots it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Compute cost (provisioned or utilization-based, per the plan).
+    pub cpu: Money,
+    /// Storage occupancy cost.
+    pub storage: Money,
+    /// Cost of data staged into cloud storage.
+    pub transfer_in: Money,
+    /// Cost of data staged out to the user.
+    pub transfer_out: Money,
+}
+
+impl CostBreakdown {
+    /// A zero breakdown.
+    pub const ZERO: CostBreakdown = CostBreakdown {
+        cpu: Money::ZERO,
+        storage: Money::ZERO,
+        transfer_in: Money::ZERO,
+        transfer_out: Money::ZERO,
+    };
+
+    /// Everything summed.
+    pub fn total(&self) -> Money {
+        self.cpu + self.storage + self.transfer_in + self.transfer_out
+    }
+
+    /// The paper's Figure 10 "DM" (data management) aggregate: everything
+    /// except CPU.
+    pub fn data_management(&self) -> Money {
+        self.storage + self.transfer_in + self.transfer_out
+    }
+
+    /// Transfer costs only.
+    pub fn transfer(&self) -> Money {
+        self.transfer_in + self.transfer_out
+    }
+
+    /// Component-wise approximate equality (tolerance in dollars).
+    pub fn approx_eq(&self, other: &CostBreakdown, tol: f64) -> bool {
+        self.cpu.approx_eq(other.cpu, tol)
+            && self.storage.approx_eq(other.storage, tol)
+            && self.transfer_in.approx_eq(other.transfer_in, tol)
+            && self.transfer_out.approx_eq(other.transfer_out, tol)
+    }
+}
+
+impl Add for CostBreakdown {
+    type Output = CostBreakdown;
+    fn add(self, rhs: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            cpu: self.cpu + rhs.cpu,
+            storage: self.storage + rhs.storage,
+            transfer_in: self.transfer_in + rhs.transfer_in,
+            transfer_out: self.transfer_out + rhs.transfer_out,
+        }
+    }
+}
+
+impl AddAssign for CostBreakdown {
+    fn add_assign(&mut self, rhs: CostBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for CostBreakdown {
+    fn sum<I: Iterator<Item = CostBreakdown>>(iter: I) -> CostBreakdown {
+        iter.fold(CostBreakdown::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu {} + storage {} + in {} + out {} = {}",
+            self.cpu,
+            self.storage,
+            self.transfer_in,
+            self.transfer_out,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostBreakdown {
+        CostBreakdown {
+            cpu: Money::from_dollars(2.03),
+            storage: Money::from_dollars(0.01),
+            transfer_in: Money::from_dollars(0.07),
+            transfer_out: Money::from_dollars(0.09),
+        }
+    }
+
+    #[test]
+    fn totals_and_aggregates() {
+        let c = sample();
+        assert!(c.total().approx_eq(Money::from_dollars(2.20), 1e-12));
+        assert!(c.data_management().approx_eq(Money::from_dollars(0.17), 1e-12));
+        assert!(c.transfer().approx_eq(Money::from_dollars(0.16), 1e-12));
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let two = sample() + sample();
+        assert!(two.cpu.approx_eq(Money::from_dollars(4.06), 1e-12));
+        assert!(two.total().approx_eq(sample().total() * 2.0, 1e-12));
+        let summed: CostBreakdown = vec![sample(); 3].into_iter().sum();
+        assert!(summed.approx_eq(&(sample() + sample() + sample()), 1e-12));
+    }
+
+    #[test]
+    fn display_mentions_every_component() {
+        let s = sample().to_string();
+        for piece in ["cpu", "storage", "in", "out", "$2.20"] {
+            assert!(s.contains(piece), "{s}");
+        }
+    }
+
+    #[test]
+    fn zero_is_neutral() {
+        assert_eq!(sample() + CostBreakdown::ZERO, sample());
+        assert_eq!(CostBreakdown::ZERO.total(), Money::ZERO);
+    }
+}

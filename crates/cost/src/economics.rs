@@ -1,0 +1,229 @@
+//! The paper's back-of-the-envelope economics (Questions 2b and 3):
+//! archive-vs-recompute break-evens, dataset-hosting break-evens, and
+//! whole-campaign totals.
+
+use crate::money::Money;
+use crate::pricing::Pricing;
+
+/// Question 3b: is it cheaper to keep a computed product (e.g. a mosaic) in
+/// cloud storage, or to recompute it on demand?
+///
+/// The paper: a 1° mosaic costs $0.56 of CPU and is 173.46 MB, so storing
+/// it is cheaper as long as the next request arrives within ~21.5 months.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchiveOrRecompute {
+    /// Cost to regenerate the product from archived inputs.
+    pub recompute_cost: Money,
+    /// Size of the stored product in bytes.
+    pub product_bytes: u64,
+}
+
+impl ArchiveOrRecompute {
+    /// Months of storage that one recomputation pays for: keep the product
+    /// archived if a repeat request is expected within this horizon.
+    ///
+    /// # Panics
+    /// Panics if the product is empty or storage is free (no break-even).
+    pub fn break_even_months(&self, pricing: &Pricing) -> f64 {
+        let monthly = pricing.monthly_storage_cost(self.product_bytes);
+        assert!(
+            monthly > Money::ZERO,
+            "break-even undefined for zero-size product or free storage"
+        );
+        self.recompute_cost / monthly
+    }
+
+    /// Cost of keeping the product stored for `months`.
+    pub fn storage_cost_for(&self, pricing: &Pricing, months: f64) -> Money {
+        pricing.monthly_storage_cost(self.product_bytes) * months
+    }
+
+    /// True if archiving is the cheaper choice given the expected time to
+    /// the next request.
+    pub fn archive_is_cheaper(&self, pricing: &Pricing, months_to_next_request: f64) -> bool {
+        months_to_next_request <= self.break_even_months(pricing)
+    }
+}
+
+/// Question 2b: hosting a large input dataset (2MASS, 12 TB) in the cloud
+/// versus staging inputs per request.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetHosting {
+    /// Size of the hosted dataset in bytes.
+    pub dataset_bytes: u64,
+    /// Cost of one request when the data must be staged in from outside.
+    pub request_cost_staged: Money,
+    /// Cost of one request when the data is already in the cloud.
+    pub request_cost_hosted: Money,
+}
+
+impl DatasetHosting {
+    /// Per-request saving from hosting the dataset.
+    pub fn saving_per_request(&self) -> Money {
+        self.request_cost_staged - self.request_cost_hosted
+    }
+
+    /// Requests per month needed before hosting pays for itself:
+    /// `monthly_storage / per_request_saving` — the paper's
+    /// `$1,800 / ($2.22 - $2.12) = 18,000` mosaics per month.
+    ///
+    /// # Panics
+    /// Panics if hosting does not save money per request.
+    pub fn break_even_requests_per_month(&self, pricing: &Pricing) -> f64 {
+        let saving = self.saving_per_request();
+        assert!(
+            saving > Money::ZERO,
+            "hosting must reduce per-request cost to ever break even"
+        );
+        pricing.monthly_storage_cost(self.dataset_bytes) / saving
+    }
+
+    /// One-time cost of moving the dataset into the cloud (the paper's
+    /// additional $1,200 for 2MASS).
+    pub fn ingest_cost(&self, pricing: &Pricing) -> Money {
+        pricing.transfer_in_cost(self.dataset_bytes)
+    }
+
+    /// Total monthly cost at a given request volume, with hosting.
+    pub fn monthly_cost_hosted(&self, pricing: &Pricing, requests: f64) -> Money {
+        pricing.monthly_storage_cost(self.dataset_bytes)
+            + self.request_cost_hosted * requests
+    }
+
+    /// Total monthly cost at a given request volume, staging per request.
+    pub fn monthly_cost_staged(&self, requests: f64) -> Money {
+        self.request_cost_staged * requests
+    }
+}
+
+/// Question 3a: a fixed campaign of identical requests (the whole-sky
+/// mosaic: 3,900 4°-square plates, or 1,734 6°-square plates).
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    /// Number of identical requests.
+    pub requests: u64,
+    /// Cost of one request.
+    pub cost_per_request: Money,
+}
+
+impl Campaign {
+    /// Total campaign cost.
+    pub fn total(&self) -> Money {
+        self.cost_per_request * self.requests as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn mosaic_archival_break_evens_match_paper() {
+        // Paper, Question 3: "For the cost of 56 cents, this mosaic can be
+        // stored for 21.52 months" (173.46 MB); 2°: $2.03 / 557.9 MB =
+        // 24.25 months; 4°: $8.40 / 2.229 GB = 25.12 months.
+        let p = Pricing::amazon_2008();
+        let cases = [
+            (0.56, (173.46 * MB as f64) as u64, 21.52),
+            (2.03, (557.9 * MB as f64) as u64, 24.25),
+            (8.40, 2_229 * MB, 25.12),
+        ];
+        for (cost, bytes, months) in cases {
+            let a = ArchiveOrRecompute {
+                recompute_cost: Money::from_dollars(cost),
+                product_bytes: bytes,
+            };
+            let got = a.break_even_months(&p);
+            assert!(
+                (got - months).abs() < 0.05,
+                "expected ~{months} months, got {got}"
+            );
+            assert!(a.archive_is_cheaper(&p, months - 1.0));
+            assert!(!a.archive_is_cheaper(&p, months + 1.0));
+        }
+    }
+
+    #[test]
+    fn storage_cost_for_scales_linearly() {
+        let p = Pricing::amazon_2008();
+        let a = ArchiveOrRecompute {
+            recompute_cost: Money::from_dollars(1.0),
+            product_bytes: 1_000_000_000,
+        };
+        assert!(a
+            .storage_cost_for(&p, 10.0)
+            .approx_eq(Money::from_dollars(1.5), 1e-9));
+    }
+
+    #[test]
+    fn twomass_hosting_break_even_is_18000() {
+        // Paper: "users would need to request at least $1,800/($2.22-$2.12)
+        // = 18,000 mosaics per month".
+        let p = Pricing::amazon_2008();
+        let h = DatasetHosting {
+            dataset_bytes: 12_000 * 1_000_000_000,
+            request_cost_staged: Money::from_dollars(2.22),
+            request_cost_hosted: Money::from_dollars(2.12),
+        };
+        let got = h.break_even_requests_per_month(&p);
+        assert!((got - 18_000.0).abs() < 1.0, "got {got}");
+        assert!(h.ingest_cost(&p).approx_eq(Money::from_dollars(1200.0), 1e-9));
+    }
+
+    #[test]
+    fn hosting_wins_above_break_even_volume() {
+        let p = Pricing::amazon_2008();
+        let h = DatasetHosting {
+            dataset_bytes: 12_000 * 1_000_000_000,
+            request_cost_staged: Money::from_dollars(2.22),
+            request_cost_hosted: Money::from_dollars(2.12),
+        };
+        let be = h.break_even_requests_per_month(&p);
+        assert!(h.monthly_cost_hosted(&p, be * 2.0) < h.monthly_cost_staged(be * 2.0));
+        assert!(h.monthly_cost_hosted(&p, be / 2.0) > h.monthly_cost_staged(be / 2.0));
+        // At exactly the break-even volume the two are equal.
+        assert!(h
+            .monthly_cost_hosted(&p, be)
+            .approx_eq(h.monthly_cost_staged(be), 1e-6));
+    }
+
+    #[test]
+    fn whole_sky_campaign_matches_paper() {
+        // Paper: 3,900 x $8.88 = $34,632 (staged) and 3,900 x $8.75 =
+        // (the paper prints $34,145; exact arithmetic gives $34,125).
+        let staged = Campaign {
+            requests: 3_900,
+            cost_per_request: Money::from_dollars(8.88),
+        };
+        assert!(staged.total().approx_eq(Money::from_dollars(34_632.0), 0.5));
+        let hosted = Campaign {
+            requests: 3_900,
+            cost_per_request: Money::from_dollars(8.75),
+        };
+        assert!(hosted.total().approx_eq(Money::from_dollars(34_125.0), 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "reduce per-request cost")]
+    fn hosting_with_no_saving_panics() {
+        let p = Pricing::amazon_2008();
+        DatasetHosting {
+            dataset_bytes: 1_000_000_000,
+            request_cost_staged: Money::from_dollars(1.0),
+            request_cost_hosted: Money::from_dollars(1.0),
+        }
+        .break_even_requests_per_month(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "break-even undefined")]
+    fn empty_product_panics() {
+        ArchiveOrRecompute {
+            recompute_cost: Money::from_dollars(1.0),
+            product_bytes: 0,
+        }
+        .break_even_months(&Pricing::amazon_2008());
+    }
+}

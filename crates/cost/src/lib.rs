@@ -1,0 +1,34 @@
+//! # mcloud-cost
+//!
+//! The money side of the SC'08 Montage cloud-cost study: the Amazon 2008
+//! rate card and its per-second normalization (Section 3 of the paper),
+//! per-category cost breakdowns (Figures 4–11), billing-granularity
+//! variants, and the archival-economics arithmetic of Questions 2b and 3.
+//!
+//! ```
+//! use mcloud_cost::{Money, Pricing};
+//!
+//! let amazon = Pricing::amazon_2008();
+//! // 5.6 CPU-hours at $0.10/hr: the paper's $0.56 1-degree CPU cost.
+//! assert!(amazon.cpu_cost(5.6 * 3600.0).approx_eq(Money::from_dollars(0.56), 1e-9));
+//! // Hosting 12 TB of 2MASS data: $1,800/month.
+//! assert!(amazon.monthly_storage_cost(12_000_000_000_000)
+//!     .approx_eq(Money::from_dollars(1800.0), 1e-9));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod breakdown;
+pub mod economics;
+mod money;
+mod pricing;
+mod tiered;
+
+pub use breakdown::CostBreakdown;
+pub use tiered::RateSchedule;
+pub use economics::{ArchiveOrRecompute, Campaign, DatasetHosting};
+pub use money::Money;
+pub use pricing::{
+    ChargeGranularity, Pricing, BYTES_PER_GB, SECONDS_PER_HOUR, SECONDS_PER_MONTH,
+};

@@ -1,0 +1,226 @@
+//! The cloud rate card and its normalization to fine-grained units.
+//!
+//! The paper quotes Amazon's 2008 fee structure and then states: *"in our
+//! experiments we normalized the costs on a per second basis ... we assume
+//! the least possible granularity, i.e. $ per Byte-seconds for storage,
+//! $ per Bytes for transfers and $ per CPU-second for compute resources."*
+//! [`Pricing`] encodes the rate card; [`ChargeGranularity`] selects between
+//! that idealized normalization and real hourly/GB-month rounding (an
+//! ablation the paper explicitly leaves out).
+
+use crate::money::Money;
+
+/// Decimal gigabyte, as used in cloud price sheets (12 TB -> 12,000 GB in
+/// the paper's 2MASS arithmetic).
+pub const BYTES_PER_GB: f64 = 1e9;
+
+/// Billing month used to normalize $/GB-month: 30 days.
+pub const SECONDS_PER_MONTH: f64 = 30.0 * 86_400.0;
+
+/// Seconds per billable CPU-hour.
+pub const SECONDS_PER_HOUR: f64 = 3_600.0;
+
+/// A cloud provider's rate card.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pricing {
+    /// $ per GB-month of storage occupancy.
+    pub storage_per_gb_month: f64,
+    /// $ per GB transferred into cloud storage.
+    pub transfer_in_per_gb: f64,
+    /// $ per GB transferred out of cloud storage.
+    pub transfer_out_per_gb: f64,
+    /// $ per CPU-hour of compute occupancy.
+    pub cpu_per_hour: f64,
+}
+
+impl Pricing {
+    /// Amazon's fee structure as quoted in Section 3 of the paper:
+    /// $0.15/GB-month storage, $0.10/GB in, $0.16/GB out, $0.10/CPU-hour.
+    pub fn amazon_2008() -> Self {
+        Pricing {
+            storage_per_gb_month: 0.15,
+            transfer_in_per_gb: 0.10,
+            transfer_out_per_gb: 0.16,
+            cpu_per_hour: 0.10,
+        }
+    }
+
+    /// Validates that all rates are finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("storage_per_gb_month", self.storage_per_gb_month),
+            ("transfer_in_per_gb", self.transfer_in_per_gb),
+            ("transfer_out_per_gb", self.transfer_out_per_gb),
+            ("cpu_per_hour", self.cpu_per_hour),
+        ];
+        for (name, r) in rates {
+            if !r.is_finite() || r < 0.0 {
+                return Err(format!("rate {name} must be finite and >= 0, got {r}"));
+            }
+        }
+        Ok(())
+    }
+
+    // --- normalized (paper-granularity) charges ---------------------------
+
+    /// Storage cost for an occupancy integral in byte-seconds
+    /// (the paper's $/byte-second normalization).
+    pub fn storage_cost(&self, byte_seconds: f64) -> Money {
+        let gb_months = byte_seconds / BYTES_PER_GB / SECONDS_PER_MONTH;
+        Money::from_dollars(gb_months * self.storage_per_gb_month)
+    }
+
+    /// Cost of moving `bytes` into cloud storage.
+    pub fn transfer_in_cost(&self, bytes: u64) -> Money {
+        Money::from_dollars(bytes as f64 / BYTES_PER_GB * self.transfer_in_per_gb)
+    }
+
+    /// Cost of moving `bytes` out of cloud storage.
+    pub fn transfer_out_cost(&self, bytes: u64) -> Money {
+        Money::from_dollars(bytes as f64 / BYTES_PER_GB * self.transfer_out_per_gb)
+    }
+
+    /// Compute cost for `cpu_seconds` of processor occupancy
+    /// (the paper's $/CPU-second normalization).
+    pub fn cpu_cost(&self, cpu_seconds: f64) -> Money {
+        Money::from_dollars(cpu_seconds / SECONDS_PER_HOUR * self.cpu_per_hour)
+    }
+
+    /// Monthly cost of keeping `bytes` parked in cloud storage (Question 2b:
+    /// 12 TB of 2MASS data -> 12,000 x $0.15 = $1,800/month).
+    pub fn monthly_storage_cost(&self, bytes: u64) -> Money {
+        Money::from_dollars(bytes as f64 / BYTES_PER_GB * self.storage_per_gb_month)
+    }
+}
+
+/// How occupancy is rounded before multiplying by the rate card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChargeGranularity {
+    /// The paper's assumption: $/byte-second, $/byte, $/CPU-second — the
+    /// fully-utilized-provider limit.
+    #[default]
+    Exact,
+    /// Real 2008 EC2 billing: each provisioned instance is billed in whole
+    /// hours (ceil), storage and transfers remain prorated (S3 prorates).
+    HourlyCpu,
+}
+
+impl ChargeGranularity {
+    /// CPU cost of a set of per-instance occupancy durations (seconds).
+    ///
+    /// Under [`ChargeGranularity::Exact`] this is the prorated sum; under
+    /// [`ChargeGranularity::HourlyCpu`] every instance's occupancy is
+    /// rounded up to a whole hour first, as EC2 billed in 2008.
+    pub fn cpu_cost(&self, pricing: &Pricing, instance_seconds: &[f64]) -> Money {
+        match self {
+            ChargeGranularity::Exact => {
+                pricing.cpu_cost(instance_seconds.iter().sum())
+            }
+            ChargeGranularity::HourlyCpu => {
+                let hours: f64 = instance_seconds
+                    .iter()
+                    .map(|&s| (s / SECONDS_PER_HOUR).ceil())
+                    .sum();
+                Money::from_dollars(hours * pricing.cpu_per_hour)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amazon_rates_match_paper_section3() {
+        let p = Pricing::amazon_2008();
+        assert_eq!(p.storage_per_gb_month, 0.15);
+        assert_eq!(p.transfer_in_per_gb, 0.10);
+        assert_eq!(p.transfer_out_per_gb, 0.16);
+        assert_eq!(p.cpu_per_hour, 0.10);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn twomass_monthly_storage_is_1800() {
+        // "the cost of storing the data can be ... 12,000 x $0.15 = $1,800
+        // per month" (Question 2b).
+        let p = Pricing::amazon_2008();
+        let twelve_tb = 12_000 * 1_000_000_000u64;
+        assert!(p
+            .monthly_storage_cost(twelve_tb)
+            .approx_eq(Money::from_dollars(1800.0), 1e-9));
+    }
+
+    #[test]
+    fn twomass_ingest_is_1200() {
+        // "an additional $1,200 at $0.1 per GB" for the initial transfer.
+        let p = Pricing::amazon_2008();
+        let twelve_tb = 12_000 * 1_000_000_000u64;
+        assert!(p
+            .transfer_in_cost(twelve_tb)
+            .approx_eq(Money::from_dollars(1200.0), 1e-9));
+    }
+
+    #[test]
+    fn cpu_cost_normalizes_per_second() {
+        let p = Pricing::amazon_2008();
+        // 5.6 CPU-hours = the paper's $0.56 for the 1-degree workflow.
+        assert!(p.cpu_cost(5.6 * 3600.0).approx_eq(Money::from_dollars(0.56), 1e-9));
+        assert_eq!(p.cpu_cost(0.0), Money::ZERO);
+    }
+
+    #[test]
+    fn storage_cost_normalizes_per_byte_second() {
+        let p = Pricing::amazon_2008();
+        // 1 GB held for one month.
+        let byte_seconds = BYTES_PER_GB * SECONDS_PER_MONTH;
+        assert!(p.storage_cost(byte_seconds).approx_eq(Money::from_dollars(0.15), 1e-9));
+    }
+
+    #[test]
+    fn transfer_out_costs_more_than_in() {
+        let p = Pricing::amazon_2008();
+        let gb = 1_000_000_000u64;
+        assert!(p.transfer_out_cost(gb) > p.transfer_in_cost(gb));
+        assert!(p.transfer_out_cost(gb).approx_eq(Money::from_dollars(0.16), 1e-9));
+    }
+
+    #[test]
+    fn validate_rejects_negative_rates() {
+        let mut p = Pricing::amazon_2008();
+        p.cpu_per_hour = -0.1;
+        assert!(p.validate().is_err());
+        p.cpu_per_hour = f64::INFINITY;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn exact_granularity_prorates() {
+        let p = Pricing::amazon_2008();
+        // Two instances held 30 min each = 1 CPU-hour total.
+        let cost = ChargeGranularity::Exact.cpu_cost(&p, &[1800.0, 1800.0]);
+        assert!(cost.approx_eq(Money::from_dollars(0.10), 1e-9));
+    }
+
+    #[test]
+    fn hourly_granularity_rounds_each_instance_up() {
+        let p = Pricing::amazon_2008();
+        // Two instances held 30 min each bill as 2 full hours.
+        let cost = ChargeGranularity::HourlyCpu.cpu_cost(&p, &[1800.0, 1800.0]);
+        assert!(cost.approx_eq(Money::from_dollars(0.20), 1e-9));
+        // 61 minutes bills as 2 hours.
+        let cost = ChargeGranularity::HourlyCpu.cpu_cost(&p, &[3660.0]);
+        assert!(cost.approx_eq(Money::from_dollars(0.20), 1e-9));
+    }
+
+    #[test]
+    fn hourly_is_never_cheaper_than_exact() {
+        let p = Pricing::amazon_2008();
+        for secs in [[10.0, 7200.0], [3599.0, 3601.0], [0.5, 0.5]] {
+            let exact = ChargeGranularity::Exact.cpu_cost(&p, &secs);
+            let hourly = ChargeGranularity::HourlyCpu.cpu_cost(&p, &secs);
+            assert!(hourly >= exact, "{secs:?}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Tiered (volume-discount) rate schedules.
+//!
+//! The paper charges flat $/GB rates; real 2008 Amazon pricing tiered the
+//! egress rate by monthly volume. This module models marginal-band
+//! schedules so campaign-scale estimates (e.g. the 8.7 TB of mosaics the
+//! whole-sky computation ships out) can be priced both ways — exactly the
+//! "more diverse selection of fees" the paper's conclusions anticipate.
+
+use crate::money::Money;
+use crate::pricing::BYTES_PER_GB;
+
+/// A marginal-band rate schedule: the first band's GBs are billed at the
+/// first rate, the next band's at the second, and so on; volume beyond the
+/// last band pays `overflow_per_gb`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSchedule {
+    /// `(band_size_gb, rate_per_gb)` pairs, applied in order.
+    bands: Vec<(f64, f64)>,
+    /// $/GB beyond the last band.
+    overflow_per_gb: f64,
+}
+
+impl RateSchedule {
+    /// A schedule with marginal bands.
+    ///
+    /// # Panics
+    /// Panics on empty/negative bands or invalid rates.
+    pub fn new(bands: Vec<(f64, f64)>, overflow_per_gb: f64) -> Self {
+        for &(size, rate) in &bands {
+            assert!(size > 0.0 && size.is_finite(), "band size must be positive");
+            assert!(rate >= 0.0 && rate.is_finite(), "band rate must be non-negative");
+        }
+        assert!(
+            overflow_per_gb >= 0.0 && overflow_per_gb.is_finite(),
+            "overflow rate must be non-negative"
+        );
+        RateSchedule { bands, overflow_per_gb }
+    }
+
+    /// A flat schedule (the paper's assumption).
+    pub fn flat(rate_per_gb: f64) -> Self {
+        RateSchedule::new(Vec::new(), rate_per_gb)
+    }
+
+    /// Approximate Amazon S3 2008 data-transfer-OUT tiers: $0.17/GB for the
+    /// first 10 TB each month, $0.13 for the next 40 TB, $0.11 for the next
+    /// 100 TB, $0.10 beyond.
+    pub fn s3_2008_transfer_out() -> Self {
+        RateSchedule::new(
+            vec![(10_000.0, 0.17), (40_000.0, 0.13), (100_000.0, 0.11)],
+            0.10,
+        )
+    }
+
+    /// Cost of `bytes` under the marginal bands.
+    pub fn cost(&self, bytes: u64) -> Money {
+        let mut remaining_gb = bytes as f64 / BYTES_PER_GB;
+        let mut total = 0.0;
+        for &(size, rate) in &self.bands {
+            if remaining_gb <= 0.0 {
+                break;
+            }
+            let in_band = remaining_gb.min(size);
+            total += in_band * rate;
+            remaining_gb -= in_band;
+        }
+        if remaining_gb > 0.0 {
+            total += remaining_gb * self.overflow_per_gb;
+        }
+        Money::from_dollars(total)
+    }
+
+    /// The rate the *next* byte would pay at the given volume.
+    pub fn marginal_rate(&self, bytes: u64) -> f64 {
+        let mut gb = bytes as f64 / BYTES_PER_GB;
+        for &(size, rate) in &self.bands {
+            if gb < size {
+                return rate;
+            }
+            gb -= size;
+        }
+        self.overflow_per_gb
+    }
+
+    /// Effective (blended) $/GB at the given volume.
+    pub fn effective_rate(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return self.marginal_rate(0);
+        }
+        self.cost(bytes).dollars() / (bytes as f64 / BYTES_PER_GB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TB: u64 = 1_000_000_000_000;
+
+    #[test]
+    fn flat_schedule_matches_simple_multiplication() {
+        let s = RateSchedule::flat(0.16);
+        assert!(s.cost(TB).approx_eq(Money::from_dollars(160.0), 1e-9));
+        assert_eq!(s.marginal_rate(0), 0.16);
+        assert_eq!(s.marginal_rate(100 * TB), 0.16);
+    }
+
+    #[test]
+    fn bands_apply_marginally() {
+        // 2 GB at $1, then $0.5: 3 GB costs 2*1 + 1*0.5.
+        let s = RateSchedule::new(vec![(2.0, 1.0)], 0.5);
+        assert!(s.cost(3_000_000_000).approx_eq(Money::from_dollars(2.5), 1e-9));
+        // Within the first band only.
+        assert!(s.cost(1_000_000_000).approx_eq(Money::from_dollars(1.0), 1e-9));
+    }
+
+    #[test]
+    fn s3_2008_tiers() {
+        let s = RateSchedule::s3_2008_transfer_out();
+        // 8.7 TB (the whole-sky egress) sits entirely in the first tier.
+        let sky = s.cost((8.7 * TB as f64) as u64);
+        assert!(sky.approx_eq(Money::from_dollars(8_700.0 * 0.17), 1.0));
+        // 60 TB spans three tiers: 10*170 + 40*130 + 10*110 (per-TB $).
+        let big = s.cost(60 * TB);
+        let expect = 10_000.0 * 0.17 + 40_000.0 * 0.13 + 10_000.0 * 0.11;
+        assert!(big.approx_eq(Money::from_dollars(expect), 1.0));
+        // Marginal rate falls with volume.
+        assert_eq!(s.marginal_rate(0), 0.17);
+        assert_eq!(s.marginal_rate(15 * TB), 0.13);
+        assert_eq!(s.marginal_rate(60 * TB), 0.11);
+        assert_eq!(s.marginal_rate(200 * TB), 0.10);
+    }
+
+    #[test]
+    fn effective_rate_blends_downward() {
+        let s = RateSchedule::s3_2008_transfer_out();
+        let small = s.effective_rate(TB);
+        let large = s.effective_rate(100 * TB);
+        assert!((small - 0.17).abs() < 1e-9);
+        assert!(large < small);
+        assert_eq!(s.effective_rate(0), 0.17);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_volume() {
+        let s = RateSchedule::s3_2008_transfer_out();
+        let mut last = Money::ZERO;
+        for tb in [1u64, 5, 10, 20, 50, 100, 200] {
+            let c = s.cost(tb * TB);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "band size must be positive")]
+    fn rejects_empty_band() {
+        RateSchedule::new(vec![(0.0, 0.1)], 0.1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for pricing, tiered schedules, and economics.
+
+use mcloud_cost::{
+    ArchiveOrRecompute, ChargeGranularity, DatasetHosting, Money, Pricing, RateSchedule,
+};
+use proptest::prelude::*;
+
+fn arb_pricing() -> impl Strategy<Value = Pricing> {
+    (0.0f64..10.0, 0.0f64..2.0, 0.0f64..2.0, 0.0f64..2.0).prop_map(
+        |(storage, t_in, t_out, cpu)| Pricing {
+            storage_per_gb_month: storage,
+            transfer_in_per_gb: t_in,
+            transfer_out_per_gb: t_out,
+            cpu_per_hour: cpu,
+        },
+    )
+}
+
+proptest! {
+    /// Every charge is linear in its quantity and non-negative.
+    #[test]
+    fn charges_are_linear(p in arb_pricing(), bytes in 0u64..10_000_000_000_000, secs in 0.0f64..1e7) {
+        prop_assert!(p.validate().is_ok());
+        let one = p.transfer_in_cost(bytes);
+        let two = p.transfer_in_cost(bytes * 2);
+        prop_assert!(two.approx_eq(one * 2.0, 1e-6));
+        prop_assert!(one >= Money::ZERO);
+
+        let c1 = p.cpu_cost(secs);
+        let c2 = p.cpu_cost(secs * 2.0);
+        prop_assert!(c2.approx_eq(c1 * 2.0, 1e-6));
+
+        let s1 = p.storage_cost(secs * 1e6);
+        let s2 = p.storage_cost(secs * 2e6);
+        prop_assert!(s2.approx_eq(s1 * 2.0, 1e-6));
+    }
+
+    /// Hourly granularity never undercharges relative to exact, and agrees
+    /// exactly on whole-hour occupancies.
+    #[test]
+    fn hourly_dominates_exact(
+        p in arb_pricing(),
+        secs in prop::collection::vec(0.0f64..20_000.0, 1..10),
+    ) {
+        let exact = ChargeGranularity::Exact.cpu_cost(&p, &secs);
+        let hourly = ChargeGranularity::HourlyCpu.cpu_cost(&p, &secs);
+        prop_assert!(hourly >= exact - Money::from_dollars(1e-9));
+        let whole: Vec<f64> = secs.iter().map(|s| (s / 3600.0).ceil() * 3600.0).collect();
+        let exact_whole = ChargeGranularity::Exact.cpu_cost(&p, &whole);
+        prop_assert!(hourly.approx_eq(exact_whole, 1e-9));
+    }
+
+    /// Tiered schedules: cost is monotone in volume, never exceeds the
+    /// first-tier flat price, and never undercuts the overflow rate.
+    #[test]
+    fn tiered_cost_bounds(tb in 1u64..500) {
+        let s = RateSchedule::s3_2008_transfer_out();
+        let bytes = tb * 1_000_000_000_000;
+        let cost = s.cost(bytes).dollars();
+        let gb = bytes as f64 / 1e9;
+        prop_assert!(cost <= gb * 0.17 + 1e-6);
+        prop_assert!(cost >= gb * 0.10 - 1e-6);
+        prop_assert!(s.cost(bytes * 2) >= s.cost(bytes));
+        // Effective rate sits between the extreme tiers.
+        let eff = s.effective_rate(bytes);
+        prop_assert!((0.10..=0.17).contains(&eff));
+    }
+
+    /// Archive break-even scales linearly with recompute cost and
+    /// inversely with product size.
+    #[test]
+    fn archive_break_even_scaling(cost in 0.01f64..100.0, mb in 1u64..10_000) {
+        let p = Pricing::amazon_2008();
+        let a = ArchiveOrRecompute {
+            recompute_cost: Money::from_dollars(cost),
+            product_bytes: mb * 1_000_000,
+        };
+        let b = ArchiveOrRecompute {
+            recompute_cost: Money::from_dollars(cost * 2.0),
+            product_bytes: mb * 1_000_000,
+        };
+        let c = ArchiveOrRecompute {
+            recompute_cost: Money::from_dollars(cost),
+            product_bytes: mb * 2_000_000,
+        };
+        let base = a.break_even_months(&p);
+        prop_assert!((b.break_even_months(&p) - base * 2.0).abs() < 1e-6 * base.max(1.0));
+        prop_assert!((c.break_even_months(&p) - base / 2.0).abs() < 1e-6 * base.max(1.0));
+    }
+
+    /// Hosting break-even: monthly costs cross exactly once, at the
+    /// reported volume.
+    #[test]
+    fn hosting_break_even_is_a_crossing(
+        dataset_gb in 100.0f64..100_000.0,
+        saving_cents in 1.0f64..100.0,
+    ) {
+        let p = Pricing::amazon_2008();
+        let staged = Money::from_dollars(2.0 + saving_cents / 100.0);
+        let hosted = Money::from_dollars(2.0);
+        let h = DatasetHosting {
+            dataset_bytes: (dataset_gb * 1e9) as u64,
+            request_cost_staged: staged,
+            request_cost_hosted: hosted,
+        };
+        let be = h.break_even_requests_per_month(&p);
+        prop_assert!(be > 0.0);
+        prop_assert!(h.monthly_cost_staged(be).approx_eq(h.monthly_cost_hosted(&p, be), 1e-6));
+        prop_assert!(h.monthly_cost_staged(be * 1.5) > h.monthly_cost_hosted(&p, be * 1.5));
+        prop_assert!(h.monthly_cost_staged(be * 0.5) < h.monthly_cost_hosted(&p, be * 0.5));
+    }
+}

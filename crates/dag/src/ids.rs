@@ -1,0 +1,65 @@
+//! Compact typed identifiers for tasks and files.
+//!
+//! Both are plain `u32` indices into the owning [`Workflow`]'s storage,
+//! newtyped so they cannot be mixed up. The 4-degree Montage workflow has
+//! ~3k tasks and ~7k files; `u32` keeps hot arrays half the size of `usize`
+//! indices.
+//!
+//! [`Workflow`]: crate::Workflow
+
+use std::fmt;
+
+/// Identifier of a task within a workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+/// Identifier of a file (data product) within a workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl TaskId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FileId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+        assert_eq!(FileId(9).to_string(), "f9");
+        assert_eq!(TaskId(7).index(), 7);
+        assert_eq!(FileId(9).index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(FileId(0) < FileId(10));
+    }
+}

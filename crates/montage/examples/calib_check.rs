@@ -1,0 +1,36 @@
+//! Prints the calibration summary for the three canonical workloads next
+//! to the paper's anchor numbers — the quickest way to eyeball the
+//! synthetic-trace substitution (see DESIGN.md §5).
+//!
+//! ```text
+//! cargo run -p mcloud-montage --example calib_check --release
+//! ```
+
+fn main() {
+    println!("workload calibration vs paper anchors (CPU at $0.10/CPU-hour, CCR at 10 Mbps):\n");
+    for (wf, label, cpu_paper, ccr_paper) in [
+        (mcloud_montage::montage_1_degree(), "1deg", 0.56, 0.053),
+        (mcloud_montage::montage_2_degree(), "2deg", 2.03, 0.053),
+        (mcloud_montage::montage_4_degree(), "4deg", 8.40, 0.045),
+    ] {
+        let cpu = wf.total_runtime_s() / 3600.0 * 0.10;
+        let ccr = wf.ccr_at_link(10e6);
+        println!(
+            "{label}: tasks={} files={} runtime={:.1}h cpu=${:.3} (paper {cpu_paper}) \
+             ccr={:.4} (paper {ccr_paper})",
+            wf.num_tasks(),
+            wf.num_files(),
+            wf.total_runtime_s() / 3600.0,
+            cpu,
+            ccr,
+        );
+        println!(
+            "      cp={:.0}s maxpar={} bytes={:.2}GB in={:.0}MB out={:.0}MB",
+            wf.critical_path_s(),
+            wf.max_parallelism(),
+            wf.total_bytes() as f64 / 1e9,
+            wf.external_input_bytes() as f64 / 1e6,
+            wf.staged_out_bytes() as f64 / 1e6,
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the Montage workload generator across request
+//! sizes and seeds.
+
+use mcloud_montage::{generate, overlap_count, overlap_pairs, MosaicConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The structural count formulas hold for any degree: tasks = 2N+D+6,
+    /// files = 5N+D+7.
+    #[test]
+    fn count_formulas_hold(deg in 0.3f64..5.0, seed in any::<u64>()) {
+        let cfg = MosaicConfig::new(deg).seed(seed);
+        let wf = generate(&cfg);
+        prop_assert_eq!(wf.num_tasks(), cfg.expected_tasks());
+        prop_assert_eq!(wf.num_files(), cfg.expected_files());
+        let n = cfg.plates() as usize;
+        let d = overlap_count(cfg.side()) as usize;
+        prop_assert_eq!(wf.num_tasks(), 2 * n + d + 6);
+    }
+
+    /// Structure is seed-independent; only runtimes/sizes jitter, and
+    /// within their configured bands.
+    #[test]
+    fn jitter_stays_in_band(deg in prop::sample::select(vec![0.5f64, 1.0, 2.0]), seed in any::<u64>()) {
+        let base = generate(&MosaicConfig::new(deg).seed(0));
+        let other = generate(&MosaicConfig::new(deg).seed(seed));
+        prop_assert_eq!(base.num_tasks(), other.num_tasks());
+        prop_assert_eq!(base.depth(), other.depth());
+        for (a, b) in base.tasks().iter().zip(other.tasks()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.module, &b.module);
+            // Runtime jitter is +-15% around the same mean.
+            let ratio = a.runtime_s / b.runtime_s;
+            prop_assert!((0.7..=1.43).contains(&ratio), "{}: {ratio}", a.name);
+        }
+        // Totals stay within a band of each other (wider for the small
+        // 0.5-degree workflow, whose wide levels hold only ~16 tasks).
+        let rt_ratio = base.total_runtime_s() / other.total_runtime_s();
+        prop_assert!((0.90..=1.11).contains(&rt_ratio), "ratio {rt_ratio}");
+    }
+
+    /// Workflows grow monotonically with request size: more tasks, more
+    /// data, more total runtime.
+    #[test]
+    fn monotone_in_degrees(lo in 0.4f64..2.0, delta in 0.5f64..2.0) {
+        let hi = lo + delta;
+        let small = generate(&MosaicConfig::new(lo));
+        let large = generate(&MosaicConfig::new(hi));
+        prop_assert!(large.num_tasks() >= small.num_tasks());
+        prop_assert!(large.total_bytes() > small.total_bytes());
+        prop_assert!(large.total_runtime_s() > small.total_runtime_s());
+    }
+
+    /// Every generated workflow has the canonical Montage shape: 9 levels,
+    /// mProject at level 1, mJPEG at level 9, single mosaic deliverable.
+    #[test]
+    fn shape_is_canonical(deg in 0.3f64..4.5, seed in any::<u64>()) {
+        let wf = generate(&MosaicConfig::new(deg).seed(seed));
+        prop_assert_eq!(wf.depth(), 9);
+        let levels = wf.levels();
+        for t in wf.task_ids() {
+            let task = wf.task(t);
+            let expect = match task.module.as_str() {
+                "mProject" => 1,
+                "mDiffFit" => 2,
+                "mConcatFit" => 3,
+                "mBgModel" => 4,
+                "mBackground" => 5,
+                "mImgtbl" => 6,
+                "mAdd" => 7,
+                "mShrink" => 8,
+                "mJPEG" => 9,
+                other => return Err(TestCaseError::fail(format!("module {other}"))),
+            };
+            prop_assert_eq!(levels[t.index()], expect, "{}", task.name);
+        }
+        let delivered = wf.staged_out_files();
+        prop_assert_eq!(delivered.len(), 2); // mosaic + jpeg
+    }
+
+    /// Overlap pairs remain unique valid neighbor pairs at any side.
+    #[test]
+    fn overlap_graph_valid(side in 2u32..40) {
+        let pairs = overlap_pairs(side);
+        prop_assert_eq!(pairs.len() as u32, overlap_count(side));
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in &pairs {
+            prop_assert!(seen.insert((a.index(side), b.index(side))));
+            let dr = b.row as i64 - a.row as i64;
+            let dc = b.col as i64 - a.col as i64;
+            prop_assert!(matches!((dr, dc), (0, 1) | (1, 0) | (1, 1)));
+        }
+    }
+
+    /// The CCR falls in a narrow, size-stable band: the paper's Montage is
+    /// compute-heavy (CCR ~ 0.05) at every scale we generate.
+    #[test]
+    fn ccr_band_is_stable(deg in 0.5f64..4.5) {
+        let wf = generate(&MosaicConfig::new(deg));
+        let ccr = wf.ccr_at_link(10e6);
+        prop_assert!((0.03..=0.08).contains(&ccr), "CCR {ccr} at {deg} deg");
+    }
+}

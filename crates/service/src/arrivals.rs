@@ -1,0 +1,190 @@
+//! Request arrival streams.
+//!
+//! The paper's first question is motivated by a service that "sometimes
+//! ... needs more resources than it has, so it reaches out to the cloud
+//! from time to time to meet the additional demands". These generators
+//! produce the demand side of that story: steady Poisson traffic and
+//! bursty overload patterns, all seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One incoming mosaic request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time, in hours from the start of the horizon.
+    pub at_hours: f64,
+    /// Requested mosaic size in degrees.
+    pub degrees: f64,
+}
+
+/// A homogeneous Poisson stream: `rate_per_hour` requests per hour over
+/// `horizon_hours`, all for `degrees`-sized mosaics. Deterministic per
+/// seed; arrivals are sorted by time.
+///
+/// # Panics
+/// Panics if the rate or horizon is not positive and finite.
+pub fn poisson(rate_per_hour: f64, horizon_hours: f64, degrees: f64, seed: u64) -> Vec<Arrival> {
+    assert!(
+        rate_per_hour.is_finite() && rate_per_hour > 0.0,
+        "rate must be positive, got {rate_per_hour}"
+    );
+    assert!(
+        horizon_hours.is_finite() && horizon_hours > 0.0,
+        "horizon must be positive, got {horizon_hours}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate_per_hour;
+        if t >= horizon_hours {
+            break;
+        }
+        out.push(Arrival { at_hours: t, degrees });
+    }
+    out
+}
+
+/// A bursty stream: a steady base rate plus overload windows during which
+/// the rate multiplies — the "sporadic overloads of mosaic requests" of
+/// the paper's introduction. `bursts` are `(start_hour, duration_hours,
+/// rate_multiplier)` windows.
+pub fn bursty(
+    base_rate_per_hour: f64,
+    horizon_hours: f64,
+    degrees: f64,
+    bursts: &[(f64, f64, f64)],
+    seed: u64,
+) -> Vec<Arrival> {
+    let mut out = poisson(base_rate_per_hour, horizon_hours, degrees, seed);
+    for (i, &(start, dur, mult)) in bursts.iter().enumerate() {
+        assert!(mult >= 1.0, "burst multiplier must be >= 1");
+        let extra_rate = base_rate_per_hour * (mult - 1.0);
+        if extra_rate > 0.0 && dur > 0.0 {
+            let burst_seed = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            for a in poisson(extra_rate, dur, degrees, burst_seed) {
+                let at_hours = start + a.at_hours;
+                if at_hours < horizon_hours {
+                    out.push(Arrival { at_hours, degrees });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.at_hours.total_cmp(&b.at_hours));
+    out
+}
+
+/// A mixed-class stream: independent Poisson processes per request class
+/// (`rate_per_hour`, `degrees`), merged and time-sorted. This is what the
+/// real portal sees — mostly small cutouts with occasional survey-scale
+/// 4-degree requests.
+pub fn mixed(classes: &[(f64, f64)], horizon_hours: f64, seed: u64) -> Vec<Arrival> {
+    assert!(!classes.is_empty(), "need at least one request class");
+    let mut out = Vec::new();
+    for (i, &(rate, degrees)) in classes.iter().enumerate() {
+        let class_seed = seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(i as u64 + 1));
+        out.extend(poisson(rate, horizon_hours, degrees, class_seed));
+    }
+    out.sort_by(|a, b| a.at_hours.total_cmp(&b.at_hours));
+    out
+}
+
+/// A deterministic periodic stream: one request every `period_hours`,
+/// starting at `period_hours` (useful for hand-checkable tests).
+pub fn periodic(period_hours: f64, horizon_hours: f64, degrees: f64) -> Vec<Arrival> {
+    assert!(period_hours > 0.0);
+    let mut out = Vec::new();
+    let mut t = period_hours;
+    while t < horizon_hours {
+        out.push(Arrival { at_hours: t, degrees });
+        t += period_hours;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_approximately_right() {
+        let arrivals = poisson(10.0, 1000.0, 1.0, 42);
+        let rate = arrivals.len() as f64 / 1000.0;
+        assert!((rate - 10.0).abs() < 0.5, "empirical rate {rate}");
+        // Sorted, in range, right degrees.
+        for w in arrivals.windows(2) {
+            assert!(w[0].at_hours <= w[1].at_hours);
+        }
+        assert!(arrivals.iter().all(|a| a.at_hours < 1000.0 && a.degrees == 1.0));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        assert_eq!(poisson(5.0, 100.0, 2.0, 7), poisson(5.0, 100.0, 2.0, 7));
+        assert_ne!(poisson(5.0, 100.0, 2.0, 7), poisson(5.0, 100.0, 2.0, 8));
+    }
+
+    #[test]
+    fn bursty_adds_traffic_inside_windows() {
+        let base = poisson(2.0, 200.0, 1.0, 1);
+        let burst = bursty(2.0, 200.0, 1.0, &[(50.0, 10.0, 10.0)], 1);
+        assert!(burst.len() > base.len());
+        // The extra arrivals land inside the window.
+        let in_window = |v: &[Arrival]| {
+            v.iter().filter(|a| (50.0..60.0).contains(&a.at_hours)).count()
+        };
+        assert!(in_window(&burst) > in_window(&base) + 30);
+        // Outside the window the stream is the base stream.
+        let outside: Vec<_> =
+            burst.iter().filter(|a| !(50.0..60.0).contains(&a.at_hours)).collect();
+        assert_eq!(outside.len(), base.iter().filter(|a| !(50.0..60.0).contains(&a.at_hours)).count());
+    }
+
+    #[test]
+    fn bursty_with_multiplier_one_is_base() {
+        let base = poisson(3.0, 100.0, 1.0, 9);
+        let burst = bursty(3.0, 100.0, 1.0, &[(10.0, 5.0, 1.0)], 9);
+        assert_eq!(base, burst);
+    }
+
+    #[test]
+    fn mixed_merges_classes_in_time_order() {
+        let classes = [(4.0, 1.0), (0.5, 4.0)];
+        let arrivals = mixed(&classes, 200.0, 3);
+        assert!(arrivals.windows(2).all(|w| w[0].at_hours <= w[1].at_hours));
+        let small = arrivals.iter().filter(|a| a.degrees == 1.0).count();
+        let large = arrivals.iter().filter(|a| a.degrees == 4.0).count();
+        assert_eq!(small + large, arrivals.len());
+        // Rates roughly proportional.
+        assert!(small > 4 * large, "{small} small vs {large} large");
+        assert!(large > 0);
+    }
+
+    #[test]
+    fn mixed_is_deterministic() {
+        let classes = [(1.0, 1.0), (1.0, 2.0)];
+        assert_eq!(mixed(&classes, 50.0, 9), mixed(&classes, 50.0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request class")]
+    fn mixed_rejects_empty() {
+        mixed(&[], 10.0, 1);
+    }
+
+    #[test]
+    fn periodic_is_exact() {
+        let arrivals = periodic(2.0, 10.0, 4.0);
+        let times: Vec<f64> = arrivals.iter().map(|a| a.at_hours).collect();
+        assert_eq!(times, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        poisson(0.0, 10.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Auto-scaled standing pools.
+//!
+//! Question 2 assumes the application "provisions a certain amount of
+//! resources over a period of time to sustain the expected computational
+//! load". A fixed standing pool wastes money at night and queues during
+//! overloads; this module simulates the dynamic version: slots (VM groups
+//! that each serve one request) are rented when the backlog grows, carry a
+//! boot delay, bill by the hour while held, and are released when idle.
+
+use std::collections::VecDeque;
+
+use mcloud_cost::Money;
+use mcloud_simkit::{EventQueue, SimDuration, SimTime};
+
+use crate::arrivals::Arrival;
+use crate::profile::ProfileTable;
+use crate::simulator::{RequestOutcome, Venue};
+
+/// Auto-scaler configuration.
+#[derive(Debug, Clone)]
+pub struct AutoScaleConfig {
+    /// Slots kept rented at all times.
+    pub min_slots: u32,
+    /// Hard ceiling on rented slots.
+    pub max_slots: u32,
+    /// Rent another slot when this many requests are waiting.
+    pub scale_up_queue: usize,
+    /// Seconds from renting a slot until it can serve (VM boot).
+    pub boot_s: f64,
+    /// Processors per slot (sets each request's service time).
+    pub procs_per_slot: u32,
+    /// $ per slot-hour while rented.
+    pub slot_cost_per_hour: Money,
+    /// Execution model used to profile request service times and
+    /// per-request data-management costs.
+    pub exec: mcloud_core::ExecConfig,
+}
+
+impl AutoScaleConfig {
+    /// A sensible default: 1..8 slots of 16 processors, scale up at 2
+    /// waiting, 2-minute boots, 16 x $0.10 per slot-hour.
+    pub fn default_pool() -> Self {
+        AutoScaleConfig {
+            min_slots: 1,
+            max_slots: 8,
+            scale_up_queue: 2,
+            boot_s: 120.0,
+            procs_per_slot: 16,
+            slot_cost_per_hour: Money::from_dollars(1.6),
+            exec: mcloud_core::ExecConfig::paper_default(),
+        }
+    }
+
+    /// Validates bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_slots == 0 || self.max_slots < self.min_slots {
+            return Err(format!(
+                "need 0 < max_slots ({}) >= min_slots ({})",
+                self.max_slots, self.min_slots
+            ));
+        }
+        if self.procs_per_slot == 0 {
+            return Err("procs_per_slot must be positive".into());
+        }
+        if !(self.boot_s.is_finite() && self.boot_s >= 0.0) {
+            return Err(format!("invalid boot_s {}", self.boot_s));
+        }
+        if self.min_slots == 0 && self.scale_up_queue > 1 {
+            return Err(
+                "with min_slots = 0 the scale-up trigger must be a single \
+                 waiting request, or the first arrival waits forever"
+                    .into(),
+            );
+        }
+        self.exec.validate()
+    }
+}
+
+/// Result of an auto-scaled pool simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoScaleReport {
+    /// Every request, in arrival order (all served in the pool).
+    pub outcomes: Vec<RequestOutcome>,
+    /// Total slot-hours rented.
+    pub slot_hours: f64,
+    /// Rental spend (`slot_hours x rate`).
+    pub rental_cost: Money,
+    /// Per-request data-management spend (transfers + storage).
+    pub dm_cost: Money,
+    /// Most slots simultaneously rented.
+    pub peak_slots: u32,
+    /// Number of rent operations (including the initial `min_slots`).
+    pub rentals: u32,
+}
+
+impl AutoScaleReport {
+    /// Rental plus data-management spend.
+    pub fn total_cost(&self) -> Money {
+        self.rental_cost + self.dm_cost
+    }
+
+    /// Mean wait for a slot, hours.
+    pub fn mean_wait_hours(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(RequestOutcome::wait_hours).sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Longest wait, hours.
+    pub fn max_wait_hours(&self) -> f64 {
+        self.outcomes.iter().map(RequestOutcome::wait_hours).fold(0.0, f64::max)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(usize),
+    /// A rented slot finished booting.
+    SlotReady,
+    /// A slot finished serving a request.
+    ServiceDone,
+}
+
+/// Simulates the auto-scaled pool over an arrival stream.
+///
+/// # Panics
+/// Panics on invalid configuration or unsorted arrivals.
+pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoScaleReport {
+    cfg.validate().expect("invalid autoscale configuration");
+    let mut profiles = ProfileTable::new(cfg.exec.clone());
+
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        assert!(
+            i == 0 || arrivals[i - 1].at_hours <= a.at_hours,
+            "arrivals must be sorted by time"
+        );
+        events.push(SimTime::from_secs_f64(a.at_hours * 3600.0), Ev::Arrive(i));
+    }
+
+    // Pool state. Slots are fungible: we track counts, not identities.
+    let mut idle_slots = 0u32; // rented, booted, not serving
+    let mut booting = 0u32;
+    let mut busy = 0u32;
+    let mut rented = 0u32; // idle + booting + busy
+    let mut peak_slots = 0u32;
+    let mut rentals = 0u32;
+    let mut slot_hours = 0.0f64;
+    let mut last_accrual = SimTime::ZERO;
+
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; arrivals.len()];
+    let mut dm_cost = Money::ZERO;
+
+    // Rent the floor immediately (booting).
+    for _ in 0..cfg.min_slots {
+        rented += 1;
+        rentals += 1;
+        booting += 1;
+        events.push(
+            SimTime::ZERO + SimDuration::from_secs_f64(cfg.boot_s),
+            Ev::SlotReady,
+        );
+    }
+    peak_slots = peak_slots.max(rented);
+
+    macro_rules! accrue {
+        ($now:expr) => {{
+            slot_hours += rented as f64 * $now.since(last_accrual).as_hours_f64();
+            last_accrual = $now;
+        }};
+    }
+
+    while let Some((now, ev)) = events.pop() {
+        accrue!(now);
+        match ev {
+            Ev::Arrive(i) => {
+                waiting.push_back(i);
+                // Serve immediately if a slot is idle.
+                if idle_slots > 0 {
+                    idle_slots -= 1;
+                    busy += 1;
+                    start_service(
+                        waiting.pop_front().unwrap(),
+                        now,
+                        arrivals,
+                        cfg,
+                        &mut profiles,
+                        &mut events,
+                        &mut outcomes,
+                        &mut dm_cost,
+                    );
+                } else if waiting.len() >= cfg.scale_up_queue && rented < cfg.max_slots {
+                    rented += 1;
+                    rentals += 1;
+                    booting += 1;
+                    peak_slots = peak_slots.max(rented);
+                    events.push(
+                        now + SimDuration::from_secs_f64(cfg.boot_s),
+                        Ev::SlotReady,
+                    );
+                }
+            }
+            Ev::SlotReady => {
+                booting -= 1;
+                if let Some(i) = waiting.pop_front() {
+                    busy += 1;
+                    start_service(
+                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        &mut dm_cost,
+                    );
+                } else if rented > cfg.min_slots {
+                    rented -= 1; // booted into an empty queue: release
+                } else {
+                    idle_slots += 1;
+                }
+            }
+            Ev::ServiceDone => {
+                busy -= 1;
+                if let Some(i) = waiting.pop_front() {
+                    busy += 1;
+                    start_service(
+                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        &mut dm_cost,
+                    );
+                } else if rented > cfg.min_slots {
+                    rented -= 1; // idle above the floor: release
+                } else {
+                    idle_slots += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(busy, 0);
+    debug_assert_eq!(booting, 0);
+
+    let outcomes: Vec<RequestOutcome> =
+        outcomes.into_iter().map(|o| o.expect("every request served")).collect();
+    AutoScaleReport {
+        outcomes,
+        slot_hours,
+        rental_cost: cfg.slot_cost_per_hour * slot_hours,
+        dm_cost,
+        peak_slots,
+        rentals,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn start_service(
+    i: usize,
+    now: SimTime,
+    arrivals: &[Arrival],
+    cfg: &AutoScaleConfig,
+    profiles: &mut ProfileTable,
+    events: &mut EventQueue<Ev>,
+    outcomes: &mut [Option<RequestOutcome>],
+    dm_cost: &mut Money,
+) {
+    // Service time from the engine profile; the slot rental covers CPU, so
+    // the request itself is charged only its data-management share.
+    let profile = profiles.fixed(arrivals[i].degrees, cfg.procs_per_slot);
+    let dm = profiles.dm_cost(arrivals[i].degrees, cfg.procs_per_slot);
+    *dm_cost += dm;
+    let finish = now + SimDuration::from_hours_f64(profile.makespan_hours);
+    outcomes[i] = Some(RequestOutcome {
+        index: i,
+        degrees: arrivals[i].degrees,
+        arrival_hours: arrivals[i].at_hours,
+        start_hours: now.as_hours_f64(),
+        finish_hours: finish.as_hours_f64(),
+        venue: Venue::Cloud,
+        cost: dm,
+    });
+    events.push(finish, Ev::ServiceDone);
+}

@@ -1,0 +1,285 @@
+//! The service-level queueing simulator.
+//!
+//! A mosaic service owns a small local cluster (divided into request
+//! slots) and may burst overload to the cloud. Requests arrive, wait in a
+//! FIFO queue for a local slot, or — when the backlog crosses a threshold
+//! — are shipped to the cloud, which has effectively unlimited capacity
+//! but bills per request. This is the decision problem behind the paper's
+//! Question 1: "sometimes it needs more resources than it has, so it
+//! reaches out to the cloud from time to time".
+
+use std::collections::VecDeque;
+
+use mcloud_cost::Money;
+use mcloud_core::ExecConfig;
+use mcloud_simkit::{EventQueue, SimTime};
+
+use crate::arrivals::Arrival;
+use crate::profile::ProfileTable;
+
+/// Where a request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Venue {
+    /// An owned local cluster slot.
+    Local,
+    /// Cloud resources provisioned for this request.
+    Cloud,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of requests the local cluster can run concurrently.
+    pub local_slots: u32,
+    /// Processors each local request slot provides.
+    pub local_procs_per_request: u32,
+    /// Processors provisioned per cloud-burst request.
+    pub cloud_procs_per_request: u32,
+    /// Burst to the cloud when a request arrives and at least this many
+    /// requests are already waiting; `None` never bursts.
+    pub burst_threshold: Option<usize>,
+    /// Execution model used to profile requests (mode, bandwidth, rates).
+    pub exec: ExecConfig,
+    /// Amortized cost of one busy local slot-hour (defaults to free,
+    /// i.e. sunk hardware).
+    pub local_cost_per_slot_hour: Money,
+}
+
+impl ServiceConfig {
+    /// A paper-flavoured default: a 2-slot local cluster of 8-processor
+    /// shares, bursting 16-processor cloud runs when 2+ requests wait.
+    pub fn default_burst() -> Self {
+        ServiceConfig {
+            local_slots: 2,
+            local_procs_per_request: 8,
+            cloud_procs_per_request: 16,
+            burst_threshold: Some(2),
+            exec: ExecConfig::paper_default(),
+            local_cost_per_slot_hour: Money::ZERO,
+        }
+    }
+
+    /// Validates slot counts and threshold sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.local_slots == 0 && self.burst_threshold != Some(0) {
+            return Err(
+                "a service with no local slots must burst everything \
+                 (burst_threshold = Some(0))"
+                    .to_string(),
+            );
+        }
+        if self.local_procs_per_request == 0 || self.cloud_procs_per_request == 0 {
+            return Err("per-request processor counts must be positive".to_string());
+        }
+        self.exec.validate()
+    }
+}
+
+/// One served request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Index into the arrival stream.
+    pub index: usize,
+    /// Requested mosaic size.
+    pub degrees: f64,
+    /// Arrival time, hours.
+    pub arrival_hours: f64,
+    /// Service start time, hours.
+    pub start_hours: f64,
+    /// Completion time, hours.
+    pub finish_hours: f64,
+    /// Where it ran.
+    pub venue: Venue,
+    /// What it cost.
+    pub cost: Money,
+}
+
+impl RequestOutcome {
+    /// Hours spent waiting for a slot.
+    pub fn wait_hours(&self) -> f64 {
+        self.start_hours - self.arrival_hours
+    }
+
+    /// Hours from arrival to completion (what the user experiences).
+    pub fn turnaround_hours(&self) -> f64 {
+        self.finish_hours - self.arrival_hours
+    }
+}
+
+/// Aggregate result of a service simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Every request, in arrival order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Dollars spent on cloud bursts.
+    pub cloud_cost: Money,
+    /// Amortized local cost (zero unless configured).
+    pub local_cost: Money,
+}
+
+impl ServiceReport {
+    /// Requests served locally.
+    pub fn local_requests(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.venue == Venue::Local).count()
+    }
+
+    /// Requests burst to the cloud.
+    pub fn cloud_requests(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.venue == Venue::Cloud).count()
+    }
+
+    /// Total spend.
+    pub fn total_cost(&self) -> Money {
+        self.cloud_cost + self.local_cost
+    }
+
+    /// Mean wait for a slot, hours.
+    pub fn mean_wait_hours(&self) -> f64 {
+        mean(self.outcomes.iter().map(RequestOutcome::wait_hours))
+    }
+
+    /// Longest wait, hours.
+    pub fn max_wait_hours(&self) -> f64 {
+        self.outcomes.iter().map(RequestOutcome::wait_hours).fold(0.0, f64::max)
+    }
+
+    /// Mean turnaround, hours.
+    pub fn mean_turnaround_hours(&self) -> f64 {
+        mean(self.outcomes.iter().map(RequestOutcome::turnaround_hours))
+    }
+
+    /// Empirical `q`-quantile of turnaround (0 < q <= 1).
+    pub fn turnaround_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut ts: Vec<f64> =
+            self.outcomes.iter().map(RequestOutcome::turnaround_hours).collect();
+        ts.sort_by(f64::total_cmp);
+        let idx = ((ts.len() as f64 * q).ceil() as usize).clamp(1, ts.len());
+        ts[idx - 1]
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(usize),
+    LocalDone,
+}
+
+/// Simulates the service over an arrival stream.
+///
+/// # Panics
+/// Panics if the configuration fails validation.
+pub fn simulate_service(arrivals: &[Arrival], cfg: &ServiceConfig) -> ServiceReport {
+    cfg.validate().expect("invalid service configuration");
+    let mut profiles = ProfileTable::new(cfg.exec.clone());
+
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        assert!(
+            i == 0 || arrivals[i - 1].at_hours <= a.at_hours,
+            "arrivals must be sorted by time"
+        );
+        events.push(hours(a.at_hours), Ev::Arrive(i));
+    }
+
+    let mut free_slots = cfg.local_slots;
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; arrivals.len()];
+    let mut cloud_cost = Money::ZERO;
+    let mut local_busy_hours = 0.0f64;
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrive(i) => {
+                if free_slots > 0 {
+                    free_slots -= 1;
+                    start_local(
+                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        &mut local_busy_hours,
+                    );
+                } else if cfg.burst_threshold.is_some_and(|k| waiting.len() >= k) {
+                    let profile =
+                        profiles.fixed(arrivals[i].degrees, cfg.cloud_procs_per_request);
+                    cloud_cost += profile.cost;
+                    let start_h = now.as_hours_f64();
+                    outcomes[i] = Some(RequestOutcome {
+                        index: i,
+                        degrees: arrivals[i].degrees,
+                        arrival_hours: arrivals[i].at_hours,
+                        start_hours: start_h,
+                        finish_hours: start_h + profile.makespan_hours,
+                        venue: Venue::Cloud,
+                        cost: profile.cost,
+                    });
+                } else {
+                    waiting.push_back(i);
+                }
+            }
+            Ev::LocalDone => {
+                if let Some(i) = waiting.pop_front() {
+                    start_local(
+                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        &mut local_busy_hours,
+                    );
+                } else {
+                    free_slots += 1;
+                }
+            }
+        }
+    }
+
+    let outcomes: Vec<RequestOutcome> =
+        outcomes.into_iter().map(|o| o.expect("every request is served")).collect();
+    ServiceReport {
+        outcomes,
+        cloud_cost,
+        local_cost: cfg.local_cost_per_slot_hour * local_busy_hours,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn start_local(
+    i: usize,
+    now: SimTime,
+    arrivals: &[Arrival],
+    cfg: &ServiceConfig,
+    profiles: &mut ProfileTable,
+    events: &mut EventQueue<Ev>,
+    outcomes: &mut [Option<RequestOutcome>],
+    local_busy_hours: &mut f64,
+) {
+    let profile = profiles.owned(arrivals[i].degrees, cfg.local_procs_per_request);
+    let start_h = now.as_hours_f64();
+    let finish = now + mcloud_simkit::SimDuration::from_hours_f64(profile.makespan_hours);
+    *local_busy_hours += profile.makespan_hours;
+    outcomes[i] = Some(RequestOutcome {
+        index: i,
+        degrees: arrivals[i].degrees,
+        arrival_hours: arrivals[i].at_hours,
+        start_hours: start_h,
+        finish_hours: finish.as_hours_f64(),
+        venue: Venue::Local,
+        cost: cfg.local_cost_per_slot_hour * profile.makespan_hours,
+    });
+    events.push(finish, Ev::LocalDone);
+}
+
+fn hours(h: f64) -> SimTime {
+    SimTime::from_secs_f64(h * 3600.0)
+}

@@ -1,0 +1,128 @@
+//! Semantics of the auto-scaled standing pool.
+
+use mcloud_cost::Money;
+use mcloud_service::{
+    bursty, periodic, poisson, simulate_autoscale, Arrival, AutoScaleConfig,
+};
+
+fn at(hours: f64) -> Arrival {
+    Arrival { at_hours: hours, degrees: 1.0 }
+}
+
+fn base() -> AutoScaleConfig {
+    AutoScaleConfig::default_pool()
+}
+
+#[test]
+fn light_traffic_stays_at_the_floor() {
+    // One request every 2 h against a ~0.55 h service time: one slot is
+    // plenty, the scaler never grows the pool.
+    let arrivals = periodic(2.0, 24.0, 1.0);
+    let report = simulate_autoscale(&arrivals, &base());
+    assert_eq!(report.peak_slots, 1);
+    assert_eq!(report.rentals, 1);
+    assert_eq!(report.outcomes.len(), arrivals.len());
+    // The floor slot is rented for the whole horizon (until events drain).
+    assert!(report.slot_hours > 20.0);
+}
+
+#[test]
+fn overload_scales_up_then_back_down() {
+    // Eight simultaneous arrivals against a 1-slot floor: the scaler
+    // rents more slots and the backlog drains in parallel.
+    let arrivals: Vec<Arrival> = (0..8).map(|_| at(0.0)).collect();
+    let scaled = simulate_autoscale(&arrivals, &base());
+    assert!(scaled.peak_slots > 1, "must scale up");
+    assert!(scaled.peak_slots <= 8);
+
+    let fixed_one = simulate_autoscale(
+        &arrivals,
+        &AutoScaleConfig { max_slots: 1, ..base() },
+    );
+    assert!(
+        scaled.max_wait_hours() < fixed_one.max_wait_hours() / 2.0,
+        "scaling must slash the backlog: {} vs {}",
+        scaled.max_wait_hours(),
+        fixed_one.max_wait_hours()
+    );
+    // And pay for it.
+    assert!(scaled.rentals > fixed_one.rentals);
+}
+
+#[test]
+fn boot_delay_is_visible_in_waits() {
+    let arrivals: Vec<Arrival> = (0..4).map(|_| at(0.0)).collect();
+    let fast = simulate_autoscale(&arrivals, &AutoScaleConfig { boot_s: 0.0, ..base() });
+    let slow = simulate_autoscale(&arrivals, &AutoScaleConfig { boot_s: 1800.0, ..base() });
+    assert!(slow.mean_wait_hours() > fast.mean_wait_hours());
+}
+
+#[test]
+fn rental_accounting_is_consistent() {
+    let arrivals = poisson(2.0, 48.0, 1.0, 5);
+    let cfg = base();
+    let report = simulate_autoscale(&arrivals, &cfg);
+    assert!(report
+        .rental_cost
+        .approx_eq(cfg.slot_cost_per_hour * report.slot_hours, 1e-9));
+    assert!(report.total_cost().approx_eq(report.rental_cost + report.dm_cost, 1e-12));
+    // Slot-hours at least cover the served work.
+    let busy: f64 = report
+        .outcomes
+        .iter()
+        .map(|o| o.finish_hours - o.start_hours)
+        .sum();
+    assert!(report.slot_hours + 1e-9 >= busy);
+    // DM costs are small but nonzero (transfers happen per request).
+    assert!(report.dm_cost > Money::ZERO);
+}
+
+#[test]
+fn zero_floor_pools_rent_on_demand() {
+    let cfg = AutoScaleConfig { min_slots: 0, scale_up_queue: 1, ..base() };
+    let arrivals = vec![at(0.0), at(10.0)];
+    let report = simulate_autoscale(&arrivals, &cfg);
+    assert_eq!(report.outcomes.len(), 2);
+    assert_eq!(report.peak_slots, 1);
+    assert_eq!(report.rentals, 2, "slot released between distant requests");
+    // Rented time is near the service time, not the horizon: the point of
+    // scaling to zero.
+    let busy: f64 = report
+        .outcomes
+        .iter()
+        .map(|o| o.finish_hours - o.start_hours)
+        .sum();
+    assert!(report.slot_hours < busy + 0.5);
+}
+
+#[test]
+fn autoscale_is_deterministic() {
+    let arrivals = bursty(1.0, 72.0, 1.0, &[(10.0, 6.0, 8.0)], 11);
+    let cfg = base();
+    assert_eq!(
+        simulate_autoscale(&arrivals, &cfg),
+        simulate_autoscale(&arrivals, &cfg)
+    );
+}
+
+#[test]
+fn wider_ceilings_never_hurt_latency() {
+    let arrivals = bursty(1.0, 72.0, 1.0, &[(10.0, 6.0, 10.0)], 3);
+    let narrow = simulate_autoscale(&arrivals, &AutoScaleConfig { max_slots: 2, ..base() });
+    let wide = simulate_autoscale(&arrivals, &AutoScaleConfig { max_slots: 16, ..base() });
+    assert!(wide.max_wait_hours() <= narrow.max_wait_hours() + 1e-9);
+}
+
+#[test]
+#[should_panic(expected = "invalid autoscale configuration")]
+fn zero_floor_with_lazy_trigger_rejected() {
+    let cfg = AutoScaleConfig { min_slots: 0, scale_up_queue: 3, ..base() };
+    simulate_autoscale(&[at(0.0)], &cfg);
+}
+
+#[test]
+#[should_panic(expected = "max_slots")]
+fn ceiling_below_floor_rejected() {
+    let cfg = AutoScaleConfig { min_slots: 4, max_slots: 2, ..base() };
+    simulate_autoscale(&[at(0.0)], &cfg);
+}

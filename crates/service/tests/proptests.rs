@@ -1,0 +1,103 @@
+//! Property-based tests of the service queue over random traffic.
+
+use mcloud_service::{poisson, simulate_service, ServiceConfig, Venue};
+use proptest::prelude::*;
+
+fn cfg(slots: u32, threshold: Option<usize>) -> ServiceConfig {
+    ServiceConfig {
+        local_slots: slots,
+        burst_threshold: threshold,
+        ..ServiceConfig::default_burst()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Local concurrency never exceeds the slot count, waits are
+    /// non-negative, and queued requests start in FIFO order.
+    #[test]
+    fn queue_invariants(
+        rate in 0.5f64..6.0,
+        seed in any::<u64>(),
+        slots in 1u32..4,
+    ) {
+        let arrivals = poisson(rate, 50.0, 1.0, seed);
+        prop_assume!(!arrivals.is_empty());
+        let report = simulate_service(&arrivals, &cfg(slots, None));
+
+        // Sweep local busy intervals.
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for o in &report.outcomes {
+            prop_assert!(o.wait_hours() >= -1e-9);
+            if o.venue == Venue::Local {
+                events.push((o.start_hours, 1));
+                events.push((o.finish_hours, -1));
+            }
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cur = 0i64;
+        for (_, d) in events {
+            cur += d as i64;
+            prop_assert!(cur <= slots as i64);
+        }
+
+        // FIFO: local requests start in arrival order.
+        let starts: Vec<f64> = report
+            .outcomes
+            .iter()
+            .filter(|o| o.venue == Venue::Local)
+            .map(|o| o.start_hours)
+            .collect();
+        for w in starts.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    /// Without bursting everything is local and free; with a zero
+    /// threshold and zero slots everything is cloud.
+    #[test]
+    fn venue_extremes(rate in 0.5f64..4.0, seed in any::<u64>()) {
+        let arrivals = poisson(rate, 30.0, 1.0, seed);
+        prop_assume!(!arrivals.is_empty());
+        let local_only = simulate_service(&arrivals, &cfg(2, None));
+        prop_assert_eq!(local_only.cloud_requests(), 0);
+        prop_assert_eq!(local_only.total_cost().dollars(), 0.0);
+
+        let cloud_only = simulate_service(&arrivals, &cfg(0, Some(0)));
+        prop_assert_eq!(cloud_only.local_requests(), 0);
+        prop_assert!(cloud_only.total_cost().dollars() > 0.0);
+        // Cloud has unlimited capacity: nobody ever waits.
+        prop_assert!(cloud_only.mean_wait_hours() < 1e-9);
+    }
+
+    /// Lowering the burst threshold can only push more requests to the
+    /// cloud, and never worsens the maximum wait.
+    #[test]
+    fn threshold_monotonicity(rate in 1.0f64..6.0, seed in any::<u64>()) {
+        let arrivals = poisson(rate, 40.0, 1.0, seed);
+        prop_assume!(arrivals.len() >= 4);
+        let tight = simulate_service(&arrivals, &cfg(1, Some(1)));
+        let loose = simulate_service(&arrivals, &cfg(1, Some(4)));
+        prop_assert!(tight.cloud_requests() >= loose.cloud_requests());
+        prop_assert!(tight.max_wait_hours() <= loose.max_wait_hours() + 1e-9);
+        prop_assert!(tight.cloud_cost >= loose.cloud_cost);
+    }
+
+    /// Turnaround always includes the service time: no request finishes
+    /// faster than its venue's profile.
+    #[test]
+    fn turnaround_lower_bound(rate in 0.5f64..4.0, seed in any::<u64>()) {
+        let arrivals = poisson(rate, 30.0, 2.0, seed);
+        prop_assume!(!arrivals.is_empty());
+        let report = simulate_service(&arrivals, &cfg(2, Some(2)));
+        let min_service = report
+            .outcomes
+            .iter()
+            .map(|o| o.finish_hours - o.start_hours)
+            .fold(f64::INFINITY, f64::min);
+        for o in &report.outcomes {
+            prop_assert!(o.turnaround_hours() + 1e-9 >= min_service);
+        }
+    }
+}

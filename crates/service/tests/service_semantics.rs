@@ -1,0 +1,177 @@
+//! Hand-checkable semantics of the service queueing simulator.
+
+use mcloud_cost::Money;
+use mcloud_service::{
+    bursty, periodic, poisson, simulate_service, Arrival, ServiceConfig, Venue,
+};
+
+fn at(hours: f64) -> Arrival {
+    Arrival { at_hours: hours, degrees: 1.0 }
+}
+
+/// Config with one local slot and no bursting: a pure FIFO M/D/1-style
+/// queue over the 1-degree profile (~0.83 h on 8 processors).
+fn single_slot_no_burst() -> ServiceConfig {
+    ServiceConfig {
+        local_slots: 1,
+        burst_threshold: None,
+        ..ServiceConfig::default_burst()
+    }
+}
+
+#[test]
+fn fifo_queue_on_one_slot() {
+    // Three requests at t=0,0,0: they serialize on the single slot.
+    let arrivals = vec![at(0.0), at(0.0), at(0.0)];
+    let report = simulate_service(&arrivals, &single_slot_no_burst());
+    assert_eq!(report.cloud_requests(), 0);
+    let m = report.outcomes[0].turnaround_hours();
+    assert!((report.outcomes[0].start_hours - 0.0).abs() < 1e-9);
+    assert!((report.outcomes[1].start_hours - m).abs() < 1e-9);
+    assert!((report.outcomes[2].start_hours - 2.0 * m).abs() < 1e-9);
+    assert!((report.max_wait_hours() - 2.0 * m).abs() < 1e-9);
+    assert_eq!(report.total_cost(), Money::ZERO);
+}
+
+#[test]
+fn spaced_requests_never_wait() {
+    // Period longer than the service time: no queueing at all.
+    let arrivals = periodic(2.0, 20.0, 1.0);
+    let report = simulate_service(&arrivals, &single_slot_no_burst());
+    assert!(report.mean_wait_hours() < 1e-9);
+    assert_eq!(report.local_requests(), report.outcomes.len());
+}
+
+#[test]
+fn burst_threshold_routes_overflow_to_cloud() {
+    // Four simultaneous requests, one slot, burst when >=1 waiting:
+    // r0 local, r1 queues (0 waiting at its arrival), r2 and r3 burst.
+    let arrivals = vec![at(0.0), at(0.0), at(0.0), at(0.0)];
+    let cfg = ServiceConfig {
+        local_slots: 1,
+        burst_threshold: Some(1),
+        ..ServiceConfig::default_burst()
+    };
+    let report = simulate_service(&arrivals, &cfg);
+    assert_eq!(report.local_requests(), 2);
+    assert_eq!(report.cloud_requests(), 2);
+    assert_eq!(report.outcomes[0].venue, Venue::Local);
+    assert_eq!(report.outcomes[1].venue, Venue::Local);
+    assert_eq!(report.outcomes[2].venue, Venue::Cloud);
+    assert_eq!(report.outcomes[3].venue, Venue::Cloud);
+    // Cloud requests start instantly and pay the 16-processor price.
+    assert!(report.outcomes[2].wait_hours() < 1e-9);
+    assert!(report.cloud_cost > Money::ZERO);
+    assert!(report
+        .cloud_cost
+        .approx_eq(report.outcomes[2].cost + report.outcomes[3].cost, 1e-12));
+}
+
+#[test]
+fn burst_everything_when_no_local_cluster() {
+    let arrivals = vec![at(0.0), at(0.5), at(1.0)];
+    let cfg = ServiceConfig {
+        local_slots: 0,
+        burst_threshold: Some(0),
+        ..ServiceConfig::default_burst()
+    };
+    let report = simulate_service(&arrivals, &cfg);
+    assert_eq!(report.cloud_requests(), 3);
+    assert!(report.mean_wait_hours() < 1e-9);
+}
+
+#[test]
+fn cloud_bursting_bounds_turnaround_under_overload() {
+    // A heavy burst over a small cluster: without bursting turnaround
+    // degrades linearly with backlog; with bursting it stays bounded.
+    let arrivals = bursty(0.5, 100.0, 1.0, &[(10.0, 5.0, 20.0)], 99);
+    let no_burst = simulate_service(&arrivals, &single_slot_no_burst());
+    let with_burst = simulate_service(
+        &arrivals,
+        &ServiceConfig {
+            local_slots: 1,
+            burst_threshold: Some(2),
+            ..ServiceConfig::default_burst()
+        },
+    );
+    assert!(with_burst.cloud_requests() > 0);
+    assert!(
+        with_burst.turnaround_quantile(0.95) < no_burst.turnaround_quantile(0.95) / 2.0,
+        "bursting must slash tail latency: {} vs {}",
+        with_burst.turnaround_quantile(0.95),
+        no_burst.turnaround_quantile(0.95)
+    );
+    // And it costs money where the local-only service was free.
+    assert!(with_burst.total_cost() > no_burst.total_cost());
+}
+
+#[test]
+fn amortized_local_cost_is_accounted() {
+    let arrivals = vec![at(0.0), at(5.0)];
+    let cfg = ServiceConfig {
+        local_slots: 1,
+        burst_threshold: None,
+        local_cost_per_slot_hour: Money::from_dollars(1.0),
+        ..ServiceConfig::default_burst()
+    };
+    let report = simulate_service(&arrivals, &cfg);
+    let busy: f64 = report
+        .outcomes
+        .iter()
+        .map(|o| o.finish_hours - o.start_hours)
+        .sum();
+    assert!(report.local_cost.approx_eq(Money::from_dollars(busy), 1e-9));
+    assert!(report.total_cost().approx_eq(report.local_cost, 1e-12));
+}
+
+#[test]
+fn service_simulation_is_deterministic() {
+    let arrivals = poisson(3.0, 50.0, 1.0, 11);
+    let cfg = ServiceConfig::default_burst();
+    assert_eq!(simulate_service(&arrivals, &cfg), simulate_service(&arrivals, &cfg));
+}
+
+#[test]
+fn every_request_is_served_exactly_once() {
+    let arrivals = poisson(4.0, 100.0, 1.0, 3);
+    let report = simulate_service(&arrivals, &ServiceConfig::default_burst());
+    assert_eq!(report.outcomes.len(), arrivals.len());
+    for (i, o) in report.outcomes.iter().enumerate() {
+        assert_eq!(o.index, i);
+        assert!(o.start_hours >= o.arrival_hours - 1e-9);
+        assert!(o.finish_hours > o.start_hours);
+    }
+    assert_eq!(
+        report.local_requests() + report.cloud_requests(),
+        report.outcomes.len()
+    );
+}
+
+#[test]
+fn quantiles_are_sane() {
+    let arrivals = poisson(2.0, 100.0, 1.0, 5);
+    let report = simulate_service(&arrivals, &single_slot_no_burst());
+    let q50 = report.turnaround_quantile(0.5);
+    let q95 = report.turnaround_quantile(0.95);
+    let q100 = report.turnaround_quantile(1.0);
+    assert!(q50 <= q95 && q95 <= q100);
+    assert!(report.mean_turnaround_hours() > 0.0);
+}
+
+#[test]
+#[should_panic(expected = "invalid service configuration")]
+fn zero_slots_without_full_burst_rejected() {
+    let cfg = ServiceConfig {
+        local_slots: 0,
+        burst_threshold: None,
+        ..ServiceConfig::default_burst()
+    };
+    simulate_service(&[at(0.0)], &cfg);
+}
+
+#[test]
+#[should_panic(expected = "sorted")]
+fn unsorted_arrivals_rejected() {
+    let arrivals = vec![at(5.0), at(1.0)];
+    simulate_service(&arrivals, &ServiceConfig::default_burst());
+}

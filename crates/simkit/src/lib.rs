@@ -1,0 +1,67 @@
+//! # mcloud-simkit
+//!
+//! A small, deterministic discrete-event simulation (DES) kernel — the
+//! substrate this project builds in place of the GridSim toolkit used by
+//! *"The Cost of Doing Science on the Cloud: The Montage Example"*
+//! (Deelman et al., SC 2008).
+//!
+//! The kernel provides exactly the modeling primitives the paper's
+//! simulator needs, with reproducibility as a hard requirement:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond clock, so event
+//!   ordering is total and platform-independent.
+//! * [`EventQueue`] — a calendar queue with FIFO tie-breaking for
+//!   same-instant events and O(log n) cancellation.
+//! * [`FcfsChannel`] — the serial fixed-bandwidth link between the
+//!   user/archive and cloud storage (10 Mbps in the paper).
+//! * [`ProcessorPool`] — a `P`-slot compute resource with deterministic
+//!   lowest-index allocation and utilization accounting.
+//! * [`TimeWeighted`] — step-function integration ("area under the storage
+//!   curve", the paper's GB-hours metric) and [`RunningStats`] for scalar
+//!   summaries.
+//!
+//! The kernel is engine-agnostic: simulation logic lives in the crates that
+//! use it (see `mcloud-core`). Nothing here spawns threads or consults wall
+//! clocks; a simulation is a pure function of its inputs.
+//!
+//! ## Example: a two-server M/D/1-ish toy
+//!
+//! ```
+//! use mcloud_simkit::{EventQueue, FcfsChannel, SimTime, TimeWeighted};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Arrive(u64), Done }
+//!
+//! let mut q = EventQueue::new();
+//! let mut link = FcfsChannel::new(8.0); // 1 byte/s
+//! let mut occupancy = TimeWeighted::new();
+//!
+//! q.push(SimTime::ZERO, Ev::Arrive(3));
+//! q.push(SimTime::from_secs_f64(1.0), Ev::Arrive(5));
+//! while let Some((now, ev)) = q.pop() {
+//!     match ev {
+//!         Ev::Arrive(bytes) => {
+//!             occupancy.add(now, bytes as f64);
+//!             let grant = link.submit(now, bytes);
+//!             q.push(grant.finish, Ev::Done);
+//!         }
+//!         Ev::Done => occupancy.add(now, -occupancy.value()),
+//!     }
+//! }
+//! assert_eq!(link.total_bytes(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod channel;
+mod pool;
+mod queue;
+mod stats;
+mod time;
+
+pub use channel::{FcfsChannel, TransferGrant};
+pub use pool::{ProcId, ProcessorPool};
+pub use queue::{EventId, EventQueue};
+pub use stats::{RunningStats, TimeWeighted};
+pub use time::{SimDuration, SimTime};

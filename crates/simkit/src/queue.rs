@@ -1,0 +1,245 @@
+//! The event calendar: a time-ordered queue with deterministic FIFO
+//! tie-breaking and O(log n) cancellation.
+//!
+//! Determinism matters here: the paper's experiments are comparisons between
+//! execution plans, so two runs of the same configuration must produce
+//! byte-identical schedules. Events scheduled for the same instant pop in
+//! the order they were pushed (a strictly increasing sequence number breaks
+//! ties), independent of heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A time-ordered event queue over an arbitrary payload type.
+///
+/// ```
+/// use mcloud_simkit::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs_f64(2.0), "later");
+/// q.push(SimTime::from_secs_f64(1.0), "sooner");
+/// assert_eq!(q.pop().unwrap().1, "sooner");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    /// Sequence numbers of events that are scheduled and not yet delivered
+    /// or cancelled. Cancellation is lazy: a heap entry whose seq is absent
+    /// from this set is skipped at pop time.
+    pending: HashSet<u64>,
+    last_popped: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Manual impls: ordering must depend only on (time, seq), never on payload.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: HashSet::new(),
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` at `time` and returns a cancellation handle.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the last popped event time:
+    /// scheduling into the past is always a model bug.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled into the past: {} < {}",
+            time,
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (lazy deletion: the entry is skipped at pop time).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id.0)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled
+            }
+            self.last_popped = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if !self.pending.contains(&entry.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), 3);
+        q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.push(t(4.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(t(10.0), ());
+        q.pop();
+        q.push(t(5.0), ());
+    }
+
+    #[test]
+    fn cancel_removes_pending_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), "a");
+        let b = q.push(t(2.0), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+        // Cancelling again (or after pop) reports false.
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(b));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.push(t(1.0), i)).collect();
+        for id in &ids[..4] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), 0);
+        q.pop();
+        q.push(t(1.0), 1); // same instant as "now": fine
+        assert_eq!(q.pop().unwrap(), (t(1.0), 1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Crossover analysis: where one plan stops being cheaper than another.
+//!
+//! The paper repeatedly gestures at crossovers — "If the storage charges
+//! were higher and transfer costs were lower, it is possible that the
+//! Remote I/O mode would have resulted in the least total cost"; "how many
+//! requests it would take to make the cost of storing the data on the
+//! cloud worthwhile". This module pins those knife edges down by
+//! bisection over any scalar knob.
+
+/// Finds a root of `diff` in `[lo, hi]` by bisection, to within `tol`
+/// (absolute, on the knob). `diff` is typically
+/// `cost_plan_a(knob) - cost_plan_b(knob)` and must be continuous and
+/// change sign across the interval; returns `None` when it does not.
+///
+/// # Panics
+/// Panics on an invalid interval or non-positive tolerance.
+pub fn find_crossover<F>(lo: f64, hi: f64, tol: f64, diff: F) -> Option<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid interval [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let (mut lo, mut hi) = (lo, hi);
+    let mut f_lo = diff(lo);
+    let f_hi = diff(hi);
+    if f_lo == 0.0 {
+        return Some(lo);
+    }
+    if f_hi == 0.0 {
+        return Some(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return None;
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = diff(mid);
+        if f_mid == 0.0 {
+            return Some(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_linear_root() {
+        // 2x - 6 = 0 at x = 3.
+        let root = find_crossover(0.0, 10.0, 1e-9, |x| 2.0 * x - 6.0).unwrap();
+        assert!((root - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn finds_a_nonlinear_root() {
+        let root = find_crossover(0.0, 2.0, 1e-10, |x| x * x - 2.0).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_sign_change_returns_none() {
+        assert_eq!(find_crossover(0.0, 1.0, 1e-6, |_| 1.0), None);
+        assert_eq!(find_crossover(0.0, 1.0, 1e-6, |x| -x - 1.0), None);
+    }
+
+    #[test]
+    fn endpoints_that_are_roots_are_returned() {
+        assert_eq!(find_crossover(3.0, 5.0, 1e-6, |x| x - 3.0), Some(3.0));
+        assert_eq!(find_crossover(3.0, 5.0, 1e-6, |x| x - 5.0), Some(5.0));
+    }
+
+    #[test]
+    fn decreasing_functions_work_too() {
+        let root = find_crossover(0.0, 10.0, 1e-9, |x| 6.0 - 2.0 * x).unwrap();
+        assert!((root - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn rejects_backwards_interval() {
+        find_crossover(5.0, 1.0, 1e-6, |x| x);
+    }
+}

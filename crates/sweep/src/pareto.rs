@@ -1,0 +1,133 @@
+//! Cost/performance Pareto analysis.
+//!
+//! The paper's central observation is a trade-off: "a user who is also
+//! concerned about the execution time faces a trade-off between minimizing
+//! the execution cost and minimizing the execution time." The Pareto
+//! frontier of (cost, makespan) points makes that trade-off explicit and
+//! identifies provisioning levels that are never worth choosing.
+
+/// A candidate plan: total cost in dollars and makespan in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostTimePoint {
+    /// Total dollars.
+    pub cost: f64,
+    /// Makespan in seconds.
+    pub time: f64,
+}
+
+impl CostTimePoint {
+    /// True when `self` is at least as good on both axes and strictly
+    /// better on one.
+    pub fn dominates(&self, other: &CostTimePoint) -> bool {
+        (self.cost <= other.cost && self.time <= other.time)
+            && (self.cost < other.cost || self.time < other.time)
+    }
+}
+
+/// Indices of the non-dominated points, sorted by ascending cost (and thus
+/// descending time along the frontier). Ties are kept once (the earliest
+/// index wins).
+pub fn pareto_frontier(points: &[CostTimePoint]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    // Sort by cost, then time, then index for determinism.
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .cost
+            .total_cmp(&points[b].cost)
+            .then(points[a].time.total_cmp(&points[b].time))
+            .then(a.cmp(&b))
+    });
+    let mut frontier = Vec::new();
+    let mut best_time = f64::INFINITY;
+    let mut last_kept: Option<CostTimePoint> = None;
+    for i in idx {
+        let p = points[i];
+        if p.time < best_time {
+            // Skip exact duplicates of the last kept point.
+            if last_kept != Some(p) {
+                frontier.push(i);
+                last_kept = Some(p);
+            }
+            best_time = p.time;
+        }
+    }
+    frontier
+}
+
+/// Picks the cheapest point whose makespan is within `deadline_s` — the
+/// paper's "16 processors gives 5.5 h for $9.25" style of choice.
+pub fn cheapest_within_deadline(
+    points: &[CostTimePoint],
+    deadline_s: f64,
+) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.time <= deadline_s)
+        .min_by(|(ia, a), (ib, b)| a.cost.total_cmp(&b.cost).then(ia.cmp(ib)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(cost: f64, time: f64) -> CostTimePoint {
+        CostTimePoint { cost, time }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        assert!(pt(1.0, 1.0).dominates(&pt(2.0, 2.0)));
+        assert!(pt(1.0, 1.0).dominates(&pt(1.0, 2.0)));
+        assert!(!pt(1.0, 1.0).dominates(&pt(1.0, 1.0)));
+        assert!(!pt(1.0, 3.0).dominates(&pt(2.0, 2.0)));
+    }
+
+    #[test]
+    fn frontier_excludes_dominated_points() {
+        // Classic provisioning curve: more processors = more cost, less time,
+        // with one silly point that is dominated.
+        let points = vec![
+            pt(0.60, 19800.0), // 1 proc
+            pt(0.70, 10000.0), // 2 procs
+            pt(1.00, 6000.0),  // 4 procs
+            pt(1.20, 6500.0),  // dominated (slower AND pricier than 4 procs)
+            pt(3.90, 1100.0),  // 128 procs
+        ];
+        assert_eq!(pareto_frontier(&points), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn frontier_of_monotone_curve_keeps_everything() {
+        let points: Vec<_> = (0..5)
+            .map(|i| pt(1.0 + i as f64, 100.0 - 10.0 * i as f64))
+            .collect();
+        assert_eq!(pareto_frontier(&points), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn frontier_deduplicates_identical_points() {
+        let points = vec![pt(1.0, 1.0), pt(1.0, 1.0), pt(2.0, 0.5)];
+        assert_eq!(pareto_frontier(&points), vec![0, 2]);
+    }
+
+    #[test]
+    fn frontier_of_empty_is_empty() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn deadline_choice_matches_paper_example() {
+        // Shaped like the 4-degree sweep: $9 @ 85 h, $9.25 @ 5.5 h,
+        // $13.92 @ 1 h. With a 6 h deadline, 16 processors win.
+        let points = vec![
+            pt(9.00, 85.0 * 3600.0),
+            pt(9.25, 5.5 * 3600.0),
+            pt(13.92, 1.05 * 3600.0),
+        ];
+        assert_eq!(cheapest_within_deadline(&points, 6.0 * 3600.0), Some(1));
+        assert_eq!(cheapest_within_deadline(&points, 100.0 * 3600.0), Some(0));
+        assert_eq!(cheapest_within_deadline(&points, 60.0), None);
+    }
+}

@@ -1,0 +1,429 @@
+//! Static SVG line charts for the reproduced figures.
+//!
+//! The paper's figures are cost/runtime series over processor counts or
+//! CCR; this module renders them as self-contained SVG files next to the
+//! CSVs. Styling follows the data-viz method's reference palette (a
+//! validated categorical order; one axis; thin 2 px lines; recessive
+//! grid; text in ink tokens, never series colors; a legend for >= 2
+//! series plus direct labels at line ends for <= 4).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Validated categorical palette (reference instance, light mode): blue,
+/// aqua, yellow, green, violet, red, magenta, orange — fixed order, never
+/// cycled.
+const PALETTE: [&str; 8] = [
+    "#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+];
+const SURFACE: &str = "#fcfcfb";
+const INK: &str = "#0b0b0b";
+const INK_SECONDARY: &str = "#52514e";
+const GRID: &str = "#e5e4e0";
+
+/// One line on the plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in data coordinates, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A single-axis line chart.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale the x axis (processor counts are geometric).
+    pub log_x: bool,
+    /// Log-scale the y axis (the paper's cost plots are log-y).
+    pub log_y: bool,
+    /// The series, in fixed palette order (max 8).
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 760.0;
+const H: f64 = 440.0;
+const ML: f64 = 64.0; // margins
+const MR: f64 = 132.0;
+const MT: f64 = 44.0;
+const MB: f64 = 52.0;
+
+impl LinePlot {
+    /// Creates a linear-scale plot.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LinePlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (at most 8; more must be folded by the caller).
+    ///
+    /// # Panics
+    /// Panics beyond 8 series or on empty/non-finite/non-positive data for
+    /// log scales.
+    pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        assert!(self.series.len() < PALETTE.len(), "more than 8 series: fold into 'Other'");
+        assert!(!points.is_empty(), "series needs at least one point");
+        self.series.push(Series { name: name.into(), points });
+        self
+    }
+
+    /// Switches the x axis to log scale.
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Switches the y axis to log scale.
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    fn tx(&self, x: f64, (lo, hi): (f64, f64)) -> f64 {
+        let (x, lo, hi) = if self.log_x { (x.log10(), lo.log10(), hi.log10()) } else { (x, lo, hi) };
+        ML + (x - lo) / (hi - lo).max(f64::MIN_POSITIVE) * (W - ML - MR)
+    }
+
+    fn ty(&self, y: f64, (lo, hi): (f64, f64)) -> f64 {
+        let (y, lo, hi) = if self.log_y { (y.log10(), lo.log10(), hi.log10()) } else { (y, lo, hi) };
+        H - MB - (y - lo) / (hi - lo).max(f64::MIN_POSITIVE) * (H - MT - MB)
+    }
+
+    fn bounds(&self, axis: impl Fn(&(f64, f64)) -> f64, log: bool) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.series {
+            for p in &s.points {
+                let v = axis(p);
+                assert!(v.is_finite(), "non-finite data point");
+                if log {
+                    assert!(v > 0.0, "log scale needs positive data, got {v}");
+                }
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo == hi {
+            // Degenerate range: pad so the line is visible.
+            if log {
+                (lo / 2.0, hi * 2.0)
+            } else {
+                (lo - 0.5, hi + 0.5)
+            }
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// # Panics
+    /// Panics if the plot has no series.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.series.is_empty(), "plot needs at least one series");
+        let xb = self.bounds(|p| p.0, self.log_x);
+        let yb = self.bounds(|p| p.1, self.log_y);
+
+        let mut s = String::with_capacity(8192);
+        let _ = write!(
+            s,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+             viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\">\n\
+             <rect width=\"{W}\" height=\"{H}\" fill=\"{SURFACE}\"/>\n"
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{ML}\" y=\"24\" font-size=\"15\" fill=\"{INK}\">{}</text>",
+            esc(&self.title)
+        );
+
+        // Grid + ticks.
+        for (value, label) in ticks(yb, self.log_y, 5) {
+            let y = self.ty(value, yb);
+            let _ = writeln!(
+                s,
+                "<line x1=\"{ML}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"{GRID}\" stroke-width=\"1\"/>",
+                W - MR
+            );
+            let _ = writeln!(
+                s,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" fill=\"{INK_SECONDARY}\" text-anchor=\"end\">{label}</text>",
+                ML - 6.0,
+                y + 4.0
+            );
+        }
+        for (value, label) in ticks(xb, self.log_x, 7) {
+            let x = self.tx(value, xb);
+            let _ = writeln!(
+                s,
+                "<line x1=\"{x:.1}\" y1=\"{MT}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"{GRID}\" stroke-width=\"1\"/>",
+                H - MB
+            );
+            let _ = writeln!(
+                s,
+                "<text x=\"{x:.1}\" y=\"{:.1}\" font-size=\"11\" fill=\"{INK_SECONDARY}\" text-anchor=\"middle\">{label}</text>",
+                H - MB + 16.0
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            s,
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" fill=\"{INK_SECONDARY}\" text-anchor=\"middle\">{}</text>",
+            ML + (W - ML - MR) / 2.0,
+            H - 12.0,
+            esc(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"16\" y=\"{:.1}\" font-size=\"12\" fill=\"{INK_SECONDARY}\" \
+             transform=\"rotate(-90 16 {:.1})\" text-anchor=\"middle\">{}</text>",
+            MT + (H - MT - MB) / 2.0,
+            MT + (H - MT - MB) / 2.0,
+            esc(&self.y_label)
+        );
+
+        // Series lines + end labels (direct labels for <= 4 series).
+        let direct_labels = self.series.len() <= 4;
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i];
+            let path: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", self.tx(x, xb), self.ty(y, yb)))
+                .collect();
+            let _ = writeln!(
+                s,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>",
+                path.join(" ")
+            );
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    s,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\" stroke=\"{SURFACE}\" stroke-width=\"2\"/>",
+                    self.tx(x, xb),
+                    self.ty(y, yb)
+                );
+            }
+            if direct_labels {
+                let &(x, y) = series.points.last().unwrap();
+                let _ = writeln!(
+                    s,
+                    "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" fill=\"{INK}\">{}</text>",
+                    self.tx(x, xb) + 8.0,
+                    self.ty(y, yb) + 4.0,
+                    esc(&series.name)
+                );
+            }
+        }
+
+        // Legend (always, for >= 2 series).
+        if self.series.len() >= 2 {
+            for (i, series) in self.series.iter().enumerate() {
+                let y = MT + 8.0 + i as f64 * 18.0;
+                let x = W - MR + 14.0;
+                let _ = writeln!(
+                    s,
+                    "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" rx=\"2\" fill=\"{}\"/>",
+                    y - 9.0,
+                    PALETTE[i]
+                );
+                let _ = writeln!(
+                    s,
+                    "<text x=\"{:.1}\" y=\"{y:.1}\" font-size=\"11\" fill=\"{INK}\">{}</text>",
+                    x + 15.0,
+                    esc(&series.name)
+                );
+            }
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+
+    /// Writes the SVG to a file, creating parent directories.
+    pub fn write_svg(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+/// Tick positions and labels over a range.
+fn ticks((lo, hi): (f64, f64), log: bool, want: usize) -> Vec<(f64, String)> {
+    if log {
+        // Decades (with halfway fill-in when few decades).
+        let (llo, lhi) = (lo.log10().floor() as i32, hi.log10().ceil() as i32);
+        let mut out = Vec::new();
+        for d in llo..=lhi {
+            let v = 10f64.powi(d);
+            if v >= lo * 0.999 && v <= hi * 1.001 {
+                out.push((v, fmt_tick(v)));
+            }
+        }
+        if out.len() < 3 {
+            for d in llo..=lhi {
+                let v = 3.0 * 10f64.powi(d);
+                if v > lo && v < hi {
+                    out.push((v, fmt_tick(v)));
+                }
+            }
+            out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
+        out
+    } else {
+        let span = hi - lo;
+        let raw = span / want.max(2) as f64;
+        let mag = 10f64.powf(raw.log10().floor());
+        let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+            .iter()
+            .map(|m| m * mag)
+            .find(|&s| span / s <= want as f64)
+            .unwrap_or(mag * 10.0);
+        let mut v = (lo / step).ceil() * step;
+        let mut out = Vec::new();
+        while v <= hi + step * 1e-9 {
+            out.push((v, fmt_tick(v)));
+            v += step;
+        }
+        out
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LinePlot {
+        LinePlot::new("Costs vs processors", "processors", "dollars")
+            .with_log_x()
+            .series("total", vec![(1.0, 0.6), (2.0, 0.62), (4.0, 0.7), (128.0, 3.9)])
+            .series("cpu", vec![(1.0, 0.55), (2.0, 0.57), (4.0, 0.65), (128.0, 3.8)])
+    }
+
+    #[test]
+    fn svg_contains_marks_and_labels() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Costs vs processors"));
+        assert!(svg.contains("processors"));
+        // Legend + direct labels for 2 series.
+        assert!(svg.matches(">total</text>").count() >= 2);
+        // Palette order: first series is blue, second aqua.
+        assert!(svg.contains("#2a78d6"));
+        assert!(svg.contains("#1baf7a"));
+    }
+
+    #[test]
+    fn single_series_has_no_legend_box() {
+        let svg = LinePlot::new("t", "x", "y")
+            .series("only", vec![(0.0, 1.0), (1.0, 2.0)])
+            .to_svg();
+        assert!(!svg.contains("<rect x=\"6"), "no legend swatch for one series");
+        assert_eq!(svg.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    fn log_y_requires_positive_values() {
+        let plot = LinePlot::new("t", "x", "y")
+            .with_log_y()
+            .series("s", vec![(0.0, 0.0)]);
+        assert!(std::panic::catch_unwind(|| plot.to_svg()).is_err());
+    }
+
+    #[test]
+    fn more_than_four_series_drop_direct_labels() {
+        let mut plot = LinePlot::new("t", "x", "y");
+        for i in 0..5 {
+            plot = plot.series(format!("s{i}"), vec![(0.0, i as f64 + 1.0), (1.0, 2.0)]);
+        }
+        let svg = plot.to_svg();
+        // Legend shows all five exactly once each (no end-of-line label).
+        assert_eq!(svg.matches(">s0</text>").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 8 series")]
+    fn ninth_series_rejected() {
+        let mut plot = LinePlot::new("t", "x", "y");
+        for i in 0..9 {
+            plot = plot.series(format!("s{i}"), vec![(0.0, 1.0)]);
+        }
+    }
+
+    #[test]
+    fn linear_ticks_are_round() {
+        let t = ticks((0.0, 10.0), false, 5);
+        assert!(t.len() >= 3 && t.len() <= 7, "{t:?}");
+        // Step of 2 over [0, 10]: endpoints and even values.
+        assert!(t.iter().any(|(v, _)| *v == 0.0));
+        assert!(t.iter().any(|(v, _)| (*v - 10.0).abs() < 1e-9));
+        assert!(t.iter().any(|(v, _)| (*v - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn log_ticks_hit_decades() {
+        let t = ticks((1.0, 1000.0), true, 5);
+        let values: Vec<f64> = t.iter().map(|(v, _)| *v).collect();
+        for d in [1.0, 10.0, 100.0, 1000.0] {
+            assert!(values.iter().any(|v| (v - d).abs() < 1e-9), "{values:?}");
+        }
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let dir = std::env::temp_dir().join("mcloud_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("fig.svg");
+        sample().write_svg(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degenerate_ranges_are_padded() {
+        let svg = LinePlot::new("t", "x", "y")
+            .series("flat", vec![(1.0, 5.0), (2.0, 5.0)])
+            .to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+}

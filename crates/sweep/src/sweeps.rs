@@ -1,0 +1,197 @@
+//! The parameter sweeps behind the paper's figures, run in parallel.
+//!
+//! Each sweep point is an independent deterministic simulation, so the
+//! sweeps fan out over a rayon thread pool (the simulations themselves
+//! stay single-threaded and reproducible).
+
+use rayon::prelude::*;
+
+use mcloud_core::{simulate, DataMode, ExecConfig, Provisioning, Report};
+use mcloud_dag::Workflow;
+
+/// One point of a processor-count sweep (Figures 4–6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorPoint {
+    /// Processors provisioned.
+    pub processors: u32,
+    /// Simulation result.
+    pub report: Report,
+}
+
+/// One point of a data-management-mode comparison (Figures 7–10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModePoint {
+    /// The data-management mode.
+    pub mode: DataMode,
+    /// Simulation result.
+    pub report: Report,
+}
+
+/// One point of a CCR sweep (Figure 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcrPoint {
+    /// The CCR the workflow was rescaled to.
+    pub target_ccr: f64,
+    /// The CCR actually achieved after integer-byte rounding.
+    pub actual_ccr: f64,
+    /// Simulation result.
+    pub report: Report,
+}
+
+/// The paper's processor axis: 1, 2, 4, ... up to `max` ("from 1 to 128 in
+/// a geometric progression").
+pub fn geometric_processors(max: u32) -> Vec<u32> {
+    assert!(max >= 1);
+    let mut out = Vec::new();
+    let mut p = 1u32;
+    while p <= max {
+        out.push(p);
+        match p.checked_mul(2) {
+            Some(next) => p = next,
+            None => break,
+        }
+    }
+    out
+}
+
+/// Simulates the workflow under fixed provisioning for every processor
+/// count, in parallel.
+pub fn processor_sweep(
+    wf: &Workflow,
+    base: &ExecConfig,
+    processors: &[u32],
+) -> Vec<ProcessorPoint> {
+    processors
+        .par_iter()
+        .map(|&p| {
+            let cfg = ExecConfig {
+                provisioning: Provisioning::Fixed { processors: p },
+                ..base.clone()
+            };
+            ProcessorPoint { processors: p, report: simulate(wf, &cfg) }
+        })
+        .collect()
+}
+
+/// Simulates the workflow under each of the three data-management modes,
+/// in parallel.
+pub fn mode_matrix(wf: &Workflow, base: &ExecConfig) -> Vec<ModePoint> {
+    DataMode::ALL
+        .par_iter()
+        .map(|&mode| ModePoint {
+            mode,
+            report: simulate(wf, &ExecConfig { mode, ..base.clone() }),
+        })
+        .collect()
+}
+
+/// Rescales every file size so the workflow's CCR at the given link equals
+/// `desired_ccr` — the paper's transformation: "we multiply each file size
+/// by `CCR_d / CCR_r` to get the desired CCR".
+///
+/// # Panics
+/// Panics if `desired_ccr` is not positive and finite.
+pub fn scale_to_ccr(wf: &Workflow, desired_ccr: f64, link_bps: f64) -> Workflow {
+    assert!(
+        desired_ccr.is_finite() && desired_ccr > 0.0,
+        "desired CCR must be positive, got {desired_ccr}"
+    );
+    let real = wf.ccr_at_link(link_bps);
+    let mut scaled = wf.clone();
+    scaled.scale_file_sizes(desired_ccr / real);
+    scaled
+}
+
+/// Simulates the workflow rescaled to each target CCR, in parallel
+/// (Figure 11 uses 8 fixed processors on the 1-degree workflow).
+pub fn ccr_sweep(wf: &Workflow, base: &ExecConfig, targets: &[f64]) -> Vec<CcrPoint> {
+    targets
+        .par_iter()
+        .map(|&ccr| {
+            let scaled = scale_to_ccr(wf, ccr, base.bandwidth_bps);
+            CcrPoint {
+                target_ccr: ccr,
+                actual_ccr: scaled.ccr_at_link(base.bandwidth_bps),
+                report: simulate(&scaled, base),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcloud_montage::{montage_1_degree, paper_figure3};
+
+    #[test]
+    fn geometric_progression_matches_paper_axis() {
+        assert_eq!(geometric_processors(128), vec![1, 2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(geometric_processors(1), vec![1]);
+        assert_eq!(geometric_processors(100), vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn processor_sweep_covers_every_count_in_order() {
+        let wf = paper_figure3();
+        let points = processor_sweep(&wf, &ExecConfig::paper_default(), &[1, 2, 4]);
+        let procs: Vec<u32> = points.iter().map(|p| p.processors).collect();
+        assert_eq!(procs, vec![1, 2, 4]);
+        for p in &points {
+            assert_eq!(p.report.processors, Some(p.processors));
+        }
+    }
+
+    #[test]
+    fn processor_sweep_equals_sequential_simulation() {
+        // Parallel execution must not perturb results.
+        let wf = paper_figure3();
+        let base = ExecConfig::paper_default();
+        let points = processor_sweep(&wf, &base, &[1, 3]);
+        for p in &points {
+            let direct = simulate(&wf, &ExecConfig::fixed(p.processors));
+            assert_eq!(p.report, direct);
+        }
+    }
+
+    #[test]
+    fn mode_matrix_covers_all_three_modes() {
+        let wf = paper_figure3();
+        let points = mode_matrix(&wf, &ExecConfig::paper_default());
+        let modes: Vec<DataMode> = points.iter().map(|p| p.mode).collect();
+        assert_eq!(modes, DataMode::ALL.to_vec());
+    }
+
+    #[test]
+    fn scale_to_ccr_hits_the_target() {
+        let wf = montage_1_degree();
+        for target in [0.01, 0.053, 0.2, 1.0] {
+            let scaled = scale_to_ccr(&wf, target, 10e6);
+            let got = scaled.ccr_at_link(10e6);
+            assert!(
+                (got - target).abs() / target < 0.01,
+                "target {target}, got {got}"
+            );
+            // Structure untouched.
+            assert_eq!(scaled.num_tasks(), wf.num_tasks());
+            assert!((scaled.total_runtime_s() - wf.total_runtime_s()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ccr_sweep_reports_actuals() {
+        let wf = paper_figure3();
+        let points = ccr_sweep(&wf, &ExecConfig::fixed(2), &[0.05, 0.5]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!((p.actual_ccr - p.target_ccr).abs() / p.target_ccr < 0.01);
+        }
+        // More data-intensive means more transfer spend.
+        assert!(points[1].report.costs.transfer() > points[0].report.costs.transfer());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scale_to_ccr_rejects_zero() {
+        scale_to_ccr(&paper_figure3(), 0.0, 10e6);
+    }
+}

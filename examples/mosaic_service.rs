@@ -1,0 +1,87 @@
+//! The paper's community-service scenario: an application serving many
+//! mosaic requests must pick a provisioning level per request.
+//!
+//! Section 6, Question 1 (4-degree discussion): "providing 500 4-degree
+//! square mosaics to astronomers would cost $4,500 using 1 processor
+//! versus $7,000 using 128 processors ... If the application provisions 16
+//! processors ... a total cost of 500 mosaics would be $4,625 ... while
+//! giving a relatively reasonable turnaround time." This example re-runs
+//! that planning exercise on the simulator, then uses the Pareto frontier
+//! and a turnaround deadline to make the choice mechanical.
+//!
+//! ```text
+//! cargo run --release --example mosaic_service
+//! ```
+
+use montage_cloud::prelude::*;
+
+const REQUESTS: u64 = 500;
+const DEADLINE_HOURS: f64 = 6.0;
+
+fn main() {
+    let wf = montage_4_degree();
+    println!(
+        "service workload: {REQUESTS} requests for {} ({} tasks each)\n",
+        wf.name(),
+        wf.num_tasks()
+    );
+
+    let points = processor_sweep(
+        &wf,
+        &ExecConfig::paper_default(),
+        &geometric_processors(128),
+    );
+    let frontier_input: Vec<CostTimePoint> = points
+        .iter()
+        .map(|p| CostTimePoint {
+            cost: p.report.total_cost().dollars(),
+            time: p.report.makespan.as_secs_f64(),
+        })
+        .collect();
+    let frontier = pareto_frontier(&frontier_input);
+
+    let mut table = Table::new(vec![
+        "procs",
+        "per-request",
+        "turnaround (h)",
+        "500 requests",
+        "pareto",
+    ]);
+    for (i, p) in points.iter().enumerate() {
+        let campaign = Campaign {
+            requests: REQUESTS,
+            cost_per_request: p.report.total_cost(),
+        };
+        table.push_row(vec![
+            p.processors.to_string(),
+            p.report.total_cost().to_string(),
+            format!("{:.2}", p.report.makespan_hours()),
+            campaign.total().to_string(),
+            if frontier.contains(&i) { "*".to_string() } else { String::new() },
+        ]);
+    }
+    print!("{}", table.to_ascii());
+
+    // Pick the cheapest plan that honors the service's turnaround promise.
+    let chosen = cheapest_within_deadline(&frontier_input, DEADLINE_HOURS * 3600.0)
+        .expect("some plan meets the deadline");
+    let p = &points[chosen];
+    let campaign = Campaign {
+        requests: REQUESTS,
+        cost_per_request: p.report.total_cost(),
+    };
+    println!(
+        "\nwith a {DEADLINE_HOURS:.0}-hour turnaround promise: provision {} processors",
+        p.processors
+    );
+    println!(
+        "  per request: {} at {:.2} h;   {REQUESTS} requests: {}",
+        p.report.total_cost(),
+        p.report.makespan_hours(),
+        campaign.total()
+    );
+    println!(
+        "  (the paper reached the same conclusion by hand: 16 processors, \
+         ~5.5 h, ~$4,625 for 500 mosaics)"
+    );
+}

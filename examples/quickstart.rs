@@ -1,0 +1,61 @@
+//! Quickstart: price one Montage mosaic request on the cloud.
+//!
+//! Builds the paper's 1-degree M17 workflow (203 tasks), runs it through
+//! the simulator under a few execution plans, and prints the cost /
+//! performance picture the paper's Figure 4 summarizes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use montage_cloud::prelude::*;
+
+fn main() {
+    let wf = montage_1_degree();
+    println!(
+        "workflow: {} ({} tasks, {} files, {:.2} GB total data, CCR {:.3})\n",
+        wf.name(),
+        wf.num_tasks(),
+        wf.num_files(),
+        wf.total_bytes() as f64 / 1e9,
+        wf.ccr_at_link(10e6),
+    );
+
+    // Question 1: fixed provisioning. How many processors should the
+    // application request for this mosaic?
+    println!("fixed provisioning (Amazon 2008 rates, 10 Mbps link):");
+    println!("{:>6} | {:>10} | {:>9} | {:>11}", "procs", "total cost", "runtime", "utilization");
+    for p in geometric_processors(128) {
+        let r = simulate(&wf, &ExecConfig::fixed(p));
+        println!(
+            "{:>6} | {:>10} | {:>8.2}h | {:>10.0}%",
+            p,
+            r.total_cost().to_string(),
+            r.makespan_hours(),
+            r.cpu_utilization * 100.0,
+        );
+    }
+
+    // Question 2: on-demand billing with the three data-management modes.
+    println!("\non-demand billing, by data-management mode:");
+    for point in mode_matrix(&wf, &ExecConfig::paper_default()) {
+        let r = &point.report;
+        println!(
+            "{:>10}: total {} (cpu {}, data management {}), staged in {:.2} GB / out {:.2} GB",
+            point.mode.label(),
+            r.total_cost(),
+            r.costs.cpu,
+            r.costs.data_management(),
+            r.gb_in(),
+            r.gb_out(),
+        );
+    }
+
+    // The paper's bottom line for this workflow.
+    let serial = simulate(&wf, &ExecConfig::fixed(1));
+    println!(
+        "\npaper's headline, reproduced: ~{} on one processor at {:.1} h runtime",
+        serial.total_cost(),
+        serial.makespan_hours()
+    );
+}

@@ -1,0 +1,81 @@
+//! # montage-cloud
+//!
+//! A Rust reproduction of *"The Cost of Doing Science on the Cloud: The
+//! Montage Example"* (Deelman, Singh, Livny, Berriman, Good — SC 2008).
+//!
+//! The paper asks: given pay-per-use cloud resources (Amazon EC2/S3, 2008
+//! rates), how should a data-intensive science application like the
+//! Montage mosaic service plan its execution — how many processors to
+//! provision, which data-management mode to run, and when hosting data in
+//! the cloud pays for itself. This workspace rebuilds the whole study:
+//!
+//! * [`simkit`] — deterministic discrete-event kernel (the GridSim
+//!   substitute),
+//! * [`dag`] — workflow graphs, analyses (levels, CCR, critical path), and
+//!   DAX-subset XML,
+//! * [`montage`] — calibrated synthetic Montage workloads
+//!   (203 / 731 / 3,027 tasks),
+//! * [`cost`] — the Amazon 2008 rate card, billing granularity, archival
+//!   economics,
+//! * [`core`] — the execution-plan simulator (3 data modes x 2
+//!   provisioning plans),
+//! * [`sweep`] — parallel parameter sweeps, Pareto analysis, tables.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use montage_cloud::prelude::*;
+//!
+//! // Build the paper's 1-degree M17 mosaic workflow (203 tasks)...
+//! let wf = montage_1_degree();
+//! // ...and price it on 16 provisioned processors at Amazon 2008 rates.
+//! let report = simulate(&wf, &ExecConfig::fixed(16));
+//! println!(
+//!     "16 procs: {} for {:.2} h",
+//!     report.total_cost(),
+//!     report.makespan_hours()
+//! );
+//! assert!(report.total_cost().dollars() < 1.5);
+//! ```
+
+pub use mcloud_core as core;
+pub use mcloud_cost as cost;
+pub use mcloud_dag as dag;
+pub use mcloud_montage as montage;
+pub use mcloud_service as service;
+pub use mcloud_simkit as simkit;
+pub use mcloud_sweep as sweep;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use mcloud_core::{simulate, DataMode, ExecConfig, Provisioning, Report};
+    pub use mcloud_cost::{
+        ArchiveOrRecompute, Campaign, ChargeGranularity, CostBreakdown, DatasetHosting,
+        Money, Pricing,
+    };
+    pub use mcloud_dag::{DagError, FileId, TaskId, Workflow, WorkflowBuilder};
+    pub use mcloud_montage::{
+        generate, montage_1_degree, montage_2_degree, montage_4_degree, paper_figure3,
+        Band, MosaicConfig,
+    };
+    pub use mcloud_service::{
+        bursty, mixed, periodic, poisson, simulate_autoscale, simulate_service, Arrival,
+        AutoScaleConfig, AutoScaleReport, ServiceConfig, ServiceReport, Venue,
+    };
+    pub use mcloud_sweep::{
+        ccr_sweep, cheapest_within_deadline, geometric_processors, mode_matrix,
+        pareto_frontier, processor_sweep, scale_to_ccr, CostTimePoint, Table,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_a_working_pipeline() {
+        let wf = paper_figure3();
+        let report = simulate(&wf, &ExecConfig::paper_default());
+        assert!(report.total_cost() > Money::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! The parallel harness must be invisible: sweeps run under rayon yield
+//! byte-identical results regardless of thread count, and repeated runs
+//! of any experiment agree exactly.
+
+use montage_cloud::prelude::*;
+
+#[test]
+fn sweeps_are_thread_count_invariant() {
+    let wf = montage_1_degree();
+    let base = ExecConfig::paper_default();
+    let procs = geometric_processors(32);
+
+    let serial_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let wide_pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+    let serial = serial_pool.install(|| processor_sweep(&wf, &base, &procs));
+    let wide = wide_pool.install(|| processor_sweep(&wf, &base, &procs));
+    assert_eq!(serial, wide);
+
+    let serial = serial_pool.install(|| mode_matrix(&wf, &base));
+    let wide = wide_pool.install(|| mode_matrix(&wf, &base));
+    assert_eq!(serial, wide);
+
+    let targets = [0.05, 0.2, 0.8];
+    let serial = serial_pool.install(|| ccr_sweep(&wf, &ExecConfig::fixed(8), &targets));
+    let wide = wide_pool.install(|| ccr_sweep(&wf, &ExecConfig::fixed(8), &targets));
+    assert_eq!(serial, wide);
+}
+
+#[test]
+fn trace_overrides_compose_with_the_engine() {
+    use montage_cloud::montage::apply_runtime_overrides;
+    // Feed "measured" runtimes into the generated DAG, exactly the paper's
+    // pipeline, and watch the bill move accordingly.
+    let wf = montage_1_degree();
+    let base = simulate(&wf, &ExecConfig::paper_default());
+    // Halve mAdd: cheaper and (on demand) no slower.
+    let csv = "mAdd,90.0\n";
+    let traced = apply_runtime_overrides(&wf, csv).unwrap();
+    let r = simulate(&traced, &ExecConfig::paper_default());
+    assert!(r.costs.cpu < base.costs.cpu);
+    assert!(r.makespan <= base.makespan);
+}
