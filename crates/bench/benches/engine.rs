@@ -2,72 +2,70 @@
 //! the big 4-degree workflow, generator speed, DAX round-trips, and the
 //! parallel-sweep speedup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use mcloud_core::{simulate, DataMode, ExecConfig};
+use mcloud_bench::harness::Bench;
+use mcloud_core::{simulate, DataMode, ExecConfig, Provisioning};
 use mcloud_dag::{from_dax, to_dax};
 use mcloud_montage::{generate, montage_4_degree, MosaicConfig};
 use mcloud_sweep::{geometric_processors, processor_sweep};
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator(b: &Bench) {
     let wf = montage_4_degree();
-    let mut g = c.benchmark_group("engine");
-    g.throughput(Throughput::Elements(wf.num_tasks() as u64));
     for mode in DataMode::ALL {
-        g.bench_with_input(
-            BenchmarkId::new("simulate_4deg", mode.label()),
-            &mode,
-            |b, &mode| b.iter(|| black_box(simulate(&wf, &ExecConfig::on_demand(mode)))),
-        );
+        b.run(&format!("engine/simulate_4deg/{}", mode.label()), || {
+            black_box(simulate(&wf, &ExecConfig::on_demand(mode)))
+        });
     }
-    g.bench_function("simulate_4deg_fixed128_trace", |b| {
-        b.iter(|| black_box(simulate(&wf, &ExecConfig::fixed(128).with_trace())))
+    b.run("engine/simulate_4deg_fixed128_trace", || {
+        black_box(simulate(&wf, &ExecConfig::fixed(128).with_trace()))
     });
-    g.finish();
 }
 
-fn bench_generator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generator");
+fn bench_generator(b: &Bench) {
     for degrees in [1.0, 2.0, 4.0] {
         let cfg = MosaicConfig::new(degrees);
-        g.throughput(Throughput::Elements(cfg.expected_tasks() as u64));
-        g.bench_with_input(
-            BenchmarkId::new("generate", format!("{degrees}deg")),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(generate(cfg))),
-        );
+        b.run(&format!("generator/generate/{degrees}deg"), || {
+            black_box(generate(&cfg))
+        });
     }
-    g.finish();
 }
 
-fn bench_dax(c: &mut Criterion) {
+fn bench_dax(b: &Bench) {
     let wf = generate(&MosaicConfig::new(1.0));
     let doc = to_dax(&wf);
-    let mut g = c.benchmark_group("dax");
-    g.throughput(Throughput::Bytes(doc.len() as u64));
-    g.bench_function("serialize_1deg", |b| b.iter(|| black_box(to_dax(&wf))));
-    g.bench_function("parse_1deg", |b| b.iter(|| black_box(from_dax(&doc).unwrap())));
-    g.finish();
+    b.run("dax/serialize_1deg", || black_box(to_dax(&wf)));
+    b.run("dax/parse_1deg", || black_box(from_dax(&doc).unwrap()));
 }
 
-fn bench_parallel_sweep(c: &mut Criterion) {
-    // The sweep behind Figures 4-6, with and without rayon parallelism, to
-    // document the harness speedup.
+fn bench_parallel_sweep(b: &Bench) {
+    // The sweep behind Figures 4-6, threaded and sequential, to document
+    // the fork-join harness speedup.
     let wf = generate(&MosaicConfig::new(2.0));
     let base = ExecConfig::paper_default();
     let procs = geometric_processors(128);
-    let mut g = c.benchmark_group("sweep");
-    g.sample_size(10);
-    g.bench_function("processor_sweep_2deg_parallel", |b| {
-        b.iter(|| black_box(processor_sweep(&wf, &base, &procs)))
+    b.run("sweep/processor_sweep_2deg_parallel", || {
+        black_box(processor_sweep(&wf, &base, &procs))
     });
-    g.bench_function("processor_sweep_2deg_serial", |b| {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        b.iter(|| pool.install(|| black_box(processor_sweep(&wf, &base, &procs))))
+    b.run("sweep/processor_sweep_2deg_serial", || {
+        let points: Vec<_> = procs
+            .iter()
+            .map(|&p| {
+                let cfg = ExecConfig {
+                    provisioning: Provisioning::Fixed { processors: p },
+                    ..base.clone()
+                };
+                simulate(&wf, &cfg)
+            })
+            .collect();
+        black_box(points)
     });
-    g.finish();
 }
 
-criterion_group!(engine, bench_simulator, bench_generator, bench_dax, bench_parallel_sweep);
-criterion_main!(engine);
+fn main() {
+    let b = Bench::from_env();
+    bench_simulator(&b);
+    bench_generator(&b);
+    bench_dax(&b);
+    bench_parallel_sweep(&b);
+}

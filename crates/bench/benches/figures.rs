@@ -1,99 +1,103 @@
-//! Criterion benches, one per table/figure of the paper's evaluation.
+//! Stopwatch benches, one per table/figure of the paper's evaluation.
 //!
 //! Each bench measures the wall time of regenerating that figure's data
 //! (the full parameter sweep behind it), so `cargo bench` doubles as an
 //! end-to-end health check of the experiment pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mcloud_bench::experiments as ex;
+use mcloud_bench::harness::Bench;
 
-fn bench_processor_sweeps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig4_montage1_processor_sweep", |b| {
-        b.iter(|| black_box(ex::fig_processor_sweep(1.0)))
+fn bench_processor_sweeps(b: &Bench) {
+    b.run("figures/fig4_montage1_processor_sweep", || {
+        black_box(ex::fig_processor_sweep(1.0))
     });
-    g.bench_function("fig5_montage2_processor_sweep", |b| {
-        b.iter(|| black_box(ex::fig_processor_sweep(2.0)))
+    b.run("figures/fig5_montage2_processor_sweep", || {
+        black_box(ex::fig_processor_sweep(2.0))
     });
-    g.bench_function("fig6_montage4_processor_sweep", |b| {
-        b.iter(|| black_box(ex::fig_processor_sweep(4.0)))
+    b.run("figures/fig6_montage4_processor_sweep", || {
+        black_box(ex::fig_processor_sweep(4.0))
     });
-    g.finish();
 }
 
-fn bench_mode_matrices(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig7_montage1_mode_metrics", |b| {
-        b.iter(|| black_box(ex::fig_mode_metrics(1.0)))
+fn bench_mode_matrices(b: &Bench) {
+    b.run("figures/fig7_montage1_mode_metrics", || {
+        black_box(ex::fig_mode_metrics(1.0))
     });
-    g.bench_function("fig8_montage2_mode_metrics", |b| {
-        b.iter(|| black_box(ex::fig_mode_metrics(2.0)))
+    b.run("figures/fig8_montage2_mode_metrics", || {
+        black_box(ex::fig_mode_metrics(2.0))
     });
-    g.bench_function("fig9_montage4_mode_metrics", |b| {
-        b.iter(|| black_box(ex::fig_mode_metrics(4.0)))
+    b.run("figures/fig9_montage4_mode_metrics", || {
+        black_box(ex::fig_mode_metrics(4.0))
     });
-    g.bench_function("fig10_cpu_vs_dm", |b| b.iter(|| black_box(ex::fig10_cpu_vs_dm())));
-    g.finish();
+    b.run("figures/fig10_cpu_vs_dm", || {
+        black_box(ex::fig10_cpu_vs_dm())
+    });
 }
 
-fn bench_ccr_and_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("ccr_table", |b| b.iter(|| black_box(ex::ccr_table())));
-    g.bench_function("fig11_ccr_sweep", |b| b.iter(|| black_box(ex::fig11_ccr_sweep())));
-    g.finish();
+fn bench_ccr_and_tables(b: &Bench) {
+    b.run("figures/ccr_table", || black_box(ex::ccr_table()));
+    b.run("figures/fig11_ccr_sweep", || {
+        black_box(ex::fig11_ccr_sweep())
+    });
 }
 
-fn bench_economics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("q2b_hosting", |b| b.iter(|| black_box(ex::q2b_hosting())));
-    g.bench_function("q3_whole_sky", |b| b.iter(|| black_box(ex::q3_whole_sky())));
-    g.finish();
+fn bench_economics(b: &Bench) {
+    b.run("figures/q2b_hosting", || black_box(ex::q2b_hosting()));
+    b.run("figures/q3_whole_sky", || black_box(ex::q3_whole_sky()));
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
-    g.bench_function("granularity_ablation", |b| {
-        b.iter(|| black_box(ex::granularity_ablation(1.0)))
+fn bench_extensions(b: &Bench) {
+    b.run("extensions/granularity_ablation", || {
+        black_box(ex::granularity_ablation(1.0))
     });
-    g.bench_function("pareto_4deg", |b| b.iter(|| black_box(ex::pareto_table(4.0))));
-    g.bench_function("policy_ablation", |b| b.iter(|| black_box(ex::policy_ablation(1.0))));
-    g.bench_function("failure_sweep", |b| b.iter(|| black_box(ex::failure_sweep(1.0))));
-    g.bench_function("vm_overhead", |b| b.iter(|| black_box(ex::vm_overhead_table(1.0))));
-    g.bench_function("batch_vs_sequential", |b| {
-        b.iter(|| black_box(ex::batch_vs_sequential(1.0, 4, 16)))
+    b.run("extensions/pareto_4deg", || {
+        black_box(ex::pareto_table(4.0))
     });
-    g.bench_function("burst_policies", |b| b.iter(|| black_box(ex::burst_policy_table())));
-    g.bench_function("tiered_egress", |b| b.iter(|| black_box(ex::tiered_egress_table())));
-    g.bench_function("duplex_ablation", |b| b.iter(|| black_box(ex::duplex_ablation(1.0))));
-    g.bench_function("hosted_service_month", |b| {
-        b.iter(|| black_box(ex::hosted_service_month()))
+    b.run("extensions/policy_ablation", || {
+        black_box(ex::policy_ablation(1.0))
     });
-    g.bench_function("storage_rate_crossover", |b| {
-        b.iter(|| black_box(ex::storage_rate_crossover(1.0)))
+    b.run("extensions/failure_sweep", || {
+        black_box(ex::failure_sweep(1.0))
     });
-    g.bench_function("autoscale_month", |b| b.iter(|| black_box(ex::autoscale_table())));
-    g.bench_function("bandwidth_sweep_4deg", |b| {
-        b.iter(|| black_box(ex::bandwidth_sweep(4.0, 128)))
+    b.run("extensions/vm_overhead", || {
+        black_box(ex::vm_overhead_table(1.0))
     });
-    g.bench_function("variability_20_seeds", |b| {
-        b.iter(|| black_box(ex::variability_table()))
+    b.run("extensions/batch_vs_sequential", || {
+        black_box(ex::batch_vs_sequential(1.0, 4, 16))
     });
-    g.finish();
+    b.run("extensions/burst_policies", || {
+        black_box(ex::burst_policy_table())
+    });
+    b.run("extensions/tiered_egress", || {
+        black_box(ex::tiered_egress_table())
+    });
+    b.run("extensions/duplex_ablation", || {
+        black_box(ex::duplex_ablation(1.0))
+    });
+    b.run("extensions/hosted_service_month", || {
+        black_box(ex::hosted_service_month())
+    });
+    b.run("extensions/storage_rate_crossover", || {
+        black_box(ex::storage_rate_crossover(1.0))
+    });
+    b.run("extensions/autoscale_month", || {
+        black_box(ex::autoscale_table())
+    });
+    b.run("extensions/bandwidth_sweep_4deg", || {
+        black_box(ex::bandwidth_sweep(4.0, 128))
+    });
+    b.run("extensions/variability_20_seeds", || {
+        black_box(ex::variability_table())
+    });
 }
 
-criterion_group!(
-    figures,
-    bench_processor_sweeps,
-    bench_mode_matrices,
-    bench_ccr_and_tables,
-    bench_economics,
-    bench_extensions
-);
-criterion_main!(figures);
+fn main() {
+    let b = Bench::from_env();
+    bench_processor_sweeps(&b);
+    bench_mode_matrices(&b);
+    bench_ccr_and_tables(&b);
+    bench_economics(&b);
+    bench_extensions(&b);
+}

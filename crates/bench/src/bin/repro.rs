@@ -28,7 +28,10 @@ type PlotFn = fn(&Table) -> Vec<(&'static str, LinePlot)>;
 
 /// Cost + runtime pair for Figures 4-6.
 fn plots_processor_sweep(t: &Table) -> Vec<(&'static str, LinePlot)> {
-    vec![("", plot_processor_costs(t)), ("_runtime", plot_processor_runtime(t))]
+    vec![
+        ("", plot_processor_costs(t)),
+        ("_runtime", plot_processor_runtime(t)),
+    ]
 }
 
 /// Cost panel for Figure 11.
@@ -55,8 +58,7 @@ fn plot_processor_costs(t: &Table) -> LinePlot {
     ] {
         let y = t.numeric_column(col).expect(col);
         // Log scale cannot show zeros; clamp to a display floor.
-        let pts: Vec<(f64, f64)> =
-            x.iter().zip(&y).map(|(&x, &y)| (x, y.max(1e-5))).collect();
+        let pts: Vec<(f64, f64)> = x.iter().zip(&y).map(|(&x, &y)| (x, y.max(1e-5))).collect();
         plot = plot.series(label, pts);
     }
     plot
@@ -80,8 +82,7 @@ fn plot_ccr_costs(t: &Table) -> LinePlot {
         ("storage_cost_cleanup", "storage (cleanup)"),
     ] {
         let y = t.numeric_column(col).expect(col);
-        let pts: Vec<(f64, f64)> =
-            x.iter().zip(&y).map(|(&x, &y)| (x, y.max(1e-5))).collect();
+        let pts: Vec<(f64, f64)> = x.iter().zip(&y).map(|(&x, &y)| (x, y.max(1e-5))).collect();
         plot = plot.series(label, pts);
     }
     plot
@@ -90,10 +91,16 @@ fn plot_ccr_costs(t: &Table) -> LinePlot {
 /// Runtime-vs-processors companion curve (bottom panels of Figures 4-6).
 fn plot_processor_runtime(t: &Table) -> LinePlot {
     let x = t.numeric_column("processors").expect("processors column");
-    let y = t.numeric_column("runtime_hours").expect("runtime_hours column");
-    LinePlot::new("Execution time vs provisioned processors", "processors", "hours")
-        .with_log_x()
-        .series("makespan", x.into_iter().zip(y).collect())
+    let y = t
+        .numeric_column("runtime_hours")
+        .expect("runtime_hours column");
+    LinePlot::new(
+        "Execution time vs provisioned processors",
+        "processors",
+        "hours",
+    )
+    .with_log_x()
+    .series("makespan", x.into_iter().zip(y).collect())
 }
 
 const EXPERIMENTS: &[Experiment] = &[

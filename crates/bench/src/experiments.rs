@@ -9,8 +9,8 @@ use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Money, Pricing};
 use mcloud_dag::Workflow;
 use mcloud_montage::{generate, MosaicConfig};
 use mcloud_sweep::{
-    ccr_sweep, geometric_processors, mode_matrix, pareto_frontier, processor_sweep,
-    CostTimePoint, Table,
+    ccr_sweep, geometric_processors, mode_matrix, pareto_frontier, processor_sweep, CostTimePoint,
+    Table,
 };
 
 /// The paper's three canonical mosaic sizes.
@@ -103,7 +103,13 @@ pub fn fig_mode_metrics(degrees: f64) -> Table {
 /// Figure 10: CPU cost versus aggregated data-management cost for all
 /// three workflows under each execution mode (on-demand compute).
 pub fn fig10_cpu_vs_dm() -> Table {
-    let mut t = Table::new(vec!["workflow", "mode", "cpu_cost", "dm_cost", "total_cost"]);
+    let mut t = Table::new(vec![
+        "workflow",
+        "mode",
+        "cpu_cost",
+        "dm_cost",
+        "total_cost",
+    ]);
     for degrees in CANONICAL_DEGREES {
         let wf = canonical(degrees);
         for p in mode_matrix(&wf, &ExecConfig::paper_default()) {
@@ -189,15 +195,24 @@ pub fn q2b_hosting() -> Table {
         request_cost_hosted: hosted.total_cost(),
     };
     let mut t = Table::new(vec!["quantity", "value"]);
-    t.push_row(vec!["2deg request cost, staged ($)".to_string(), d3(staged.total_cost())]);
-    t.push_row(vec!["2deg request cost, hosted ($)".to_string(), d3(hosted.total_cost())]);
+    t.push_row(vec![
+        "2deg request cost, staged ($)".to_string(),
+        d3(staged.total_cost()),
+    ]);
+    t.push_row(vec![
+        "2deg request cost, hosted ($)".to_string(),
+        d3(hosted.total_cost()),
+    ]);
     t.push_row(vec![
         "saving per request ($)".to_string(),
         d4(hosting.saving_per_request()),
     ]);
     t.push_row(vec![
         "2MASS monthly storage ($/month)".to_string(),
-        format!("{:.0}", pricing.monthly_storage_cost(dataset_bytes).dollars()),
+        format!(
+            "{:.0}",
+            pricing.monthly_storage_cost(dataset_bytes).dollars()
+        ),
     ]);
     t.push_row(vec![
         "break-even requests/month".to_string(),
@@ -218,10 +233,19 @@ pub fn q3_whole_sky() -> Table {
     let staged = simulate(&wf4, &ExecConfig::paper_default());
     let hosted = simulate(&wf4, &ExecConfig::paper_default().prestaged(true));
     let mut t = Table::new(vec!["quantity", "value"]);
-    t.push_row(vec!["4deg request cost, staged ($)".to_string(), d3(staged.total_cost())]);
-    t.push_row(vec!["4deg request cost, hosted ($)".to_string(), d3(hosted.total_cost())]);
+    t.push_row(vec![
+        "4deg request cost, staged ($)".to_string(),
+        d3(staged.total_cost()),
+    ]);
+    t.push_row(vec![
+        "4deg request cost, hosted ($)".to_string(),
+        d3(hosted.total_cost()),
+    ]);
     for (label, report) in [("staged", &staged), ("hosted", &hosted)] {
-        let campaign = Campaign { requests: 3_900, cost_per_request: report.total_cost() };
+        let campaign = Campaign {
+            requests: 3_900,
+            cost_per_request: report.total_cost(),
+        };
         t.push_row(vec![
             format!("whole sky, 3900 plates, {label} ($)"),
             format!("{:.0}", campaign.total().dollars()),
@@ -296,13 +320,22 @@ pub fn pareto_table(degrees: f64) -> Table {
         })
         .collect();
     let frontier = pareto_frontier(&ct);
-    let mut t = Table::new(vec!["processors", "total_cost", "runtime_hours", "on_frontier"]);
+    let mut t = Table::new(vec![
+        "processors",
+        "total_cost",
+        "runtime_hours",
+        "on_frontier",
+    ]);
     for (i, p) in points.iter().enumerate() {
         t.push_row(vec![
             p.processors.to_string(),
             format!("{:.3}", p.report.total_cost().dollars()),
             format!("{:.3}", p.report.makespan_hours()),
-            if frontier.contains(&i) { "yes".to_string() } else { "no".to_string() },
+            if frontier.contains(&i) {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     t
@@ -327,7 +360,12 @@ pub fn policy_ablation(degrees: f64) -> Table {
         &ExecConfig::paper_default().with_policy(SchedulePolicy::CriticalPathFirst),
         &procs,
     );
-    let mut t = Table::new(vec!["processors", "fifo_hours", "cp_first_hours", "gap_pct"]);
+    let mut t = Table::new(vec![
+        "processors",
+        "fifo_hours",
+        "cp_first_hours",
+        "gap_pct",
+    ]);
     for (f, c) in fifo.iter().zip(&cp) {
         let (a, b) = (f.report.makespan_hours(), c.report.makespan_hours());
         t.push_row(vec![
@@ -361,10 +399,9 @@ pub fn failure_sweep(degrees: f64) -> Table {
             ExecConfig::paper_default()
         };
         let r = simulate(&wf, &cfg);
-        let overhead =
-            (r.total_cost().dollars() - base.total_cost().dollars())
-                / base.total_cost().dollars()
-                * 100.0;
+        let overhead = (r.total_cost().dollars() - base.total_cost().dollars())
+            / base.total_cost().dollars()
+            * 100.0;
         t.push_row(vec![
             format!("{prob:.2}"),
             r.task_executions.to_string(),
@@ -393,14 +430,18 @@ pub fn vm_overhead_table(degrees: f64) -> Table {
     let none = processor_sweep(&wf, &ExecConfig::paper_default(), &procs);
     let mid = processor_sweep(
         &wf,
-        &ExecConfig::paper_default()
-            .with_vm_overhead(VmOverhead { startup_s: 300.0, teardown_s: 60.0 }),
+        &ExecConfig::paper_default().with_vm_overhead(VmOverhead {
+            startup_s: 300.0,
+            teardown_s: 60.0,
+        }),
         &procs,
     );
     let big = processor_sweep(
         &wf,
-        &ExecConfig::paper_default()
-            .with_vm_overhead(VmOverhead { startup_s: 900.0, teardown_s: 60.0 }),
+        &ExecConfig::paper_default().with_vm_overhead(VmOverhead {
+            startup_s: 900.0,
+            teardown_s: 60.0,
+        }),
         &procs,
     );
     for ((a, b), c) in none.iter().zip(&mid).zip(&big) {
@@ -425,7 +466,12 @@ pub fn batch_vs_sequential(degrees: f64, k: usize, processors: u32) -> Table {
     let cfg = ExecConfig::fixed(processors);
     let single = simulate(&one, &cfg);
     let merged = simulate(&batch, &cfg);
-    let mut t = Table::new(vec!["plan", "makespan_hours", "total_cost", "utilization_pct"]);
+    let mut t = Table::new(vec![
+        "plan",
+        "makespan_hours",
+        "total_cost",
+        "utilization_pct",
+    ]);
     t.push_row(vec![
         format!("{k} x sequential"),
         format!("{:.3}", single.makespan_hours() * k as f64),
@@ -474,7 +520,10 @@ pub fn storage_rate_crossover(degrees: f64) -> Table {
             ]);
         }
         None => {
-            t.push_row(vec!["crossover_theta".to_string(), "none in [1, 1e4]".to_string()]);
+            t.push_row(vec![
+                "crossover_theta".to_string(),
+                "none in [1, 1e4]".to_string(),
+            ]);
         }
     }
     t
@@ -514,7 +563,13 @@ pub fn bandwidth_sweep(degrees: f64, processors: u32) -> Table {
 /// certain amount of resources over a period of time".
 pub fn autoscale_table() -> Table {
     use mcloud_service::{bursty, simulate_autoscale, AutoScaleConfig};
-    let arrivals = bursty(0.5, 720.0, 1.0, &[(120.0, 24.0, 12.0), (480.0, 24.0, 12.0)], 2008);
+    let arrivals = bursty(
+        0.5,
+        720.0,
+        1.0,
+        &[(120.0, 24.0, 12.0), (480.0, 24.0, 12.0)],
+        2008,
+    );
     let mut t = Table::new(vec![
         "pool",
         "peak_slots",
@@ -525,12 +580,38 @@ pub fn autoscale_table() -> Table {
     ]);
     let base = AutoScaleConfig::default_pool();
     let plans: Vec<(&str, AutoScaleConfig)> = vec![
-        ("fixed 1 slot", AutoScaleConfig { min_slots: 1, max_slots: 1, ..base.clone() }),
-        ("fixed 4 slots", AutoScaleConfig { min_slots: 4, max_slots: 4, ..base.clone() }),
-        ("autoscale 1..8", AutoScaleConfig { min_slots: 1, max_slots: 8, ..base.clone() }),
+        (
+            "fixed 1 slot",
+            AutoScaleConfig {
+                min_slots: 1,
+                max_slots: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "fixed 4 slots",
+            AutoScaleConfig {
+                min_slots: 4,
+                max_slots: 4,
+                ..base.clone()
+            },
+        ),
+        (
+            "autoscale 1..8",
+            AutoScaleConfig {
+                min_slots: 1,
+                max_slots: 8,
+                ..base.clone()
+            },
+        ),
         (
             "autoscale 0..8",
-            AutoScaleConfig { min_slots: 0, max_slots: 8, scale_up_queue: 1, ..base },
+            AutoScaleConfig {
+                min_slots: 0,
+                max_slots: 8,
+                scale_up_queue: 1,
+                ..base
+            },
         ),
     ];
     for (label, cfg) in plans {
@@ -551,13 +632,7 @@ pub fn autoscale_table() -> Table {
 /// generator seeds (the jitter the synthetic traces carry), per workflow.
 pub fn variability_table() -> Table {
     use mcloud_simkit::RunningStats;
-    let mut t = Table::new(vec![
-        "workflow",
-        "metric",
-        "mean",
-        "std_dev",
-        "rel_sd_pct",
-    ]);
+    let mut t = Table::new(vec!["workflow", "metric", "mean", "std_dev", "rel_sd_pct"]);
     for degrees in CANONICAL_DEGREES {
         let mut cost = RunningStats::new();
         let mut hours = RunningStats::new();
@@ -624,12 +699,7 @@ pub fn hosted_service_month() -> Table {
 /// reading of "bandwidth ... fixed at 10 Mbps" matters.
 pub fn duplex_ablation(degrees: f64) -> Table {
     let wf = canonical(degrees);
-    let mut t = Table::new(vec![
-        "mode",
-        "shared_hours",
-        "duplex_hours",
-        "speedup_pct",
-    ]);
+    let mut t = Table::new(vec!["mode", "shared_hours", "duplex_hours", "speedup_pct"]);
     for mode in DataMode::ALL {
         let shared = simulate(&wf, &ExecConfig::on_demand(mode));
         let duplex = simulate(&wf, &ExecConfig::on_demand(mode).with_duplex_link());
@@ -676,7 +746,13 @@ pub fn tiered_egress_table() -> Table {
 pub fn burst_policy_table() -> Table {
     use mcloud_service::{bursty, simulate_service, ServiceConfig};
     let horizon = 30.0 * 24.0;
-    let arrivals = bursty(0.5, horizon, 1.0, &[(120.0, 24.0, 12.0), (480.0, 24.0, 12.0)], 2008);
+    let arrivals = bursty(
+        0.5,
+        horizon,
+        1.0,
+        &[(120.0, 24.0, 12.0), (480.0, 24.0, 12.0)],
+        2008,
+    );
     let mut t = Table::new(vec![
         "policy",
         "local",
@@ -719,18 +795,28 @@ mod tests {
         assert_eq!(t.len(), 8); // P = 1..128
         let csv = t.to_csv();
         let rows: Vec<&str> = csv.lines().skip(1).collect();
-        let cell = |row: &str, i: usize| -> f64 {
-            row.split(',').nth(i).unwrap().parse().unwrap()
-        };
+        let cell = |row: &str, i: usize| -> f64 { row.split(',').nth(i).unwrap().parse().unwrap() };
         // Total cost increases with processors; runtime decreases.
         let first = rows.first().unwrap();
         let last = rows.last().unwrap();
         assert!(cell(last, 5) > cell(first, 5), "total cost must rise");
         assert!(cell(last, 6) < cell(first, 6), "runtime must fall");
         // Paper headline: ~$0.60 and ~5.5 h on 1 proc; ~ $4 and ~0.3 h on 128.
-        assert!((cell(first, 5) - 0.60).abs() < 0.10, "1-proc cost {}", cell(first, 5));
-        assert!((cell(first, 6) - 5.5).abs() < 0.5, "1-proc hours {}", cell(first, 6));
-        assert!((cell(last, 5) - 4.0).abs() < 0.8, "128-proc cost {}", cell(last, 5));
+        assert!(
+            (cell(first, 5) - 0.60).abs() < 0.10,
+            "1-proc cost {}",
+            cell(first, 5)
+        );
+        assert!(
+            (cell(first, 6) - 5.5).abs() < 0.5,
+            "1-proc hours {}",
+            cell(first, 6)
+        );
+        assert!(
+            (cell(last, 5) - 4.0).abs() < 0.8,
+            "128-proc cost {}",
+            cell(last, 5)
+        );
         // Cleanup storage never exceeds regular storage.
         for row in &rows {
             assert!(cell(row, 3) <= cell(row, 2) + 1e-9);
@@ -748,7 +834,9 @@ mod tests {
             .collect();
         assert_eq!(rows.len(), 3);
         let get = |mode: &str, col: usize| -> f64 {
-            rows.iter().find(|r| r[0] == mode).unwrap()[col].parse().unwrap()
+            rows.iter().find(|r| r[0] == mode).unwrap()[col]
+                .parse()
+                .unwrap()
         };
         // Storage space-time: remote-io < cleanup < regular (Fig 7 top).
         assert!(get("remote-io", 1) < get("cleanup", 1));
@@ -865,8 +953,7 @@ mod tests {
         let t = granularity_ablation(1.0);
         let csv = t.to_csv();
         for line in csv.lines().skip(1) {
-            let cells: Vec<f64> =
-                line.split(',').map(|c| c.parse().unwrap()).collect();
+            let cells: Vec<f64> = line.split(',').map(|c| c.parse().unwrap()).collect();
             assert!(cells[2] >= cells[1] - 1e-9, "hourly >= exact: {line}");
             assert!(cells[3] >= -1e-9);
         }
@@ -996,8 +1083,16 @@ mod tests {
             assert!(w[1][2] <= w[0][2] + 1e-9, "cost monotone in bandwidth");
         }
         let fastest = rows.last().unwrap();
-        assert!((fastest[1] - 1.05).abs() < 0.15, "runtime -> ~1 h: {}", fastest[1]);
-        assert!((fastest[2] - 13.92).abs() < 1.5, "cost -> ~$14: {}", fastest[2]);
+        assert!(
+            (fastest[1] - 1.05).abs() < 0.15,
+            "runtime -> ~1 h: {}",
+            fastest[1]
+        );
+        assert!(
+            (fastest[2] - 13.92).abs() < 1.5,
+            "cost -> ~$14: {}",
+            fastest[2]
+        );
     }
 
     #[test]
@@ -1013,7 +1108,10 @@ mod tests {
         let max_wait = |i: usize| -> f64 { rows[i][5].parse().unwrap() };
         // Rows: fixed1, fixed4, auto 1..8, auto 0..8.
         assert!(max_wait(0) > 10.0, "one slot must drown in the burst");
-        assert!(cost(2) < cost(1), "autoscaling beats the big fixed pool on cost");
+        assert!(
+            cost(2) < cost(1),
+            "autoscaling beats the big fixed pool on cost"
+        );
         assert!(max_wait(2) < max_wait(1) + 1.0, "without losing latency");
         assert!(cost(3) < cost(2), "scale-to-zero is cheapest");
     }

@@ -1,0 +1,165 @@
+//! A dependency-free stopwatch harness for the `harness = false` benches.
+//!
+//! Each bench calls [`Bench::run`] with a closure; the harness calibrates
+//! an iteration count against a time target, takes several samples, and
+//! prints min / median / mean per-iteration times. It honours the
+//! positional filter argument `cargo bench` forwards (substring match on
+//! the bench name) and exits immediately under `--list` or when
+//! `MCLOUD_BENCH_DRY=1` is set, so CI can compile-and-smoke the benches
+//! without paying for full timing runs.
+
+use std::time::{Duration, Instant};
+
+/// Stopwatch bench runner; construct once per bench binary.
+pub struct Bench {
+    filter: Option<String>,
+    target: Duration,
+    samples: u32,
+    dry: bool,
+}
+
+impl Bench {
+    /// Builds a runner from the process arguments and environment.
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        let mut list = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--exact" | "--nocapture" => {}
+                "--list" => list = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        let dry = list || std::env::var_os("MCLOUD_BENCH_DRY").is_some_and(|v| v == "1");
+        let target = std::env::var("MCLOUD_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(Duration::from_millis(300), Duration::from_millis);
+        Bench {
+            filter,
+            target,
+            samples: 5,
+            dry,
+        }
+    }
+
+    /// Times `f`, printing one line of statistics. Skipped when the name
+    /// does not match the filter; runs `f` once (untimed) in dry mode.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if self
+            .filter
+            .as_deref()
+            .is_some_and(|pat| !name.contains(pat))
+        {
+            return;
+        }
+        if self.dry {
+            std::hint::black_box(f());
+            println!("{name}: ok (dry)");
+            return;
+        }
+        // Calibrate: grow the iteration count until one sample spans the
+        // per-sample time budget.
+        let budget = self.target / self.samples;
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= budget || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            // Aim straight at the budget, with headroom for noise.
+            let scale = (budget.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).min(100.0);
+            iters = ((iters as f64 * scale * 1.2).ceil() as u64).max(iters + 1);
+        };
+        let iters = ((budget.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1 << 20);
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{name}: min {} | median {} | mean {}  ({iters} iters x {} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.samples,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_picks_sane_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0042), "4.200 ms");
+        assert_eq!(fmt_time(3.2e-6), "3.200 us");
+        assert_eq!(fmt_time(5.0e-8), "50.0 ns");
+    }
+
+    #[test]
+    fn dry_runner_invokes_the_closure_once() {
+        let bench = Bench {
+            filter: None,
+            target: Duration::from_millis(1),
+            samples: 2,
+            dry: true,
+        };
+        let mut calls = 0;
+        bench.run("probe", || calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_names() {
+        let bench = Bench {
+            filter: Some("engine".into()),
+            target: Duration::from_millis(1),
+            samples: 2,
+            dry: true,
+        };
+        let mut calls = 0;
+        bench.run("figures/unrelated", || calls += 1);
+        assert_eq!(calls, 0);
+        bench.run("engine/simulate", || calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_runner_reports_without_panicking() {
+        let bench = Bench {
+            filter: None,
+            target: Duration::from_micros(200),
+            samples: 2,
+            dry: false,
+        };
+        bench.run("noop", || std::hint::black_box(1 + 1));
+    }
+}

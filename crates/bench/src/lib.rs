@@ -2,12 +2,13 @@
 //!
 //! The experiment layer: one function per table/figure of the paper's
 //! evaluation (Section 6), shared by the `repro` binary (which prints the
-//! paper-style series and writes CSV) and the criterion benches.
+//! paper-style series and writes CSV) and the stopwatch benches.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod harness;
 
 use std::path::PathBuf;
 

@@ -29,7 +29,11 @@ impl Args {
             if !allowed.contains(&name.as_str()) {
                 return Err(format!(
                     "unknown flag '--{name}' (expected one of: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
             let value = match inline {
@@ -41,9 +45,15 @@ impl Args {
                     _ => None,
                 },
             };
-            values.entry(name).or_default().push(value.unwrap_or_default());
+            values
+                .entry(name)
+                .or_default()
+                .push(value.unwrap_or_default());
         }
-        Ok(Args { values, consumed: Default::default() })
+        Ok(Args {
+            values,
+            consumed: Default::default(),
+        })
     }
 
     /// True when the flag appeared (with or without a value).
@@ -127,8 +137,12 @@ mod tests {
 
     #[test]
     fn rejects_unknown_flags_and_positionals() {
-        assert!(Args::parse(&raw("--bogus 1"), ALLOWED).unwrap_err().contains("--bogus"));
-        assert!(Args::parse(&raw("stray"), ALLOWED).unwrap_err().contains("positional"));
+        assert!(Args::parse(&raw("--bogus 1"), ALLOWED)
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(Args::parse(&raw("stray"), ALLOWED)
+            .unwrap_err()
+            .contains("positional"));
     }
 
     #[test]

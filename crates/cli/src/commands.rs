@@ -2,7 +2,10 @@
 //! flags to a report string, so the whole CLI is unit-testable without
 //! spawning processes.
 
-use mcloud_core::{simulate, DataMode, ExecConfig, SchedulePolicy, VmOverhead};
+use mcloud_core::{
+    simulate, simulate_traced, trace_to_chrome, trace_to_jsonl, DataMode, ExecConfig,
+    SchedulePolicy, VmOverhead,
+};
 use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Pricing};
 use mcloud_dag::{from_dax, to_dax, to_dot, DotStyle, Workflow};
 use mcloud_montage::{generate, Band, MosaicConfig};
@@ -23,6 +26,7 @@ usage: mcloud <command> [flags]
 
 commands:
   simulate    price one workflow execution plan
+  trace       run one plan and export its event trace (JSONL or Chrome)
   plan        sweep provisioning levels and recommend one
   generate    emit a synthetic Montage workflow as DAX (and DOT)
   info        analyze a DAX workflow file
@@ -40,6 +44,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     };
     match cmd.as_str() {
         "simulate" => cmd_simulate(rest),
+        "trace" => cmd_trace(rest),
         "plan" => cmd_plan(rest),
         "generate" => cmd_generate(rest),
         "info" => cmd_info(rest),
@@ -60,7 +65,9 @@ fn parse_mode(s: &str) -> Result<DataMode, String> {
         "remote-io" | "remoteio" => Ok(DataMode::RemoteIo),
         "regular" => Ok(DataMode::Regular),
         "cleanup" | "dynamic-cleanup" => Ok(DataMode::DynamicCleanup),
-        other => Err(format!("unknown mode '{other}' (remote-io | regular | cleanup)")),
+        other => Err(format!(
+            "unknown mode '{other}' (remote-io | regular | cleanup)"
+        )),
     }
 }
 
@@ -113,7 +120,10 @@ fn exec_from(args: &Args) -> Result<ExecConfig, String> {
     let startup: f64 = args.get_or("vm-startup-s", 0.0)?;
     let teardown: f64 = args.get_or("vm-teardown-s", 0.0)?;
     if startup > 0.0 || teardown > 0.0 {
-        cfg = cfg.with_vm_overhead(VmOverhead { startup_s: startup, teardown_s: teardown });
+        cfg = cfg.with_vm_overhead(VmOverhead {
+            startup_s: startup,
+            teardown_s: teardown,
+        });
     }
     if let Some(p) = args.get_parsed::<f64>("failure-prob")? {
         cfg = cfg.with_faults(p, args.get_or("failure-seed", 42u64)?);
@@ -122,18 +132,45 @@ fn exec_from(args: &Args) -> Result<ExecConfig, String> {
         let (start, dur) = spec
             .split_once(':')
             .ok_or_else(|| format!("--outage expects start:duration seconds, got '{spec}'"))?;
-        let start: f64 = start.parse().map_err(|_| format!("bad outage start '{start}'"))?;
-        let dur: f64 = dur.parse().map_err(|_| format!("bad outage duration '{dur}'"))?;
+        let start: f64 = start
+            .parse()
+            .map_err(|_| format!("bad outage start '{start}'"))?;
+        let dur: f64 = dur
+            .parse()
+            .map_err(|_| format!("bad outage duration '{dur}'"))?;
         cfg = cfg.with_outage(start, dur);
     }
     Ok(cfg)
 }
 
 const SIM_FLAGS: &[&str] = &[
-    "degrees", "seed", "region", "band", "procs", "mode", "bandwidth-mbps", "prestaged",
-    "hourly-billing", "critical-path-first", "vm-startup-s", "vm-teardown-s",
-    "failure-prob", "failure-seed", "outage",
+    "degrees",
+    "seed",
+    "region",
+    "band",
+    "procs",
+    "mode",
+    "bandwidth-mbps",
+    "prestaged",
+    "hourly-billing",
+    "critical-path-first",
+    "vm-startup-s",
+    "vm-teardown-s",
+    "failure-prob",
+    "failure-seed",
+    "outage",
+    "trace-out",
+    "trace-format",
 ];
+
+/// Parses `--trace-format` (jsonl | chrome), defaulting to JSONL.
+fn parse_trace_format(args: &Args) -> Result<&'static str, String> {
+    match args.get("trace-format").unwrap_or("jsonl") {
+        "jsonl" | "json-lines" => Ok("jsonl"),
+        "chrome" | "perfetto" => Ok("chrome"),
+        other => Err(format!("unknown trace format '{other}' (jsonl | chrome)")),
+    }
+}
 
 fn cmd_simulate(rest: &[String]) -> Result<String, String> {
     if wants_help(rest) {
@@ -152,6 +189,8 @@ flags:
   --vm-startup-s S / --vm-teardown-s S
   --failure-prob P [--failure-seed N]
   --outage START:DUR     storage outage window (seconds; repeatable)
+  --trace-out FILE       also write the event trace here
+  --trace-format F       jsonl (default) | chrome
   --seed / --region / --band   workload generator knobs"
             .to_string());
     }
@@ -161,7 +200,24 @@ flags:
     if let Some(p) = args.get_parsed::<u32>("procs")? {
         cfg.provisioning = mcloud_core::Provisioning::Fixed { processors: p };
     }
-    let r = simulate(&wf, &cfg);
+    let mut trace_note = String::new();
+    let r = match args.get("trace-out") {
+        Some(path) => {
+            let format = parse_trace_format(&args)?;
+            let (r, sink) = simulate_traced(&wf, &cfg);
+            let doc = match format {
+                "chrome" => trace_to_chrome(&wf, sink.events()),
+                _ => trace_to_jsonl(&wf, sink.events()),
+            };
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            trace_note = format!(
+                "trace         {} events ({format}) -> {path}\n",
+                sink.events().len()
+            );
+            r
+        }
+        None => simulate(&wf, &cfg),
+    };
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -177,7 +233,11 @@ flags:
         cfg.provisioning.label(),
         cfg.mode.label(),
         cfg.bandwidth_bps / 1e6,
-        if cfg.prestaged_inputs { " (prestaged inputs)" } else { "" }
+        if cfg.prestaged_inputs {
+            " (prestaged inputs)"
+        } else {
+            ""
+        }
     ));
     out.push_str(&format!("makespan      {:.3} h\n", r.makespan_hours()));
     out.push_str(&format!(
@@ -213,7 +273,70 @@ flags:
         r.costs.transfer_in,
         r.costs.transfer_out
     ));
+    out.push_str(&trace_note);
     Ok(out)
+}
+
+fn cmd_trace(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud trace — run one execution plan and export its event trace
+
+Prints JSON Lines (one event per line) to stdout, or writes to --out.
+The chrome format opens in Perfetto (ui.perfetto.dev) or chrome://tracing.
+
+flags:
+  --out FILE        write the trace here and print a summary instead
+  --format F        jsonl (default) | chrome
+  plus all `mcloud simulate` flags (--degrees, --procs, --mode, ...)"
+            .to_string());
+    }
+    let mut flags = SIM_FLAGS.to_vec();
+    flags.extend(["out", "format"]);
+    let args = Args::parse(rest, &flags)?;
+    let wf = workflow_from(&args)?;
+    let mut cfg = exec_from(&args)?;
+    if let Some(p) = args.get_parsed::<u32>("procs")? {
+        cfg.provisioning = mcloud_core::Provisioning::Fixed { processors: p };
+    }
+    let format = match args.get("format").unwrap_or("jsonl") {
+        "jsonl" | "json-lines" => "jsonl",
+        "chrome" | "perfetto" => "chrome",
+        other => return Err(format!("unknown trace format '{other}' (jsonl | chrome)")),
+    };
+    let (r, sink) = simulate_traced(&wf, &cfg);
+    let doc = match format {
+        "chrome" => trace_to_chrome(&wf, sink.events()),
+        _ => trace_to_jsonl(&wf, sink.events()),
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            let c = sink.counters();
+            Ok(format!(
+                "wrote {} events ({format}, {} bytes) to {path}\n\
+                 tasks         {} started, {} ok, {} failed\n\
+                 transfers     in {} ({} B), out {} ({} B)\n\
+                 storage       {} allocs / {} frees, peak {:.3} GB\n\
+                 makespan      {:.3} h, cost {}\n",
+                c.events,
+                doc.len(),
+                c.tasks_started,
+                c.tasks_succeeded,
+                c.tasks_failed,
+                c.transfers_in,
+                c.bytes_in,
+                c.transfers_out,
+                c.bytes_out,
+                c.storage_allocs,
+                c.storage_frees,
+                sink.storage_peak_bytes() / 1e9,
+                r.makespan_hours(),
+                r.total_cost(),
+            ))
+        }
+        None => Ok(doc),
+    }
 }
 
 fn cmd_plan(rest: &[String]) -> Result<String, String> {
@@ -255,7 +378,11 @@ flags:
             format!("{:.3}", p.report.total_cost().dollars()),
             format!("{:.3}", p.report.makespan_hours()),
             format!("{:.2}", p.report.total_cost().dollars() * requests as f64),
-            if frontier.contains(&i) { "*".into() } else { String::new() },
+            if frontier.contains(&i) {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     let mut out = table.to_ascii();
@@ -325,7 +452,10 @@ flags:
 
 fn cmd_info(rest: &[String]) -> Result<String, String> {
     if wants_help(rest) {
-        return Ok("mcloud info — analyze a DAX file\n\nflags:\n  --dax FILE   the workflow description".into());
+        return Ok(
+            "mcloud info — analyze a DAX file\n\nflags:\n  --dax FILE   the workflow description"
+                .into(),
+        );
     }
     let args = Args::parse(rest, &["dax"])?;
     let path: String = args.require("dax")?;
@@ -378,7 +508,17 @@ flags:
   --campaign N         plates in a campaign (default 3900, the whole sky)"
             .to_string());
     }
-    let args = Args::parse(rest, &["degrees", "seed", "region", "band", "dataset-tb", "campaign"])?;
+    let args = Args::parse(
+        rest,
+        &[
+            "degrees",
+            "seed",
+            "region",
+            "band",
+            "dataset-tb",
+            "campaign",
+        ],
+    )?;
     let wf = workflow_from(&args)?;
     let pricing = Pricing::amazon_2008();
     let staged = simulate(&wf, &ExecConfig::paper_default());
@@ -402,7 +542,10 @@ flags:
         request_cost_staged: staged.total_cost(),
         request_cost_hosted: hosted.total_cost(),
     };
-    let campaign = Campaign { requests: campaign_n, cost_per_request: staged.total_cost() };
+    let campaign = Campaign {
+        requests: campaign_n,
+        cost_per_request: staged.total_cost(),
+    };
 
     Ok(format!(
         "request cost             {} staged / {} with hosted inputs\n\
@@ -443,8 +586,15 @@ flags:
     let args = Args::parse(
         rest,
         &[
-            "rate", "horizon-hours", "degrees", "slots", "local-procs", "cloud-procs",
-            "threshold", "burst", "seed",
+            "rate",
+            "horizon-hours",
+            "degrees",
+            "slots",
+            "local-procs",
+            "cloud-procs",
+            "threshold",
+            "burst",
+            "seed",
         ],
     )?;
     let rate: f64 = args.get_or("rate", 0.5)?;
@@ -455,7 +605,9 @@ flags:
     for spec in args.get_all("burst") {
         let parts: Vec<&str> = spec.split(':').collect();
         if parts.len() != 3 {
-            return Err(format!("--burst expects start:duration:multiplier, got '{spec}'"));
+            return Err(format!(
+                "--burst expects start:duration:multiplier, got '{spec}'"
+            ));
         }
         let parse = |s: &str| -> Result<f64, String> {
             s.parse().map_err(|_| format!("bad burst component '{s}'"))
@@ -515,8 +667,16 @@ flags:
     let args = Args::parse(
         rest,
         &[
-            "rate", "horizon-hours", "degrees", "min-slots", "max-slots",
-            "scale-up-queue", "boot-s", "procs-per-slot", "burst", "seed",
+            "rate",
+            "horizon-hours",
+            "degrees",
+            "min-slots",
+            "max-slots",
+            "scale-up-queue",
+            "boot-s",
+            "procs-per-slot",
+            "burst",
+            "seed",
         ],
     )?;
     let rate: f64 = args.get_or("rate", 0.5)?;
@@ -527,7 +687,9 @@ flags:
     for spec in args.get_all("burst") {
         let parts: Vec<&str> = spec.split(':').collect();
         if parts.len() != 3 {
-            return Err(format!("--burst expects start:duration:multiplier, got '{spec}'"));
+            return Err(format!(
+                "--burst expects start:duration:multiplier, got '{spec}'"
+            ));
         }
         let parse = |s: &str| -> Result<f64, String> {
             s.parse().map_err(|_| format!("bad burst component '{s}'"))
@@ -593,8 +755,8 @@ mod tests {
         let out = run_str("simulate --degrees 1 --procs 1").unwrap();
         assert!(out.contains("203 tasks"), "{out}");
         assert!(out.contains("fixed(1)"));
-        // ~$0.58 at ~5.4 h.
-        assert!(out.contains("makespan      5.4"), "{out}");
+        // ~$0.59 at ~5.5 h (the paper's ~$0.55 / 5.5 h ballpark).
+        assert!(out.contains("makespan      5.5"), "{out}");
         assert!(out.contains("$0.5"), "{out}");
     }
 
@@ -639,7 +801,9 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
-        assert!(std::fs::read_to_string(&dot).unwrap().starts_with("digraph"));
+        assert!(std::fs::read_to_string(&dot)
+            .unwrap()
+            .starts_with("digraph"));
         let info = run_str(&format!("info --dax {}", dax.display())).unwrap();
         assert!(info.contains("max parallelism"), "{info}");
         assert!(info.contains("CCR"));
@@ -668,6 +832,56 @@ mod tests {
         .unwrap();
         assert!(out.contains("cloud spend"), "{out}");
         assert!(out.contains("p95"));
+    }
+
+    #[test]
+    fn trace_prints_jsonl_to_stdout() {
+        let out = run_str("trace --degrees 0.5 --procs 2").unwrap();
+        assert!(out.lines().count() > 10, "{}", out.lines().count());
+        assert!(out.starts_with(r#"{"t_us":"#), "{out}");
+        assert!(out.contains(r#""ev":"task_finished""#), "{out}");
+        // Same run, same bytes.
+        assert_eq!(out, run_str("trace --degrees 0.5 --procs 2").unwrap());
+    }
+
+    #[test]
+    fn trace_writes_file_and_summarizes() {
+        let dir = std::env::temp_dir().join("mcloud_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let out = run_str(&format!(
+            "trace --degrees 0.5 --procs 2 --format chrome --out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("transfers"), "{out}");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.starts_with("{\"traceEvents\":["), "{doc}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_rejects_unknown_format() {
+        let err = run_str("trace --format yaml").unwrap_err();
+        assert!(err.contains("unknown trace format"), "{err}");
+    }
+
+    #[test]
+    fn simulate_trace_out_flag_writes_trace() {
+        let dir = std::env::temp_dir().join("mcloud_cli_simtrace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let out = run_str(&format!(
+            "simulate --degrees 0.5 --procs 2 --trace-out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("events (jsonl)"), "{out}");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.lines().all(|l| l.starts_with(r#"{"t_us":"#)));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -24,8 +24,11 @@ pub enum DataMode {
 
 impl DataMode {
     /// All three modes, in the paper's presentation order.
-    pub const ALL: [DataMode; 3] =
-        [DataMode::RemoteIo, DataMode::Regular, DataMode::DynamicCleanup];
+    pub const ALL: [DataMode; 3] = [
+        DataMode::RemoteIo,
+        DataMode::Regular,
+        DataMode::DynamicCleanup,
+    ];
 
     /// Short label used in tables.
     pub fn label(&self) -> &'static str {
@@ -80,7 +83,10 @@ pub struct VmOverhead {
 
 impl VmOverhead {
     /// No overhead — the paper's simulation assumption.
-    pub const NONE: VmOverhead = VmOverhead { startup_s: 0.0, teardown_s: 0.0 };
+    pub const NONE: VmOverhead = VmOverhead {
+        startup_s: 0.0,
+        teardown_s: 0.0,
+    };
 }
 
 /// Stochastic task-failure model (the paper: "the reliability and
@@ -181,7 +187,10 @@ impl ExecConfig {
 
     /// Question 2 setup with the given data-management mode.
     pub fn on_demand(mode: DataMode) -> Self {
-        ExecConfig { mode, ..Self::paper_default() }
+        ExecConfig {
+            mode,
+            ..Self::paper_default()
+        }
     }
 
     /// Sets the data-management mode.
@@ -223,7 +232,10 @@ impl ExecConfig {
     /// Enables stochastic task failures with the given per-attempt
     /// probability and seed.
     pub fn with_faults(mut self, task_failure_prob: f64, seed: u64) -> Self {
-        self.faults = Some(FaultModel { task_failure_prob, seed });
+        self.faults = Some(FaultModel {
+            task_failure_prob,
+            seed,
+        });
         self
     }
 
@@ -258,7 +270,10 @@ impl ExecConfig {
     pub fn validate(&self) -> Result<(), String> {
         self.pricing.validate()?;
         if !self.bandwidth_bps.is_finite() || self.bandwidth_bps <= 0.0 {
-            return Err(format!("bandwidth must be positive, got {}", self.bandwidth_bps));
+            return Err(format!(
+                "bandwidth must be positive, got {}",
+                self.bandwidth_bps
+            ));
         }
         if let Provisioning::Fixed { processors: 0 } = self.provisioning {
             return Err("fixed provisioning needs at least one processor".to_string());
@@ -268,7 +283,10 @@ impl ExecConfig {
             || !self.vm.teardown_s.is_finite()
             || self.vm.teardown_s < 0.0
         {
-            return Err(format!("VM overhead must be finite and non-negative: {:?}", self.vm));
+            return Err(format!(
+                "VM overhead must be finite and non-negative: {:?}",
+                self.vm
+            ));
         }
         if let Some(f) = self.faults {
             if !(0.0..1.0).contains(&f.task_failure_prob) {
@@ -323,7 +341,10 @@ mod tests {
     #[test]
     fn validation_catches_bad_configs() {
         assert!(ExecConfig::fixed(0).validate().is_err());
-        assert!(ExecConfig::paper_default().bandwidth(0.0).validate().is_err());
+        assert!(ExecConfig::paper_default()
+            .bandwidth(0.0)
+            .validate()
+            .is_err());
         let mut cfg = ExecConfig::paper_default();
         cfg.pricing.cpu_per_hour = -1.0;
         assert!(cfg.validate().is_err());

@@ -25,17 +25,16 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use mcloud_cost::CostBreakdown;
 use mcloud_dag::{FileId, TaskId, Workflow};
 use mcloud_simkit::{
-    EventQueue, FcfsChannel, ProcId, ProcessorPool, SimDuration, SimTime, TimeWeighted,
+    Channel, EventQueue, EventSink, FcfsChannel, NullSink, ProcId, ProcessorPool, RecordingSink,
+    SimDuration, SimRng, SimTime, TimeWeighted, TraceEvent,
 };
 
 use crate::config::{DataMode, ExecConfig, Provisioning, SchedulePolicy};
-use crate::report::{Report, TaskSpan};
+use crate::report::Report;
+use crate::trace::SpanTee;
 
 /// Simulates one execution plan over a workflow and reports the paper's
 /// metrics and costs.
@@ -43,8 +42,37 @@ use crate::report::{Report, TaskSpan};
 /// # Panics
 /// Panics if the configuration fails [`ExecConfig::validate`].
 pub fn simulate(wf: &Workflow, cfg: &ExecConfig) -> Report {
+    simulate_with_sink(wf, cfg, &mut NullSink)
+}
+
+/// Simulates one execution plan while streaming every engine event into
+/// `sink` — task readiness/starts/finishes, each transfer grant and
+/// completion with bytes and channel, storage allocations and frees with
+/// occupancy, and VM readiness. The sink observes events in simulation
+/// order; two runs of the same plan produce identical streams.
+///
+/// # Panics
+/// Panics if the configuration fails [`ExecConfig::validate`].
+pub fn simulate_with_sink<S: EventSink>(wf: &Workflow, cfg: &ExecConfig, sink: &mut S) -> Report {
     cfg.validate().expect("invalid execution configuration");
-    Engine::new(wf, cfg).run()
+    let mut tee = SpanTee::new(sink, cfg.record_trace);
+    let mut report = Engine::new(wf, cfg, &mut tee).run();
+    if cfg.record_trace {
+        report.trace = Some(tee.into_spans());
+    }
+    report
+}
+
+/// Simulates one execution plan with a [`RecordingSink`] attached and
+/// returns the report together with the full recorded event stream — the
+/// one-call form of [`simulate_with_sink`] for analysis and export.
+///
+/// # Panics
+/// Panics if the configuration fails [`ExecConfig::validate`].
+pub fn simulate_traced(wf: &Workflow, cfg: &ExecConfig) -> (Report, RecordingSink) {
+    let mut sink = RecordingSink::new();
+    let report = simulate_with_sink(wf, cfg, &mut sink);
+    (report, sink)
 }
 
 #[derive(Debug)]
@@ -58,15 +86,18 @@ enum Ev {
     /// One of the final stage-out transfers finished (Regular/Cleanup).
     FinalStageOutDone(FileId),
     /// One of a task's private output transfers finished (Remote I/O).
-    OutputStagedOut { task: TaskId },
+    OutputStagedOut { task: TaskId, bytes: u64 },
     /// The provisioned VMs finished booting (fixed provisioning with a
     /// nonzero startup overhead).
     VmReady,
 }
 
-struct Engine<'a> {
+struct Engine<'a, S: EventSink> {
     wf: &'a Workflow,
     cfg: &'a ExecConfig,
+    /// Receives the structured event stream (a no-op [`NullSink`] unless
+    /// the caller attached an observer).
+    sink: S,
     events: EventQueue<Ev>,
     link: FcfsChannel,
     /// Outbound channel when `duplex_link` is set; otherwise all traffic
@@ -85,7 +116,6 @@ struct Engine<'a> {
     /// Scheduling priority per task (lower pops first).
     priority: Vec<u64>,
     started: Vec<bool>,
-    start_time: Vec<SimTime>,
     /// When each task first became runnable (for queue-wait statistics).
     ready_time: Vec<SimTime>,
     /// Wait between readiness and dispatch, per execution attempt.
@@ -108,17 +138,16 @@ struct Engine<'a> {
     transfers_in: u64,
     transfers_out: u64,
     end_time: SimTime,
-    trace: Vec<TaskSpan>,
     /// Duration of every execution attempt (successes and failures), for
     /// utilization-based billing.
     run_seconds: Vec<f64>,
     failed_attempts: u64,
     /// Fault-draw RNG (present when the config enables failures).
-    fault_rng: Option<StdRng>,
+    fault_rng: Option<SimRng>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(wf: &'a Workflow, cfg: &'a ExecConfig) -> Self {
+impl<'a, S: EventSink> Engine<'a, S> {
+    fn new(wf: &'a Workflow, cfg: &'a ExecConfig, sink: S) -> Self {
         let n = wf.num_tasks();
         let nf = wf.num_files();
         let capacity = match cfg.provisioning {
@@ -160,6 +189,7 @@ impl<'a> Engine<'a> {
         Engine {
             wf,
             cfg,
+            sink,
             events: EventQueue::new(),
             link,
             link_out,
@@ -171,11 +201,13 @@ impl<'a> Engine<'a> {
             storage_blocked: Vec::new(),
             priority,
             started: vec![false; n],
-            start_time: vec![SimTime::ZERO; n],
             ready_time: vec![SimTime::ZERO; n],
             wait_stats: mcloud_simkit::RunningStats::new(),
             vm_ready_at,
-            remaining_consumers: wf.file_ids().map(|f| wf.consumers(f).len() as u32).collect(),
+            remaining_consumers: wf
+                .file_ids()
+                .map(|f| wf.consumers(f).len() as u32)
+                .collect(),
             is_staged_out,
             counted_in_storage: vec![false; nf],
             staged_in_bytes: vec![0; n],
@@ -187,10 +219,9 @@ impl<'a> Engine<'a> {
             transfers_in: 0,
             transfers_out: 0,
             end_time: SimTime::ZERO,
-            trace: Vec::new(),
             run_seconds: Vec::with_capacity(n),
             failed_attempts: 0,
-            fault_rng: cfg.faults.map(|f| StdRng::seed_from_u64(f.seed)),
+            fault_rng: cfg.faults.map(|f| SimRng::new(f.seed)),
         }
     }
 
@@ -203,8 +234,8 @@ impl<'a> Engine<'a> {
                 Ev::InputArrived { task, bytes } => self.on_input_arrived(now, task, bytes),
                 Ev::TaskFinished { task, proc } => self.on_task_finished(now, task, proc),
                 Ev::FinalStageOutDone(f) => self.on_final_stage_out(now, f),
-                Ev::OutputStagedOut { task } => self.on_output_staged_out(now, task),
-                Ev::VmReady => {}
+                Ev::OutputStagedOut { task, bytes } => self.on_output_staged_out(now, task, bytes),
+                Ev::VmReady => self.sink.emit(now, TraceEvent::VmReady),
             }
             self.dispatch(now);
         }
@@ -248,9 +279,7 @@ impl<'a> Engine<'a> {
                     }
                     // Stage in every external input up front, FCFS in file order.
                     for f in self.wf.external_inputs() {
-                        let grant = self.link.submit(SimTime::ZERO, self.wf.file(f).bytes);
-                        self.bytes_in += grant.bytes;
-                        self.transfers_in += 1;
+                        let grant = self.submit_in(SimTime::ZERO, self.wf.file(f).bytes);
                         self.events.push(grant.finish, Ev::FileArrived(f));
                     }
                 }
@@ -276,7 +305,15 @@ impl<'a> Engine<'a> {
     // --- shared-storage modes ----------------------------------------------
 
     fn on_file_arrived(&mut self, now: SimTime, f: FileId) {
-        self.storage.add(now, self.wf.file(f).bytes as f64);
+        let bytes = self.wf.file(f).bytes;
+        self.sink.emit(
+            now,
+            TraceEvent::TransferCompleted {
+                chan: Channel::In,
+                bytes,
+            },
+        );
+        self.storage_alloc(now, bytes);
         self.counted_in_storage[f.index()] = true;
         let consumers: Vec<TaskId> = self.wf.consumers(f).to_vec();
         for t in consumers {
@@ -286,6 +323,13 @@ impl<'a> Engine<'a> {
     }
 
     fn on_final_stage_out(&mut self, now: SimTime, f: FileId) {
+        self.sink.emit(
+            now,
+            TraceEvent::TransferCompleted {
+                chan: Channel::Out,
+                bytes: self.wf.file(f).bytes,
+            },
+        );
         self.remove_from_storage(now, f);
         self.stageouts_pending -= 1;
         if self.stageouts_pending == 0 {
@@ -295,12 +339,35 @@ impl<'a> Engine<'a> {
 
     fn remove_from_storage(&mut self, now: SimTime, f: FileId) {
         if std::mem::take(&mut self.counted_in_storage[f.index()]) {
-            self.storage.add(now, -(self.wf.file(f).bytes as f64));
-            if self.cfg.storage_capacity_bytes.is_some() && !self.storage_blocked.is_empty()
-            {
+            self.storage_free(now, self.wf.file(f).bytes);
+            if self.cfg.storage_capacity_bytes.is_some() && !self.storage_blocked.is_empty() {
                 self.unblock_storage_waiters(now);
             }
         }
+    }
+
+    /// Adds `bytes` to the storage occupancy and narrates the step.
+    fn storage_alloc(&mut self, now: SimTime, bytes: u64) {
+        self.storage.add(now, bytes as f64);
+        self.sink.emit(
+            now,
+            TraceEvent::StorageAlloc {
+                bytes,
+                occupancy: self.storage.value(),
+            },
+        );
+    }
+
+    /// Removes `bytes` from the storage occupancy and narrates the step.
+    fn storage_free(&mut self, now: SimTime, bytes: u64) {
+        self.storage.add(now, -(bytes as f64));
+        self.sink.emit(
+            now,
+            TraceEvent::StorageFree {
+                bytes,
+                occupancy: self.storage.value(),
+            },
+        );
     }
 
     // --- remote I/O mode -----------------------------------------------------
@@ -316,16 +383,22 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let bytes = self.wf.file(f).bytes;
-            let grant = self.link.submit(now, bytes);
-            self.bytes_in += bytes;
-            self.transfers_in += 1;
+            let grant = self.submit_in(now, bytes);
             self.staged_in_bytes[t.index()] += bytes;
-            self.events.push(grant.finish, Ev::InputArrived { task: t, bytes });
+            self.events
+                .push(grant.finish, Ev::InputArrived { task: t, bytes });
         }
         self.maybe_ready(now, t);
     }
 
-    fn on_input_arrived(&mut self, now: SimTime, t: TaskId, _bytes: u64) {
+    fn on_input_arrived(&mut self, now: SimTime, t: TaskId, bytes: u64) {
+        self.sink.emit(
+            now,
+            TraceEvent::TransferCompleted {
+                chan: Channel::In,
+                bytes,
+            },
+        );
         // Remote I/O occupancy follows the paper's accounting: "the files
         // are present on the resource only during the execution of the
         // current task", so occupancy is charged at task start (inputs)
@@ -334,7 +407,14 @@ impl<'a> Engine<'a> {
         self.maybe_ready(now, t);
     }
 
-    fn on_output_staged_out(&mut self, now: SimTime, t: TaskId) {
+    fn on_output_staged_out(&mut self, now: SimTime, t: TaskId, bytes: u64) {
+        self.sink.emit(
+            now,
+            TraceEvent::TransferCompleted {
+                chan: Channel::Out,
+                bytes,
+            },
+        );
         self.outputs_remaining[t.index()] -= 1;
         if self.outputs_remaining[t.index()] == 0 {
             self.task_fully_done(now, t);
@@ -378,23 +458,56 @@ impl<'a> Engine<'a> {
     }
 
     fn enqueue_ready(&mut self, now: SimTime, t: TaskId) {
+        self.sink.emit(now, TraceEvent::TaskReady { task: t.0 });
         self.ready_time[t.index()] = now;
         self.ready.push(Reverse((self.priority[t.index()], t)));
     }
 
+    /// Submits an inbound (user/archive -> storage) transfer, updating the
+    /// byte accounting and narrating the grant.
+    fn submit_in(&mut self, now: SimTime, bytes: u64) -> mcloud_simkit::TransferGrant {
+        let grant = self.link.submit(now, bytes);
+        self.bytes_in += bytes;
+        self.transfers_in += 1;
+        self.sink.emit(
+            now,
+            TraceEvent::TransferGranted {
+                chan: Channel::In,
+                bytes,
+                start: grant.start,
+                finish: grant.finish,
+            },
+        );
+        grant
+    }
+
     /// Submits an outbound (storage -> user) transfer on the appropriate
-    /// channel.
+    /// channel, updating the byte accounting and narrating the grant.
     fn submit_out(&mut self, now: SimTime, bytes: u64) -> mcloud_simkit::TransferGrant {
-        match self.link_out.as_mut() {
+        let grant = match self.link_out.as_mut() {
             Some(out) => out.submit(now, bytes),
             None => self.link.submit(now, bytes),
-        }
+        };
+        self.bytes_out += bytes;
+        self.transfers_out += 1;
+        self.sink.emit(
+            now,
+            TraceEvent::TransferGranted {
+                chan: Channel::Out,
+                bytes,
+                start: grant.start,
+                finish: grant.finish,
+            },
+        );
+        grant
     }
 
     /// True when starting `t` now would overflow a configured storage cap
     /// (shared-storage modes reserve space for the task's outputs).
     fn storage_would_overflow(&self, t: TaskId) -> bool {
-        let Some(cap) = self.cfg.storage_capacity_bytes else { return false };
+        let Some(cap) = self.cfg.storage_capacity_bytes else {
+            return false;
+        };
         if self.cfg.mode == DataMode::RemoteIo {
             return false; // capacity modeling targets the shared store
         }
@@ -426,12 +539,24 @@ impl<'a> Engine<'a> {
             if self.storage_would_overflow(t) {
                 self.ready.pop();
                 self.storage_blocked.push(t);
+                self.sink
+                    .emit(now, TraceEvent::TaskBlockedOnStorage { task: t.0 });
                 continue; // try the next-priority candidate
             }
-            let Some(proc) = self.pool.try_acquire(now) else { break };
+            let Some(proc) = self.pool.try_acquire(now) else {
+                break;
+            };
             self.ready.pop();
-            self.start_time[t.index()] = now;
-            self.wait_stats.push(now.since(self.ready_time[t.index()]).as_secs_f64());
+            let waited = now.since(self.ready_time[t.index()]);
+            self.wait_stats.push(waited.as_secs_f64());
+            self.sink.emit(
+                now,
+                TraceEvent::TaskStarted {
+                    task: t.0,
+                    proc: proc.0,
+                    waited,
+                },
+            );
             if self.cfg.mode == DataMode::RemoteIo {
                 // The task's working set (staged inputs + space for its
                 // outputs) occupies storage while it runs, and only then:
@@ -440,43 +565,46 @@ impl<'a> Engine<'a> {
                 // to the user ride the link, not the storage resource.
                 let held = self.working_set_bytes(t);
                 if held > 0 {
-                    self.storage.add(now, held as f64);
+                    self.storage_alloc(now, held);
                 }
             }
             let runtime = SimDuration::from_secs_f64(self.wf.task(t).runtime_s);
-            self.events.push(now + runtime, Ev::TaskFinished { task: t, proc });
+            self.events
+                .push(now + runtime, Ev::TaskFinished { task: t, proc });
         }
     }
 
     fn on_task_finished(&mut self, now: SimTime, t: TaskId, proc: ProcId) {
         self.pool.release(now, proc);
         self.run_seconds.push(self.wf.task(t).runtime_s);
-        if self.cfg.record_trace {
-            self.trace.push(TaskSpan {
-                task: t,
-                proc: proc.0,
-                start: self.start_time[t.index()],
-                finish: now,
-            });
-        }
         // Fault injection: a failed attempt consumed its runtime (billed
         // above) but produced nothing; the task goes back to the ready
         // queue and retries.
-        if let (Some(rng), Some(model)) = (self.fault_rng.as_mut(), self.cfg.faults) {
-            if rng.gen::<f64>() < model.task_failure_prob {
-                self.failed_attempts += 1;
-                if self.cfg.mode == DataMode::RemoteIo {
-                    // Balance the working-set bookkeeping: the retry's
-                    // dispatch re-adds it (the staged copies are still at
-                    // the site; no re-transfer is modeled).
-                    let held = self.working_set_bytes(t);
-                    if held > 0 {
-                        self.storage.add(now, -(held as f64));
-                    }
+        let failed = match (self.fault_rng.as_mut(), self.cfg.faults) {
+            (Some(rng), Some(model)) => rng.chance(model.task_failure_prob),
+            _ => false,
+        };
+        self.sink.emit(
+            now,
+            TraceEvent::TaskFinished {
+                task: t.0,
+                proc: proc.0,
+                ok: !failed,
+            },
+        );
+        if failed {
+            self.failed_attempts += 1;
+            if self.cfg.mode == DataMode::RemoteIo {
+                // Balance the working-set bookkeeping: the retry's
+                // dispatch re-adds it (the staged copies are still at
+                // the site; no re-transfer is modeled).
+                let held = self.working_set_bytes(t);
+                if held > 0 {
+                    self.storage_free(now, held);
                 }
-                self.enqueue_ready(now, t);
-                return;
             }
+            self.enqueue_ready(now, t);
+            return;
         }
         match self.cfg.mode {
             DataMode::Regular | DataMode::DynamicCleanup => {
@@ -485,7 +613,7 @@ impl<'a> Engine<'a> {
                 // only the occupancy bookkeeping happens here.)
                 let outputs = self.wf.task(t).outputs.clone();
                 for f in outputs {
-                    self.storage.add(now, self.wf.file(f).bytes as f64);
+                    self.storage_alloc(now, self.wf.file(f).bytes);
                     self.counted_in_storage[f.index()] = true;
                 }
                 let children: Vec<TaskId> = self.wf.children(t).to_vec();
@@ -513,7 +641,7 @@ impl<'a> Engine<'a> {
                 // The whole working set leaves the storage resource...
                 let held = self.working_set_bytes(t);
                 if held > 0 {
-                    self.storage.add(now, -(held as f64));
+                    self.storage_free(now, held);
                 }
                 // ...and every output is staged back to the user's site.
                 let task = self.wf.task(t);
@@ -525,9 +653,8 @@ impl<'a> Engine<'a> {
                 for f in outputs {
                     let bytes = self.wf.file(f).bytes;
                     let grant = self.submit_out(now, bytes);
-                    self.bytes_out += bytes;
-                    self.transfers_out += 1;
-                    self.events.push(grant.finish, Ev::OutputStagedOut { task: t });
+                    self.events
+                        .push(grant.finish, Ev::OutputStagedOut { task: t, bytes });
                 }
             }
         }
@@ -543,8 +670,6 @@ impl<'a> Engine<'a> {
         for f in files {
             let bytes = self.wf.file(f).bytes;
             let grant = self.submit_out(now, bytes);
-            self.bytes_out += bytes;
-            self.transfers_out += 1;
             self.events.push(grant.finish, Ev::FinalStageOutDone(f));
         }
     }
@@ -578,7 +703,10 @@ impl<'a> Engine<'a> {
 
         let storage_byte_seconds = self.storage.integral(self.end_time);
         let costs = CostBreakdown {
-            cpu: self.cfg.granularity.cpu_cost(&self.cfg.pricing, &instance_seconds),
+            cpu: self
+                .cfg
+                .granularity
+                .cpu_cost(&self.cfg.pricing, &instance_seconds),
             storage: self.cfg.pricing.storage_cost(storage_byte_seconds),
             transfer_in: self.cfg.pricing.transfer_in_cost(self.bytes_in),
             transfer_out: self.cfg.pricing.transfer_out_cost(self.bytes_out),
@@ -602,7 +730,9 @@ impl<'a> Engine<'a> {
             failed_attempts: self.failed_attempts,
             queue_wait_mean_s: self.wait_stats.mean(),
             queue_wait_max_s: self.wait_stats.max(),
-            trace: if self.cfg.record_trace { Some(self.trace) } else { None },
+            // Attached by `simulate_with_sink` (via the span tee) when
+            // `record_trace` is set.
+            trace: None,
         }
     }
 }

@@ -42,7 +42,11 @@ pub fn gantt_text(wf: &Workflow, report: &Report, width: usize) -> String {
             .to_ascii_lowercase();
         let a = (span.start.as_secs_f64() / horizon * width as f64).floor() as usize;
         let b = (span.finish.as_secs_f64() / horizon * width as f64).ceil() as usize;
-        for cell in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+        for cell in row
+            .iter_mut()
+            .take(b.min(width))
+            .skip(a.min(width.saturating_sub(1)))
+        {
             *cell = glyph;
         }
     }
@@ -104,7 +108,7 @@ mod tests {
         assert!(g.contains("p0"));
         assert!(g.contains('a'), "{g}"); // alpha
         assert!(g.contains('b'), "{g}"); // beta
-        // One processor: exactly one row.
+                                         // One processor: exactly one row.
         assert_eq!(g.lines().count(), 2);
     }
 

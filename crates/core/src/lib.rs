@@ -32,11 +32,12 @@ mod config;
 mod engine;
 mod gantt;
 mod report;
+mod trace;
 
 pub use config::{
-    DataMode, ExecConfig, FaultModel, Provisioning, SchedulePolicy, VmOverhead,
-    PAPER_BANDWIDTH_BPS,
+    DataMode, ExecConfig, FaultModel, Provisioning, SchedulePolicy, VmOverhead, PAPER_BANDWIDTH_BPS,
 };
-pub use engine::simulate;
+pub use engine::{simulate, simulate_traced, simulate_with_sink};
 pub use gantt::{gantt_csv, gantt_text};
 pub use report::{Report, TaskSpan};
+pub use trace::{trace_to_chrome, trace_to_jsonl};

@@ -1,0 +1,343 @@
+//! Trace capture and export: spans from the event stream, plus JSON Lines
+//! and Chrome `trace_event` serializers.
+//!
+//! The engine narrates execution as [`TraceEvent`]s (see
+//! [`simulate_with_sink`](crate::simulate_with_sink)); this module turns a
+//! recorded stream into artifacts:
+//!
+//! * [`trace_to_jsonl`] — one self-describing JSON object per line, with
+//!   task names resolved against the workflow. Integer microsecond
+//!   timestamps and fixed key order make the output byte-deterministic, so
+//!   golden-trace tests can pin engine semantics to the byte.
+//! * [`trace_to_chrome`] — the Chrome `trace_event` JSON array format:
+//!   open the file in Perfetto (ui.perfetto.dev) or `chrome://tracing` to
+//!   see task spans per processor, both link channels, and the storage
+//!   occupancy counter.
+//!
+//! [`SpanTee`] adapts the stream back into the legacy [`TaskSpan`] rows so
+//! `Report.trace` (and the Gantt renderers on top of it) keep working.
+
+use mcloud_dag::{TaskId, Workflow};
+use mcloud_simkit::{Channel, EventSink, SimTime, TimedEvent, TraceEvent};
+
+use crate::report::TaskSpan;
+
+/// An [`EventSink`] adapter that forwards every event to an inner sink
+/// and, when enabled, reassembles [`TaskSpan`] rows from task start/finish
+/// events — the bridge between the event stream and `Report.trace`.
+pub(crate) struct SpanTee<S> {
+    inner: S,
+    record: bool,
+    /// Last observed start `(time, proc)` per task index.
+    starts: Vec<(SimTime, u32)>,
+    spans: Vec<TaskSpan>,
+}
+
+impl<S: EventSink> SpanTee<S> {
+    pub(crate) fn new(inner: S, record: bool) -> Self {
+        SpanTee {
+            inner,
+            record,
+            starts: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// The reassembled spans, in task-finish order (matching the legacy
+    /// recorder, which pushed one row per execution attempt).
+    pub(crate) fn into_spans(self) -> Vec<TaskSpan> {
+        self.spans
+    }
+}
+
+impl<S: EventSink> EventSink for SpanTee<S> {
+    fn emit(&mut self, now: SimTime, event: TraceEvent) {
+        if self.record {
+            match event {
+                TraceEvent::TaskStarted { task, proc, .. } => {
+                    let idx = task as usize;
+                    if self.starts.len() <= idx {
+                        self.starts.resize(idx + 1, (SimTime::ZERO, 0));
+                    }
+                    self.starts[idx] = (now, proc);
+                }
+                TraceEvent::TaskFinished { task, proc, .. } => {
+                    let (start, _) = self.starts[task as usize];
+                    self.spans.push(TaskSpan {
+                        task: TaskId(task),
+                        proc,
+                        start,
+                        finish: now,
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.inner.emit(now, event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.record || self.inner.enabled()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn task_name(wf: &Workflow, task: u32) -> String {
+    esc(&wf.task(TaskId(task)).name)
+}
+
+/// Serializes a recorded event stream as JSON Lines, one event per line.
+///
+/// Task names are resolved against `wf`; timestamps are integer
+/// microseconds; keys appear in a fixed order. The output is
+/// byte-identical across runs of the same deterministic simulation, and
+/// its per-event sums reproduce the corresponding `Report` aggregates
+/// exactly (see the golden-trace tests).
+pub fn trace_to_jsonl(wf: &Workflow, events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let t = e.at.as_micros();
+        let line = match e.event {
+            TraceEvent::TaskReady { task } => format!(
+                r#"{{"t_us":{t},"ev":"task_ready","task":{task},"name":"{}"}}"#,
+                task_name(wf, task)
+            ),
+            TraceEvent::TaskStarted { task, proc, waited } => format!(
+                r#"{{"t_us":{t},"ev":"task_started","task":{task},"name":"{}","proc":{proc},"waited_us":{}}}"#,
+                task_name(wf, task),
+                waited.as_micros()
+            ),
+            TraceEvent::TaskFinished { task, proc, ok } => format!(
+                r#"{{"t_us":{t},"ev":"task_finished","task":{task},"name":"{}","proc":{proc},"ok":{ok}}}"#,
+                task_name(wf, task)
+            ),
+            TraceEvent::TaskBlockedOnStorage { task } => format!(
+                r#"{{"t_us":{t},"ev":"task_blocked_on_storage","task":{task},"name":"{}"}}"#,
+                task_name(wf, task)
+            ),
+            TraceEvent::TransferGranted {
+                chan,
+                bytes,
+                start,
+                finish,
+            } => format!(
+                r#"{{"t_us":{t},"ev":"transfer_granted","chan":"{}","bytes":{bytes},"start_us":{},"finish_us":{}}}"#,
+                chan.label(),
+                start.as_micros(),
+                finish.as_micros()
+            ),
+            TraceEvent::TransferCompleted { chan, bytes } => format!(
+                r#"{{"t_us":{t},"ev":"transfer_completed","chan":"{}","bytes":{bytes}}}"#,
+                chan.label()
+            ),
+            TraceEvent::StorageAlloc { bytes, occupancy } => format!(
+                r#"{{"t_us":{t},"ev":"storage_alloc","bytes":{bytes},"occupancy_bytes":{occupancy}}}"#
+            ),
+            TraceEvent::StorageFree { bytes, occupancy } => format!(
+                r#"{{"t_us":{t},"ev":"storage_free","bytes":{bytes},"occupancy_bytes":{occupancy}}}"#
+            ),
+            TraceEvent::VmReady => format!(r#"{{"t_us":{t},"ev":"vm_ready"}}"#),
+            TraceEvent::RequestQueued { req } => {
+                format!(r#"{{"t_us":{t},"ev":"request_queued","req":{req}}}"#)
+            }
+            TraceEvent::RequestStarted { req, cloud } => {
+                format!(r#"{{"t_us":{t},"ev":"request_started","req":{req},"cloud":{cloud}}}"#)
+            }
+            TraceEvent::RequestFinished { req } => {
+                format!(r#"{{"t_us":{t},"ev":"request_finished","req":{req}}}"#)
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a recorded event stream in Chrome `trace_event` format.
+///
+/// The result opens directly in Perfetto (ui.perfetto.dev) or
+/// `chrome://tracing`: task executions appear as complete (`X`) slices on
+/// per-processor rows under the "compute" process, transfers as slices on
+/// the "link" process ("in"/"out" rows), and storage occupancy plus the
+/// running-task count as counter (`C`) tracks. Deterministic like the
+/// JSONL form.
+pub fn trace_to_chrome(wf: &Workflow, events: &[TimedEvent]) -> String {
+    const PID_COMPUTE: u32 = 1;
+    const PID_LINK: u32 = 2;
+    let mut ev = Vec::new();
+    // Metadata rows name the processes and the link's two channels.
+    ev.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":{PID_COMPUTE},"tid":0,"args":{{"name":"compute"}}}}"#
+    ));
+    ev.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":{PID_LINK},"tid":0,"args":{{"name":"link"}}}}"#
+    ));
+    ev.push(format!(
+        r#"{{"name":"thread_name","ph":"M","pid":{PID_LINK},"tid":0,"args":{{"name":"in"}}}}"#
+    ));
+    ev.push(format!(
+        r#"{{"name":"thread_name","ph":"M","pid":{PID_LINK},"tid":1,"args":{{"name":"out"}}}}"#
+    ));
+
+    let mut starts: Vec<SimTime> = Vec::new();
+    let mut running = 0u32;
+    for e in events {
+        let t = e.at.as_micros();
+        match e.event {
+            TraceEvent::TaskStarted { task, .. } => {
+                let idx = task as usize;
+                if starts.len() <= idx {
+                    starts.resize(idx + 1, SimTime::ZERO);
+                }
+                starts[idx] = e.at;
+                running += 1;
+                ev.push(format!(
+                    r#"{{"name":"running","ph":"C","pid":{PID_COMPUTE},"ts":{t},"args":{{"tasks":{running}}}}}"#
+                ));
+            }
+            TraceEvent::TaskFinished { task, proc, ok } => {
+                let start = starts[task as usize];
+                ev.push(format!(
+                    r#"{{"name":"{}","cat":"task","ph":"X","pid":{PID_COMPUTE},"tid":{proc},"ts":{},"dur":{},"args":{{"ok":{ok}}}}}"#,
+                    task_name(wf, task),
+                    start.as_micros(),
+                    e.at.since(start).as_micros()
+                ));
+                running -= 1;
+                ev.push(format!(
+                    r#"{{"name":"running","ph":"C","pid":{PID_COMPUTE},"ts":{t},"args":{{"tasks":{running}}}}}"#
+                ));
+            }
+            TraceEvent::TransferGranted {
+                chan,
+                bytes,
+                start,
+                finish,
+            } => {
+                let tid = match chan {
+                    Channel::In => 0,
+                    Channel::Out => 1,
+                };
+                ev.push(format!(
+                    r#"{{"name":"{}","cat":"transfer","ph":"X","pid":{PID_LINK},"tid":{tid},"ts":{},"dur":{},"args":{{"bytes":{bytes}}}}}"#,
+                    chan.label(),
+                    start.as_micros(),
+                    finish.since(start).as_micros()
+                ));
+            }
+            TraceEvent::StorageAlloc { occupancy, .. }
+            | TraceEvent::StorageFree { occupancy, .. } => {
+                ev.push(format!(
+                    r#"{{"name":"storage","ph":"C","pid":{PID_COMPUTE},"ts":{t},"args":{{"bytes":{occupancy}}}}}"#
+                ));
+            }
+            TraceEvent::VmReady => {
+                ev.push(format!(
+                    r#"{{"name":"vm_ready","ph":"i","pid":{PID_COMPUTE},"tid":0,"ts":{t},"s":"p"}}"#
+                ));
+            }
+            _ => {}
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecConfig;
+    use crate::engine::simulate_traced;
+    use mcloud_dag::WorkflowBuilder;
+
+    fn tiny_workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new("tiny");
+        let input = b.file("input.fits", 1_000_000);
+        let mid = b.file("mid.fits", 500_000);
+        let out = b.file("mosaic.fits", 250_000);
+        b.add_task("project", "mProject", 10.0, &[input], &[mid])
+            .unwrap();
+        b.add_task("add", "mAdd", 5.0, &[mid], &[out]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn jsonl_lines_are_json_shaped_and_cover_all_events() {
+        let wf = tiny_workflow();
+        let (_, sink) = simulate_traced(&wf, &ExecConfig::fixed(2));
+        let jsonl = trace_to_jsonl(&wf, sink.events());
+        assert_eq!(jsonl.lines().count(), sink.events().len());
+        for line in jsonl.lines() {
+            assert!(line.starts_with(r#"{"t_us":"#), "bad line {line}");
+            assert!(line.ends_with('}'), "bad line {line}");
+            assert!(line.contains(r#""ev":""#), "bad line {line}");
+        }
+        // The task lifecycle and the transfers are all narrated.
+        for needle in [
+            "task_ready",
+            "task_started",
+            "task_finished",
+            "transfer_granted",
+            "transfer_completed",
+            "storage_alloc",
+            "storage_free",
+            r#""name":"project""#,
+            r#""name":"add""#,
+        ] {
+            assert!(jsonl.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_slices_and_counters() {
+        let wf = tiny_workflow();
+        let (_, sink) = simulate_traced(&wf, &ExecConfig::fixed(2));
+        let chrome = trace_to_chrome(&wf, sink.events());
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.trim_end().ends_with("]}"));
+        assert!(chrome.contains(r#""ph":"X""#));
+        assert!(chrome.contains(r#""ph":"C""#));
+        assert!(chrome.contains(r#""name":"project""#));
+        assert!(chrome.contains(r#""name":"storage""#));
+        // Balanced counters: final running count returns to zero.
+        assert!(chrome.contains(r#""args":{"tasks":0}"#));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let wf = tiny_workflow();
+        let cfg = ExecConfig::fixed(2);
+        let (_, a) = simulate_traced(&wf, &cfg);
+        let (_, b) = simulate_traced(&wf, &cfg);
+        assert_eq!(
+            trace_to_jsonl(&wf, a.events()),
+            trace_to_jsonl(&wf, b.events())
+        );
+        assert_eq!(
+            trace_to_chrome(&wf, a.events()),
+            trace_to_chrome(&wf, b.events())
+        );
+    }
+
+    #[test]
+    fn esc_handles_specials() {
+        assert_eq!(esc(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(esc("x\ny"), "x\\ny");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -3,14 +3,17 @@
 //! run. No pairwise feature interaction may violate the accounting
 //! invariants.
 
-use mcloud_cost::ChargeGranularity;
 use mcloud_core::{simulate, DataMode, ExecConfig, SchedulePolicy, VmOverhead};
+use mcloud_cost::ChargeGranularity;
 use mcloud_montage::montage_1_degree;
 
 fn kitchen_sink(mode: DataMode) -> ExecConfig {
     ExecConfig::fixed(8)
         .mode(mode)
-        .with_vm_overhead(VmOverhead { startup_s: 120.0, teardown_s: 30.0 })
+        .with_vm_overhead(VmOverhead {
+            startup_s: 120.0,
+            teardown_s: 30.0,
+        })
         .with_faults(0.1, 99)
         .with_outage(300.0, 120.0)
         .with_outage(2_000.0, 60.0)
@@ -48,7 +51,11 @@ fn all_extensions_compose_without_breaking_invariants() {
             .iter()
             .map(|s| s.start.as_secs_f64())
             .fold(f64::INFINITY, f64::min);
-        assert!(earliest >= 120.0 - 1e-9, "{}: first start {earliest}", mode.label());
+        assert!(
+            earliest >= 120.0 - 1e-9,
+            "{}: first start {earliest}",
+            mode.label()
+        );
         // Hourly CPU billing: a whole number of node-hours.
         let hours = r.costs.cpu.dollars() / 0.10;
         assert!((hours - hours.round()).abs() < 1e-9, "{hours} node-hours");

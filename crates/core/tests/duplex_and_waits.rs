@@ -25,8 +25,10 @@ fn in_out_contention() -> Workflow {
 fn duplex_never_slows_a_remote_io_run() {
     for wf in [in_out_contention(), montage_1_degree()] {
         let shared = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo));
-        let duplex =
-            simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo).with_duplex_link());
+        let duplex = simulate(
+            &wf,
+            &ExecConfig::on_demand(DataMode::RemoteIo).with_duplex_link(),
+        );
         assert!(duplex.makespan <= shared.makespan, "{}", wf.name());
         // Same bytes and dollars per byte either way.
         assert_eq!(duplex.bytes_in, shared.bytes_in);
@@ -44,7 +46,10 @@ fn duplex_speeds_up_remote_io_under_contention() {
     // must get strictly faster on a duplex link.
     let wf = montage_1_degree();
     let shared = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo));
-    let duplex = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo).with_duplex_link());
+    let duplex = simulate(
+        &wf,
+        &ExecConfig::on_demand(DataMode::RemoteIo).with_duplex_link(),
+    );
     assert!(
         duplex.makespan.as_secs_f64() < shared.makespan.as_secs_f64() * 0.95,
         "duplex {} vs shared {}",
@@ -62,7 +67,10 @@ fn duplex_barely_matters_for_regular_mode() {
     let duplex = simulate(&wf, &ExecConfig::paper_default().with_duplex_link());
     let (a, b) = (shared.makespan.as_secs_f64(), duplex.makespan.as_secs_f64());
     assert!(b <= a);
-    assert!((a - b) / a < 0.02, "regular-mode gap should be tiny: {a} vs {b}");
+    assert!(
+        (a - b) / a < 0.02,
+        "regular-mode gap should be tiny: {a} vs {b}"
+    );
 }
 
 #[test]

@@ -22,7 +22,11 @@ fn single_task() -> Workflow {
 fn regular_mode_single_task_timeline() {
     let r = simulate(&single_task(), &ExecConfig::on_demand(DataMode::Regular));
     // Stage-in 8 s, compute 100 s, stage-out 8 s.
-    assert!((r.makespan.as_secs_f64() - 116.0).abs() < 1e-3, "{}", r.makespan);
+    assert!(
+        (r.makespan.as_secs_f64() - 116.0).abs() < 1e-3,
+        "{}",
+        r.makespan
+    );
     assert_eq!(r.bytes_in, 10 * MB);
     assert_eq!(r.bytes_out, 10 * MB);
     assert_eq!(r.transfers_in, 1);
@@ -39,7 +43,10 @@ fn regular_mode_single_task_timeline() {
 
 #[test]
 fn cleanup_mode_frees_input_at_task_finish() {
-    let r = simulate(&single_task(), &ExecConfig::on_demand(DataMode::DynamicCleanup));
+    let r = simulate(
+        &single_task(),
+        &ExecConfig::on_demand(DataMode::DynamicCleanup),
+    );
     assert!((r.makespan.as_secs_f64() - 116.0).abs() < 1e-3);
     // Input held 8..108 (100 s), output 108..116 (8 s).
     let expect = 10e6 * 100.0 + 10e6 * 8.0;
@@ -88,7 +95,11 @@ fn figure3_transfer_accounting_per_mode() {
     assert_eq!(clean.bytes_out, reg.bytes_out);
 
     let rio = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo));
-    assert_eq!(rio.bytes_in, 90 * MB, "t0:a t1:b t2:b t3:c1 t4:c1 t5:c2 t6:d,e,f");
+    assert_eq!(
+        rio.bytes_in,
+        90 * MB,
+        "t0:a t1:b t2:b t3:c1 t4:c1 t5:c2 t6:d,e,f"
+    );
     assert_eq!(rio.bytes_out, 80 * MB, "b c1 c2 d e f h g");
     assert!(rio.bytes_out > reg.bytes_out);
 }
@@ -118,7 +129,12 @@ fn cpu_cost_is_invariant_across_modes() {
     let wf = paper_figure3();
     let costs: Vec<f64> = DataMode::ALL
         .iter()
-        .map(|m| simulate(&wf, &ExecConfig::on_demand(*m)).costs.cpu.dollars())
+        .map(|m| {
+            simulate(&wf, &ExecConfig::on_demand(*m))
+                .costs
+                .cpu
+                .dollars()
+        })
         .collect();
     assert!((costs[0] - costs[1]).abs() < 1e-12);
     assert!((costs[1] - costs[2]).abs() < 1e-12);
@@ -170,7 +186,10 @@ fn on_demand_runs_at_full_parallelism() {
 fn prestaged_inputs_remove_stage_in_cost_and_time() {
     let wf = single_task();
     let normal = simulate(&wf, &ExecConfig::on_demand(DataMode::Regular));
-    let pre = simulate(&wf, &ExecConfig::on_demand(DataMode::Regular).prestaged(true));
+    let pre = simulate(
+        &wf,
+        &ExecConfig::on_demand(DataMode::Regular).prestaged(true),
+    );
     assert_eq!(pre.bytes_in, 0);
     assert_eq!(pre.transfers_in, 0);
     assert!((pre.makespan.as_secs_f64() - 108.0).abs() < 1e-3);
@@ -181,7 +200,10 @@ fn prestaged_inputs_remove_stage_in_cost_and_time() {
 #[test]
 fn prestaged_remote_io_still_restages_intermediates() {
     let wf = paper_figure3();
-    let pre = simulate(&wf, &ExecConfig::on_demand(DataMode::RemoteIo).prestaged(true));
+    let pre = simulate(
+        &wf,
+        &ExecConfig::on_demand(DataMode::RemoteIo).prestaged(true),
+    );
     // `a` is free (in-cloud archive) but b,b,c1,c1,c2,d,e,f still move in.
     assert_eq!(pre.bytes_in, 80 * MB);
     assert_eq!(pre.bytes_out, 80 * MB);

@@ -25,8 +25,10 @@ fn single_task() -> Workflow {
 fn vm_startup_delays_execution_but_not_transfers() {
     let wf = single_task();
     let plain = simulate(&wf, &ExecConfig::fixed(1));
-    let vm = ExecConfig::fixed(1)
-        .with_vm_overhead(VmOverhead { startup_s: 300.0, teardown_s: 0.0 });
+    let vm = ExecConfig::fixed(1).with_vm_overhead(VmOverhead {
+        startup_s: 300.0,
+        teardown_s: 0.0,
+    });
     let booted = simulate(&wf, &vm);
     // Stage-in (8 s) overlaps the 300 s boot; the task then runs 100 s and
     // stages out 8 s: makespan 408 s instead of 116 s.
@@ -38,8 +40,10 @@ fn vm_startup_delays_execution_but_not_transfers() {
 #[test]
 fn vm_teardown_is_billed_but_does_not_extend_the_run() {
     let wf = single_task();
-    let cfg = ExecConfig::fixed(2)
-        .with_vm_overhead(VmOverhead { startup_s: 0.0, teardown_s: 3600.0 });
+    let cfg = ExecConfig::fixed(2).with_vm_overhead(VmOverhead {
+        startup_s: 0.0,
+        teardown_s: 3600.0,
+    });
     let r = simulate(&wf, &cfg);
     assert!((r.makespan.as_secs_f64() - 116.0).abs() < 1e-3);
     // 2 instances x (116 s + 3600 s) at $0.10/hr.
@@ -51,8 +55,10 @@ fn vm_teardown_is_billed_but_does_not_extend_the_run() {
 fn vm_overhead_is_ignored_for_on_demand_pools() {
     // The standing pool is already up; requests see no boot latency.
     let wf = single_task();
-    let cfg = ExecConfig::paper_default()
-        .with_vm_overhead(VmOverhead { startup_s: 9999.0, teardown_s: 9999.0 });
+    let cfg = ExecConfig::paper_default().with_vm_overhead(VmOverhead {
+        startup_s: 9999.0,
+        teardown_s: 9999.0,
+    });
     let r = simulate(&wf, &cfg);
     assert!((r.makespan.as_secs_f64() - 116.0).abs() < 1e-3);
 }
@@ -62,13 +68,15 @@ fn startup_shrinks_the_one_vs_many_processor_gap() {
     // With a 5-minute boot charged to every run, tiny workflows stop
     // rewarding massive parallelism even on makespan.
     let wf = montage_1_degree();
-    let vm = VmOverhead { startup_s: 300.0, teardown_s: 60.0 };
+    let vm = VmOverhead {
+        startup_s: 300.0,
+        teardown_s: 60.0,
+    };
     let p1 = simulate(&wf, &ExecConfig::fixed(1).with_vm_overhead(vm));
     let p128 = simulate(&wf, &ExecConfig::fixed(128).with_vm_overhead(vm));
     let p1_plain = simulate(&wf, &ExecConfig::fixed(1));
     let p128_plain = simulate(&wf, &ExecConfig::fixed(128));
-    let speedup_plain =
-        p1_plain.makespan.as_secs_f64() / p128_plain.makespan.as_secs_f64();
+    let speedup_plain = p1_plain.makespan.as_secs_f64() / p128_plain.makespan.as_secs_f64();
     let speedup_vm = p1.makespan.as_secs_f64() / p128.makespan.as_secs_f64();
     assert!(speedup_vm < speedup_plain);
 }
@@ -82,11 +90,18 @@ fn outage_during_stage_in_stalls_the_workflow() {
     // task at 168, stage-out at 176.
     let cfg = ExecConfig::paper_default().with_outage(4.0, 60.0);
     let r = simulate(&wf, &cfg);
-    assert!((r.makespan.as_secs_f64() - 176.0).abs() < 1e-3, "{}", r.makespan);
+    assert!(
+        (r.makespan.as_secs_f64() - 176.0).abs() < 1e-3,
+        "{}",
+        r.makespan
+    );
     // Bytes and prices are unchanged; only time moves.
     let plain = simulate(&wf, &ExecConfig::paper_default());
     assert_eq!(r.bytes_in, plain.bytes_in);
-    assert!(r.costs.transfer_in.approx_eq(plain.costs.transfer_in, 1e-12));
+    assert!(r
+        .costs
+        .transfer_in
+        .approx_eq(plain.costs.transfer_in, 1e-12));
 }
 
 #[test]
@@ -118,7 +133,11 @@ fn multiple_outages_compose() {
     let r = simulate(&wf, &cfg);
     // Stage-in: 1 s, stall 10, 7 s more -> lands at 18; task 18..118;
     // stage-out 118..126 (second outage 20..30 already past).
-    assert!((r.makespan.as_secs_f64() - 126.0).abs() < 1e-3, "{}", r.makespan);
+    assert!(
+        (r.makespan.as_secs_f64() - 126.0).abs() < 1e-3,
+        "{}",
+        r.makespan
+    );
 }
 
 #[test]
@@ -160,9 +179,7 @@ fn fault_injection_is_deterministic_per_seed() {
     // the attempt counts almost surely differ; equality of full reports
     // would be a miracle).
     let same = simulate(&wf, &cfg);
-    assert!(
-        other.task_executions != same.task_executions || other.makespan != same.makespan
-    );
+    assert!(other.task_executions != same.task_executions || other.makespan != same.makespan);
 }
 
 #[test]
@@ -193,7 +210,10 @@ fn expected_overhead_tracks_failure_rate() {
 #[test]
 #[should_panic(expected = "failure probability")]
 fn invalid_failure_probability_rejected() {
-    simulate(&single_task(), &ExecConfig::paper_default().with_faults(1.5, 1));
+    simulate(
+        &single_task(),
+        &ExecConfig::paper_default().with_faults(1.5, 1),
+    );
 }
 
 // --- scheduling policy ----------------------------------------------------------
@@ -225,13 +245,15 @@ fn critical_path_first_wins_on_adversarial_dags() {
     for i in 0..8 {
         let f = b.file(format!("s{i}"), 1);
         let o = b.file(format!("so{i}"), 1);
-        b.add_task(format!("short{i}"), "short", 50.0, &[f], &[o]).unwrap();
+        b.add_task(format!("short{i}"), "short", 50.0, &[f], &[o])
+            .unwrap();
         shorts.push(o);
     }
     let mut prev = b.file("c0", 1);
     for i in 0..4 {
         let next = b.file(format!("c{}", i + 1), 1);
-        b.add_task(format!("chain{i}"), "chain", 100.0, &[prev], &[next]).unwrap();
+        b.add_task(format!("chain{i}"), "chain", 100.0, &[prev], &[next])
+            .unwrap();
         prev = next;
     }
     let wf = b.build().unwrap();

@@ -15,8 +15,10 @@ fn two_chains() -> Workflow {
         let input = b.file(format!("in{c}"), 10 * MB);
         let mid = b.file(format!("mid{c}"), 10 * MB);
         let out = b.file(format!("out{c}"), 10 * MB);
-        b.add_task(format!("a{c}"), "m", 100.0, &[input], &[mid]).unwrap();
-        b.add_task(format!("b{c}"), "m", 100.0, &[mid], &[out]).unwrap();
+        b.add_task(format!("a{c}"), "m", 100.0, &[input], &[mid])
+            .unwrap();
+        b.add_task(format!("b{c}"), "m", 100.0, &[mid], &[out])
+            .unwrap();
     }
     b.build().unwrap()
 }
@@ -89,9 +91,15 @@ fn montage_minimum_footprint_gap() {
     );
     assert!(constrained.storage_peak_bytes <= cap as f64 + 1.0);
     let res = std::panic::catch_unwind(|| {
-        simulate(&wf, &ExecConfig::on_demand(DataMode::Regular).with_storage_capacity(cap))
+        simulate(
+            &wf,
+            &ExecConfig::on_demand(DataMode::Regular).with_storage_capacity(cap),
+        )
     });
-    assert!(res.is_err(), "regular mode must fail below its peak footprint");
+    assert!(
+        res.is_err(),
+        "regular mode must fail below its peak footprint"
+    );
 }
 
 #[test]

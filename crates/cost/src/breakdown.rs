@@ -109,7 +109,9 @@ mod tests {
     fn totals_and_aggregates() {
         let c = sample();
         assert!(c.total().approx_eq(Money::from_dollars(2.20), 1e-12));
-        assert!(c.data_management().approx_eq(Money::from_dollars(0.17), 1e-12));
+        assert!(c
+            .data_management()
+            .approx_eq(Money::from_dollars(0.17), 1e-12));
         assert!(c.transfer().approx_eq(Money::from_dollars(0.16), 1e-12));
     }
 

@@ -86,8 +86,7 @@ impl DatasetHosting {
 
     /// Total monthly cost at a given request volume, with hosting.
     pub fn monthly_cost_hosted(&self, pricing: &Pricing, requests: f64) -> Money {
-        pricing.monthly_storage_cost(self.dataset_bytes)
-            + self.request_cost_hosted * requests
+        pricing.monthly_storage_cost(self.dataset_bytes) + self.request_cost_hosted * requests
     }
 
     /// Total monthly cost at a given request volume, staging per request.
@@ -169,7 +168,9 @@ mod tests {
         };
         let got = h.break_even_requests_per_month(&p);
         assert!((got - 18_000.0).abs() < 1.0, "got {got}");
-        assert!(h.ingest_cost(&p).approx_eq(Money::from_dollars(1200.0), 1e-9));
+        assert!(h
+            .ingest_cost(&p)
+            .approx_eq(Money::from_dollars(1200.0), 1e-9));
     }
 
     #[test]

@@ -26,9 +26,7 @@ mod pricing;
 mod tiered;
 
 pub use breakdown::CostBreakdown;
-pub use tiered::RateSchedule;
 pub use economics::{ArchiveOrRecompute, Campaign, DatasetHosting};
 pub use money::Money;
-pub use pricing::{
-    ChargeGranularity, Pricing, BYTES_PER_GB, SECONDS_PER_HOUR, SECONDS_PER_MONTH,
-};
+pub use pricing::{ChargeGranularity, Pricing, BYTES_PER_GB, SECONDS_PER_HOUR, SECONDS_PER_MONTH};
+pub use tiered::RateSchedule;

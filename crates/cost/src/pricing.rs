@@ -113,9 +113,7 @@ impl ChargeGranularity {
     /// rounded up to a whole hour first, as EC2 billed in 2008.
     pub fn cpu_cost(&self, pricing: &Pricing, instance_seconds: &[f64]) -> Money {
         match self {
-            ChargeGranularity::Exact => {
-                pricing.cpu_cost(instance_seconds.iter().sum())
-            }
+            ChargeGranularity::Exact => pricing.cpu_cost(instance_seconds.iter().sum()),
             ChargeGranularity::HourlyCpu => {
                 let hours: f64 = instance_seconds
                     .iter()
@@ -166,7 +164,9 @@ mod tests {
     fn cpu_cost_normalizes_per_second() {
         let p = Pricing::amazon_2008();
         // 5.6 CPU-hours = the paper's $0.56 for the 1-degree workflow.
-        assert!(p.cpu_cost(5.6 * 3600.0).approx_eq(Money::from_dollars(0.56), 1e-9));
+        assert!(p
+            .cpu_cost(5.6 * 3600.0)
+            .approx_eq(Money::from_dollars(0.56), 1e-9));
         assert_eq!(p.cpu_cost(0.0), Money::ZERO);
     }
 
@@ -175,7 +175,9 @@ mod tests {
         let p = Pricing::amazon_2008();
         // 1 GB held for one month.
         let byte_seconds = BYTES_PER_GB * SECONDS_PER_MONTH;
-        assert!(p.storage_cost(byte_seconds).approx_eq(Money::from_dollars(0.15), 1e-9));
+        assert!(p
+            .storage_cost(byte_seconds)
+            .approx_eq(Money::from_dollars(0.15), 1e-9));
     }
 
     #[test]
@@ -183,7 +185,9 @@ mod tests {
         let p = Pricing::amazon_2008();
         let gb = 1_000_000_000u64;
         assert!(p.transfer_out_cost(gb) > p.transfer_in_cost(gb));
-        assert!(p.transfer_out_cost(gb).approx_eq(Money::from_dollars(0.16), 1e-9));
+        assert!(p
+            .transfer_out_cost(gb)
+            .approx_eq(Money::from_dollars(0.16), 1e-9));
     }
 
     #[test]

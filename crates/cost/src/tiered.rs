@@ -28,13 +28,19 @@ impl RateSchedule {
     pub fn new(bands: Vec<(f64, f64)>, overflow_per_gb: f64) -> Self {
         for &(size, rate) in &bands {
             assert!(size > 0.0 && size.is_finite(), "band size must be positive");
-            assert!(rate >= 0.0 && rate.is_finite(), "band rate must be non-negative");
+            assert!(
+                rate >= 0.0 && rate.is_finite(),
+                "band rate must be non-negative"
+            );
         }
         assert!(
             overflow_per_gb >= 0.0 && overflow_per_gb.is_finite(),
             "overflow rate must be non-negative"
         );
-        RateSchedule { bands, overflow_per_gb }
+        RateSchedule {
+            bands,
+            overflow_per_gb,
+        }
     }
 
     /// A flat schedule (the paper's assumption).
@@ -109,9 +115,13 @@ mod tests {
     fn bands_apply_marginally() {
         // 2 GB at $1, then $0.5: 3 GB costs 2*1 + 1*0.5.
         let s = RateSchedule::new(vec![(2.0, 1.0)], 0.5);
-        assert!(s.cost(3_000_000_000).approx_eq(Money::from_dollars(2.5), 1e-9));
+        assert!(s
+            .cost(3_000_000_000)
+            .approx_eq(Money::from_dollars(2.5), 1e-9));
         // Within the first band only.
-        assert!(s.cost(1_000_000_000).approx_eq(Money::from_dollars(1.0), 1e-9));
+        assert!(s
+            .cost(1_000_000_000)
+            .approx_eq(Money::from_dollars(1.0), 1e-9));
     }
 
     #[test]

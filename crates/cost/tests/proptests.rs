@@ -1,75 +1,111 @@
-//! Property-based tests for pricing, tiered schedules, and economics.
+//! Randomized-property tests for pricing, tiered schedules, and economics.
+//!
+//! Each test runs many seeded cases; the case index is folded into the
+//! generator seed and reported on failure.
 
 use mcloud_cost::{
     ArchiveOrRecompute, ChargeGranularity, DatasetHosting, Money, Pricing, RateSchedule,
 };
-use proptest::prelude::*;
 
-fn arb_pricing() -> impl Strategy<Value = Pricing> {
-    (0.0f64..10.0, 0.0f64..2.0, 0.0f64..2.0, 0.0f64..2.0).prop_map(
-        |(storage, t_in, t_out, cpu)| Pricing {
-            storage_per_gb_month: storage,
-            transfer_in_per_gb: t_in,
-            transfer_out_per_gb: t_out,
-            cpu_per_hour: cpu,
-        },
-    )
+const CASES: u64 = 64;
+
+/// A deterministic xorshift64* stream for test-input generation.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next() >> 11) as f64 / (1u64 << 53) as f64)
+    }
 }
 
-proptest! {
-    /// Every charge is linear in its quantity and non-negative.
-    #[test]
-    fn charges_are_linear(p in arb_pricing(), bytes in 0u64..10_000_000_000_000, secs in 0.0f64..1e7) {
-        prop_assert!(p.validate().is_ok());
+fn arb_pricing(g: &mut Gen) -> Pricing {
+    Pricing {
+        storage_per_gb_month: g.f64_in(0.0, 10.0),
+        transfer_in_per_gb: g.f64_in(0.0, 2.0),
+        transfer_out_per_gb: g.f64_in(0.0, 2.0),
+        cpu_per_hour: g.f64_in(0.0, 2.0),
+    }
+}
+
+/// Every charge is linear in its quantity and non-negative.
+#[test]
+fn charges_are_linear() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xC0_0001 ^ case);
+        let p = arb_pricing(&mut g);
+        let bytes = g.next() % 10_000_000_000_000;
+        let secs = g.f64_in(0.0, 1e7);
+        assert!(p.validate().is_ok(), "case {case}");
         let one = p.transfer_in_cost(bytes);
         let two = p.transfer_in_cost(bytes * 2);
-        prop_assert!(two.approx_eq(one * 2.0, 1e-6));
-        prop_assert!(one >= Money::ZERO);
+        assert!(two.approx_eq(one * 2.0, 1e-6), "case {case}");
+        assert!(one >= Money::ZERO, "case {case}");
 
         let c1 = p.cpu_cost(secs);
         let c2 = p.cpu_cost(secs * 2.0);
-        prop_assert!(c2.approx_eq(c1 * 2.0, 1e-6));
+        assert!(c2.approx_eq(c1 * 2.0, 1e-6), "case {case}");
 
         let s1 = p.storage_cost(secs * 1e6);
         let s2 = p.storage_cost(secs * 2e6);
-        prop_assert!(s2.approx_eq(s1 * 2.0, 1e-6));
+        assert!(s2.approx_eq(s1 * 2.0, 1e-6), "case {case}");
     }
+}
 
-    /// Hourly granularity never undercharges relative to exact, and agrees
-    /// exactly on whole-hour occupancies.
-    #[test]
-    fn hourly_dominates_exact(
-        p in arb_pricing(),
-        secs in prop::collection::vec(0.0f64..20_000.0, 1..10),
-    ) {
+/// Hourly granularity never undercharges relative to exact, and agrees
+/// exactly on whole-hour occupancies.
+#[test]
+fn hourly_dominates_exact() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xC0_0002 ^ case);
+        let p = arb_pricing(&mut g);
+        let n = 1 + (g.next() as usize) % 9;
+        let secs: Vec<f64> = (0..n).map(|_| g.f64_in(0.0, 20_000.0)).collect();
         let exact = ChargeGranularity::Exact.cpu_cost(&p, &secs);
         let hourly = ChargeGranularity::HourlyCpu.cpu_cost(&p, &secs);
-        prop_assert!(hourly >= exact - Money::from_dollars(1e-9));
+        assert!(hourly >= exact - Money::from_dollars(1e-9), "case {case}");
         let whole: Vec<f64> = secs.iter().map(|s| (s / 3600.0).ceil() * 3600.0).collect();
         let exact_whole = ChargeGranularity::Exact.cpu_cost(&p, &whole);
-        prop_assert!(hourly.approx_eq(exact_whole, 1e-9));
+        assert!(hourly.approx_eq(exact_whole, 1e-9), "case {case}");
     }
+}
 
-    /// Tiered schedules: cost is monotone in volume, never exceeds the
-    /// first-tier flat price, and never undercuts the overflow rate.
-    #[test]
-    fn tiered_cost_bounds(tb in 1u64..500) {
+/// Tiered schedules: cost is monotone in volume, never exceeds the
+/// first-tier flat price, and never undercuts the overflow rate.
+#[test]
+fn tiered_cost_bounds() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xC0_0003 ^ case);
+        let tb = 1 + g.next() % 499;
         let s = RateSchedule::s3_2008_transfer_out();
         let bytes = tb * 1_000_000_000_000;
         let cost = s.cost(bytes).dollars();
         let gb = bytes as f64 / 1e9;
-        prop_assert!(cost <= gb * 0.17 + 1e-6);
-        prop_assert!(cost >= gb * 0.10 - 1e-6);
-        prop_assert!(s.cost(bytes * 2) >= s.cost(bytes));
+        assert!(cost <= gb * 0.17 + 1e-6, "case {case}");
+        assert!(cost >= gb * 0.10 - 1e-6, "case {case}");
+        assert!(s.cost(bytes * 2) >= s.cost(bytes), "case {case}");
         // Effective rate sits between the extreme tiers.
         let eff = s.effective_rate(bytes);
-        prop_assert!((0.10..=0.17).contains(&eff));
+        assert!((0.10..=0.17).contains(&eff), "case {case}: rate {eff}");
     }
+}
 
-    /// Archive break-even scales linearly with recompute cost and
-    /// inversely with product size.
-    #[test]
-    fn archive_break_even_scaling(cost in 0.01f64..100.0, mb in 1u64..10_000) {
+/// Archive break-even scales linearly with recompute cost and inversely
+/// with product size.
+#[test]
+fn archive_break_even_scaling() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xC0_0004 ^ case);
+        let cost = g.f64_in(0.01, 100.0);
+        let mb = 1 + g.next() % 9_999;
         let p = Pricing::amazon_2008();
         let a = ArchiveOrRecompute {
             recompute_cost: Money::from_dollars(cost),
@@ -84,17 +120,25 @@ proptest! {
             product_bytes: mb * 2_000_000,
         };
         let base = a.break_even_months(&p);
-        prop_assert!((b.break_even_months(&p) - base * 2.0).abs() < 1e-6 * base.max(1.0));
-        prop_assert!((c.break_even_months(&p) - base / 2.0).abs() < 1e-6 * base.max(1.0));
+        assert!(
+            (b.break_even_months(&p) - base * 2.0).abs() < 1e-6 * base.max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (c.break_even_months(&p) - base / 2.0).abs() < 1e-6 * base.max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    /// Hosting break-even: monthly costs cross exactly once, at the
-    /// reported volume.
-    #[test]
-    fn hosting_break_even_is_a_crossing(
-        dataset_gb in 100.0f64..100_000.0,
-        saving_cents in 1.0f64..100.0,
-    ) {
+/// Hosting break-even: monthly costs cross exactly once, at the reported
+/// volume.
+#[test]
+fn hosting_break_even_is_a_crossing() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0xC0_0005 ^ case);
+        let dataset_gb = g.f64_in(100.0, 100_000.0);
+        let saving_cents = g.f64_in(1.0, 100.0);
         let p = Pricing::amazon_2008();
         let staged = Money::from_dollars(2.0 + saving_cents / 100.0);
         let hosted = Money::from_dollars(2.0);
@@ -104,9 +148,19 @@ proptest! {
             request_cost_hosted: hosted,
         };
         let be = h.break_even_requests_per_month(&p);
-        prop_assert!(be > 0.0);
-        prop_assert!(h.monthly_cost_staged(be).approx_eq(h.monthly_cost_hosted(&p, be), 1e-6));
-        prop_assert!(h.monthly_cost_staged(be * 1.5) > h.monthly_cost_hosted(&p, be * 1.5));
-        prop_assert!(h.monthly_cost_staged(be * 0.5) < h.monthly_cost_hosted(&p, be * 0.5));
+        assert!(be > 0.0, "case {case}");
+        assert!(
+            h.monthly_cost_staged(be)
+                .approx_eq(h.monthly_cost_hosted(&p, be), 1e-6),
+            "case {case}"
+        );
+        assert!(
+            h.monthly_cost_staged(be * 1.5) > h.monthly_cost_hosted(&p, be * 1.5),
+            "case {case}"
+        );
+        assert!(
+            h.monthly_cost_staged(be * 0.5) < h.monthly_cost_hosted(&p, be * 0.5),
+            "case {case}"
+        );
     }
 }

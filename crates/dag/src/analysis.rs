@@ -117,12 +117,18 @@ impl Workflow {
 
     /// Bytes of files with no producer (staged in from the archive).
     pub fn external_input_bytes(&self) -> u64 {
-        self.external_inputs().iter().map(|f| self.file(*f).bytes).sum()
+        self.external_inputs()
+            .iter()
+            .map(|f| self.file(*f).bytes)
+            .sum()
     }
 
     /// Bytes of files staged out to the user at the end of the workflow.
     pub fn staged_out_bytes(&self) -> u64 {
-        self.staged_out_files().iter().map(|f| self.file(*f).bytes).sum()
+        self.staged_out_files()
+            .iter()
+            .map(|f| self.file(*f).bytes)
+            .sum()
     }
 
     /// The paper's communication-to-computation ratio:
@@ -263,7 +269,11 @@ impl Workflow {
             });
             entry.0 += 1;
             entry.1 += task.runtime_s;
-            entry.2 += task.outputs.iter().map(|f| self.file(*f).bytes).sum::<u64>();
+            entry.2 += task
+                .outputs
+                .iter()
+                .map(|f| self.file(*f).bytes)
+                .sum::<u64>();
         }
         order
             .into_iter()

@@ -71,12 +71,17 @@ mod tests {
         let merged = merge_workflows("batch", &[&a, &c]).unwrap();
         assert_eq!(merged.num_tasks(), a.num_tasks() + c.num_tasks());
         assert_eq!(merged.num_files(), a.num_files() + c.num_files());
-        assert!((merged.total_runtime_s() - a.total_runtime_s() - c.total_runtime_s()).abs() < 1e-9);
+        assert!(
+            (merged.total_runtime_s() - a.total_runtime_s() - c.total_runtime_s()).abs() < 1e-9
+        );
         assert_eq!(merged.total_bytes(), a.total_bytes() + c.total_bytes());
         // Depth is the max of the parts (they are independent).
         assert_eq!(merged.depth(), a.depth().max(c.depth()));
         // Parallelism adds up.
-        assert_eq!(merged.max_parallelism(), a.max_parallelism() + c.max_parallelism());
+        assert_eq!(
+            merged.max_parallelism(),
+            a.max_parallelism() + c.max_parallelism()
+        );
     }
 
     #[test]
@@ -84,8 +89,14 @@ mod tests {
         let wf = fixtures::mini_montage();
         let batch = replicate_workflow("batch", &wf, 5).unwrap();
         assert_eq!(batch.num_tasks(), 5 * wf.num_tasks());
-        assert_eq!(batch.external_inputs().len(), 5 * wf.external_inputs().len());
-        assert_eq!(batch.staged_out_files().len(), 5 * wf.staged_out_files().len());
+        assert_eq!(
+            batch.external_inputs().len(),
+            5 * wf.external_inputs().len()
+        );
+        assert_eq!(
+            batch.staged_out_files().len(),
+            5 * wf.staged_out_files().len()
+        );
         // Deliverable flags carried over: 5 mosaics flagged.
         let deliverables = batch.files().iter().filter(|f| f.deliverable).count();
         assert_eq!(deliverables, 5);

@@ -57,7 +57,11 @@ pub fn to_dax(wf: &Workflow) -> String {
         }
         for &f in &task.outputs {
             let meta = wf.file(f);
-            let deliverable = if meta.deliverable { " deliverable=\"true\"" } else { "" };
+            let deliverable = if meta.deliverable {
+                " deliverable=\"true\""
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "    <uses file=\"{}\" link=\"output\" size=\"{}\"{}/>",
@@ -128,9 +132,7 @@ pub fn from_dax(text: &str) -> Result<Workflow, DagError> {
                             control_edges.push((parent, child.clone()));
                         }
                         Tag::Close(n) if n == "child" => break,
-                        _ => {
-                            return Err(parser.error("expected <parent .../> or </child>".into()))
-                        }
+                        _ => return Err(parser.error("expected <parent .../> or </child>".into())),
                     }
                 }
             }
@@ -245,11 +247,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { rest: text, line: 1 }
+        Parser {
+            rest: text,
+            line: 1,
+        }
     }
 
     fn error(&self, message: String) -> DagError {
-        DagError::Parse { line: self.line, message }
+        DagError::Parse {
+            line: self.line,
+            message,
+        }
     }
 
     fn advance(&mut self, n: usize) {
@@ -330,7 +338,11 @@ impl<'a> Parser<'a> {
         };
         let element = self.parse_element(inner)?;
         self.advance(end + 1);
-        Ok(if self_close { Tag::SelfClose(element) } else { Tag::Open(element) })
+        Ok(if self_close {
+            Tag::SelfClose(element)
+        } else {
+            Tag::Open(element)
+        })
     }
 
     fn parse_element(&self, inner: &str) -> Result<Element, DagError> {
@@ -489,7 +501,10 @@ mod tests {
     fn file_implied_edges_are_not_duplicated_as_control_edges() {
         let wf = fixtures::figure3();
         let dax = to_dax(&wf);
-        assert!(!dax.contains("<child"), "figure3 has only file edges:\n{dax}");
+        assert!(
+            !dax.contains("<child"),
+            "figure3 has only file edges:\n{dax}"
+        );
     }
 
     #[test]
@@ -553,7 +568,10 @@ mod tests {
 
     #[test]
     fn rejects_unterminated_tag() {
-        assert!(matches!(from_dax("<adag name=\"x\""), Err(DagError::Parse { .. })));
+        assert!(matches!(
+            from_dax("<adag name=\"x\""),
+            Err(DagError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -577,6 +595,9 @@ mod tests {
     <uses file="out" link="output" size="1"/>
   </job>
 </adag>"#;
-        assert!(matches!(from_dax(doc), Err(DagError::DuplicateProducer { .. })));
+        assert!(matches!(
+            from_dax(doc),
+            Err(DagError::DuplicateProducer { .. })
+        ));
     }
 }

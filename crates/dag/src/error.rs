@@ -52,7 +52,11 @@ pub enum DagError {
 impl fmt::Display for DagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DagError::DuplicateProducer { file, first, second } => write!(
+            DagError::DuplicateProducer {
+                file,
+                first,
+                second,
+            } => write!(
                 f,
                 "file '{file}' produced by both '{first}' and '{second}' (files are write-once)"
             ),
@@ -92,8 +96,11 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains('x') && s.contains('a') && s.contains('b'));
         assert!(DagError::Empty.to_string().contains("no tasks"));
-        assert!(DagError::Parse { line: 3, message: "bad tag".into() }
-            .to_string()
-            .contains("line 3"));
+        assert!(DagError::Parse {
+            line: 3,
+            message: "bad tag".into()
+        }
+        .to_string()
+        .contains("line 3"));
     }
 }

@@ -77,7 +77,8 @@ pub(crate) mod fixtures {
         let mut prev = b.file("f0", bytes);
         for i in 0..n {
             let next = b.file(format!("f{}", i + 1), bytes);
-            b.add_task(format!("t{i}"), "step", runtime_s, &[prev], &[next]).unwrap();
+            b.add_task(format!("t{i}"), "step", runtime_s, &[prev], &[next])
+                .unwrap();
             prev = next;
         }
         b.build().unwrap()
@@ -87,16 +88,27 @@ pub(crate) mod fixtures {
     /// mosaic (marked deliverable) is then shrunk.
     pub fn mini_montage() -> Workflow {
         let mut b = WorkflowBuilder::new("mini_montage");
-        let raw: Vec<_> = (0..2).map(|i| b.file(format!("raw{i}"), 4_000_000)).collect();
-        let proj: Vec<_> = (0..2).map(|i| b.file(format!("proj{i}"), 8_000_000)).collect();
+        let raw: Vec<_> = (0..2)
+            .map(|i| b.file(format!("raw{i}"), 4_000_000))
+            .collect();
+        let proj: Vec<_> = (0..2)
+            .map(|i| b.file(format!("proj{i}"), 8_000_000))
+            .collect();
         let mosaic = b.file("mosaic", 20_000_000);
         let shrunk = b.file("shrunk", 200_000);
         for i in 0..2 {
-            b.add_task(format!("mProject_{i}"), "mProject", 100.0, &[raw[i]], &[proj[i]])
-                .unwrap();
+            b.add_task(
+                format!("mProject_{i}"),
+                "mProject",
+                100.0,
+                &[raw[i]],
+                &[proj[i]],
+            )
+            .unwrap();
         }
         b.add_task("mAdd", "mAdd", 60.0, &proj, &[mosaic]).unwrap();
-        b.add_task("mShrink", "mShrink", 10.0, &[mosaic], &[shrunk]).unwrap();
+        b.add_task("mShrink", "mShrink", 10.0, &[mosaic], &[shrunk])
+            .unwrap();
         b.mark_deliverable(mosaic);
         b.build().unwrap()
     }

@@ -123,7 +123,9 @@ impl Workflow {
 
     /// Files with no producer: they are staged in from the user/archive.
     pub fn external_inputs(&self) -> Vec<FileId> {
-        self.file_ids().filter(|f| self.producer(*f).is_none()).collect()
+        self.file_ids()
+            .filter(|f| self.producer(*f).is_none())
+            .collect()
     }
 
     /// Files that are staged out to the user at the end of the workflow:
@@ -166,7 +168,15 @@ impl Workflow {
         parents: Vec<Vec<TaskId>>,
         children: Vec<Vec<TaskId>>,
     ) -> Self {
-        Workflow { name, tasks, files, producer, consumers, parents, children }
+        Workflow {
+            name,
+            tasks,
+            files,
+            producer,
+            consumers,
+            parents,
+            children,
+        }
     }
 }
 
@@ -205,7 +215,10 @@ pub struct WorkflowBuilder {
 impl WorkflowBuilder {
     /// Starts an empty workflow with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        WorkflowBuilder { name: name.into(), ..Default::default() }
+        WorkflowBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Registers (or looks up) a file by name. Registration is idempotent.
@@ -217,13 +230,18 @@ impl WorkflowBuilder {
         let name = name.into();
         if let Some(&id) = self.by_file_name.get(&name) {
             assert_eq!(
-                self.files[id.index()].bytes, bytes,
+                self.files[id.index()].bytes,
+                bytes,
                 "file '{name}' re-registered with a different size"
             );
             return id;
         }
         let id = FileId(self.files.len() as u32);
-        self.files.push(FileMeta { name: name.clone(), bytes, deliverable: false });
+        self.files.push(FileMeta {
+            name: name.clone(),
+            bytes,
+            deliverable: false,
+        });
         self.producer.push(None);
         self.consumers.push(Vec::new());
         self.by_file_name.insert(name, id);
@@ -256,7 +274,10 @@ impl WorkflowBuilder {
             return Err(DagError::DuplicateTaskName(name));
         }
         if !runtime_s.is_finite() || runtime_s < 0.0 {
-            return Err(DagError::InvalidRuntime { task: name, runtime: runtime_s });
+            return Err(DagError::InvalidRuntime {
+                task: name,
+                runtime: runtime_s,
+            });
         }
         let inputs = dedup_preserving(inputs);
         let outputs = dedup_preserving(outputs);
@@ -281,7 +302,13 @@ impl WorkflowBuilder {
             self.consumers[f.index()].push(id);
         }
         self.by_task_name.insert(name.clone(), id);
-        self.tasks.push(Task { name, module: module.into(), runtime_s, inputs, outputs });
+        self.tasks.push(Task {
+            name,
+            module: module.into(),
+            runtime_s,
+            inputs,
+            outputs,
+        });
         Ok(id)
     }
 
@@ -337,8 +364,12 @@ impl WorkflowBuilder {
         // always produce before consuming, but the builder allows forward
         // file references, so check explicitly.)
         let mut indeg: Vec<usize> = parents.iter().map(Vec::len).collect();
-        let mut ready: Vec<usize> =
-            indeg.iter().enumerate().filter(|(_, &d)| d == 0).map(|(i, _)| i).collect();
+        let mut ready: Vec<usize> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
         let mut seen = 0usize;
         while let Some(i) = ready.pop() {
             seen += 1;
@@ -351,7 +382,9 @@ impl WorkflowBuilder {
         }
         if seen != n {
             let on_cycle = indeg.iter().position(|&d| d > 0).expect("cycle exists");
-            return Err(DagError::Cycle { task: self.tasks[on_cycle].name.clone() });
+            return Err(DagError::Cycle {
+                task: self.tasks[on_cycle].name.clone(),
+            });
         }
         Ok(Workflow::from_parts(
             self.name,
@@ -464,7 +497,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_workflow() {
-        assert_eq!(WorkflowBuilder::new("w").build().unwrap_err(), DagError::Empty);
+        assert_eq!(
+            WorkflowBuilder::new("w").build().unwrap_err(),
+            DagError::Empty
+        );
     }
 
     #[test]

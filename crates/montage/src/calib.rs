@@ -102,11 +102,8 @@ pub const SIZE_JITTER: f64 = 0.10;
 /// The paper's mosaic sizes for the canonical workflows, bytes
 /// (173.46 MB, 557.9 MB, 2.229 GB).
 pub fn mosaic_bytes(degrees: f64) -> u64 {
-    const CANONICAL: [(f64, u64); 3] = [
-        (1.0, 173_460_000),
-        (2.0, 557_900_000),
-        (4.0, 2_229_000_000),
-    ];
+    const CANONICAL: [(f64, u64); 3] =
+        [(1.0, 173_460_000), (2.0, 557_900_000), (4.0, 2_229_000_000)];
     for (d, bytes) in CANONICAL {
         if (degrees - d).abs() < 1e-9 {
             return bytes;

@@ -16,8 +16,7 @@
 //! level 9: mJPEG           renders a preview (deliverable)
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcloud_simkit::SimRng;
 
 use mcloud_dag::{Workflow, WorkflowBuilder};
 
@@ -67,7 +66,12 @@ impl MosaicConfig {
     /// A mosaic of the given size with the paper's defaults (M17, J band,
     /// fixed seed).
     pub fn new(degrees: f64) -> Self {
-        MosaicConfig { degrees, band: Band::J, region: "M17".to_string(), seed: 2008_1115 }
+        MosaicConfig {
+            degrees,
+            band: Band::J,
+            region: "M17".to_string(),
+            seed: 2008_1115,
+        }
     }
 
     /// Sets the survey band.
@@ -121,7 +125,7 @@ pub fn generate(cfg: &MosaicConfig) -> Workflow {
     let n = cfg.plates();
     let pairs = grid::overlap_pairs(side);
     let phi = calib::runtime_factor(cfg.degrees);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::new(cfg.seed);
 
     let mut b = WorkflowBuilder::new(format!(
         "montage_{}_{}deg_{}",
@@ -130,12 +134,8 @@ pub fn generate(cfg: &MosaicConfig) -> Workflow {
         cfg.band.tag()
     ));
 
-    let jit_rt = |rng: &mut StdRng| {
-        1.0 + rng.gen_range(-calib::RUNTIME_JITTER..=calib::RUNTIME_JITTER)
-    };
-    let jit_sz = |rng: &mut StdRng| {
-        1.0 + rng.gen_range(-calib::SIZE_JITTER..=calib::SIZE_JITTER)
-    };
+    let jit_rt = |rng: &mut SimRng| 1.0 + rng.f64_in(-calib::RUNTIME_JITTER, calib::RUNTIME_JITTER);
+    let jit_sz = |rng: &mut SimRng| 1.0 + rng.f64_in(-calib::SIZE_JITTER, calib::SIZE_JITTER);
     let scaled = |bytes: u64, j: f64| ((bytes as f64 * j).round() as u64).max(1);
 
     // --- files ------------------------------------------------------------
@@ -151,10 +151,22 @@ pub fn generate(cfg: &MosaicConfig) -> Workflow {
             format!("2mass_{}_{}_{i:04}.fits", cfg.band.tag(), cfg.region),
             scaled(calib::RAW_IMAGE_BYTES, j),
         ));
-        proj.push(b.file(format!("proj_{i:04}.fits"), scaled(calib::PROJECTED_IMAGE_BYTES, j)));
-        area.push(b.file(format!("proj_{i:04}_area.fits"), scaled(calib::AREA_IMAGE_BYTES, j)));
-        corr.push(b.file(format!("corr_{i:04}.fits"), scaled(calib::CORRECTED_IMAGE_BYTES, j)));
-        carea.push(b.file(format!("corr_{i:04}_area.fits"), scaled(calib::CORRECTED_AREA_BYTES, j)));
+        proj.push(b.file(
+            format!("proj_{i:04}.fits"),
+            scaled(calib::PROJECTED_IMAGE_BYTES, j),
+        ));
+        area.push(b.file(
+            format!("proj_{i:04}_area.fits"),
+            scaled(calib::AREA_IMAGE_BYTES, j),
+        ));
+        corr.push(b.file(
+            format!("corr_{i:04}.fits"),
+            scaled(calib::CORRECTED_IMAGE_BYTES, j),
+        ));
+        carea.push(b.file(
+            format!("corr_{i:04}_area.fits"),
+            scaled(calib::CORRECTED_AREA_BYTES, j),
+        ));
     }
     let fits: Vec<_> = (0..pairs.len())
         .map(|k| {
@@ -166,8 +178,10 @@ pub fn generate(cfg: &MosaicConfig) -> Workflow {
         "fits.tbl",
         calib::FITS_TABLE_PER_DIFF_BYTES * pairs.len() as u64,
     );
-    let corrections_tbl =
-        b.file("corrections.tbl", calib::CORRECTIONS_PER_IMAGE_BYTES * n as u64);
+    let corrections_tbl = b.file(
+        "corrections.tbl",
+        calib::CORRECTIONS_PER_IMAGE_BYTES * n as u64,
+    );
     let newimg_tbl = b.file("newimg.tbl", calib::IMGTBL_PER_IMAGE_BYTES * n as u64);
     let mosaic_bytes = calib::mosaic_bytes(cfg.degrees);
     let mosaic = b.file(format!("mosaic_{}.fits", cfg.region), mosaic_bytes);
@@ -307,7 +321,8 @@ pub fn paper_figure3() -> Workflow {
     b.add_task("task3", "stage", 60.0, &[c1], &[d]).unwrap();
     b.add_task("task4", "stage", 60.0, &[c1], &[e]).unwrap();
     b.add_task("task5", "stage", 60.0, &[c2], &[f, h]).unwrap();
-    b.add_task("task6", "gather", 60.0, &[d, e, f], &[g]).unwrap();
+    b.add_task("task6", "gather", 60.0, &[d, e, f], &[g])
+        .unwrap();
     b.build().unwrap()
 }
 
@@ -422,10 +437,7 @@ mod tests {
     #[test]
     fn ccr_is_in_the_papers_band() {
         // Paper's table: 0.053 / 0.053 / 0.045 at 10 Mbps. Accept 0.04-0.06.
-        for (wf, label) in [
-            (montage_1_degree(), "1deg"),
-            (montage_2_degree(), "2deg"),
-        ] {
+        for (wf, label) in [(montage_1_degree(), "1deg"), (montage_2_degree(), "2deg")] {
             let ccr = wf.ccr_at_link(10_000_000.0);
             assert!((0.04..=0.06).contains(&ccr), "{label}: CCR {ccr}");
         }

@@ -58,7 +58,13 @@ pub fn overlap_pairs(side: u32) -> Vec<(Plate, Plate)> {
         if above > below {
             let r = (i as u32) / (side - 1);
             let c = (i as u32) % (side - 1);
-            pairs.push((Plate { row: r, col: c }, Plate { row: r + 1, col: c + 1 }));
+            pairs.push((
+                Plate { row: r, col: c },
+                Plate {
+                    row: r + 1,
+                    col: c + 1,
+                },
+            ));
             picked += 1;
         }
     }

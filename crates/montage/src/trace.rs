@@ -33,9 +33,11 @@ pub fn apply_runtime_overrides(wf: &Workflow, csv: &str) -> Result<Workflow, Str
             return Err(format!("invalid runtime override {v}"));
         }
     }
-    rebuild(wf, |_, bytes| bytes, |name, runtime| {
-        overrides.get(name).copied().unwrap_or(runtime)
-    })
+    rebuild(
+        wf,
+        |_, bytes| bytes,
+        |name, runtime| overrides.get(name).copied().unwrap_or(runtime),
+    )
 }
 
 /// Applies per-file size overrides (bytes) from CSV.
@@ -73,7 +75,11 @@ fn parse_pairs(csv: &str) -> Result<HashMap<String, f64>, String> {
             .parse()
             .map_err(|_| format!("line {}: '{}' is not a number", lineno + 1, value.trim()))?;
         if out.insert(name.trim().to_string(), value).is_some() {
-            return Err(format!("line {}: duplicate entry for '{}'", lineno + 1, name.trim()));
+            return Err(format!(
+                "line {}: duplicate entry for '{}'",
+                lineno + 1,
+                name.trim()
+            ));
         }
     }
     Ok(out)
@@ -144,7 +150,12 @@ mod tests {
         let csv = "# measured runtimes\nmAdd, 1234.5\nmShrink,7.25\n";
         let traced = apply_runtime_overrides(&wf, csv).unwrap();
         let get = |name: &str| {
-            traced.tasks().iter().find(|t| t.name == name).unwrap().runtime_s
+            traced
+                .tasks()
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap()
+                .runtime_s
         };
         assert!((get("mAdd") - 1234.5).abs() < 1e-12);
         assert!((get("mShrink") - 7.25).abs() < 1e-12);
@@ -204,8 +215,7 @@ mod tests {
     #[test]
     fn comments_and_blanks_are_ignored() {
         let wf = generate(&MosaicConfig::new(0.5));
-        let traced =
-            apply_runtime_overrides(&wf, "\n# header\n\nmJPEG, 2.0\n").unwrap();
+        let traced = apply_runtime_overrides(&wf, "\n# header\n\nmJPEG, 2.0\n").unwrap();
         let jpeg = traced.tasks().iter().find(|t| t.name == "mJPEG").unwrap();
         assert!((jpeg.runtime_s - 2.0).abs() < 1e-12);
     }

@@ -6,8 +6,7 @@
 //! produce the demand side of that story: steady Poisson traffic and
 //! bursty overload patterns, all seeded and deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mcloud_simkit::SimRng;
 
 /// One incoming mosaic request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,17 +32,20 @@ pub fn poisson(rate_per_hour: f64, horizon_hours: f64, degrees: f64, seed: u64) 
         horizon_hours.is_finite() && horizon_hours > 0.0,
         "horizon must be positive, got {horizon_hours}"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let mut t = 0.0f64;
     let mut out = Vec::new();
     loop {
         // Exponential inter-arrival via inverse transform.
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = rng.f64_in(f64::EPSILON, 1.0);
         t += -u.ln() / rate_per_hour;
         if t >= horizon_hours {
             break;
         }
-        out.push(Arrival { at_hours: t, degrees });
+        out.push(Arrival {
+            at_hours: t,
+            degrees,
+        });
     }
     out
 }
@@ -99,7 +101,10 @@ pub fn periodic(period_hours: f64, horizon_hours: f64, degrees: f64) -> Vec<Arri
     let mut out = Vec::new();
     let mut t = period_hours;
     while t < horizon_hours {
-        out.push(Arrival { at_hours: t, degrees });
+        out.push(Arrival {
+            at_hours: t,
+            degrees,
+        });
         t += period_hours;
     }
     out
@@ -118,7 +123,9 @@ mod tests {
         for w in arrivals.windows(2) {
             assert!(w[0].at_hours <= w[1].at_hours);
         }
-        assert!(arrivals.iter().all(|a| a.at_hours < 1000.0 && a.degrees == 1.0));
+        assert!(arrivals
+            .iter()
+            .all(|a| a.at_hours < 1000.0 && a.degrees == 1.0));
     }
 
     #[test]
@@ -134,13 +141,22 @@ mod tests {
         assert!(burst.len() > base.len());
         // The extra arrivals land inside the window.
         let in_window = |v: &[Arrival]| {
-            v.iter().filter(|a| (50.0..60.0).contains(&a.at_hours)).count()
+            v.iter()
+                .filter(|a| (50.0..60.0).contains(&a.at_hours))
+                .count()
         };
         assert!(in_window(&burst) > in_window(&base) + 30);
         // Outside the window the stream is the base stream.
-        let outside: Vec<_> =
-            burst.iter().filter(|a| !(50.0..60.0).contains(&a.at_hours)).collect();
-        assert_eq!(outside.len(), base.iter().filter(|a| !(50.0..60.0).contains(&a.at_hours)).count());
+        let outside: Vec<_> = burst
+            .iter()
+            .filter(|a| !(50.0..60.0).contains(&a.at_hours))
+            .collect();
+        assert_eq!(
+            outside.len(),
+            base.iter()
+                .filter(|a| !(50.0..60.0).contains(&a.at_hours))
+                .count()
+        );
     }
 
     #[test]

@@ -66,11 +66,9 @@ impl AutoScaleConfig {
             return Err(format!("invalid boot_s {}", self.boot_s));
         }
         if self.min_slots == 0 && self.scale_up_queue > 1 {
-            return Err(
-                "with min_slots = 0 the scale-up trigger must be a single \
+            return Err("with min_slots = 0 the scale-up trigger must be a single \
                  waiting request, or the first arrival waits forever"
-                    .into(),
-            );
+                .into());
         }
         self.exec.validate()
     }
@@ -104,13 +102,19 @@ impl AutoScaleReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().map(RequestOutcome::wait_hours).sum::<f64>()
+        self.outcomes
+            .iter()
+            .map(RequestOutcome::wait_hours)
+            .sum::<f64>()
             / self.outcomes.len() as f64
     }
 
     /// Longest wait, hours.
     pub fn max_wait_hours(&self) -> f64 {
-        self.outcomes.iter().map(RequestOutcome::wait_hours).fold(0.0, f64::max)
+        self.outcomes
+            .iter()
+            .map(RequestOutcome::wait_hours)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -197,10 +201,7 @@ pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoSc
                     rentals += 1;
                     booting += 1;
                     peak_slots = peak_slots.max(rented);
-                    events.push(
-                        now + SimDuration::from_secs_f64(cfg.boot_s),
-                        Ev::SlotReady,
-                    );
+                    events.push(now + SimDuration::from_secs_f64(cfg.boot_s), Ev::SlotReady);
                 }
             }
             Ev::SlotReady => {
@@ -208,7 +209,13 @@ pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoSc
                 if let Some(i) = waiting.pop_front() {
                     busy += 1;
                     start_service(
-                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        i,
+                        now,
+                        arrivals,
+                        cfg,
+                        &mut profiles,
+                        &mut events,
+                        &mut outcomes,
                         &mut dm_cost,
                     );
                 } else if rented > cfg.min_slots {
@@ -222,7 +229,13 @@ pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoSc
                 if let Some(i) = waiting.pop_front() {
                     busy += 1;
                     start_service(
-                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        i,
+                        now,
+                        arrivals,
+                        cfg,
+                        &mut profiles,
+                        &mut events,
+                        &mut outcomes,
                         &mut dm_cost,
                     );
                 } else if rented > cfg.min_slots {
@@ -236,8 +249,10 @@ pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoSc
     debug_assert_eq!(busy, 0);
     debug_assert_eq!(booting, 0);
 
-    let outcomes: Vec<RequestOutcome> =
-        outcomes.into_iter().map(|o| o.expect("every request served")).collect();
+    let outcomes: Vec<RequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every request served"))
+        .collect();
     AutoScaleReport {
         outcomes,
         slot_hours,

@@ -34,5 +34,6 @@ pub use arrivals::{bursty, mixed, periodic, poisson, Arrival};
 pub use autoscale::{simulate_autoscale, AutoScaleConfig, AutoScaleReport};
 pub use profile::{ProfileTable, RequestProfile};
 pub use simulator::{
-    simulate_service, RequestOutcome, ServiceConfig, ServiceReport, Venue,
+    service_trace_jsonl, simulate_service, simulate_service_with_sink, RequestOutcome,
+    ServiceConfig, ServiceReport, Venue,
 };

@@ -37,7 +37,10 @@ impl ProfileTable {
     /// Creates a table that simulates requests under `exec` (its
     /// provisioning field is overridden per lookup).
     pub fn new(exec: ExecConfig) -> Self {
-        ProfileTable { exec, cache: HashMap::new() }
+        ProfileTable {
+            exec,
+            cache: HashMap::new(),
+        }
     }
 
     /// Profile of a `degrees`-sized request on `processors` nodes under
@@ -103,10 +106,7 @@ mod tests {
     fn profile_matches_direct_simulation() {
         let mut table = ProfileTable::new(ExecConfig::paper_default());
         let p = table.fixed(1.0, 8);
-        let direct = simulate(
-            &generate(&MosaicConfig::new(1.0)),
-            &ExecConfig::fixed(8),
-        );
+        let direct = simulate(&generate(&MosaicConfig::new(1.0)), &ExecConfig::fixed(8));
         assert!((p.makespan_hours - direct.makespan_hours()).abs() < 1e-12);
         assert!(p.cost.approx_eq(direct.total_cost(), 1e-12));
     }

@@ -10,9 +10,9 @@
 
 use std::collections::VecDeque;
 
-use mcloud_cost::Money;
 use mcloud_core::ExecConfig;
-use mcloud_simkit::{EventQueue, SimTime};
+use mcloud_cost::Money;
+use mcloud_simkit::{EventQueue, EventSink, NullSink, SimTime, TraceEvent};
 
 use crate::arrivals::Arrival;
 use crate::profile::ProfileTable;
@@ -62,11 +62,9 @@ impl ServiceConfig {
     /// Validates slot counts and threshold sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.local_slots == 0 && self.burst_threshold != Some(0) {
-            return Err(
-                "a service with no local slots must burst everything \
+            return Err("a service with no local slots must burst everything \
                  (burst_threshold = Some(0))"
-                    .to_string(),
-            );
+                .to_string());
         }
         if self.local_procs_per_request == 0 || self.cloud_procs_per_request == 0 {
             return Err("per-request processor counts must be positive".to_string());
@@ -120,12 +118,18 @@ pub struct ServiceReport {
 impl ServiceReport {
     /// Requests served locally.
     pub fn local_requests(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.venue == Venue::Local).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.venue == Venue::Local)
+            .count()
     }
 
     /// Requests burst to the cloud.
     pub fn cloud_requests(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.venue == Venue::Cloud).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.venue == Venue::Cloud)
+            .count()
     }
 
     /// Total spend.
@@ -140,7 +144,10 @@ impl ServiceReport {
 
     /// Longest wait, hours.
     pub fn max_wait_hours(&self) -> f64 {
-        self.outcomes.iter().map(RequestOutcome::wait_hours).fold(0.0, f64::max)
+        self.outcomes
+            .iter()
+            .map(RequestOutcome::wait_hours)
+            .fold(0.0, f64::max)
     }
 
     /// Mean turnaround, hours.
@@ -154,8 +161,11 @@ impl ServiceReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        let mut ts: Vec<f64> =
-            self.outcomes.iter().map(RequestOutcome::turnaround_hours).collect();
+        let mut ts: Vec<f64> = self
+            .outcomes
+            .iter()
+            .map(RequestOutcome::turnaround_hours)
+            .collect();
         ts.sort_by(f64::total_cmp);
         let idx = ((ts.len() as f64 * q).ceil() as usize).clamp(1, ts.len());
         ts[idx - 1]
@@ -178,7 +188,10 @@ fn mean(xs: impl Iterator<Item = f64>) -> f64 {
 #[derive(Debug)]
 enum Ev {
     Arrive(usize),
-    LocalDone,
+    LocalDone(usize),
+    /// Emits the finish event for a cloud request; scheduled only when a
+    /// trace sink is listening (cloud runs occupy no service state).
+    CloudDone(usize),
 }
 
 /// Simulates the service over an arrival stream.
@@ -186,6 +199,21 @@ enum Ev {
 /// # Panics
 /// Panics if the configuration fails validation.
 pub fn simulate_service(arrivals: &[Arrival], cfg: &ServiceConfig) -> ServiceReport {
+    simulate_service_with_sink(arrivals, cfg, &mut NullSink)
+}
+
+/// Like [`simulate_service`], but narrates each request's lifecycle into
+/// `sink` as [`TraceEvent::RequestQueued`] / [`TraceEvent::RequestStarted`]
+/// (with its venue) / [`TraceEvent::RequestFinished`] — the service-level
+/// spans that sit above the engine's per-task events.
+///
+/// # Panics
+/// Panics if the configuration fails validation.
+pub fn simulate_service_with_sink<S: EventSink>(
+    arrivals: &[Arrival],
+    cfg: &ServiceConfig,
+    sink: &mut S,
+) -> ServiceReport {
     cfg.validate().expect("invalid service configuration");
     let mut profiles = ProfileTable::new(cfg.exec.clone());
 
@@ -207,17 +235,31 @@ pub fn simulate_service(arrivals: &[Arrival], cfg: &ServiceConfig) -> ServiceRep
     while let Some((now, ev)) = events.pop() {
         match ev {
             Ev::Arrive(i) => {
+                sink.emit(now, TraceEvent::RequestQueued { req: i as u32 });
                 if free_slots > 0 {
                     free_slots -= 1;
                     start_local(
-                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        i,
+                        now,
+                        arrivals,
+                        cfg,
+                        &mut profiles,
+                        &mut events,
+                        &mut outcomes,
                         &mut local_busy_hours,
+                        sink,
                     );
                 } else if cfg.burst_threshold.is_some_and(|k| waiting.len() >= k) {
-                    let profile =
-                        profiles.fixed(arrivals[i].degrees, cfg.cloud_procs_per_request);
+                    let profile = profiles.fixed(arrivals[i].degrees, cfg.cloud_procs_per_request);
                     cloud_cost += profile.cost;
                     let start_h = now.as_hours_f64();
+                    sink.emit(
+                        now,
+                        TraceEvent::RequestStarted {
+                            req: i as u32,
+                            cloud: true,
+                        },
+                    );
                     outcomes[i] = Some(RequestOutcome {
                         index: i,
                         degrees: arrivals[i].degrees,
@@ -227,25 +269,43 @@ pub fn simulate_service(arrivals: &[Arrival], cfg: &ServiceConfig) -> ServiceRep
                         venue: Venue::Cloud,
                         cost: profile.cost,
                     });
+                    if sink.enabled() {
+                        let finish = now
+                            + mcloud_simkit::SimDuration::from_hours_f64(profile.makespan_hours);
+                        events.push(finish, Ev::CloudDone(i));
+                    }
                 } else {
                     waiting.push_back(i);
                 }
             }
-            Ev::LocalDone => {
+            Ev::LocalDone(done) => {
+                sink.emit(now, TraceEvent::RequestFinished { req: done as u32 });
                 if let Some(i) = waiting.pop_front() {
                     start_local(
-                        i, now, arrivals, cfg, &mut profiles, &mut events, &mut outcomes,
+                        i,
+                        now,
+                        arrivals,
+                        cfg,
+                        &mut profiles,
+                        &mut events,
+                        &mut outcomes,
                         &mut local_busy_hours,
+                        sink,
                     );
                 } else {
                     free_slots += 1;
                 }
             }
+            Ev::CloudDone(done) => {
+                sink.emit(now, TraceEvent::RequestFinished { req: done as u32 });
+            }
         }
     }
 
-    let outcomes: Vec<RequestOutcome> =
-        outcomes.into_iter().map(|o| o.expect("every request is served")).collect();
+    let outcomes: Vec<RequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every request is served"))
+        .collect();
     ServiceReport {
         outcomes,
         cloud_cost,
@@ -254,7 +314,7 @@ pub fn simulate_service(arrivals: &[Arrival], cfg: &ServiceConfig) -> ServiceRep
 }
 
 #[allow(clippy::too_many_arguments)]
-fn start_local(
+fn start_local<S: EventSink>(
     i: usize,
     now: SimTime,
     arrivals: &[Arrival],
@@ -263,11 +323,19 @@ fn start_local(
     events: &mut EventQueue<Ev>,
     outcomes: &mut [Option<RequestOutcome>],
     local_busy_hours: &mut f64,
+    sink: &mut S,
 ) {
     let profile = profiles.owned(arrivals[i].degrees, cfg.local_procs_per_request);
     let start_h = now.as_hours_f64();
     let finish = now + mcloud_simkit::SimDuration::from_hours_f64(profile.makespan_hours);
     *local_busy_hours += profile.makespan_hours;
+    sink.emit(
+        now,
+        TraceEvent::RequestStarted {
+            req: i as u32,
+            cloud: false,
+        },
+    );
     outcomes[i] = Some(RequestOutcome {
         index: i,
         degrees: arrivals[i].degrees,
@@ -277,9 +345,122 @@ fn start_local(
         venue: Venue::Local,
         cost: cfg.local_cost_per_slot_hour * profile.makespan_hours,
     });
-    events.push(finish, Ev::LocalDone);
+    events.push(finish, Ev::LocalDone(i));
 }
 
 fn hours(h: f64) -> SimTime {
     SimTime::from_secs_f64(h * 3600.0)
+}
+
+/// Serializes a service-level event stream as JSON Lines, one request
+/// lifecycle event per line — the service counterpart of
+/// `mcloud_core::trace_to_jsonl`. Integer microsecond timestamps and a
+/// fixed key order keep the output byte-deterministic; non-request events
+/// are skipped.
+pub fn service_trace_jsonl(events: &[mcloud_simkit::TimedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let t = e.at.as_micros();
+        let line = match e.event {
+            TraceEvent::RequestQueued { req } => {
+                format!(r#"{{"t_us":{t},"ev":"request_queued","req":{req}}}"#)
+            }
+            TraceEvent::RequestStarted { req, cloud } => {
+                format!(r#"{{"t_us":{t},"ev":"request_started","req":{req},"cloud":{cloud}}}"#)
+            }
+            TraceEvent::RequestFinished { req } => {
+                format!(r#"{{"t_us":{t},"ev":"request_finished","req":{req}}}"#)
+            }
+            _ => continue,
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::periodic;
+    use mcloud_simkit::RecordingSink;
+
+    #[test]
+    fn traced_service_run_matches_untraced() {
+        let arrivals = periodic(2.0, 24.0, 1.0);
+        let cfg = ServiceConfig::default_burst();
+        let mut sink = RecordingSink::new();
+        let traced = simulate_service_with_sink(&arrivals, &cfg, &mut sink);
+        assert_eq!(traced, simulate_service(&arrivals, &cfg));
+    }
+
+    #[test]
+    fn request_spans_mirror_outcomes() {
+        // Heavy periodic traffic on one slot with bursting: both venues.
+        let arrivals = periodic(0.25, 12.0, 1.0);
+        let cfg = ServiceConfig {
+            local_slots: 1,
+            burst_threshold: Some(1),
+            ..ServiceConfig::default_burst()
+        };
+        let mut sink = RecordingSink::new();
+        let report = simulate_service_with_sink(&arrivals, &cfg, &mut sink);
+        assert!(report.cloud_requests() > 0 && report.local_requests() > 0);
+
+        let c = sink.counters();
+        let n = arrivals.len() as u64;
+        assert_eq!(c.requests_queued, n);
+        assert_eq!(c.requests_started, n);
+
+        // Each outcome's queued/started/finished events appear at exactly
+        // the times the report says, with the right venue.
+        for o in &report.outcomes {
+            let req = o.index as u32;
+            let mut queued = None;
+            let mut started = None;
+            let mut finished = None;
+            for e in sink.events() {
+                match e.event {
+                    TraceEvent::RequestQueued { req: r } if r == req => queued = Some(e.at),
+                    TraceEvent::RequestStarted { req: r, cloud } if r == req => {
+                        started = Some((e.at, cloud));
+                    }
+                    TraceEvent::RequestFinished { req: r } if r == req => finished = Some(e.at),
+                    _ => {}
+                }
+            }
+            let queued = queued.expect("queued event");
+            let (started, cloud) = started.expect("started event");
+            let finished = finished.expect("finished event");
+            assert_eq!(cloud, o.venue == Venue::Cloud, "req {req}");
+            assert!((queued.as_hours_f64() - o.arrival_hours).abs() < 1e-9);
+            assert!((started.as_hours_f64() - o.start_hours).abs() < 1e-9);
+            assert!(
+                (finished.as_hours_f64() - o.finish_hours).abs() < 1e-6,
+                "req {req}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_jsonl_is_deterministic_and_ordered() {
+        let arrivals = periodic(0.5, 10.0, 1.0);
+        let cfg = ServiceConfig::default_burst();
+        let mut a = RecordingSink::new();
+        simulate_service_with_sink(&arrivals, &cfg, &mut a);
+        let mut b = RecordingSink::new();
+        simulate_service_with_sink(&arrivals, &cfg, &mut b);
+        let ja = service_trace_jsonl(a.events());
+        assert_eq!(ja, service_trace_jsonl(b.events()));
+        assert_eq!(ja.lines().count(), a.events().len());
+        let mut last = 0i64;
+        for line in ja.lines() {
+            assert!(line.starts_with(r#"{"t_us":"#), "{line}");
+            let t: i64 = line["{\"t_us\":".len()..line.find(',').unwrap()]
+                .parse()
+                .unwrap();
+            assert!(t >= last, "timestamps out of order: {line}");
+            last = t;
+        }
+    }
 }

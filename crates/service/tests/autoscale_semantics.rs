@@ -1,12 +1,13 @@
 //! Semantics of the auto-scaled standing pool.
 
 use mcloud_cost::Money;
-use mcloud_service::{
-    bursty, periodic, poisson, simulate_autoscale, Arrival, AutoScaleConfig,
-};
+use mcloud_service::{bursty, periodic, poisson, simulate_autoscale, Arrival, AutoScaleConfig};
 
 fn at(hours: f64) -> Arrival {
-    Arrival { at_hours: hours, degrees: 1.0 }
+    Arrival {
+        at_hours: hours,
+        degrees: 1.0,
+    }
 }
 
 fn base() -> AutoScaleConfig {
@@ -37,7 +38,10 @@ fn overload_scales_up_then_back_down() {
 
     let fixed_one = simulate_autoscale(
         &arrivals,
-        &AutoScaleConfig { max_slots: 1, ..base() },
+        &AutoScaleConfig {
+            max_slots: 1,
+            ..base()
+        },
     );
     assert!(
         scaled.max_wait_hours() < fixed_one.max_wait_hours() / 2.0,
@@ -52,8 +56,20 @@ fn overload_scales_up_then_back_down() {
 #[test]
 fn boot_delay_is_visible_in_waits() {
     let arrivals: Vec<Arrival> = (0..4).map(|_| at(0.0)).collect();
-    let fast = simulate_autoscale(&arrivals, &AutoScaleConfig { boot_s: 0.0, ..base() });
-    let slow = simulate_autoscale(&arrivals, &AutoScaleConfig { boot_s: 1800.0, ..base() });
+    let fast = simulate_autoscale(
+        &arrivals,
+        &AutoScaleConfig {
+            boot_s: 0.0,
+            ..base()
+        },
+    );
+    let slow = simulate_autoscale(
+        &arrivals,
+        &AutoScaleConfig {
+            boot_s: 1800.0,
+            ..base()
+        },
+    );
     assert!(slow.mean_wait_hours() > fast.mean_wait_hours());
 }
 
@@ -65,7 +81,9 @@ fn rental_accounting_is_consistent() {
     assert!(report
         .rental_cost
         .approx_eq(cfg.slot_cost_per_hour * report.slot_hours, 1e-9));
-    assert!(report.total_cost().approx_eq(report.rental_cost + report.dm_cost, 1e-12));
+    assert!(report
+        .total_cost()
+        .approx_eq(report.rental_cost + report.dm_cost, 1e-12));
     // Slot-hours at least cover the served work.
     let busy: f64 = report
         .outcomes
@@ -79,7 +97,11 @@ fn rental_accounting_is_consistent() {
 
 #[test]
 fn zero_floor_pools_rent_on_demand() {
-    let cfg = AutoScaleConfig { min_slots: 0, scale_up_queue: 1, ..base() };
+    let cfg = AutoScaleConfig {
+        min_slots: 0,
+        scale_up_queue: 1,
+        ..base()
+    };
     let arrivals = vec![at(0.0), at(10.0)];
     let report = simulate_autoscale(&arrivals, &cfg);
     assert_eq!(report.outcomes.len(), 2);
@@ -108,21 +130,41 @@ fn autoscale_is_deterministic() {
 #[test]
 fn wider_ceilings_never_hurt_latency() {
     let arrivals = bursty(1.0, 72.0, 1.0, &[(10.0, 6.0, 10.0)], 3);
-    let narrow = simulate_autoscale(&arrivals, &AutoScaleConfig { max_slots: 2, ..base() });
-    let wide = simulate_autoscale(&arrivals, &AutoScaleConfig { max_slots: 16, ..base() });
+    let narrow = simulate_autoscale(
+        &arrivals,
+        &AutoScaleConfig {
+            max_slots: 2,
+            ..base()
+        },
+    );
+    let wide = simulate_autoscale(
+        &arrivals,
+        &AutoScaleConfig {
+            max_slots: 16,
+            ..base()
+        },
+    );
     assert!(wide.max_wait_hours() <= narrow.max_wait_hours() + 1e-9);
 }
 
 #[test]
 #[should_panic(expected = "invalid autoscale configuration")]
 fn zero_floor_with_lazy_trigger_rejected() {
-    let cfg = AutoScaleConfig { min_slots: 0, scale_up_queue: 3, ..base() };
+    let cfg = AutoScaleConfig {
+        min_slots: 0,
+        scale_up_queue: 3,
+        ..base()
+    };
     simulate_autoscale(&[at(0.0)], &cfg);
 }
 
 #[test]
 #[should_panic(expected = "max_slots")]
 fn ceiling_below_floor_rejected() {
-    let cfg = AutoScaleConfig { min_slots: 4, max_slots: 2, ..base() };
+    let cfg = AutoScaleConfig {
+        min_slots: 4,
+        max_slots: 2,
+        ..base()
+    };
     simulate_autoscale(&[at(0.0)], &cfg);
 }

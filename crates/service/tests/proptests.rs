@@ -1,7 +1,8 @@
-//! Property-based tests of the service queue over random traffic.
+//! Randomized-property tests of the service queue over random traffic.
 
 use mcloud_service::{poisson, simulate_service, ServiceConfig, Venue};
-use proptest::prelude::*;
+
+const CASES: u64 = 24;
 
 fn cfg(slots: u32, threshold: Option<usize>) -> ServiceConfig {
     ServiceConfig {
@@ -11,25 +12,26 @@ fn cfg(slots: u32, threshold: Option<usize>) -> ServiceConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Deterministic per-case parameters in `[lo, hi)`.
+fn param(case: u64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * (case as f64 + 0.5) / CASES as f64
+}
 
-    /// Local concurrency never exceeds the slot count, waits are
-    /// non-negative, and queued requests start in FIFO order.
-    #[test]
-    fn queue_invariants(
-        rate in 0.5f64..6.0,
-        seed in any::<u64>(),
-        slots in 1u32..4,
-    ) {
-        let arrivals = poisson(rate, 50.0, 1.0, seed);
-        prop_assume!(!arrivals.is_empty());
+/// Local concurrency never exceeds the slot count, waits are
+/// non-negative, and queued requests start in FIFO order.
+#[test]
+fn queue_invariants() {
+    for case in 0..CASES {
+        let rate = param(case, 0.5, 6.0);
+        let slots = 1 + (case % 3) as u32;
+        let arrivals = poisson(rate, 50.0, 1.0, 0x5E_0001 ^ case);
+        assert!(!arrivals.is_empty(), "case {case}: no arrivals");
         let report = simulate_service(&arrivals, &cfg(slots, None));
 
         // Sweep local busy intervals.
         let mut events: Vec<(f64, i32)> = Vec::new();
         for o in &report.outcomes {
-            prop_assert!(o.wait_hours() >= -1e-9);
+            assert!(o.wait_hours() >= -1e-9, "case {case}");
             if o.venue == Venue::Local {
                 events.push((o.start_hours, 1));
                 events.push((o.finish_hours, -1));
@@ -39,7 +41,7 @@ proptest! {
         let mut cur = 0i64;
         for (_, d) in events {
             cur += d as i64;
-            prop_assert!(cur <= slots as i64);
+            assert!(cur <= slots as i64, "case {case}: slots exceeded");
         }
 
         // FIFO: local requests start in arrival order.
@@ -50,46 +52,61 @@ proptest! {
             .map(|o| o.start_hours)
             .collect();
         for w in starts.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-9);
+            assert!(w[0] <= w[1] + 1e-9, "case {case}: FIFO violated");
         }
     }
+}
 
-    /// Without bursting everything is local and free; with a zero
-    /// threshold and zero slots everything is cloud.
-    #[test]
-    fn venue_extremes(rate in 0.5f64..4.0, seed in any::<u64>()) {
-        let arrivals = poisson(rate, 30.0, 1.0, seed);
-        prop_assume!(!arrivals.is_empty());
+/// Without bursting everything is local and free; with a zero threshold
+/// and zero slots everything is cloud.
+#[test]
+fn venue_extremes() {
+    for case in 0..CASES {
+        let rate = param(case, 0.5, 4.0);
+        let arrivals = poisson(rate, 30.0, 1.0, 0x5E_0002 ^ case);
+        assert!(!arrivals.is_empty(), "case {case}: no arrivals");
         let local_only = simulate_service(&arrivals, &cfg(2, None));
-        prop_assert_eq!(local_only.cloud_requests(), 0);
-        prop_assert_eq!(local_only.total_cost().dollars(), 0.0);
+        assert_eq!(local_only.cloud_requests(), 0, "case {case}");
+        assert_eq!(local_only.total_cost().dollars(), 0.0, "case {case}");
 
         let cloud_only = simulate_service(&arrivals, &cfg(0, Some(0)));
-        prop_assert_eq!(cloud_only.local_requests(), 0);
-        prop_assert!(cloud_only.total_cost().dollars() > 0.0);
+        assert_eq!(cloud_only.local_requests(), 0, "case {case}");
+        assert!(cloud_only.total_cost().dollars() > 0.0, "case {case}");
         // Cloud has unlimited capacity: nobody ever waits.
-        prop_assert!(cloud_only.mean_wait_hours() < 1e-9);
+        assert!(cloud_only.mean_wait_hours() < 1e-9, "case {case}");
     }
+}
 
-    /// Lowering the burst threshold can only push more requests to the
-    /// cloud, and never worsens the maximum wait.
-    #[test]
-    fn threshold_monotonicity(rate in 1.0f64..6.0, seed in any::<u64>()) {
-        let arrivals = poisson(rate, 40.0, 1.0, seed);
-        prop_assume!(arrivals.len() >= 4);
+/// Lowering the burst threshold can only push more requests to the cloud,
+/// and never worsens the maximum wait.
+#[test]
+fn threshold_monotonicity() {
+    for case in 0..CASES {
+        let rate = param(case, 1.0, 6.0);
+        let arrivals = poisson(rate, 40.0, 1.0, 0x5E_0003 ^ case);
+        assert!(arrivals.len() >= 4, "case {case}: too few arrivals");
         let tight = simulate_service(&arrivals, &cfg(1, Some(1)));
         let loose = simulate_service(&arrivals, &cfg(1, Some(4)));
-        prop_assert!(tight.cloud_requests() >= loose.cloud_requests());
-        prop_assert!(tight.max_wait_hours() <= loose.max_wait_hours() + 1e-9);
-        prop_assert!(tight.cloud_cost >= loose.cloud_cost);
+        assert!(
+            tight.cloud_requests() >= loose.cloud_requests(),
+            "case {case}"
+        );
+        assert!(
+            tight.max_wait_hours() <= loose.max_wait_hours() + 1e-9,
+            "case {case}"
+        );
+        assert!(tight.cloud_cost >= loose.cloud_cost, "case {case}");
     }
+}
 
-    /// Turnaround always includes the service time: no request finishes
-    /// faster than its venue's profile.
-    #[test]
-    fn turnaround_lower_bound(rate in 0.5f64..4.0, seed in any::<u64>()) {
-        let arrivals = poisson(rate, 30.0, 2.0, seed);
-        prop_assume!(!arrivals.is_empty());
+/// Turnaround always includes the service time: no request finishes
+/// faster than its venue's profile.
+#[test]
+fn turnaround_lower_bound() {
+    for case in 0..CASES {
+        let rate = param(case, 0.5, 4.0);
+        let arrivals = poisson(rate, 30.0, 2.0, 0x5E_0004 ^ case);
+        assert!(!arrivals.is_empty(), "case {case}: no arrivals");
         let report = simulate_service(&arrivals, &cfg(2, Some(2)));
         let min_service = report
             .outcomes
@@ -97,7 +114,7 @@ proptest! {
             .map(|o| o.finish_hours - o.start_hours)
             .fold(f64::INFINITY, f64::min);
         for o in &report.outcomes {
-            prop_assert!(o.turnaround_hours() + 1e-9 >= min_service);
+            assert!(o.turnaround_hours() + 1e-9 >= min_service, "case {case}");
         }
     }
 }

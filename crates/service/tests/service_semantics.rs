@@ -1,12 +1,13 @@
 //! Hand-checkable semantics of the service queueing simulator.
 
 use mcloud_cost::Money;
-use mcloud_service::{
-    bursty, periodic, poisson, simulate_service, Arrival, ServiceConfig, Venue,
-};
+use mcloud_service::{bursty, periodic, poisson, simulate_service, Arrival, ServiceConfig, Venue};
 
 fn at(hours: f64) -> Arrival {
-    Arrival { at_hours: hours, degrees: 1.0 }
+    Arrival {
+        at_hours: hours,
+        degrees: 1.0,
+    }
 }
 
 /// Config with one local slot and no bursting: a pure FIFO M/D/1-style
@@ -128,7 +129,10 @@ fn amortized_local_cost_is_accounted() {
 fn service_simulation_is_deterministic() {
     let arrivals = poisson(3.0, 50.0, 1.0, 11);
     let cfg = ServiceConfig::default_burst();
-    assert_eq!(simulate_service(&arrivals, &cfg), simulate_service(&arrivals, &cfg));
+    assert_eq!(
+        simulate_service(&arrivals, &cfg),
+        simulate_service(&arrivals, &cfg)
+    );
 }
 
 #[test]

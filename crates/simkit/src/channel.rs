@@ -92,7 +92,10 @@ impl FcfsChannel {
             "blackout at {start} overlaps already-committed transfers"
         );
         if let Some(&(_, prev_end)) = self.blackouts.last() {
-            assert!(start >= prev_end, "blackout windows must be ordered and disjoint");
+            assert!(
+                start >= prev_end,
+                "blackout windows must be ordered and disjoint"
+            );
         }
         self.blackouts.push((start, end));
     }
@@ -130,7 +133,11 @@ impl FcfsChannel {
         self.total_bytes += bytes;
         self.busy_time += service;
         self.transfers += 1;
-        TransferGrant { start, finish, bytes }
+        TransferGrant {
+            start,
+            finish,
+            bytes,
+        }
     }
 
     /// The instant from which the channel is idle.
@@ -158,7 +165,10 @@ impl FcfsChannel {
     /// # Panics
     /// Panics if `horizon` is zero.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
-        assert!(horizon > SimTime::ZERO, "utilization needs a positive horizon");
+        assert!(
+            horizon > SimTime::ZERO,
+            "utilization needs a positive horizon"
+        );
         self.busy_time.as_secs_f64() / horizon.as_secs_f64()
     }
 }

@@ -19,6 +19,11 @@
 //! * [`TimeWeighted`] — step-function integration ("area under the storage
 //!   curve", the paper's GB-hours metric) and [`RunningStats`] for scalar
 //!   summaries.
+//! * [`EventSink`] / [`TraceEvent`] — structured event tracing: engines
+//!   narrate execution into a sink ([`NullSink`] when disabled at zero
+//!   cost, [`RecordingSink`] for counters and derived timeseries).
+//! * [`SimRng`] — a seeded xoshiro256++ generator so every stochastic
+//!   model input is reproducible across platforms.
 //!
 //! The kernel is engine-agnostic: simulation logic lives in the crates that
 //! use it (see `mcloud-core`). Nothing here spawns threads or consults wall
@@ -57,11 +62,17 @@
 mod channel;
 mod pool;
 mod queue;
+mod rng;
 mod stats;
 mod time;
+mod tracer;
 
 pub use channel::{FcfsChannel, TransferGrant};
 pub use pool::{ProcId, ProcessorPool};
 pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
 pub use stats::{RunningStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use tracer::{
+    Channel, EventSink, NullSink, RecordingSink, TimedEvent, TraceCounters, TraceEvent,
+};

@@ -99,7 +99,10 @@ impl ProcessorPool {
     /// # Panics
     /// Panics if `horizon` is zero.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
-        assert!(horizon > SimTime::ZERO, "utilization needs a positive horizon");
+        assert!(
+            horizon > SimTime::ZERO,
+            "utilization needs a positive horizon"
+        );
         let mut busy = self.busy_time.as_secs_f64();
         for since in self.busy_since.iter().flatten() {
             busy += horizon.since(*since).as_secs_f64();

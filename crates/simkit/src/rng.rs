@@ -1,0 +1,157 @@
+//! Deterministic pseudo-random numbers for simulation inputs.
+//!
+//! The kernel promises that a simulation is a pure function of its inputs,
+//! so every stochastic model element (task-failure draws, workload jitter,
+//! Poisson arrivals) must come from a seeded generator whose stream is
+//! identical on every platform. [`SimRng`] is a xoshiro256++ generator
+//! (Blackman & Vigna) seeded through SplitMix64 — small, fast, and free of
+//! external dependencies, which keeps the whole workspace buildable
+//! offline.
+//!
+//! This is a *simulation* RNG: statistically strong enough for modeling,
+//! never to be used for anything security-sensitive.
+
+/// A seeded, deterministic pseudo-random number generator.
+///
+/// ```
+/// use mcloud_simkit::SimRng;
+///
+/// let mut a = SimRng::new(2008);
+/// let mut b = SimRng::new(2008);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let u = a.f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed. The full 256-bit state is
+    /// expanded with SplitMix64, so nearby seeds produce unrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the bounds are not finite or `lo > hi`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniform draw from `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Widening-multiply range reduction (Lemire); the slight bias for
+        // astronomical `n` is irrelevant for simulation inputs.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let xs: Vec<u64> = (0..16)
+            .map(|_| 0)
+            .scan(SimRng::new(7), |r, _| Some(r.next_u64()))
+            .collect();
+        let ys: Vec<u64> = (0..16)
+            .map(|_| 0)
+            .scan(SimRng::new(7), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_eq!(xs, ys);
+        let zs: Vec<u64> = (0..16)
+            .map(|_| 0)
+            .scan(SimRng::new(8), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_varies() {
+        let mut rng = SimRng::new(42);
+        let draws: Vec<f64> = (0..1000).map(|_| rng.f64()).collect();
+        assert!(draws.iter().all(|u| (0.0..1.0).contains(u)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn ranged_draws_respect_bounds() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..1000 {
+            let x = rng.f64_in(-0.15, 0.15);
+            assert!((-0.15..0.15).contains(&x));
+            let k = rng.below(10);
+            assert!(k < 10);
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut rng = SimRng::new(3);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_rejects_zero() {
+        SimRng::new(0).below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn f64_in_rejects_reversed_bounds() {
+        SimRng::new(0).f64_in(1.0, 0.0);
+    }
+}

@@ -119,7 +119,10 @@ impl SimDuration {
         }
         let secs = (bytes as f64 * 8.0) / bits_per_sec;
         let us = (secs * MICROS_PER_SEC as f64).ceil();
-        assert!(us.is_finite() && us < u64::MAX as f64, "transfer time overflow");
+        assert!(
+            us.is_finite() && us < u64::MAX as f64,
+            "transfer time overflow"
+        );
         SimDuration(us as u64)
     }
 
@@ -254,7 +257,10 @@ mod tests {
     fn instant_plus_duration() {
         let t = SimTime::from_secs_f64(1.0) + SimDuration::from_secs(2);
         assert_eq!(t, SimTime::from_secs_f64(3.0));
-        assert_eq!(t.since(SimTime::from_secs_f64(1.0)), SimDuration::from_secs(2));
+        assert_eq!(
+            t.since(SimTime::from_secs_f64(1.0)),
+            SimDuration::from_secs(2)
+        );
     }
 
     #[test]

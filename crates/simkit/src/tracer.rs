@@ -1,0 +1,499 @@
+//! Structured event tracing: the kernel's observability surface.
+//!
+//! The paper's analysis hinges on fine-grained accounting — per-task
+//! runtimes, every transfer in and out, and the storage "area under the
+//! curve". An engine built on this kernel can narrate its entire execution
+//! as a stream of [`TraceEvent`]s pushed into an [`EventSink`]:
+//!
+//! * [`NullSink`] — the disabled path. Its `emit` is an empty inlined
+//!   function, so a monomorphized engine pays nothing when tracing is off.
+//! * [`RecordingSink`] — records every `(time, event)` pair and keeps
+//!   running [`TraceCounters`], from which per-resource utilization and
+//!   storage-occupancy timeseries are derived.
+//!
+//! Identifiers are plain integers (`u32` task/request indices, `u32`
+//! processor slots) so the kernel stays engine-agnostic; the engine crates
+//! own the mapping back to names. Events are emitted in simulation order,
+//! and the engines built on this kernel are deterministic, so a recorded
+//! trace — and any export of it — is byte-identical across runs.
+
+use crate::stats::TimeWeighted;
+use crate::time::{SimDuration, SimTime};
+
+/// Which channel a transfer used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// User/archive into cloud storage.
+    In,
+    /// Cloud storage back out to the user.
+    Out,
+}
+
+impl Channel {
+    /// Stable lowercase label used by exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Channel::In => "in",
+            Channel::Out => "out",
+        }
+    }
+}
+
+/// One structured simulation event.
+///
+/// Task and request identifiers are indices assigned by the emitting
+/// engine; processor identifiers are pool slot numbers. Storage occupancy
+/// is carried on every alloc/free so consumers never need to re-integrate
+/// just to know the current level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A task became runnable (all parents and inputs satisfied). Emitted
+    /// again if the task re-enters the ready queue (retry, storage wait).
+    TaskReady {
+        /// Task index.
+        task: u32,
+    },
+    /// A task began executing on a processor slot.
+    TaskStarted {
+        /// Task index.
+        task: u32,
+        /// Processor slot.
+        proc: u32,
+        /// Time spent between readiness and dispatch.
+        waited: SimDuration,
+    },
+    /// An execution attempt finished.
+    TaskFinished {
+        /// Task index.
+        task: u32,
+        /// Processor slot.
+        proc: u32,
+        /// `false` for a failed attempt that will be retried.
+        ok: bool,
+    },
+    /// A ready task could not start because its outputs would overflow the
+    /// configured storage capacity.
+    TaskBlockedOnStorage {
+        /// Task index.
+        task: u32,
+    },
+    /// A transfer was granted a slot on the link; `start`/`finish` are the
+    /// analytically known occupation window.
+    TransferGranted {
+        /// Which channel carries it.
+        chan: Channel,
+        /// Payload size.
+        bytes: u64,
+        /// When the transfer begins moving bytes.
+        start: SimTime,
+        /// When the last byte lands.
+        finish: SimTime,
+    },
+    /// A transfer's last byte arrived.
+    TransferCompleted {
+        /// Which channel carried it.
+        chan: Channel,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Bytes were allocated on the storage resource.
+    StorageAlloc {
+        /// Bytes allocated.
+        bytes: u64,
+        /// Occupancy after the allocation.
+        occupancy: f64,
+    },
+    /// Bytes were freed from the storage resource.
+    StorageFree {
+        /// Bytes freed.
+        bytes: u64,
+        /// Occupancy after the free.
+        occupancy: f64,
+    },
+    /// Provisioned VMs finished booting; tasks may now start.
+    VmReady,
+    /// A service request arrived and joined the queue.
+    RequestQueued {
+        /// Request index in arrival order.
+        req: u32,
+    },
+    /// A service request began executing.
+    RequestStarted {
+        /// Request index in arrival order.
+        req: u32,
+        /// True when the request was burst to the cloud.
+        cloud: bool,
+    },
+    /// A service request completed.
+    RequestFinished {
+        /// Request index in arrival order.
+        req: u32,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// Receives structured events from an engine.
+///
+/// Implementations must be cheap: engines call `emit` from their hot event
+/// loop. The [`NullSink`] implementation compiles to nothing.
+pub trait EventSink {
+    /// Consumes one event occurring at `now`.
+    fn emit(&mut self, now: SimTime, event: TraceEvent);
+
+    /// False when the sink discards everything, letting emitters skip any
+    /// nontrivial event construction.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn emit(&mut self, now: SimTime, event: TraceEvent) {
+        (**self).emit(now, event);
+    }
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// The disabled sink: drops everything, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn emit(&mut self, _now: SimTime, _event: TraceEvent) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Aggregate counters maintained by [`RecordingSink`] as events stream in.
+///
+/// These are the per-event sums that must reproduce an engine's report
+/// aggregates exactly — the consistency contract the golden-trace tests
+/// pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceCounters {
+    /// Total events observed.
+    pub events: u64,
+    /// Task execution attempts started.
+    pub tasks_started: u64,
+    /// Attempts that finished successfully.
+    pub tasks_succeeded: u64,
+    /// Attempts that failed (and were retried).
+    pub tasks_failed: u64,
+    /// Inbound transfers granted.
+    pub transfers_in: u64,
+    /// Outbound transfers granted.
+    pub transfers_out: u64,
+    /// Bytes granted inbound.
+    pub bytes_in: u64,
+    /// Bytes granted outbound.
+    pub bytes_out: u64,
+    /// Storage allocations.
+    pub storage_allocs: u64,
+    /// Storage frees.
+    pub storage_frees: u64,
+    /// Bytes allocated on storage, cumulative.
+    pub bytes_allocated: u64,
+    /// Bytes freed from storage, cumulative.
+    pub bytes_freed: u64,
+    /// Service requests queued.
+    pub requests_queued: u64,
+    /// Service requests started.
+    pub requests_started: u64,
+}
+
+/// Records the full event stream and derives timeseries from it.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    events: Vec<TimedEvent>,
+    counters: TraceCounters,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every event recorded so far, in emission (= simulation) order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// The running aggregate counters.
+    pub fn counters(&self) -> &TraceCounters {
+        &self.counters
+    }
+
+    /// The recorded events, consuming the sink.
+    pub fn into_events(self) -> Vec<TimedEvent> {
+        self.events
+    }
+
+    /// Timestamp of the last recorded event, or `t = 0` when empty.
+    pub fn end_time(&self) -> SimTime {
+        self.events.last().map(|e| e.at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The storage-occupancy step function as `(time, occupancy)` points,
+    /// one per alloc/free event.
+    pub fn storage_series(&self) -> Vec<(SimTime, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::StorageAlloc { occupancy, .. }
+                | TraceEvent::StorageFree { occupancy, .. } => Some((e.at, occupancy)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The running-task-count step function as `(time, running)` points.
+    pub fn concurrency_series(&self) -> Vec<(SimTime, u32)> {
+        let mut running = 0u32;
+        self.events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::TaskStarted { .. } => {
+                    running += 1;
+                    Some((e.at, running))
+                }
+                TraceEvent::TaskFinished { .. } => {
+                    running -= 1;
+                    Some((e.at, running))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Integrates the storage occupancy over `[0, until]`, in
+    /// byte-seconds. Replays the exact arithmetic of the engine's own
+    /// [`TimeWeighted`] accumulator, so the result matches the report's
+    /// `storage_byte_seconds` bit for bit.
+    pub fn storage_byte_seconds(&self, until: SimTime) -> f64 {
+        let mut tw = TimeWeighted::new();
+        for e in &self.events {
+            match e.event {
+                TraceEvent::StorageAlloc { bytes, .. } => tw.add(e.at, bytes as f64),
+                TraceEvent::StorageFree { bytes, .. } => tw.add(e.at, -(bytes as f64)),
+                _ => {}
+            }
+        }
+        tw.integral(until)
+    }
+
+    /// Peak storage occupancy observed, in bytes.
+    pub fn storage_peak_bytes(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::StorageAlloc { occupancy, .. }
+                | TraceEvent::StorageFree { occupancy, .. } => Some(occupancy),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean processor utilization over `[0, until]` for a pool of `procs`
+    /// slots, derived from task start/finish events.
+    ///
+    /// # Panics
+    /// Panics if `procs` is zero or `until` is `t = 0`.
+    pub fn cpu_utilization(&self, procs: u32, until: SimTime) -> f64 {
+        assert!(procs > 0, "utilization needs a nonempty pool");
+        assert!(
+            until > SimTime::ZERO,
+            "utilization needs a positive horizon"
+        );
+        let mut running = TimeWeighted::new();
+        for e in &self.events {
+            match e.event {
+                TraceEvent::TaskStarted { .. } => running.add(e.at, 1.0),
+                TraceEvent::TaskFinished { .. } => running.add(e.at, -1.0),
+                _ => {}
+            }
+        }
+        running.integral(until) / (procs as f64 * until.as_secs_f64())
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn emit(&mut self, now: SimTime, event: TraceEvent) {
+        self.counters.events += 1;
+        match event {
+            TraceEvent::TaskStarted { .. } => self.counters.tasks_started += 1,
+            TraceEvent::TaskFinished { ok, .. } => {
+                if ok {
+                    self.counters.tasks_succeeded += 1;
+                } else {
+                    self.counters.tasks_failed += 1;
+                }
+            }
+            TraceEvent::TransferGranted { chan, bytes, .. } => match chan {
+                Channel::In => {
+                    self.counters.transfers_in += 1;
+                    self.counters.bytes_in += bytes;
+                }
+                Channel::Out => {
+                    self.counters.transfers_out += 1;
+                    self.counters.bytes_out += bytes;
+                }
+            },
+            TraceEvent::StorageAlloc { bytes, .. } => {
+                self.counters.storage_allocs += 1;
+                self.counters.bytes_allocated += bytes;
+            }
+            TraceEvent::StorageFree { bytes, .. } => {
+                self.counters.storage_frees += 1;
+                self.counters.bytes_freed += bytes;
+            }
+            TraceEvent::RequestQueued { .. } => self.counters.requests_queued += 1,
+            TraceEvent::RequestStarted { .. } => self.counters.requests_started += 1,
+            _ => {}
+        }
+        self.events.push(TimedEvent { at: now, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        sink.emit(t(1.0), TraceEvent::VmReady); // no-op, no panic
+    }
+
+    #[test]
+    fn recording_sink_counts_and_orders() {
+        let mut sink = RecordingSink::new();
+        sink.emit(t(0.0), TraceEvent::TaskReady { task: 0 });
+        sink.emit(
+            t(0.0),
+            TraceEvent::TaskStarted {
+                task: 0,
+                proc: 0,
+                waited: SimDuration::ZERO,
+            },
+        );
+        sink.emit(
+            t(1.0),
+            TraceEvent::TransferGranted {
+                chan: Channel::In,
+                bytes: 100,
+                start: t(1.0),
+                finish: t(2.0),
+            },
+        );
+        sink.emit(
+            t(5.0),
+            TraceEvent::TaskFinished {
+                task: 0,
+                proc: 0,
+                ok: true,
+            },
+        );
+        let c = sink.counters();
+        assert_eq!(c.events, 4);
+        assert_eq!(c.tasks_started, 1);
+        assert_eq!(c.tasks_succeeded, 1);
+        assert_eq!(c.transfers_in, 1);
+        assert_eq!(c.bytes_in, 100);
+        assert_eq!(sink.events().len(), 4);
+        assert_eq!(sink.end_time(), t(5.0));
+    }
+
+    #[test]
+    fn storage_series_and_integral_replay() {
+        let mut sink = RecordingSink::new();
+        sink.emit(
+            t(0.0),
+            TraceEvent::StorageAlloc {
+                bytes: 100,
+                occupancy: 100.0,
+            },
+        );
+        sink.emit(
+            t(10.0),
+            TraceEvent::StorageFree {
+                bytes: 100,
+                occupancy: 0.0,
+            },
+        );
+        assert_eq!(sink.storage_series(), vec![(t(0.0), 100.0), (t(10.0), 0.0)]);
+        assert_eq!(sink.storage_byte_seconds(t(10.0)), 1000.0);
+        assert_eq!(sink.storage_peak_bytes(), 100.0);
+        assert_eq!(sink.counters().bytes_allocated, 100);
+        assert_eq!(sink.counters().bytes_freed, 100);
+    }
+
+    #[test]
+    fn concurrency_and_utilization_derive_from_task_events() {
+        let mut sink = RecordingSink::new();
+        let w = SimDuration::ZERO;
+        sink.emit(
+            t(0.0),
+            TraceEvent::TaskStarted {
+                task: 0,
+                proc: 0,
+                waited: w,
+            },
+        );
+        sink.emit(
+            t(0.0),
+            TraceEvent::TaskStarted {
+                task: 1,
+                proc: 1,
+                waited: w,
+            },
+        );
+        sink.emit(
+            t(5.0),
+            TraceEvent::TaskFinished {
+                task: 0,
+                proc: 0,
+                ok: true,
+            },
+        );
+        sink.emit(
+            t(10.0),
+            TraceEvent::TaskFinished {
+                task: 1,
+                proc: 1,
+                ok: true,
+            },
+        );
+        assert_eq!(
+            sink.concurrency_series(),
+            vec![(t(0.0), 1), (t(0.0), 2), (t(5.0), 1), (t(10.0), 0)]
+        );
+        // 15 task-seconds over 2 procs x 10 s.
+        assert!((sink.cpu_utilization(2, t(10.0)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_labels_are_stable() {
+        assert_eq!(Channel::In.label(), "in");
+        assert_eq!(Channel::Out.label(), "out");
+    }
+}

@@ -18,7 +18,10 @@ pub fn find_crossover<F>(lo: f64, hi: f64, tol: f64, diff: F) -> Option<f64>
 where
     F: Fn(f64) -> f64,
 {
-    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid interval [{lo}, {hi}]");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "invalid interval [{lo}, {hi}]"
+    );
     assert!(tol > 0.0, "tolerance must be positive");
     let (mut lo, mut hi) = (lo, hi);
     let mut f_lo = diff(lo);

@@ -5,8 +5,9 @@
 //! sweeps (Figure 11), Pareto analysis of the cost/makespan trade-off, and
 //! table/CSV emitters for the results.
 //!
-//! Sweeps fan out over rayon; each point is an independent deterministic
-//! simulation, so parallel and sequential execution produce identical
+//! Sweeps fan out over scoped worker threads ([`par_map`]); each point is
+//! an independent deterministic simulation and results are returned in
+//! input order, so parallel and sequential execution produce identical
 //! results (asserted in this crate's tests).
 //!
 //! ```
@@ -26,12 +27,14 @@
 #![forbid(unsafe_code)]
 
 mod crossover;
+mod par;
 mod pareto;
 mod plot;
 mod sweeps;
 mod table;
 
 pub use crossover::find_crossover;
+pub use par::par_map;
 pub use pareto::{cheapest_within_deadline, pareto_frontier, CostTimePoint};
 pub use plot::{LinePlot, Series};
 pub use sweeps::{

@@ -1,0 +1,99 @@
+//! A small deterministic fork-join helper built on scoped threads.
+//!
+//! Sweeps fan independent simulations out across cores. The contract that
+//! matters here is *determinism*: the output vector is ordered by input
+//! index regardless of how the OS schedules the workers, so a parallel
+//! sweep is byte-identical to a sequential one. Work is handed out through
+//! an atomic index dispenser (cheap dynamic load balancing — sweep points
+//! vary widely in cost as `P` grows).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, in parallel, returning results in input
+/// order. Panics from `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| match w.join() {
+                Ok(local) => local,
+                // Re-raise the worker's own panic payload, matching what a
+                // sequential run of `f` would have done.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in indexed {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("sweep worker dropped an item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_sequential_for_nontrivial_work() {
+        let items: Vec<u64> = (0..64).collect();
+        let work = |&x: &u64| (0..1000).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i));
+        assert_eq!(
+            par_map(&items, work),
+            items.iter().map(work).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_worker_panics() {
+        par_map(&[1u32, 2, 3, 4], |&x| {
+            assert!(x != 3, "boom");
+            x
+        });
+    }
+}

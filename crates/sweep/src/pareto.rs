@@ -56,10 +56,7 @@ pub fn pareto_frontier(points: &[CostTimePoint]) -> Vec<usize> {
 
 /// Picks the cheapest point whose makespan is within `deadline_s` — the
 /// paper's "16 processors gives 5.5 h for $9.25" style of choice.
-pub fn cheapest_within_deadline(
-    points: &[CostTimePoint],
-    deadline_s: f64,
-) -> Option<usize> {
+pub fn cheapest_within_deadline(points: &[CostTimePoint], deadline_s: f64) -> Option<usize> {
     points
         .iter()
         .enumerate()

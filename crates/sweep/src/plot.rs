@@ -78,9 +78,15 @@ impl LinePlot {
     /// Panics beyond 8 series or on empty/non-finite/non-positive data for
     /// log scales.
     pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        assert!(self.series.len() < PALETTE.len(), "more than 8 series: fold into 'Other'");
+        assert!(
+            self.series.len() < PALETTE.len(),
+            "more than 8 series: fold into 'Other'"
+        );
         assert!(!points.is_empty(), "series needs at least one point");
-        self.series.push(Series { name: name.into(), points });
+        self.series.push(Series {
+            name: name.into(),
+            points,
+        });
         self
     }
 
@@ -97,12 +103,20 @@ impl LinePlot {
     }
 
     fn tx(&self, x: f64, (lo, hi): (f64, f64)) -> f64 {
-        let (x, lo, hi) = if self.log_x { (x.log10(), lo.log10(), hi.log10()) } else { (x, lo, hi) };
+        let (x, lo, hi) = if self.log_x {
+            (x.log10(), lo.log10(), hi.log10())
+        } else {
+            (x, lo, hi)
+        };
         ML + (x - lo) / (hi - lo).max(f64::MIN_POSITIVE) * (W - ML - MR)
     }
 
     fn ty(&self, y: f64, (lo, hi): (f64, f64)) -> f64 {
-        let (y, lo, hi) = if self.log_y { (y.log10(), lo.log10(), hi.log10()) } else { (y, lo, hi) };
+        let (y, lo, hi) = if self.log_y {
+            (y.log10(), lo.log10(), hi.log10())
+        } else {
+            (y, lo, hi)
+        };
         H - MB - (y - lo) / (hi - lo).max(f64::MIN_POSITIVE) * (H - MT - MB)
     }
 
@@ -324,7 +338,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -334,8 +350,14 @@ mod tests {
     fn sample() -> LinePlot {
         LinePlot::new("Costs vs processors", "processors", "dollars")
             .with_log_x()
-            .series("total", vec![(1.0, 0.6), (2.0, 0.62), (4.0, 0.7), (128.0, 3.9)])
-            .series("cpu", vec![(1.0, 0.55), (2.0, 0.57), (4.0, 0.65), (128.0, 3.8)])
+            .series(
+                "total",
+                vec![(1.0, 0.6), (2.0, 0.62), (4.0, 0.7), (128.0, 3.9)],
+            )
+            .series(
+                "cpu",
+                vec![(1.0, 0.55), (2.0, 0.57), (4.0, 0.65), (128.0, 3.8)],
+            )
     }
 
     #[test]
@@ -358,7 +380,10 @@ mod tests {
         let svg = LinePlot::new("t", "x", "y")
             .series("only", vec![(0.0, 1.0), (1.0, 2.0)])
             .to_svg();
-        assert!(!svg.contains("<rect x=\"6"), "no legend swatch for one series");
+        assert!(
+            !svg.contains("<rect x=\"6"),
+            "no legend swatch for one series"
+        );
         assert_eq!(svg.matches("<polyline").count(), 1);
     }
 

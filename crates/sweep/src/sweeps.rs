@@ -1,10 +1,10 @@
 //! The parameter sweeps behind the paper's figures, run in parallel.
 //!
 //! Each sweep point is an independent deterministic simulation, so the
-//! sweeps fan out over a rayon thread pool (the simulations themselves
-//! stay single-threaded and reproducible).
+//! sweeps fan out over [`par_map`]'s scoped worker threads (the
+//! simulations themselves stay single-threaded and reproducible).
 
-use rayon::prelude::*;
+use crate::par::par_map;
 
 use mcloud_core::{simulate, DataMode, ExecConfig, Provisioning, Report};
 use mcloud_dag::Workflow;
@@ -61,28 +61,31 @@ pub fn processor_sweep(
     base: &ExecConfig,
     processors: &[u32],
 ) -> Vec<ProcessorPoint> {
-    processors
-        .par_iter()
-        .map(|&p| {
-            let cfg = ExecConfig {
-                provisioning: Provisioning::Fixed { processors: p },
-                ..base.clone()
-            };
-            ProcessorPoint { processors: p, report: simulate(wf, &cfg) }
-        })
-        .collect()
+    par_map(processors, |&p| {
+        let cfg = ExecConfig {
+            provisioning: Provisioning::Fixed { processors: p },
+            ..base.clone()
+        };
+        ProcessorPoint {
+            processors: p,
+            report: simulate(wf, &cfg),
+        }
+    })
 }
 
 /// Simulates the workflow under each of the three data-management modes,
 /// in parallel.
 pub fn mode_matrix(wf: &Workflow, base: &ExecConfig) -> Vec<ModePoint> {
-    DataMode::ALL
-        .par_iter()
-        .map(|&mode| ModePoint {
-            mode,
-            report: simulate(wf, &ExecConfig { mode, ..base.clone() }),
-        })
-        .collect()
+    par_map(&DataMode::ALL, |&mode| ModePoint {
+        mode,
+        report: simulate(
+            wf,
+            &ExecConfig {
+                mode,
+                ..base.clone()
+            },
+        ),
+    })
 }
 
 /// Rescales every file size so the workflow's CCR at the given link equals
@@ -105,17 +108,14 @@ pub fn scale_to_ccr(wf: &Workflow, desired_ccr: f64, link_bps: f64) -> Workflow 
 /// Simulates the workflow rescaled to each target CCR, in parallel
 /// (Figure 11 uses 8 fixed processors on the 1-degree workflow).
 pub fn ccr_sweep(wf: &Workflow, base: &ExecConfig, targets: &[f64]) -> Vec<CcrPoint> {
-    targets
-        .par_iter()
-        .map(|&ccr| {
-            let scaled = scale_to_ccr(wf, ccr, base.bandwidth_bps);
-            CcrPoint {
-                target_ccr: ccr,
-                actual_ccr: scaled.ccr_at_link(base.bandwidth_bps),
-                report: simulate(&scaled, base),
-            }
-        })
-        .collect()
+    par_map(targets, |&ccr| {
+        let scaled = scale_to_ccr(wf, ccr, base.bandwidth_bps);
+        CcrPoint {
+            target_ccr: ccr,
+            actual_ccr: scaled.ccr_at_link(base.bandwidth_bps),
+            report: simulate(&scaled, base),
+        }
+    })
 }
 
 #[cfg(test)]

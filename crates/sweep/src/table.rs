@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.

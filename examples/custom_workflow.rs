@@ -31,7 +31,8 @@ fn main() {
     b.add_task("task3", "stage", 120.0, &[c1], &[d]).unwrap();
     b.add_task("task4", "stage", 120.0, &[c1], &[e]).unwrap();
     b.add_task("task5", "stage", 120.0, &[c2], &[f, h]).unwrap();
-    b.add_task("task6", "gather", 120.0, &[d, e, f], &[g]).unwrap();
+    b.add_task("task6", "gather", 120.0, &[d, e, f], &[g])
+        .unwrap();
     let wf = b.build().unwrap();
 
     println!(

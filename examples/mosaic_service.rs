@@ -57,7 +57,11 @@ fn main() {
             p.report.total_cost().to_string(),
             format!("{:.2}", p.report.makespan_hours()),
             campaign.total().to_string(),
-            if frontier.contains(&i) { "*".to_string() } else { String::new() },
+            if frontier.contains(&i) {
+                "*".to_string()
+            } else {
+                String::new()
+            },
         ]);
     }
     print!("{}", table.to_ascii());

@@ -24,7 +24,10 @@ fn main() {
     // Question 1: fixed provisioning. How many processors should the
     // application request for this mosaic?
     println!("fixed provisioning (Amazon 2008 rates, 10 Mbps link):");
-    println!("{:>6} | {:>10} | {:>9} | {:>11}", "procs", "total cost", "runtime", "utilization");
+    println!(
+        "{:>6} | {:>10} | {:>9} | {:>11}",
+        "procs", "total cost", "runtime", "utilization"
+    );
     for p in geometric_processors(128) {
         let r = simulate(&wf, &ExecConfig::fixed(p));
         println!(

@@ -17,7 +17,10 @@ fn main() {
     let wf = montage_1_degree();
 
     println!("task failures (on-demand billing; every attempt is paid):");
-    println!("{:>8} | {:>9} | {:>8} | {:>10} | {:>9}", "p(fail)", "attempts", "retries", "total cost", "makespan");
+    println!(
+        "{:>8} | {:>9} | {:>8} | {:>10} | {:>9}",
+        "p(fail)", "attempts", "retries", "total cost", "makespan"
+    );
     let baseline = simulate(&wf, &ExecConfig::paper_default());
     for prob in [0.0, 0.05, 0.1, 0.2, 0.3] {
         let cfg = if prob > 0.0 {
@@ -63,8 +66,10 @@ fn main() {
 
     println!("VM boot overhead (the paper's flagged-but-unmodeled startup cost):");
     for startup in [0.0, 300.0, 900.0] {
-        let cfg = ExecConfig::fixed(32)
-            .with_vm_overhead(montage_cloud::core::VmOverhead { startup_s: startup, teardown_s: 60.0 });
+        let cfg = ExecConfig::fixed(32).with_vm_overhead(montage_cloud::core::VmOverhead {
+            startup_s: startup,
+            teardown_s: 60.0,
+        });
         let r = simulate(&wf, &cfg);
         println!(
             "  boot {:>4.0} s on 32 procs: {} at {:.2} h",

@@ -20,11 +20,24 @@ fn main() {
     let wf = montage_4_degree();
     let staged = simulate(&wf, &ExecConfig::paper_default());
     let hosted = simulate(&wf, &ExecConfig::paper_default().prestaged(true));
-    println!("one 4-degree plate: {} staged, {} with in-cloud archive", staged.total_cost(), hosted.total_cost());
+    println!(
+        "one 4-degree plate: {} staged, {} with in-cloud archive",
+        staged.total_cost(),
+        hosted.total_cost()
+    );
 
-    for (label, per_plate) in [("staged", staged.total_cost()), ("hosted", hosted.total_cost())] {
-        let sky = Campaign { requests: 3_900, cost_per_request: per_plate };
-        println!("whole sky, 3,900 4-degree plates ({label}): {}", sky.total());
+    for (label, per_plate) in [
+        ("staged", staged.total_cost()),
+        ("hosted", hosted.total_cost()),
+    ] {
+        let sky = Campaign {
+            requests: 3_900,
+            cost_per_request: per_plate,
+        };
+        println!(
+            "whole sky, 3,900 4-degree plates ({label}): {}",
+            sky.total()
+        );
     }
     let six_deg = Campaign {
         requests: 1_734,
@@ -34,7 +47,10 @@ fn main() {
         )
         .total_cost(),
     };
-    println!("alternative tiling, 1,734 6-degree plates: {}\n", six_deg.total());
+    println!(
+        "alternative tiling, 1,734 6-degree plates: {}\n",
+        six_deg.total()
+    );
 
     // --- archive or recompute? --------------------------------------------
     println!("archive-vs-recompute break-even per mosaic size:");

@@ -48,23 +48,30 @@ pub use mcloud_sweep as sweep;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use mcloud_core::{simulate, DataMode, ExecConfig, Provisioning, Report};
+    pub use mcloud_core::{
+        simulate, simulate_traced, simulate_with_sink, trace_to_chrome, trace_to_jsonl, DataMode,
+        ExecConfig, Provisioning, Report,
+    };
     pub use mcloud_cost::{
-        ArchiveOrRecompute, Campaign, ChargeGranularity, CostBreakdown, DatasetHosting,
-        Money, Pricing,
+        ArchiveOrRecompute, Campaign, ChargeGranularity, CostBreakdown, DatasetHosting, Money,
+        Pricing,
     };
     pub use mcloud_dag::{DagError, FileId, TaskId, Workflow, WorkflowBuilder};
     pub use mcloud_montage::{
-        generate, montage_1_degree, montage_2_degree, montage_4_degree, paper_figure3,
-        Band, MosaicConfig,
+        generate, montage_1_degree, montage_2_degree, montage_4_degree, paper_figure3, Band,
+        MosaicConfig,
     };
     pub use mcloud_service::{
-        bursty, mixed, periodic, poisson, simulate_autoscale, simulate_service, Arrival,
-        AutoScaleConfig, AutoScaleReport, ServiceConfig, ServiceReport, Venue,
+        bursty, mixed, periodic, poisson, service_trace_jsonl, simulate_autoscale,
+        simulate_service, simulate_service_with_sink, Arrival, AutoScaleConfig, AutoScaleReport,
+        ServiceConfig, ServiceReport, Venue,
+    };
+    pub use mcloud_simkit::{
+        Channel, EventSink, NullSink, RecordingSink, TimedEvent, TraceCounters, TraceEvent,
     };
     pub use mcloud_sweep::{
-        ccr_sweep, cheapest_within_deadline, geometric_processors, mode_matrix,
-        pareto_frontier, processor_sweep, scale_to_ccr, CostTimePoint, Table,
+        ccr_sweep, cheapest_within_deadline, geometric_processors, mode_matrix, pareto_frontier,
+        processor_sweep, scale_to_ccr, CostTimePoint, Table,
     };
 }
 

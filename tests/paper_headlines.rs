@@ -39,7 +39,10 @@ fn question1_montage2_extremes() {
     close(one.makespan_hours(), 20.5, 0.10, "2deg 1-proc hours");
     let many = simulate(&wf, &ExecConfig::fixed(128));
     assert!(many.total_cost().dollars() < 8.0, "2deg 128-proc under $8");
-    assert!(many.makespan_hours() < 40.0 / 60.0, "2deg 128-proc under 40 min");
+    assert!(
+        many.makespan_hours() < 40.0 / 60.0,
+        "2deg 128-proc under 40 min"
+    );
 }
 
 #[test]
@@ -111,7 +114,12 @@ fn question2a_on_demand_vs_provisioned() {
     let wf = montage_4_degree();
     let provisioned = simulate(&wf, &ExecConfig::fixed(128));
     let on_demand = simulate(&wf, &ExecConfig::paper_default());
-    close(on_demand.total_cost().dollars(), 8.89, 0.10, "4deg on-demand");
+    close(
+        on_demand.total_cost().dollars(),
+        8.89,
+        0.10,
+        "4deg on-demand",
+    );
     assert!(provisioned.total_cost().dollars() > 1.4 * on_demand.total_cost().dollars());
     // Utilization is the culprit: "CPU utilization can be low in the
     // provisioned case."
@@ -135,9 +143,24 @@ fn figure10_cpu_costs() {
 #[test]
 fn ccr_table_matches_paper_band() {
     // Section 6 table: CCR = 0.053 / 0.053 / 0.045 at 10 Mbps.
-    close(montage_1_degree().ccr_at_link(10e6), 0.053, 0.05, "1deg CCR");
-    close(montage_2_degree().ccr_at_link(10e6), 0.053, 0.12, "2deg CCR");
-    close(montage_4_degree().ccr_at_link(10e6), 0.045, 0.05, "4deg CCR");
+    close(
+        montage_1_degree().ccr_at_link(10e6),
+        0.053,
+        0.05,
+        "1deg CCR",
+    );
+    close(
+        montage_2_degree().ccr_at_link(10e6),
+        0.053,
+        0.12,
+        "2deg CCR",
+    );
+    close(
+        montage_4_degree().ccr_at_link(10e6),
+        0.045,
+        0.05,
+        "4deg CCR",
+    );
 }
 
 #[test]
@@ -154,15 +177,28 @@ fn question2b_hosting_economics() {
     let wf = montage_2_degree();
     let staged = simulate(&wf, &ExecConfig::paper_default());
     let hosted = simulate(&wf, &ExecConfig::paper_default().prestaged(true));
-    close(staged.total_cost().dollars(), 2.22, 0.06, "2deg staged request");
-    close(hosted.total_cost().dollars(), 2.12, 0.06, "2deg hosted request");
+    close(
+        staged.total_cost().dollars(),
+        2.22,
+        0.06,
+        "2deg staged request",
+    );
+    close(
+        hosted.total_cost().dollars(),
+        2.12,
+        0.06,
+        "2deg hosted request",
+    );
     let hosting = DatasetHosting {
         dataset_bytes: twelve_tb,
         request_cost_staged: staged.total_cost(),
         request_cost_hosted: hosted.total_cost(),
     };
     let be = hosting.break_even_requests_per_month(&pricing);
-    assert!((10_000.0..200_000.0).contains(&be), "break-even volume {be}");
+    assert!(
+        (10_000.0..200_000.0).contains(&be),
+        "break-even volume {be}"
+    );
 }
 
 #[test]
@@ -172,7 +208,10 @@ fn question3_whole_sky_and_archival() {
     let pricing = Pricing::amazon_2008();
     let wf = montage_4_degree();
     let per_plate = simulate(&wf, &ExecConfig::paper_default()).total_cost();
-    let sky = Campaign { requests: 3_900, cost_per_request: per_plate };
+    let sky = Campaign {
+        requests: 3_900,
+        cost_per_request: per_plate,
+    };
     close(sky.total().dollars(), 34_632.0, 0.10, "whole-sky cost");
 
     for (wf, want_months) in [

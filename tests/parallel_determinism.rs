@@ -1,29 +1,50 @@
-//! The parallel harness must be invisible: sweeps run under rayon yield
-//! byte-identical results regardless of thread count, and repeated runs
-//! of any experiment agree exactly.
+//! The parallel harness must be invisible: threaded sweeps match a plain
+//! sequential simulation of every point, and repeated runs of any
+//! experiment agree exactly.
 
 use montage_cloud::prelude::*;
 
 #[test]
-fn sweeps_are_thread_count_invariant() {
+fn sweeps_match_sequential_simulation() {
     let wf = montage_1_degree();
     let base = ExecConfig::paper_default();
     let procs = geometric_processors(32);
 
-    let serial_pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-    let wide_pool = rayon::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
-    let serial = serial_pool.install(|| processor_sweep(&wf, &base, &procs));
-    let wide = wide_pool.install(|| processor_sweep(&wf, &base, &procs));
-    assert_eq!(serial, wide);
+    let points = processor_sweep(&wf, &base, &procs);
+    assert_eq!(points.len(), procs.len());
+    for p in &points {
+        let direct = simulate(&wf, &ExecConfig::fixed(p.processors));
+        assert_eq!(p.report, direct, "P={}", p.processors);
+    }
 
-    let serial = serial_pool.install(|| mode_matrix(&wf, &base));
-    let wide = wide_pool.install(|| mode_matrix(&wf, &base));
-    assert_eq!(serial, wide);
+    let modes = mode_matrix(&wf, &base);
+    for m in &modes {
+        let direct = simulate(
+            &wf,
+            &ExecConfig {
+                mode: m.mode,
+                ..base.clone()
+            },
+        );
+        assert_eq!(m.report, direct, "mode {:?}", m.mode);
+    }
+}
+
+#[test]
+fn sweeps_are_repeatable() {
+    let wf = montage_1_degree();
+    let base = ExecConfig::paper_default();
+    let procs = geometric_processors(32);
+    assert_eq!(
+        processor_sweep(&wf, &base, &procs),
+        processor_sweep(&wf, &base, &procs)
+    );
 
     let targets = [0.05, 0.2, 0.8];
-    let serial = serial_pool.install(|| ccr_sweep(&wf, &ExecConfig::fixed(8), &targets));
-    let wide = wide_pool.install(|| ccr_sweep(&wf, &ExecConfig::fixed(8), &targets));
-    assert_eq!(serial, wide);
+    assert_eq!(
+        ccr_sweep(&wf, &ExecConfig::fixed(8), &targets),
+        ccr_sweep(&wf, &ExecConfig::fixed(8), &targets)
+    );
 }
 
 #[test]

@@ -41,8 +41,16 @@ fn mode_orderings_hold_for_all_canonical_sizes() {
             &by(DataMode::DynamicCleanup).report,
         );
         // Storage space-time: remote < cleanup < regular.
-        assert!(rio.storage_byte_seconds < clean.storage_byte_seconds, "{}", wf.name());
-        assert!(clean.storage_byte_seconds < reg.storage_byte_seconds, "{}", wf.name());
+        assert!(
+            rio.storage_byte_seconds < clean.storage_byte_seconds,
+            "{}",
+            wf.name()
+        );
+        assert!(
+            clean.storage_byte_seconds < reg.storage_byte_seconds,
+            "{}",
+            wf.name()
+        );
         // Transfers: remote moves the most both ways; regular == cleanup.
         assert!(rio.bytes_in > reg.bytes_in);
         assert!(rio.bytes_out > reg.bytes_out);
