@@ -3,7 +3,8 @@
 //! spawning processes.
 
 use mcloud_core::{
-    simulate, simulate_traced, trace_to_chrome, trace_to_jsonl, DataMode, ExecConfig,
+    attribute_profile_costs, profile_json, profile_svg, profile_text, profile_trace, simulate,
+    simulate_traced, trace_from_jsonl, trace_to_chrome, trace_to_jsonl, DataMode, ExecConfig,
     SchedulePolicy, VmOverhead,
 };
 use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Pricing};
@@ -27,6 +28,7 @@ usage: mcloud <command> [flags]
 commands:
   simulate    price one workflow execution plan
   trace       run one plan and export its event trace (JSONL or Chrome)
+  profile     attribute a run's time and dollars to phases and task classes
   plan        sweep provisioning levels and recommend one
   generate    emit a synthetic Montage workflow as DAX (and DOT)
   info        analyze a DAX workflow file
@@ -45,6 +47,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     match cmd.as_str() {
         "simulate" => cmd_simulate(rest),
         "trace" => cmd_trace(rest),
+        "profile" => cmd_profile(rest),
         "plan" => cmd_plan(rest),
         "generate" => cmd_generate(rest),
         "info" => cmd_info(rest),
@@ -191,32 +194,54 @@ flags:
   --outage START:DUR     storage outage window (seconds; repeatable)
   --trace-out FILE       also write the event trace here
   --trace-format F       jsonl (default) | chrome
+  --profile-out FILE     also write a phase/cost profile report
+                         (.json for JSON, anything else for text)
   --seed / --region / --band   workload generator knobs"
             .to_string());
     }
-    let args = Args::parse(rest, SIM_FLAGS)?;
+    let mut flags = SIM_FLAGS.to_vec();
+    flags.push("profile-out");
+    let args = Args::parse(rest, &flags)?;
     let wf = workflow_from(&args)?;
     let mut cfg = exec_from(&args)?;
     if let Some(p) = args.get_parsed::<u32>("procs")? {
         cfg.provisioning = mcloud_core::Provisioning::Fixed { processors: p };
     }
     let mut trace_note = String::new();
-    let r = match args.get("trace-out") {
-        Some(path) => {
+    let trace_out = args.get("trace-out");
+    let profile_out = args.get("profile-out");
+    let r = if trace_out.is_some() || profile_out.is_some() {
+        let (r, sink) = simulate_traced(&wf, &cfg);
+        if let Some(path) = trace_out {
             let format = parse_trace_format(&args)?;
-            let (r, sink) = simulate_traced(&wf, &cfg);
             let doc = match format {
                 "chrome" => trace_to_chrome(&wf, sink.events()),
                 _ => trace_to_jsonl(&wf, sink.events()),
             };
             std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
-            trace_note = format!(
+            trace_note.push_str(&format!(
                 "trace         {} events ({format}) -> {path}\n",
                 sink.events().len()
-            );
-            r
+            ));
         }
-        None => simulate(&wf, &cfg),
+        if let Some(path) = profile_out {
+            let p = profile_trace(&wf, sink.events());
+            let attr = attribute_profile_costs(&p, &r, &cfg.pricing);
+            let title = profile_title(&wf, &cfg);
+            let doc = if path.ends_with(".json") {
+                profile_json(&wf, &title, &p, &attr)
+            } else {
+                profile_text(&wf, &title, &p, &attr)
+            };
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            trace_note.push_str(&format!(
+                "profile       {} classes -> {path}\n",
+                p.classes.len()
+            ));
+        }
+        r
+    } else {
+        simulate(&wf, &cfg)
     };
 
     let mut out = String::new();
@@ -336,6 +361,83 @@ flags:
             ))
         }
         None => Ok(doc),
+    }
+}
+
+/// Deterministic report header shared by `simulate --profile-out` and
+/// `mcloud profile`.
+fn profile_title(wf: &Workflow, cfg: &ExecConfig) -> String {
+    format!(
+        "{} [{} / {}]",
+        wf.name(),
+        cfg.provisioning.label(),
+        cfg.mode.label()
+    )
+}
+
+fn cmd_profile(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud profile — attribute a run's time and dollars to phases and classes
+
+Reconstructs per-task spans from the event trace and reports where each
+task class's wall time went (queue-wait, execution, transfer-in/out,
+storage-wait), per-level windows, the observed critical path, and which
+class spent the dollars on which resource.
+
+flags:
+  --trace FILE      profile a previously exported JSONL trace instead of
+                    the trace of a fresh run (the plan flags must match
+                    the run that produced it)
+  --format F        text (default) | json
+  --out FILE        write the report here instead of stdout
+  --svg FILE        also write a stacked phase-breakdown chart
+  plus all `mcloud simulate` flags (--degrees, --procs, --mode, ...)"
+            .to_string());
+    }
+    let mut flags = SIM_FLAGS.to_vec();
+    flags.extend(["trace", "format", "out", "svg"]);
+    let args = Args::parse(rest, &flags)?;
+    let wf = workflow_from(&args)?;
+    let mut cfg = exec_from(&args)?;
+    if let Some(p) = args.get_parsed::<u32>("procs")? {
+        cfg.provisioning = mcloud_core::Provisioning::Fixed { processors: p };
+    }
+    // The report (billing totals) always comes from a deterministic
+    // re-simulation of the configured plan; the events come from the
+    // trace file when one is supplied.
+    let (report, sink) = simulate_traced(&wf, &cfg);
+    let p = match args.get("trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let events = trace_from_jsonl(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            profile_trace(&wf, &events)
+        }
+        None => profile_trace(&wf, sink.events()),
+    };
+    let attr = attribute_profile_costs(&p, &report, &cfg.pricing);
+    let title = profile_title(&wf, &cfg);
+    let doc = match args.get("format").unwrap_or("text") {
+        "text" => profile_text(&wf, &title, &p, &attr),
+        "json" => profile_json(&wf, &title, &p, &attr),
+        other => return Err(format!("unknown profile format '{other}' (text | json)")),
+    };
+    let mut notes = String::new();
+    if let Some(path) = args.get("svg") {
+        let svg = profile_svg(&title, &p, &attr);
+        std::fs::write(path, &svg).map_err(|e| format!("writing {path}: {e}"))?;
+        notes.push_str(&format!("wrote phase chart to {path}\n"));
+    }
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            Ok(format!(
+                "wrote {} profile ({} bytes) to {path}\n{notes}",
+                args.get("format").unwrap_or("text"),
+                doc.len()
+            ))
+        }
+        None => Ok(format!("{doc}{notes}")),
     }
 }
 
@@ -881,6 +983,69 @@ mod tests {
         assert!(out.contains("events (jsonl)"), "{out}");
         let doc = std::fs::read_to_string(&path).unwrap();
         assert!(doc.lines().all(|l| l.starts_with(r#"{"t_us":"#)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profile_prints_deterministic_breakdown() {
+        let out = run_str("profile --degrees 0.5 --procs 4 --mode cleanup").unwrap();
+        assert!(out.contains("observed critical path"), "{out}");
+        assert!(out.contains("mProject"), "{out}");
+        assert!(out.contains("billed"), "{out}");
+        assert_eq!(
+            out,
+            run_str("profile --degrees 0.5 --procs 4 --mode cleanup").unwrap()
+        );
+        let json = run_str("profile --degrees 0.5 --procs 4 --format json").unwrap();
+        assert!(json.starts_with(r#"{"workflow":"#), "{json}");
+        assert!(json.contains(r#""cost_rows":"#), "{json}");
+        let err = run_str("profile --format yaml").unwrap_err();
+        assert!(err.contains("unknown profile format"), "{err}");
+    }
+
+    #[test]
+    fn profile_reads_an_exported_trace_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join("mcloud_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.jsonl");
+        let out_file = dir.join("p.txt");
+        let svg = dir.join("p.svg");
+        run_str(&format!(
+            "trace --degrees 0.5 --procs 2 --mode remote-io --out {}",
+            trace.display()
+        ))
+        .unwrap();
+        let summary = run_str(&format!(
+            "profile --degrees 0.5 --procs 2 --mode remote-io --trace {} --out {} --svg {}",
+            trace.display(),
+            out_file.display(),
+            svg.display()
+        ))
+        .unwrap();
+        assert!(summary.contains("wrote text profile"), "{summary}");
+        assert!(summary.contains("phase chart"), "{summary}");
+        // Profiling the exported trace equals profiling the live run.
+        let from_file = std::fs::read_to_string(&out_file).unwrap();
+        let live = run_str("profile --degrees 0.5 --procs 2 --mode remote-io").unwrap();
+        assert!(live.starts_with(&from_file), "file/live profiles diverge");
+        let svg_doc = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_doc.starts_with("<svg "), "{svg_doc}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simulate_profile_out_flag_writes_report() {
+        let dir = std::env::temp_dir().join("mcloud_cli_profout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        let out = run_str(&format!(
+            "simulate --degrees 0.5 --procs 2 --profile-out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("profile       "), "{out}");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.starts_with(r#"{"workflow":"#), "{doc}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -28,8 +28,8 @@ use std::collections::BinaryHeap;
 use mcloud_cost::CostBreakdown;
 use mcloud_dag::{FileId, TaskId, Workflow};
 use mcloud_simkit::{
-    Channel, EventQueue, EventSink, FcfsChannel, NullSink, ProcId, ProcessorPool, RecordingSink,
-    SimDuration, SimRng, SimTime, TimeWeighted, TraceEvent,
+    Channel, EventQueue, EventSink, FcfsChannel, Histogram, NullSink, ProcId, ProcessorPool,
+    RecordingSink, SimDuration, SimRng, SimTime, TimeWeighted, TraceEvent,
 };
 
 use crate::config::{DataMode, ExecConfig, Provisioning, SchedulePolicy};
@@ -120,6 +120,8 @@ struct Engine<'a, S: EventSink> {
     ready_time: Vec<SimTime>,
     /// Wait between readiness and dispatch, per execution attempt.
     wait_stats: mcloud_simkit::RunningStats,
+    /// The same waits as a distribution (p50/p95/p99 for the report).
+    wait_hist: Histogram,
     /// Instant before which no task may start (VM boot).
     vm_ready_at: SimTime,
 
@@ -203,6 +205,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             started: vec![false; n],
             ready_time: vec![SimTime::ZERO; n],
             wait_stats: mcloud_simkit::RunningStats::new(),
+            wait_hist: Histogram::new(),
             vm_ready_at,
             remaining_consumers: wf
                 .file_ids()
@@ -279,7 +282,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     }
                     // Stage in every external input up front, FCFS in file order.
                     for f in self.wf.external_inputs() {
-                        let grant = self.submit_in(SimTime::ZERO, self.wf.file(f).bytes);
+                        let grant = self.submit_in(SimTime::ZERO, self.wf.file(f).bytes, None);
                         self.events.push(grant.finish, Ev::FileArrived(f));
                     }
                 }
@@ -311,6 +314,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             TraceEvent::TransferCompleted {
                 chan: Channel::In,
                 bytes,
+                task: None,
             },
         );
         self.storage_alloc(now, bytes);
@@ -328,6 +332,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             TraceEvent::TransferCompleted {
                 chan: Channel::Out,
                 bytes: self.wf.file(f).bytes,
+                task: None,
             },
         );
         self.remove_from_storage(now, f);
@@ -383,7 +388,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 continue;
             }
             let bytes = self.wf.file(f).bytes;
-            let grant = self.submit_in(now, bytes);
+            let grant = self.submit_in(now, bytes, Some(t));
             self.staged_in_bytes[t.index()] += bytes;
             self.events
                 .push(grant.finish, Ev::InputArrived { task: t, bytes });
@@ -397,6 +402,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             TraceEvent::TransferCompleted {
                 chan: Channel::In,
                 bytes,
+                task: Some(t.0),
             },
         );
         // Remote I/O occupancy follows the paper's accounting: "the files
@@ -413,6 +419,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             TraceEvent::TransferCompleted {
                 chan: Channel::Out,
                 bytes,
+                task: Some(t.0),
             },
         );
         self.outputs_remaining[t.index()] -= 1;
@@ -464,8 +471,14 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     /// Submits an inbound (user/archive -> storage) transfer, updating the
-    /// byte accounting and narrating the grant.
-    fn submit_in(&mut self, now: SimTime, bytes: u64) -> mcloud_simkit::TransferGrant {
+    /// byte accounting and narrating the grant. `task` attributes private
+    /// (remote-I/O) stage-ins to their task; shared staging passes `None`.
+    fn submit_in(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        task: Option<TaskId>,
+    ) -> mcloud_simkit::TransferGrant {
         let grant = self.link.submit(now, bytes);
         self.bytes_in += bytes;
         self.transfers_in += 1;
@@ -476,6 +489,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 bytes,
                 start: grant.start,
                 finish: grant.finish,
+                task: task.map(|t| t.0),
             },
         );
         grant
@@ -483,7 +497,14 @@ impl<'a, S: EventSink> Engine<'a, S> {
 
     /// Submits an outbound (storage -> user) transfer on the appropriate
     /// channel, updating the byte accounting and narrating the grant.
-    fn submit_out(&mut self, now: SimTime, bytes: u64) -> mcloud_simkit::TransferGrant {
+    /// `task` attributes private (remote-I/O) stage-outs to their task; the
+    /// final shared stage-out passes `None`.
+    fn submit_out(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        task: Option<TaskId>,
+    ) -> mcloud_simkit::TransferGrant {
         let grant = match self.link_out.as_mut() {
             Some(out) => out.submit(now, bytes),
             None => self.link.submit(now, bytes),
@@ -497,6 +518,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 bytes,
                 start: grant.start,
                 finish: grant.finish,
+                task: task.map(|t| t.0),
             },
         );
         grant
@@ -549,6 +571,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             self.ready.pop();
             let waited = now.since(self.ready_time[t.index()]);
             self.wait_stats.push(waited.as_secs_f64());
+            self.wait_hist.record(waited.as_secs_f64());
             self.sink.emit(
                 now,
                 TraceEvent::TaskStarted {
@@ -652,7 +675,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 let outputs = task.outputs.clone();
                 for f in outputs {
                     let bytes = self.wf.file(f).bytes;
-                    let grant = self.submit_out(now, bytes);
+                    let grant = self.submit_out(now, bytes, Some(t));
                     self.events
                         .push(grant.finish, Ev::OutputStagedOut { task: t, bytes });
                 }
@@ -669,7 +692,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.stageouts_pending = files.len();
         for f in files {
             let bytes = self.wf.file(f).bytes;
-            let grant = self.submit_out(now, bytes);
+            let grant = self.submit_out(now, bytes, None);
             self.events.push(grant.finish, Ev::FinalStageOutDone(f));
         }
     }
@@ -730,6 +753,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             failed_attempts: self.failed_attempts,
             queue_wait_mean_s: self.wait_stats.mean(),
             queue_wait_max_s: self.wait_stats.max(),
+            queue_wait_hist: self.wait_hist,
             // Attached by `simulate_with_sink` (via the span tee) when
             // `record_trace` is set.
             trace: None,

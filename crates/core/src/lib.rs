@@ -31,6 +31,7 @@
 mod config;
 mod engine;
 mod gantt;
+mod profile;
 mod report;
 mod trace;
 
@@ -39,5 +40,10 @@ pub use config::{
 };
 pub use engine::{simulate, simulate_traced, simulate_with_sink};
 pub use gantt::{gantt_csv, gantt_text};
+pub use profile::{
+    attribute_profile_costs, profile_json, profile_svg, profile_text, profile_trace, ClassProfile,
+    CostAttribution, LevelProfile, TaskProfile, WorkflowProfile, RESIDUAL_LABEL, SHARED_IN_LABEL,
+    SHARED_OUT_LABEL, STORAGE_LABEL,
+};
 pub use report::{Report, TaskSpan};
-pub use trace::{trace_to_chrome, trace_to_jsonl};
+pub use trace::{trace_from_jsonl, trace_to_chrome, trace_to_jsonl};

@@ -3,7 +3,7 @@
 
 use mcloud_cost::{CostBreakdown, Money, BYTES_PER_GB};
 use mcloud_dag::TaskId;
-use mcloud_simkit::{SimDuration, SimTime};
+use mcloud_simkit::{Histogram, SimDuration, SimTime};
 
 /// One task's execution span (a Gantt row), recorded when
 /// [`ExecConfig::record_trace`] is set.
@@ -66,6 +66,9 @@ pub struct Report {
     pub queue_wait_mean_s: f64,
     /// Longest such wait, seconds.
     pub queue_wait_max_s: f64,
+    /// Distribution of those waits; `quantile(1.0)` equals
+    /// [`Report::queue_wait_max_s`] exactly.
+    pub queue_wait_hist: Histogram,
     /// Per-task spans, when tracing was requested.
     pub trace: Option<Vec<TaskSpan>>,
 }
@@ -126,6 +129,7 @@ mod tests {
             failed_attempts: 0,
             queue_wait_mean_s: 1.0,
             queue_wait_max_s: 5.0,
+            queue_wait_hist: Histogram::new(),
             trace: None,
         }
     }

@@ -136,16 +136,29 @@ pub fn trace_to_jsonl(wf: &Workflow, events: &[TimedEvent]) -> String {
                 bytes,
                 start,
                 finish,
-            } => format!(
-                r#"{{"t_us":{t},"ev":"transfer_granted","chan":"{}","bytes":{bytes},"start_us":{},"finish_us":{}}}"#,
-                chan.label(),
-                start.as_micros(),
-                finish.as_micros()
-            ),
-            TraceEvent::TransferCompleted { chan, bytes } => format!(
-                r#"{{"t_us":{t},"ev":"transfer_completed","chan":"{}","bytes":{bytes}}}"#,
-                chan.label()
-            ),
+                task,
+            } => {
+                let attribution = match task {
+                    Some(id) => format!(r#","task":{id}"#),
+                    None => String::new(),
+                };
+                format!(
+                    r#"{{"t_us":{t},"ev":"transfer_granted","chan":"{}","bytes":{bytes},"start_us":{},"finish_us":{}{attribution}}}"#,
+                    chan.label(),
+                    start.as_micros(),
+                    finish.as_micros()
+                )
+            }
+            TraceEvent::TransferCompleted { chan, bytes, task } => {
+                let attribution = match task {
+                    Some(id) => format!(r#","task":{id}"#),
+                    None => String::new(),
+                };
+                format!(
+                    r#"{{"t_us":{t},"ev":"transfer_completed","chan":"{}","bytes":{bytes}{attribution}}}"#,
+                    chan.label()
+                )
+            }
             TraceEvent::StorageAlloc { bytes, occupancy } => format!(
                 r#"{{"t_us":{t},"ev":"storage_alloc","bytes":{bytes},"occupancy_bytes":{occupancy}}}"#
             ),
@@ -167,6 +180,109 @@ pub fn trace_to_jsonl(wf: &Workflow, events: &[TimedEvent]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Raw text of one JSON value field (number, bool, or quoted string with
+/// the quotes stripped). Tailored to the exporter's own output: fixed key
+/// order, no nesting, no commas inside the string values it reads.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim_matches('"'))
+}
+
+fn num<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, String> {
+    field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("missing or malformed field {key:?} in line: {line}"))
+}
+
+/// Parses a JSON Lines trace produced by [`trace_to_jsonl`] back into the
+/// event stream, so committed traces can be profiled without re-running
+/// the simulation.
+///
+/// Round-trips exactly: `trace_from_jsonl(&trace_to_jsonl(wf, events))`
+/// reproduces `events` (task *names* are presentation-only and are not
+/// needed to reconstruct the stream). Blank lines are skipped; anything
+/// else that does not parse is an error.
+pub fn trace_from_jsonl(text: &str) -> Result<Vec<TimedEvent>, String> {
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = SimTime::from_micros(num(line, "t_us")?);
+        let ev = field(line, "ev").ok_or_else(|| format!("line without \"ev\": {line}"))?;
+        let chan = || match field(line, "chan") {
+            Some("in") => Ok(Channel::In),
+            Some("out") => Ok(Channel::Out),
+            other => Err(format!("bad chan {other:?} in line: {line}")),
+        };
+        // The attribution field is optional on transfer events.
+        let task_attr = || -> Result<Option<u32>, String> {
+            match field(line, "task") {
+                None => Ok(None),
+                Some(v) => v
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| format!("bad task id in line: {line}")),
+            }
+        };
+        let event = match ev {
+            "task_ready" => TraceEvent::TaskReady {
+                task: num(line, "task")?,
+            },
+            "task_started" => TraceEvent::TaskStarted {
+                task: num(line, "task")?,
+                proc: num(line, "proc")?,
+                waited: mcloud_simkit::SimDuration::from_micros(num(line, "waited_us")?),
+            },
+            "task_finished" => TraceEvent::TaskFinished {
+                task: num(line, "task")?,
+                proc: num(line, "proc")?,
+                ok: num(line, "ok")?,
+            },
+            "task_blocked_on_storage" => TraceEvent::TaskBlockedOnStorage {
+                task: num(line, "task")?,
+            },
+            "transfer_granted" => TraceEvent::TransferGranted {
+                chan: chan()?,
+                bytes: num(line, "bytes")?,
+                start: SimTime::from_micros(num(line, "start_us")?),
+                finish: SimTime::from_micros(num(line, "finish_us")?),
+                task: task_attr()?,
+            },
+            "transfer_completed" => TraceEvent::TransferCompleted {
+                chan: chan()?,
+                bytes: num(line, "bytes")?,
+                task: task_attr()?,
+            },
+            "storage_alloc" => TraceEvent::StorageAlloc {
+                bytes: num(line, "bytes")?,
+                occupancy: num(line, "occupancy_bytes")?,
+            },
+            "storage_free" => TraceEvent::StorageFree {
+                bytes: num(line, "bytes")?,
+                occupancy: num(line, "occupancy_bytes")?,
+            },
+            "vm_ready" => TraceEvent::VmReady,
+            "request_queued" => TraceEvent::RequestQueued {
+                req: num(line, "req")?,
+            },
+            "request_started" => TraceEvent::RequestStarted {
+                req: num(line, "req")?,
+                cloud: num(line, "cloud")?,
+            },
+            "request_finished" => TraceEvent::RequestFinished {
+                req: num(line, "req")?,
+            },
+            other => return Err(format!("unknown event type {other:?} in line: {line}")),
+        };
+        events.push(TimedEvent { at, event });
+    }
+    Ok(events)
 }
 
 /// Serializes a recorded event stream in Chrome `trace_event` format.
@@ -229,13 +345,18 @@ pub fn trace_to_chrome(wf: &Workflow, events: &[TimedEvent]) -> String {
                 bytes,
                 start,
                 finish,
+                task,
             } => {
                 let tid = match chan {
                     Channel::In => 0,
                     Channel::Out => 1,
                 };
+                let args = match task {
+                    Some(id) => format!(r#"{{"bytes":{bytes},"task":"{}"}}"#, task_name(wf, id)),
+                    None => format!(r#"{{"bytes":{bytes}}}"#),
+                };
                 ev.push(format!(
-                    r#"{{"name":"{}","cat":"transfer","ph":"X","pid":{PID_LINK},"tid":{tid},"ts":{},"dur":{},"args":{{"bytes":{bytes}}}}}"#,
+                    r#"{{"name":"{}","cat":"transfer","ph":"X","pid":{PID_LINK},"tid":{tid},"ts":{},"dur":{},"args":{args}}}"#,
                     chan.label(),
                     start.as_micros(),
                     finish.since(start).as_micros()
@@ -332,6 +453,31 @@ mod tests {
             trace_to_chrome(&wf, a.events()),
             trace_to_chrome(&wf, b.events())
         );
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let wf = tiny_workflow();
+        // Remote I/O exercises the task-attributed transfer fields too.
+        for cfg in [
+            ExecConfig::fixed(2),
+            ExecConfig::on_demand(crate::config::DataMode::RemoteIo),
+        ] {
+            let (_, sink) = simulate_traced(&wf, &cfg);
+            let jsonl = trace_to_jsonl(&wf, sink.events());
+            let parsed = trace_from_jsonl(&jsonl).expect("parse");
+            assert_eq!(parsed, sink.events());
+            // And the round-trip re-serializes byte-identically.
+            assert_eq!(trace_to_jsonl(&wf, &parsed), jsonl);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(trace_from_jsonl("not json\n").is_err());
+        assert!(trace_from_jsonl(r#"{"t_us":1,"ev":"mystery"}"#).is_err());
+        assert!(trace_from_jsonl(r#"{"t_us":1,"ev":"task_ready"}"#).is_err());
+        assert_eq!(trace_from_jsonl("\n\n").unwrap(), vec![]);
     }
 
     #[test]

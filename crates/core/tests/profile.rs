@@ -1,0 +1,117 @@
+//! Reconciliation tests for the trace-driven profiler on the paper's 1°
+//! mosaic: phase sums must match the engine's own accounting, attributed
+//! dollars must match the billed cost model, and the observed critical
+//! path of an uncontended run must equal the graph-theoretic one.
+
+use mcloud_core::{
+    attribute_profile_costs, profile_json, profile_svg, profile_text, profile_trace,
+    simulate_traced, trace_from_jsonl, trace_to_jsonl, DataMode, ExecConfig,
+};
+use mcloud_montage::montage_1_degree;
+
+#[test]
+fn one_degree_phases_and_costs_reconcile_in_every_mode() {
+    let wf = montage_1_degree();
+    for mode in DataMode::ALL {
+        for cfg in [
+            ExecConfig::on_demand(mode),
+            ExecConfig::fixed(16).mode(mode),
+        ] {
+            let (report, sink) = simulate_traced(&wf, &cfg);
+            let p = profile_trace(&wf, sink.events());
+
+            // Execution seconds: class sums equal the run's task runtime.
+            let exec: f64 = p.classes.iter().map(|c| c.exec_s).sum();
+            assert!(
+                (exec - report.task_runtime_seconds).abs() < 1e-3,
+                "{mode:?}: exec {exec} vs runtime {}",
+                report.task_runtime_seconds
+            );
+
+            // Bytes: task-attributed + shared partitions the report exactly.
+            let bin: u64 = p.classes.iter().map(|c| c.bytes_in).sum();
+            let bout: u64 = p.classes.iter().map(|c| c.bytes_out).sum();
+            assert_eq!(bin + p.shared_bytes_in, report.bytes_in, "{mode:?}");
+            assert_eq!(bout + p.shared_bytes_out, report.bytes_out, "{mode:?}");
+
+            // Queue-wait histogram agrees bit-for-bit with the report's.
+            assert_eq!(p.queue_wait_hist, report.queue_wait_hist, "{mode:?}");
+            assert_eq!(
+                p.queue_wait_hist.quantile(1.0).to_bits(),
+                report.queue_wait_max_s.to_bits(),
+                "{mode:?}"
+            );
+
+            // Dollars: attribution rows sum to what was billed.
+            let attr = attribute_profile_costs(&p, &report, &cfg.pricing);
+            assert!(
+                attr.attributed().approx_eq(&report.costs, 1e-6),
+                "{mode:?}: attributed {:?} vs billed {:?}",
+                attr.attributed(),
+                report.costs
+            );
+        }
+    }
+}
+
+#[test]
+fn observed_critical_path_matches_graph_on_uncontended_run() {
+    let wf = montage_1_degree();
+    // Enough processors for every level's width, inputs prestaged: the
+    // only thing serializing execution is the DAG itself.
+    let cfg = ExecConfig::fixed(512).prestaged(true);
+    let (_, sink) = simulate_traced(&wf, &cfg);
+    let p = profile_trace(&wf, sink.events());
+    assert_eq!(p.observed_critical_path, wf.critical_path_tasks());
+    assert!(
+        (p.observed_critical_exec_s - wf.critical_path_s()).abs() < 1e-3,
+        "observed {} vs graph {}",
+        p.observed_critical_exec_s,
+        wf.critical_path_s()
+    );
+}
+
+#[test]
+fn class_order_follows_the_montage_pipeline() {
+    let wf = montage_1_degree();
+    let (_, sink) = simulate_traced(&wf, &ExecConfig::on_demand(DataMode::Regular));
+    let p = profile_trace(&wf, sink.events());
+    let classes: Vec<&str> = p.classes.iter().map(|c| c.class.as_str()).collect();
+    assert_eq!(classes, mcloud_montage::MONTAGE_PIPELINE);
+    let total: usize = p.classes.iter().map(|c| c.tasks).sum();
+    assert_eq!(total, wf.num_tasks());
+    // Levels mirror the pipeline stages one-to-one.
+    assert_eq!(p.levels.len(), mcloud_montage::MONTAGE_PIPELINE.len());
+    for l in &p.levels {
+        assert!(l.tasks > 0);
+        assert!(l.window_finish_s >= l.window_start_s);
+    }
+}
+
+#[test]
+fn profiling_a_reloaded_jsonl_trace_is_identical() {
+    let wf = montage_1_degree();
+    let cfg = ExecConfig::on_demand(DataMode::RemoteIo);
+    let (report, sink) = simulate_traced(&wf, &cfg);
+    let jsonl = trace_to_jsonl(&wf, sink.events());
+    let reloaded = trace_from_jsonl(&jsonl).expect("round-trip parse");
+    let direct = profile_trace(&wf, sink.events());
+    let via_file = profile_trace(&wf, &reloaded);
+    assert_eq!(direct, via_file);
+
+    // And the rendered reports are byte-identical either way.
+    let a1 = attribute_profile_costs(&direct, &report, &cfg.pricing);
+    let a2 = attribute_profile_costs(&via_file, &report, &cfg.pricing);
+    assert_eq!(
+        profile_text(&wf, "1deg", &direct, &a1),
+        profile_text(&wf, "1deg", &via_file, &a2)
+    );
+    assert_eq!(
+        profile_json(&wf, "1deg", &direct, &a1),
+        profile_json(&wf, "1deg", &via_file, &a2)
+    );
+    assert_eq!(
+        profile_svg("1deg", &direct, &a1),
+        profile_svg("1deg", &via_file, &a2)
+    );
+}

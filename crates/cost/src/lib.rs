@@ -19,12 +19,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod attribution;
 mod breakdown;
 pub mod economics;
 mod money;
 mod pricing;
 mod tiered;
 
+pub use attribution::{
+    attribute_costs, attributed_total, residual_row, AttributedCost, ResourceUsage,
+};
 pub use breakdown::CostBreakdown;
 pub use economics::{ArchiveOrRecompute, Campaign, DatasetHosting};
 pub use money::Money;

@@ -184,6 +184,51 @@ impl Workflow {
         finish.into_iter().fold(0f64, f64::max)
     }
 
+    /// The tasks of a runtime-weighted longest path, root to exit, under
+    /// the same ASAP schedule as [`Workflow::critical_path_s`].
+    ///
+    /// Ties are broken deterministically: the exit is the latest-finishing
+    /// task with the lowest id, and each step walks back to the parent with
+    /// the latest finish (lowest id on ties) — exactly the parent whose
+    /// completion gated the child's start. This matches how a trace
+    /// profiler reconstructs the *observed* critical path from an
+    /// uncontended run, which is what makes the two comparable.
+    pub fn critical_path_tasks(&self) -> Vec<TaskId> {
+        if self.num_tasks() == 0 {
+            return Vec::new();
+        }
+        let mut finish = vec![0f64; self.num_tasks()];
+        for &t in &self.topo_order() {
+            let ready = self
+                .parents(t)
+                .iter()
+                .map(|p| finish[p.index()])
+                .fold(0f64, f64::max);
+            finish[t.index()] = ready + self.task(t).runtime_s;
+        }
+        let mut cur = TaskId(0);
+        for t in self.task_ids() {
+            if finish[t.index()] > finish[cur.index()] {
+                cur = t;
+            }
+        }
+        let mut path = vec![cur];
+        loop {
+            let parents = self.parents(cur);
+            let Some(&first) = parents.first() else { break };
+            let mut binding = first;
+            for &p in &parents[1..] {
+                if finish[p.index()] > finish[binding.index()] {
+                    binding = p;
+                }
+            }
+            path.push(binding);
+            cur = binding;
+        }
+        path.reverse();
+        path
+    }
+
     /// Maximum number of tasks running simultaneously under an unlimited
     /// processor pool with instantaneous data movement (an ASAP schedule).
     ///
@@ -338,6 +383,31 @@ mod tests {
         let wf = fixtures::figure3();
         // Four levels of 10 s tasks.
         assert!((wf.critical_path_s() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_tasks_sum_to_critical_path() {
+        let wf = fixtures::figure3();
+        let path = wf.critical_path_tasks();
+        // A real root-to-exit chain...
+        assert!(wf.parents(path[0]).is_empty());
+        for w in path.windows(2) {
+            assert!(wf.parents(w[1]).contains(&w[0]));
+        }
+        // ...whose runtimes sum to the critical path length.
+        let sum: f64 = path.iter().map(|&t| wf.task(t).runtime_s).sum();
+        assert!((sum - wf.critical_path_s()).abs() < 1e-9);
+        // Equal 10 s tasks everywhere: lowest-id tie-breaks pick t0-t1-t3-t6.
+        assert_eq!(path, vec![TaskId(0), TaskId(1), TaskId(3), TaskId(6)]);
+    }
+
+    #[test]
+    fn critical_path_tasks_of_chain_is_the_chain() {
+        let wf = fixtures::chain(5, 2.0, 10);
+        let path = wf.critical_path_tasks();
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0], TaskId(0));
+        assert_eq!(path[4], TaskId(4));
     }
 
     #[test]

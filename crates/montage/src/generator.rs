@@ -23,6 +23,31 @@ use mcloud_dag::{Workflow, WorkflowBuilder};
 use crate::calib;
 use crate::grid;
 
+/// The nine Montage task classes in pipeline (= workflow level) order.
+///
+/// This is the canonical class list profilers and reports key on; every
+/// task the generator emits carries one of these module names.
+pub const MONTAGE_PIPELINE: [&str; 9] = [
+    "mProject",
+    "mDiffFit",
+    "mConcatFit",
+    "mBgModel",
+    "mBackground",
+    "mImgtbl",
+    "mAdd",
+    "mShrink",
+    "mJPEG",
+];
+
+/// The 1-based pipeline stage (= workflow level) of a Montage task class,
+/// or `None` for a module name outside the pipeline.
+pub fn pipeline_stage(module: &str) -> Option<u32> {
+    MONTAGE_PIPELINE
+        .iter()
+        .position(|&m| m == module)
+        .map(|i| i as u32 + 1)
+}
+
 /// 2MASS survey band (affects naming only; the three bands have the same
 /// plate geometry, which is why the whole-sky estimate is `3 x 1,300`
 /// plates across J/H/K).
@@ -329,6 +354,22 @@ pub fn paper_figure3() -> Workflow {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_generated_module_maps_to_its_pipeline_stage() {
+        let wf = montage_1_degree();
+        let levels = wf.levels();
+        for t in wf.task_ids() {
+            let task = wf.task(t);
+            let stage = pipeline_stage(&task.module)
+                .unwrap_or_else(|| panic!("unknown module {}", task.module));
+            assert_eq!(stage, levels[t.index()], "{}", task.name);
+        }
+        assert_eq!(pipeline_stage("mProject"), Some(1));
+        assert_eq!(pipeline_stage("mJPEG"), Some(9));
+        assert_eq!(pipeline_stage("mystery"), None);
+        assert_eq!(MONTAGE_PIPELINE.len(), 9);
+    }
 
     #[test]
     fn canonical_task_counts_match_paper() {

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 
 use mcloud_core::ExecConfig;
 use mcloud_cost::Money;
-use mcloud_simkit::{EventQueue, EventSink, NullSink, SimTime, TraceEvent};
+use mcloud_simkit::{EventQueue, EventSink, Histogram, NullSink, SimTime, TraceEvent};
 
 use crate::arrivals::Arrival;
 use crate::profile::ProfileTable;
@@ -155,21 +155,97 @@ impl ServiceReport {
         mean(self.outcomes.iter().map(RequestOutcome::turnaround_hours))
     }
 
-    /// Empirical `q`-quantile of turnaround (0 < q <= 1).
+    /// Empirical `q`-quantile of turnaround, `0 <= q <= 1`. `q = 0`
+    /// returns the smallest observation, `q = 1` the largest; an empty
+    /// report returns 0.
     pub fn turnaround_quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.outcomes.is_empty() {
-            return 0.0;
-        }
-        let mut ts: Vec<f64> = self
-            .outcomes
-            .iter()
-            .map(RequestOutcome::turnaround_hours)
-            .collect();
-        ts.sort_by(f64::total_cmp);
-        let idx = ((ts.len() as f64 * q).ceil() as usize).clamp(1, ts.len());
-        ts[idx - 1]
+        quantile_of(
+            self.outcomes.iter().map(RequestOutcome::turnaround_hours),
+            q,
+        )
     }
+
+    /// Empirical `q`-quantile of slot wait, same conventions as
+    /// [`ServiceReport::turnaround_quantile`].
+    pub fn wait_quantile(&self, q: f64) -> f64 {
+        quantile_of(self.outcomes.iter().map(RequestOutcome::wait_hours), q)
+    }
+
+    /// Distribution of per-request slot waits, in hours.
+    pub fn wait_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for o in &self.outcomes {
+            h.record(o.wait_hours());
+        }
+        h
+    }
+
+    /// Distribution of per-request turnarounds, in hours.
+    pub fn turnaround_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for o in &self.outcomes {
+            h.record(o.turnaround_hours());
+        }
+        h
+    }
+
+    /// Prometheus text-format exposition of the request latency
+    /// distributions: two cumulative histograms
+    /// (`mcloud_request_wait_hours`, `mcloud_request_turnaround_hours`)
+    /// plus request/venue counters and the spend gauge. Deterministic for
+    /// a deterministic report.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, help, h) in [
+            (
+                "mcloud_request_wait_hours",
+                "Hours each request waited for a slot.",
+                self.wait_histogram(),
+            ),
+            (
+                "mcloud_request_turnaround_hours",
+                "Hours from request arrival to completion.",
+                self.turnaround_histogram(),
+            ),
+        ] {
+            writeln!(out, "# HELP {name} {help}").unwrap();
+            writeln!(out, "# TYPE {name} histogram").unwrap();
+            for (le, cum) in h.cumulative_buckets() {
+                writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}").unwrap();
+            }
+            writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count()).unwrap();
+            writeln!(out, "{name}_sum {}", h.sum()).unwrap();
+            writeln!(out, "{name}_count {}", h.count()).unwrap();
+        }
+        writeln!(
+            out,
+            "mcloud_requests_total{{venue=\"local\"}} {}",
+            self.local_requests()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "mcloud_requests_total{{venue=\"cloud\"}} {}",
+            self.cloud_requests()
+        )
+        .unwrap();
+        writeln!(out, "mcloud_spend_dollars {}", self.total_cost().dollars()).unwrap();
+        out
+    }
+}
+
+/// Shared empirical-quantile kernel: nearest-rank with `q = 0` mapped to
+/// the minimum, 0 on an empty stream.
+fn quantile_of(xs: impl Iterator<Item = f64>, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let idx = ((v.len() as f64 * q).ceil() as usize).clamp(1, v.len());
+    v[idx - 1]
 }
 
 fn mean(xs: impl Iterator<Item = f64>) -> f64 {
@@ -439,6 +515,101 @@ mod tests {
                 (finished.as_hours_f64() - o.finish_hours).abs() < 1e-6,
                 "req {req}"
             );
+        }
+    }
+
+    fn report_with_turnarounds(ts: &[f64]) -> ServiceReport {
+        ServiceReport {
+            outcomes: ts
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| RequestOutcome {
+                    index: i,
+                    degrees: 1.0,
+                    arrival_hours: 0.0,
+                    start_hours: t / 2.0,
+                    finish_hours: t,
+                    venue: Venue::Local,
+                    cost: Money::ZERO,
+                })
+                .collect(),
+            cloud_cost: Money::ZERO,
+            local_cost: Money::ZERO,
+        }
+    }
+
+    #[test]
+    fn quantiles_cover_the_documented_edge_cases() {
+        let empty = report_with_turnarounds(&[]);
+        assert_eq!(empty.turnaround_quantile(0.0), 0.0);
+        assert_eq!(empty.turnaround_quantile(0.5), 0.0);
+        assert_eq!(empty.turnaround_quantile(1.0), 0.0);
+        assert_eq!(empty.wait_quantile(0.5), 0.0);
+
+        let single = report_with_turnarounds(&[3.0]);
+        for q in [0.0, 0.25, 1.0] {
+            assert_eq!(single.turnaround_quantile(q), 3.0);
+        }
+
+        let r = report_with_turnarounds(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(r.turnaround_quantile(0.0), 1.0); // q = 0 is the minimum
+        assert_eq!(r.turnaround_quantile(0.25), 1.0);
+        assert_eq!(r.turnaround_quantile(0.5), 2.0);
+        assert_eq!(r.turnaround_quantile(1.0), 4.0); // q = 1 is the maximum
+        assert_eq!(r.wait_quantile(1.0), 2.0); // waits are half of these
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        report_with_turnarounds(&[1.0]).turnaround_quantile(1.5);
+    }
+
+    #[test]
+    fn histograms_agree_with_the_scalar_statistics() {
+        let arrivals = periodic(0.25, 12.0, 1.0);
+        let cfg = ServiceConfig {
+            local_slots: 1,
+            burst_threshold: Some(2),
+            ..ServiceConfig::default_burst()
+        };
+        let report = simulate_service(&arrivals, &cfg);
+        let w = report.wait_histogram();
+        let t = report.turnaround_histogram();
+        assert_eq!(w.count() as usize, report.outcomes.len());
+        assert_eq!(t.count() as usize, report.outcomes.len());
+        assert!((w.mean() - report.mean_wait_hours()).abs() < 1e-9);
+        assert!((t.mean() - report.mean_turnaround_hours()).abs() < 1e-9);
+        assert_eq!(w.quantile(1.0).to_bits(), report.max_wait_hours().to_bits());
+        // Bucketed quantiles sit within one 12.5%-wide bucket of the
+        // exact nearest-rank ones.
+        let exact = report.turnaround_quantile(0.95);
+        assert!(
+            (t.quantile(0.95) - exact).abs() <= exact / 8.0 + 1e-9,
+            "bucketed {} vs exact {exact}",
+            t.quantile(0.95)
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic_and_well_formed() {
+        let arrivals = periodic(0.5, 24.0, 1.0);
+        let cfg = ServiceConfig::default_burst();
+        let a = simulate_service(&arrivals, &cfg).prometheus_text();
+        let b = simulate_service(&arrivals, &cfg).prometheus_text();
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE mcloud_request_wait_hours histogram"));
+        assert!(a.contains("mcloud_request_turnaround_hours_bucket{le=\"+Inf\"}"));
+        assert!(a.contains("mcloud_requests_total{venue=\"local\"}"));
+        assert!(a.contains("mcloud_spend_dollars "));
+        // Cumulative bucket counts are monotonically non-decreasing.
+        let mut last = 0u64;
+        for line in a.lines() {
+            if let Some(rest) = line.strip_prefix("mcloud_request_wait_hours_bucket{le=\"") {
+                let n: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(n >= last, "{line}");
+                last = n;
+            }
         }
     }
 

@@ -1,0 +1,62 @@
+//! Golden trace for the service layer: the burst scenario's event
+//! narration is pinned to the byte, the same way the engine's 1-degree
+//! traces are in `mcloud-core`. Regenerate after an *intentional*
+//! semantic change with `MCLOUD_UPDATE_GOLDEN=1` and review the diff.
+
+use std::path::PathBuf;
+
+use mcloud_service::{periodic, service_trace_jsonl, simulate_service_with_sink, ServiceConfig};
+use mcloud_simkit::RecordingSink;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MCLOUD_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MCLOUD_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if expected != actual {
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            assert_eq!(e, a, "golden {name} diverges at line {}", i + 1);
+        }
+        assert_eq!(
+            expected.lines().count(),
+            actual.lines().count(),
+            "golden {name}: line count changed"
+        );
+        panic!("golden {name} differs only in trailing bytes");
+    }
+}
+
+#[test]
+fn golden_service_trace_burst_profile() {
+    // One local slot under heavy periodic traffic with a shallow burst
+    // threshold: the stream exercises queueing, local service, and cloud
+    // bursts — every service-layer event kind.
+    let arrivals = periodic(0.25, 12.0, 1.0);
+    let cfg = ServiceConfig {
+        local_slots: 1,
+        burst_threshold: Some(2),
+        ..ServiceConfig::default_burst()
+    };
+    let mut sink = RecordingSink::new();
+    let report = simulate_service_with_sink(&arrivals, &cfg, &mut sink);
+    assert!(report.cloud_requests() > 0 && report.local_requests() > 0);
+    check_golden(
+        "service_trace_burst.jsonl",
+        &service_trace_jsonl(sink.events()),
+    );
+}

@@ -1,0 +1,346 @@
+//! Deterministic log-bucketed histograms for latency-style metrics.
+//!
+//! The engines built on this kernel currently summarize distributions with
+//! means and maxima ([`crate::RunningStats`]); a profiler needs the shape.
+//! [`Histogram`] buckets samples on a logarithmic grid with 8 sub-buckets
+//! per octave (≤ ~9% relative quantile error), while tracking exact
+//! `count`/`sum`/`min`/`max` on the side so the boundary quantiles are
+//! exact: `quantile(0.0)` returns the true minimum and `quantile(1.0)` the
+//! true maximum, bit for bit.
+//!
+//! Determinism is a hard requirement here, as everywhere in the kernel:
+//! bucket indices are computed from the IEEE-754 bit pattern of the sample
+//! (exponent plus the top three mantissa bits), never from `log2`, so the
+//! same sample stream produces the same histogram on every platform.
+//! Buckets are stored sparsely in a `BTreeMap`, so iteration order is the
+//! bucket order and two histograms over the same samples compare equal.
+
+use std::collections::BTreeMap;
+
+/// Sub-buckets per power of two (8 → bucket width is 1/8 octave).
+const SUB_BITS: u32 = 3;
+/// `1 << SUB_BITS`.
+const SUB: i64 = 1 << SUB_BITS;
+
+/// A mergeable log-bucketed histogram of non-negative `f64` samples.
+///
+/// Zero is common in the simulator (a task that never waited), so zeros get
+/// a dedicated counter instead of a log bucket. Samples must be finite and
+/// non-negative; the simulator has no negative durations or sizes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Sparse bucket counts keyed by log-grid index (see [`bucket_index`]).
+    buckets: BTreeMap<i64, u64>,
+    /// Samples equal to zero.
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Log-grid index of a strictly positive finite sample: the unbiased IEEE
+/// exponent scaled by [`SUB`], plus the top [`SUB_BITS`] mantissa bits.
+/// Monotone in the sample value, computed entirely from its bit pattern.
+fn bucket_index(v: f64) -> i64 {
+    debug_assert!(v > 0.0 && v.is_finite());
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUB as u64 - 1)) as i64;
+    exp * SUB + sub
+}
+
+/// Inclusive lower bound of bucket `idx`: `2^e * (1 + s/8)` where
+/// `e = idx div 8`, `s = idx mod 8`. Both factors are exact in binary, so
+/// the bound is exact for all indices in the simulator's range.
+fn bucket_lower(idx: i64) -> f64 {
+    let exp = idx.div_euclid(SUB);
+    let sub = idx.rem_euclid(SUB);
+    // 2^exp assembled directly from the IEEE bit layout: exact, no libm.
+    let pow2 = f64::from_bits(((exp + 1023) as u64) << 52);
+    pow2 * (1.0 + sub as f64 / SUB as f64)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    /// Panics if `v` is negative, NaN, or infinite.
+    pub fn record(&mut self, v: f64) {
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "histogram sample must be finite and >= 0"
+        );
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest sample, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Empirical `q`-quantile for `0 <= q <= 1`, or `0.0` when empty.
+    ///
+    /// The rank convention matches the rest of the workspace: the quantile
+    /// is the value at rank `ceil(q * count)` clamped to `[1, count]`, so
+    /// `q = 0` is the minimum and `q = 1` the maximum. Boundary quantiles
+    /// are exact; interior quantiles are bucket midpoints (≤ ~9% relative
+    /// error), clamped into `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile wants q in [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = self.zeros;
+        if rank <= seen {
+            return 0.0;
+        }
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if rank <= seen {
+                let lo = bucket_lower(idx);
+                let hi = bucket_lower(idx + 1);
+                return (0.5 * (lo + hi)).clamp(self.min, self.max);
+            }
+        }
+        self.max // unreachable: ranks are exhausted by the loop
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zeros += other.zeros;
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+
+    /// Cumulative `(upper_bound, count_at_or_below)` pairs over the occupied
+    /// buckets, in ascending bound order — the shape Prometheus-style
+    /// `le`-bucket expositions need. The final implicit `+Inf` bucket is the
+    /// total [`Self::count`]. A zero bucket, when present, reports bound
+    /// `0.0`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        let mut cum = 0u64;
+        if self.zeros > 0 {
+            cum += self.zeros;
+            out.push((0.0, cum));
+        }
+        for (&idx, &n) in &self.buckets {
+            cum += n;
+            out.push((bucket_lower(idx + 1), cum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn boundary_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.7, 0.0, 12.25, 0.004, 88.8] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(h.quantile(1.0).to_bits(), 88.8f64.to_bits());
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 88.8);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn interior_quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - exact).abs() / exact < 0.10,
+                "q={q}: got {got}, want ~{exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.mean(), 500.5);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42.0);
+        }
+    }
+
+    #[test]
+    fn zeros_get_their_own_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..9 {
+            h.record(0.0);
+        }
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.9), 0.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum[0], (0.0, 9));
+        assert_eq!(cum.last().unwrap().1, 10);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for i in 0..50 {
+            let v = (i * i) as f64 * 0.37;
+            a.record(v);
+            all.record(v);
+        }
+        for i in 0..70 {
+            let v = 1000.0 / (i + 1) as f64;
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets, all.buckets);
+        assert_eq!(a.zeros, all.zeros);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        // Summation order differs ((Σa)+(Σb) vs one-at-a-time), so the sums
+        // agree only to rounding.
+        assert!((a.sum() - all.sum()).abs() / all.sum() < 1e-12);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+        let before = a.clone();
+        a.merge(&Histogram::new()); // merging empty is a no-op
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_bracket() {
+        let mut prev = i64::MIN;
+        for i in 1..4000 {
+            let v = i as f64 * 0.013;
+            let idx = bucket_index(v);
+            assert!(idx >= prev);
+            prev = idx;
+            assert!(bucket_lower(idx) <= v && v < bucket_lower(idx + 1), "v={v}");
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_total_count() {
+        let mut h = Histogram::new();
+        for v in [0.1, 0.2, 0.4, 0.8, 1.6, 3.2] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, h.count());
+        // Bounds strictly increase.
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_samples_panic() {
+        Histogram::new().record(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q in [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.quantile(1.5);
+    }
+}

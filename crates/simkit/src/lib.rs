@@ -19,6 +19,8 @@
 //! * [`TimeWeighted`] — step-function integration ("area under the storage
 //!   curve", the paper's GB-hours metric) and [`RunningStats`] for scalar
 //!   summaries.
+//! * [`Histogram`] — deterministic log-bucketed latency histograms (exact
+//!   min/max, mergeable, bit-pattern bucketing) for the profiling layer.
 //! * [`EventSink`] / [`TraceEvent`] — structured event tracing: engines
 //!   narrate execution into a sink ([`NullSink`] when disabled at zero
 //!   cost, [`RecordingSink`] for counters and derived timeseries).
@@ -60,6 +62,7 @@
 #![forbid(unsafe_code)]
 
 mod channel;
+mod hist;
 mod pool;
 mod queue;
 mod rng;
@@ -68,6 +71,7 @@ mod time;
 mod tracer;
 
 pub use channel::{FcfsChannel, TransferGrant};
+pub use hist::Histogram;
 pub use pool::{ProcId, ProcessorPool};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;

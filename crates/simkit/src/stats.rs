@@ -241,6 +241,43 @@ mod tests {
     }
 
     #[test]
+    fn set_before_any_advance_starts_the_curve_cleanly() {
+        // First update arrives mid-simulation: the curve was implicitly zero
+        // over [0, 3), so only the tail contributes.
+        let mut c = TimeWeighted::new();
+        c.set(t(3.0), 4.0);
+        assert_eq!(c.integral(t(5.0)), 8.0);
+        assert_eq!(c.peak(), 4.0);
+        // And a set at exactly t = 0 contributes over the whole horizon.
+        let mut d = TimeWeighted::new();
+        d.set(SimTime::ZERO, 4.0);
+        assert_eq!(d.integral(t(5.0)), 20.0);
+    }
+
+    #[test]
+    fn repeated_same_timestamp_updates_contribute_zero_width() {
+        let mut c = TimeWeighted::new();
+        c.set(t(1.0), 100.0);
+        c.set(t(1.0), 7.0); // overwrites before any time passes
+        c.add(t(1.0), 3.0);
+        assert_eq!(c.value(), 10.0);
+        // The transient 100 held for zero time: only 10 * 4 s accrues...
+        assert_eq!(c.integral(t(5.0)), 40.0);
+        // ...but the peak still saw it.
+        assert_eq!(c.peak(), 100.0);
+    }
+
+    #[test]
+    fn zero_span_integral_and_mean_are_zero() {
+        let mut c = TimeWeighted::new();
+        c.set(SimTime::ZERO, 9.0);
+        // Queried at the same instant the value was set: zero width.
+        assert_eq!(c.integral(SimTime::ZERO), 0.0);
+        assert_eq!(c.mean(SimTime::ZERO), 0.0);
+        assert_eq!(c.value(), 9.0);
+    }
+
+    #[test]
     fn running_stats_basics() {
         let mut s = RunningStats::new();
         for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {

@@ -88,6 +88,10 @@ pub enum TraceEvent {
         start: SimTime,
         /// When the last byte lands.
         finish: SimTime,
+        /// Task this transfer stages data for, when it belongs to exactly
+        /// one task (remote-I/O private stage-in/out). `None` for shared
+        /// bulk staging that serves the whole workflow.
+        task: Option<u32>,
     },
     /// A transfer's last byte arrived.
     TransferCompleted {
@@ -95,6 +99,8 @@ pub enum TraceEvent {
         chan: Channel,
         /// Payload size.
         bytes: u64,
+        /// Same attribution as the matching [`TraceEvent::TransferGranted`].
+        task: Option<u32>,
     },
     /// Bytes were allocated on the storage resource.
     StorageAlloc {
@@ -403,6 +409,7 @@ mod tests {
                 bytes: 100,
                 start: t(1.0),
                 finish: t(2.0),
+                task: None,
             },
         );
         sink.emit(

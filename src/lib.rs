@@ -49,17 +49,18 @@ pub use mcloud_sweep as sweep;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use mcloud_core::{
-        simulate, simulate_traced, simulate_with_sink, trace_to_chrome, trace_to_jsonl, DataMode,
-        ExecConfig, Provisioning, Report,
+        attribute_profile_costs, profile_json, profile_svg, profile_text, profile_trace, simulate,
+        simulate_traced, simulate_with_sink, trace_from_jsonl, trace_to_chrome, trace_to_jsonl,
+        ClassProfile, CostAttribution, DataMode, ExecConfig, Provisioning, Report, WorkflowProfile,
     };
     pub use mcloud_cost::{
-        ArchiveOrRecompute, Campaign, ChargeGranularity, CostBreakdown, DatasetHosting, Money,
-        Pricing,
+        attribute_costs, attributed_total, residual_row, ArchiveOrRecompute, AttributedCost,
+        Campaign, ChargeGranularity, CostBreakdown, DatasetHosting, Money, Pricing, ResourceUsage,
     };
     pub use mcloud_dag::{DagError, FileId, TaskId, Workflow, WorkflowBuilder};
     pub use mcloud_montage::{
-        generate, montage_1_degree, montage_2_degree, montage_4_degree, paper_figure3, Band,
-        MosaicConfig,
+        generate, montage_1_degree, montage_2_degree, montage_4_degree, paper_figure3,
+        pipeline_stage, Band, MosaicConfig, MONTAGE_PIPELINE,
     };
     pub use mcloud_service::{
         bursty, mixed, periodic, poisson, service_trace_jsonl, simulate_autoscale,
@@ -67,7 +68,8 @@ pub mod prelude {
         ServiceConfig, ServiceReport, Venue,
     };
     pub use mcloud_simkit::{
-        Channel, EventSink, NullSink, RecordingSink, TimedEvent, TraceCounters, TraceEvent,
+        Channel, EventSink, Histogram, NullSink, RecordingSink, TimedEvent, TraceCounters,
+        TraceEvent,
     };
     pub use mcloud_sweep::{
         ccr_sweep, cheapest_within_deadline, geometric_processors, mode_matrix, pareto_frontier,
