@@ -26,6 +26,10 @@ struct Experiment {
 /// Builds named SVG panels from an experiment's table.
 type PlotFn = fn(&Table) -> Vec<(&'static str, LinePlot)>;
 
+/// Experiments whose tables are also written as aligned text
+/// (`results/<id>.txt`) so the artifact can be diffed byte-for-byte by CI.
+const TEXT_IDS: &[&str] = &["faults_1deg"];
+
 /// Cost + runtime pair for Figures 4-6.
 fn plots_processor_sweep(t: &Table) -> Vec<(&'static str, LinePlot)> {
     vec![
@@ -195,6 +199,12 @@ const EXPERIMENTS: &[Experiment] = &[
         run: || ex::failure_sweep(1.0),
     },
     Experiment {
+        id: "faults_1deg",
+        description: "EXTENSION: seeded fault injection under bounded retry, 1 deg",
+        plots: None,
+        run: ex::fault_reliability_table,
+    },
+    Experiment {
         id: "vm",
         description: "EXTENSION: VM boot overhead vs provisioning level, 1 deg",
         plots: None,
@@ -291,6 +301,16 @@ fn main() -> ExitCode {
             Err(err) => {
                 eprintln!("failed to write {}: {err}", path.display());
                 return ExitCode::FAILURE;
+            }
+        }
+        if TEXT_IDS.contains(&e.id) {
+            let txt_path = out_dir.join(format!("{}.txt", e.id));
+            match std::fs::write(&txt_path, table.to_ascii()) {
+                Ok(()) => println!("   -> wrote {}", txt_path.display()),
+                Err(err) => {
+                    eprintln!("failed to write {}: {err}", txt_path.display());
+                    return ExitCode::FAILURE;
+                }
             }
         }
         if let Some(plots) = e.plots {

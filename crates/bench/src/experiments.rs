@@ -414,6 +414,55 @@ pub fn failure_sweep(degrees: f64) -> Table {
     t
 }
 
+/// Extension: the reliability economics of the 1-degree mosaic under the
+/// full fault model — seeded task faults swept across rates on a bounded
+/// retry-with-backoff policy, with transfer faults and preemptions held
+/// fixed. Shows retry-inflated makespan/cost, the wasted-work bill, and
+/// (at brutal rates) the graceful dead-letter abort.
+pub fn fault_reliability_table() -> Table {
+    use mcloud_core::{FaultModel, RetryPolicy};
+    use mcloud_sweep::fault_rate_sweep;
+    let wf = canonical(1.0);
+    let base = ExecConfig {
+        faults: Some(FaultModel {
+            task_failure_prob: 0.0,
+            transfer_failure_prob: 0.05,
+            proc_mttf_s: 20_000.0,
+            seed: 2008,
+        }),
+        ..ExecConfig::fixed(8).with_retry(RetryPolicy::bounded(3))
+    };
+    let points = fault_rate_sweep(&wf, &base, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2], 2008);
+    let mut t = Table::new(vec![
+        "failure_prob",
+        "attempts",
+        "failed",
+        "retries",
+        "preemptions",
+        "transfer_failures",
+        "completed",
+        "makespan_hours",
+        "total_cost",
+        "wasted_cpu_s",
+    ]);
+    for p in &points {
+        let r = &p.report;
+        t.push_row(vec![
+            format!("{:.2}", p.failure_prob),
+            r.task_executions.to_string(),
+            r.failed_attempts.to_string(),
+            r.retries.to_string(),
+            r.preemptions.to_string(),
+            r.transfer_failures.to_string(),
+            if r.completed { "yes" } else { "no" }.to_string(),
+            format!("{:.3}", r.makespan_hours()),
+            format!("{:.3}", r.total_cost().dollars()),
+            format!("{:.1}", r.wasted_cpu_seconds),
+        ]);
+    }
+    t
+}
+
 /// Extension: VM startup overhead versus provisioning level — boot time is
 /// paid on every node, so it punishes wide provisioning of short runs.
 pub fn vm_overhead_table(degrees: f64) -> Table {
@@ -1005,6 +1054,31 @@ mod tests {
         }
         // 30% failures cost dramatically more than none.
         assert!(costs.last().unwrap() > &(costs[0] * 1.2));
+    }
+
+    #[test]
+    fn fault_reliability_table_is_deterministic_and_charges_for_waste() {
+        let t = fault_reliability_table();
+        let csv = t.to_csv();
+        // Deterministic: the whole table reproduces byte for byte.
+        assert_eq!(csv, fault_reliability_table().to_csv());
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        assert_eq!(rows.len(), 6);
+        // The zero-rate point injects task faults nowhere, but the held
+        // transfer-fault/preemption axes may still charge waste; rising
+        // task rates can only add failed attempts.
+        let failed: Vec<u64> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(failed.last().unwrap() > &failed[0], "{failed:?}");
+        let wasted: Vec<f64> = rows.iter().map(|r| r[9].parse().unwrap()).collect();
+        assert!(wasted.last().unwrap() > &0.0);
+        // Every row reports whether the retry budget survived the DAG.
+        for r in &rows {
+            assert!(r[6] == "yes" || r[6] == "no", "{r:?}");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use mcloud_core::{
     attribute_profile_costs, profile_json, profile_svg, profile_text, profile_trace, simulate,
     simulate_traced, trace_from_jsonl, trace_to_chrome, trace_to_jsonl, DataMode, ExecConfig,
-    SchedulePolicy, VmOverhead,
+    FaultModel, RetryPolicy, SchedulePolicy, VmOverhead,
 };
 use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Pricing};
 use mcloud_dag::{from_dax, to_dax, to_dot, DotStyle, Workflow};
@@ -131,6 +131,22 @@ fn exec_from(args: &Args) -> Result<ExecConfig, String> {
     if let Some(p) = args.get_parsed::<f64>("failure-prob")? {
         cfg = cfg.with_faults(p, args.get_or("failure-seed", 42u64)?);
     }
+    // The full fault model; when any axis is enabled it replaces the
+    // legacy task-only `--failure-prob` model.
+    let fault_rate: f64 = args.get_or("fault-rate", 0.0)?;
+    let transfer_fault_rate: f64 = args.get_or("transfer-fault-rate", 0.0)?;
+    let mttf: f64 = args.get_or("mttf", 0.0)?;
+    if fault_rate > 0.0 || transfer_fault_rate > 0.0 || mttf > 0.0 {
+        cfg = cfg.with_fault_model(FaultModel {
+            task_failure_prob: fault_rate,
+            transfer_failure_prob: transfer_fault_rate,
+            proc_mttf_s: mttf,
+            seed: args.get_or("fault-seed", 2008u64)?,
+        });
+    }
+    if let Some(n) = args.get_parsed::<u32>("retry-max")? {
+        cfg = cfg.with_retry(RetryPolicy::bounded(n));
+    }
     for spec in args.get_all("outage") {
         let (start, dur) = spec
             .split_once(':')
@@ -161,6 +177,11 @@ const SIM_FLAGS: &[&str] = &[
     "vm-teardown-s",
     "failure-prob",
     "failure-seed",
+    "fault-rate",
+    "transfer-fault-rate",
+    "mttf",
+    "retry-max",
+    "fault-seed",
     "outage",
     "trace-out",
     "trace-format",
@@ -191,6 +212,14 @@ flags:
   --critical-path-first  list-schedule by bottom level
   --vm-startup-s S / --vm-teardown-s S
   --failure-prob P [--failure-seed N]
+                         legacy task-only faults, unlimited instant retries
+  --fault-rate P         per-attempt task failure probability
+  --transfer-fault-rate P  per-transfer failure probability
+  --mttf S               per-processor mean time to preemption, seconds
+  --fault-seed N         seed for all fault draws (default 2008)
+  --retry-max N          bound retries per task/transfer with jittered
+                         exponential backoff; an exhausted budget aborts
+                         the run gracefully with a partial report
   --outage START:DUR     storage outage window (seconds; repeatable)
   --trace-out FILE       also write the event trace here
   --trace-format F       jsonl (default) | chrome
@@ -277,10 +306,17 @@ flags:
         r.storage_gb_hours(),
         r.storage_peak_bytes / 1e9
     ));
-    if r.failed_attempts > 0 {
+    if r.failed_attempts > 0 || r.preemptions > 0 || r.transfer_failures > 0 {
         out.push_str(&format!(
-            "faults        {} failed attempts over {} executions\n",
-            r.failed_attempts, r.task_executions
+            "faults        {} failed attempts over {} executions \
+             ({} retries, {} preemptions, {} failed transfers)\n",
+            r.failed_attempts, r.task_executions, r.retries, r.preemptions, r.transfer_failures
+        ));
+        out.push_str(&format!(
+            "wasted        {:.1} CPU-s, {:.4} GB in, {:.4} GB out (billed but redone)\n",
+            r.wasted_cpu_seconds,
+            r.wasted_bytes_in as f64 / 1e9,
+            r.wasted_bytes_out as f64 / 1e9
         ));
     }
     if let Some(p) = r.processors {
@@ -299,6 +335,16 @@ flags:
         r.costs.transfer_out
     ));
     out.push_str(&trace_note);
+    if !r.completed {
+        // A graceful abort is a failure exit (CI greps for this), but the
+        // partial report still tells the user what the attempt cost.
+        return Err(format!(
+            "workflow aborted: retry budget exhausted after {} of {} tasks\n\n\
+             partial report:\n{out}",
+            r.tasks_completed,
+            wf.num_tasks()
+        ));
+    }
     Ok(out)
 }
 
@@ -682,6 +728,9 @@ flags:
   --threshold K        burst when K requests wait (omit: never burst)
   --burst S:D:M        overload window: start_h:duration_h:multiplier
                        (repeatable)
+  --request-failure-prob P  chance each request run fails and is redone
+  --request-retry-max N     retries allowed per request (default 0)
+  --fault-seed N       seed for request-failure draws (default 2008)
   --seed N             arrival stream seed (default 2008)"
             .to_string());
     }
@@ -696,6 +745,9 @@ flags:
             "cloud-procs",
             "threshold",
             "burst",
+            "request-failure-prob",
+            "request-retry-max",
+            "fault-seed",
             "seed",
         ],
     )?;
@@ -728,6 +780,9 @@ flags:
         burst_threshold: args.get_parsed::<usize>("threshold")?,
         exec: ExecConfig::paper_default(),
         local_cost_per_slot_hour: mcloud_cost::Money::ZERO,
+        request_failure_prob: args.get_or("request-failure-prob", 0.0)?,
+        request_retry_max: args.get_or("request-retry-max", 0u32)?,
+        fault_seed: args.get_or("fault-seed", 2008u64)?,
     };
     cfg.validate()?;
     let report = simulate_service(&arrivals, &cfg);
@@ -881,6 +936,39 @@ mod tests {
     }
 
     #[test]
+    fn simulate_fault_model_is_deterministic_and_reports_waste() {
+        let cmd = "simulate --degrees 1 --procs 8 --fault-rate 0.05 \
+                   --transfer-fault-rate 0.05 --mttf 5000 --retry-max 3 --fault-seed 2008";
+        let out = run_str(cmd).unwrap();
+        assert!(out.contains("failed attempts"), "{out}");
+        assert!(out.contains("wasted"), "{out}");
+        assert!(out.contains("preemptions"), "{out}");
+        // Same seed, same bytes.
+        assert_eq!(out, run_str(cmd).unwrap());
+    }
+
+    #[test]
+    fn simulate_exhausted_retry_budget_exits_with_a_partial_report() {
+        let err = run_str(
+            "simulate --degrees 1 --procs 8 --fault-rate 0.3 --retry-max 0 --fault-seed 2008",
+        )
+        .unwrap_err();
+        assert!(err.contains("retry budget exhausted"), "{err}");
+        assert!(err.contains("partial report:"), "{err}");
+        assert!(err.contains("cost"), "{err}");
+    }
+
+    #[test]
+    fn trace_emits_fault_events_under_the_fault_flags() {
+        let out = run_str(
+            "trace --degrees 0.5 --procs 4 --fault-rate 0.2 --retry-max 5 --fault-seed 2008",
+        )
+        .unwrap();
+        assert!(out.contains(r#""ev":"task_failed""#), "{out}");
+        assert!(out.contains(r#""ev":"task_retried""#), "{out}");
+    }
+
+    #[test]
     fn plan_recommends_within_deadline() {
         let out = run_str("plan --degrees 1 --deadline-hours 1 --requests 100").unwrap();
         assert!(out.contains("recommendation:"), "{out}");
@@ -934,6 +1022,13 @@ mod tests {
         .unwrap();
         assert!(out.contains("cloud spend"), "{out}");
         assert!(out.contains("p95"));
+        // Request-level faults run through the same command.
+        let faulty = run_str(
+            "service --rate 1 --horizon-hours 100 --slots 1 --threshold 1 \
+             --burst 10:5:8 --seed 3 --request-failure-prob 0.4 --request-retry-max 3",
+        )
+        .unwrap();
+        assert!(faulty.contains("p95"), "{faulty}");
     }
 
     #[test]

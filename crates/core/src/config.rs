@@ -89,17 +89,98 @@ impl VmOverhead {
     };
 }
 
-/// Stochastic task-failure model (the paper: "the reliability and
-/// availability of the storage and compute resources are also an
-/// important concern"). A failed attempt consumes its full runtime (and
-/// is billed), then the task retries until it succeeds; draws come from a
-/// seeded RNG so runs stay reproducible.
+/// Stochastic fault model (the paper: "the reliability and availability
+/// of the storage and compute resources are also an important concern").
+/// A failed attempt consumes its runtime (and is billed), a failed
+/// transfer consumes its bytes (and is billed), and a preempted processor
+/// kills whatever attempt it was running; the [`RetryPolicy`] decides what
+/// happens next. All draws come from one seeded RNG so runs stay
+/// reproducible, and a zero rate disables that fault kind's draws
+/// entirely (enabling one kind never perturbs another's stream).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultModel {
     /// Probability that any single execution attempt fails, in `[0, 1)`.
     pub task_failure_prob: f64,
-    /// RNG seed for the failure draws.
+    /// Probability that any single transfer fails on completion, in
+    /// `[0, 1)`. The bytes were still billed; the transfer is resubmitted.
+    pub transfer_failure_prob: f64,
+    /// Mean time to failure of one processor, seconds; preemptions strike
+    /// the pool with exponential inter-arrival times at aggregate rate
+    /// `procs / mttf`. Zero disables preemption.
+    pub proc_mttf_s: f64,
+    /// RNG seed for all fault draws.
     pub seed: u64,
+}
+
+impl FaultModel {
+    /// The legacy task-failure-only model: transfer failures and
+    /// preemptions off.
+    pub fn tasks_only(task_failure_prob: f64, seed: u64) -> Self {
+        FaultModel {
+            task_failure_prob,
+            transfer_failure_prob: 0.0,
+            proc_mttf_s: 0.0,
+            seed,
+        }
+    }
+}
+
+/// What the engine does after a failed attempt or transfer.
+///
+/// The default reproduces the original engine behavior: unlimited
+/// immediate retries with no backoff, no timeout, and no extra RNG draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per task (and per transfer) after the first
+    /// attempt. `None` means unlimited; `Some(0)` dead-letters on the
+    /// first failure. When the budget is exhausted the run aborts
+    /// gracefully and reports partial results instead of completing.
+    pub max_retries: Option<u32>,
+    /// First-retry backoff delay, seconds; each further retry doubles it.
+    /// Zero retries immediately (the legacy behavior) and draws no jitter.
+    pub backoff_base_s: f64,
+    /// Cap on the un-jittered backoff delay, seconds. Zero means uncapped.
+    pub backoff_cap_s: f64,
+    /// Uniform jitter half-width as a fraction of the delay, in `[0, 1]`.
+    pub jitter_frac: f64,
+    /// Kill an attempt that runs longer than this many seconds, billing
+    /// only the timeout window. Zero disables timeouts. Because a timeout
+    /// is deterministic, it requires bounded retries.
+    pub task_timeout_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: None,
+            backoff_base_s: 0.0,
+            backoff_cap_s: 0.0,
+            jitter_frac: 0.0,
+            task_timeout_s: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Default first-retry delay used by [`RetryPolicy::bounded`].
+    pub const DEFAULT_BACKOFF_BASE_S: f64 = 30.0;
+    /// Default backoff cap used by [`RetryPolicy::bounded`].
+    pub const DEFAULT_BACKOFF_CAP_S: f64 = 300.0;
+    /// Default jitter fraction used by [`RetryPolicy::bounded`].
+    pub const DEFAULT_JITTER_FRAC: f64 = 0.5;
+
+    /// A production-style policy: at most `max_retries` retries with
+    /// jittered exponential backoff (30 s base, 300 s cap, ±50% jitter).
+    /// This is what the CLI's `--retry-max` flag configures.
+    pub fn bounded(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries: Some(max_retries),
+            backoff_base_s: Self::DEFAULT_BACKOFF_BASE_S,
+            backoff_cap_s: Self::DEFAULT_BACKOFF_CAP_S,
+            jitter_frac: Self::DEFAULT_JITTER_FRAC,
+            task_timeout_s: 0.0,
+        }
+    }
 }
 
 /// Order in which ready tasks grab free processors.
@@ -135,8 +216,11 @@ pub struct ExecConfig {
     pub record_trace: bool,
     /// VM launch/teardown overhead (fixed provisioning only).
     pub vm: VmOverhead,
-    /// Optional stochastic task failures with retry.
+    /// Optional stochastic faults (task failures, transfer failures,
+    /// processor preemptions).
     pub faults: Option<FaultModel>,
+    /// Recovery policy applied when faults (or timeouts) strike.
+    pub retry: RetryPolicy,
     /// Storage-service outage windows as `(start_s, duration_s)`: the
     /// user<->storage link makes no progress inside them. Must be sorted
     /// and disjoint.
@@ -170,6 +254,7 @@ impl ExecConfig {
             record_trace: false,
             vm: VmOverhead::NONE,
             faults: None,
+            retry: RetryPolicy::default(),
             storage_outages: Vec::new(),
             policy: SchedulePolicy::FifoById,
             storage_capacity_bytes: None,
@@ -230,12 +315,21 @@ impl ExecConfig {
     }
 
     /// Enables stochastic task failures with the given per-attempt
-    /// probability and seed.
+    /// probability and seed (transfer failures and preemptions stay off).
     pub fn with_faults(mut self, task_failure_prob: f64, seed: u64) -> Self {
-        self.faults = Some(FaultModel {
-            task_failure_prob,
-            seed,
-        });
+        self.faults = Some(FaultModel::tasks_only(task_failure_prob, seed));
+        self
+    }
+
+    /// Enables the full stochastic fault model.
+    pub fn with_fault_model(mut self, model: FaultModel) -> Self {
+        self.faults = Some(model);
+        self
+    }
+
+    /// Sets the recovery policy applied when faults or timeouts strike.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -295,6 +389,41 @@ impl ExecConfig {
                     f.task_failure_prob
                 ));
             }
+            if !(0.0..1.0).contains(&f.transfer_failure_prob) {
+                return Err(format!(
+                    "transfer failure probability must be in [0, 1), got {}",
+                    f.transfer_failure_prob
+                ));
+            }
+            if !f.proc_mttf_s.is_finite() || f.proc_mttf_s < 0.0 {
+                return Err(format!(
+                    "processor MTTF must be finite and non-negative, got {}",
+                    f.proc_mttf_s
+                ));
+            }
+        }
+        let r = &self.retry;
+        if !r.backoff_base_s.is_finite()
+            || r.backoff_base_s < 0.0
+            || !r.backoff_cap_s.is_finite()
+            || r.backoff_cap_s < 0.0
+            || !r.task_timeout_s.is_finite()
+            || r.task_timeout_s < 0.0
+        {
+            return Err(format!(
+                "retry delays must be finite and non-negative: {r:?}"
+            ));
+        }
+        if !(0.0..=1.0).contains(&r.jitter_frac) {
+            return Err(format!(
+                "retry jitter fraction must be in [0, 1], got {}",
+                r.jitter_frac
+            ));
+        }
+        if r.task_timeout_s > 0.0 && r.max_retries.is_none() {
+            // A task longer than the timeout would fail deterministically
+            // on every attempt, so unlimited retries could never finish.
+            return Err("task timeouts require bounded retries (max_retries)".to_string());
         }
         let mut prev_end = 0.0f64;
         for &(start, dur) in &self.storage_outages {
@@ -348,6 +477,60 @@ mod tests {
         let mut cfg = ExecConfig::paper_default();
         cfg.pricing.cpu_per_hour = -1.0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_covers_fault_and_retry_fields() {
+        let bad_transfer = ExecConfig::paper_default().with_fault_model(FaultModel {
+            task_failure_prob: 0.1,
+            transfer_failure_prob: 1.5,
+            proc_mttf_s: 0.0,
+            seed: 1,
+        });
+        assert!(bad_transfer.validate().is_err());
+        let bad_mttf = ExecConfig::paper_default().with_fault_model(FaultModel {
+            task_failure_prob: 0.0,
+            transfer_failure_prob: 0.0,
+            proc_mttf_s: -5.0,
+            seed: 1,
+        });
+        assert!(bad_mttf.validate().is_err());
+        let mut bad_jitter = RetryPolicy::bounded(3);
+        bad_jitter.jitter_frac = 2.0;
+        assert!(ExecConfig::paper_default()
+            .with_retry(bad_jitter)
+            .validate()
+            .is_err());
+        let unbounded_timeout = RetryPolicy {
+            task_timeout_s: 100.0,
+            ..RetryPolicy::default()
+        };
+        assert!(ExecConfig::paper_default()
+            .with_retry(unbounded_timeout)
+            .validate()
+            .is_err());
+        let ok = ExecConfig::paper_default()
+            .with_fault_model(FaultModel {
+                task_failure_prob: 0.05,
+                transfer_failure_prob: 0.02,
+                proc_mttf_s: 5000.0,
+                seed: 2008,
+            })
+            .with_retry(RetryPolicy::bounded(3));
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn default_retry_policy_is_the_legacy_behavior() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.max_retries, None);
+        assert_eq!(r.backoff_base_s, 0.0);
+        assert_eq!(r.task_timeout_s, 0.0);
+        let b = RetryPolicy::bounded(2);
+        assert_eq!(b.max_retries, Some(2));
+        assert_eq!(b.backoff_base_s, RetryPolicy::DEFAULT_BACKOFF_BASE_S);
+        assert_eq!(b.backoff_cap_s, RetryPolicy::DEFAULT_BACKOFF_CAP_S);
+        assert_eq!(b.jitter_frac, RetryPolicy::DEFAULT_JITTER_FRAC);
     }
 
     #[test]

@@ -28,8 +28,9 @@ use std::collections::BinaryHeap;
 use mcloud_cost::CostBreakdown;
 use mcloud_dag::{FileId, TaskId, Workflow};
 use mcloud_simkit::{
-    Channel, EventQueue, EventSink, FcfsChannel, Histogram, NullSink, ProcId, ProcessorPool,
-    RecordingSink, SimDuration, SimRng, SimTime, TimeWeighted, TraceEvent,
+    Backoff, Channel, EventId, EventQueue, EventSink, FailureKind, FaultInjector, FaultSpec,
+    FcfsChannel, Histogram, NullSink, ProcId, ProcessorPool, RecordingSink, SimDuration, SimTime,
+    TimeWeighted, TraceEvent,
 };
 
 use crate::config::{DataMode, ExecConfig, Provisioning, SchedulePolicy};
@@ -77,19 +78,43 @@ pub fn simulate_traced(wf: &Workflow, cfg: &ExecConfig) -> (Report, RecordingSin
 
 #[derive(Debug)]
 enum Ev {
-    /// A shared stage-in transfer finished (Regular/Cleanup).
-    FileArrived(FileId),
+    /// A shared stage-in transfer finished (Regular/Cleanup). `attempt`
+    /// counts submissions of this transfer (1-based) for retry budgeting.
+    FileArrived { file: FileId, attempt: u32 },
     /// One of a task's private input transfers finished (Remote I/O).
-    InputArrived { task: TaskId, bytes: u64 },
+    InputArrived {
+        task: TaskId,
+        bytes: u64,
+        attempt: u32,
+    },
     /// A task's compute finished.
     TaskFinished { task: TaskId, proc: ProcId },
     /// One of the final stage-out transfers finished (Regular/Cleanup).
-    FinalStageOutDone(FileId),
+    FinalStageOutDone { file: FileId, attempt: u32 },
     /// One of a task's private output transfers finished (Remote I/O).
-    OutputStagedOut { task: TaskId, bytes: u64 },
+    OutputStagedOut {
+        task: TaskId,
+        bytes: u64,
+        attempt: u32,
+    },
     /// The provisioned VMs finished booting (fixed provisioning with a
     /// nonzero startup overhead).
     VmReady,
+    /// A failed task's backoff delay elapsed; it may re-enter the ready
+    /// queue.
+    TaskRetry(TaskId),
+    /// A whole-processor preemption strikes the pool.
+    Preemption,
+}
+
+/// The execution attempt currently occupying one processor slot, tracked
+/// so a preemption can cancel its pending finish event and bill the
+/// partial runtime.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    task: TaskId,
+    started: SimTime,
+    finish_id: EventId,
 }
 
 struct Engine<'a, S: EventSink> {
@@ -144,8 +169,28 @@ struct Engine<'a, S: EventSink> {
     /// utilization-based billing.
     run_seconds: Vec<f64>,
     failed_attempts: u64,
-    /// Fault-draw RNG (present when the config enables failures).
-    fault_rng: Option<SimRng>,
+    /// Seeded fault source (present when the config enables faults or a
+    /// task timeout).
+    injector: Option<FaultInjector>,
+    /// What runs on each processor slot right now (preemption targeting).
+    in_flight: Vec<Option<InFlight>>,
+    /// Failed attempts per task, for retry budgeting and backoff growth.
+    task_failures: Vec<u32>,
+    /// Failed attempts that were granted another try.
+    retries: u64,
+    /// Whole-processor preemptions that struck the pool.
+    preemptions: u64,
+    /// Transfers that failed on completion.
+    transfer_failures: u64,
+    /// Billed CPU-seconds consumed by failed attempts.
+    wasted_cpu_s: f64,
+    /// Billed inbound bytes carried by failed transfers.
+    wasted_bytes_in: u64,
+    /// Billed outbound bytes carried by failed transfers.
+    wasted_bytes_out: u64,
+    /// Set when a task or transfer exhausts its retry budget: the run
+    /// stops dispatching work and finishes with a partial report.
+    aborted: bool,
 }
 
 impl<'a, S: EventSink> Engine<'a, S> {
@@ -224,7 +269,31 @@ impl<'a, S: EventSink> Engine<'a, S> {
             end_time: SimTime::ZERO,
             run_seconds: Vec::with_capacity(n),
             failed_attempts: 0,
-            fault_rng: cfg.faults.map(|f| SimRng::new(f.seed)),
+            injector: match cfg.faults {
+                Some(f) => Some(FaultInjector::new(
+                    FaultSpec {
+                        task_failure_prob: f.task_failure_prob,
+                        transfer_failure_prob: f.transfer_failure_prob,
+                        proc_mttf_s: f.proc_mttf_s,
+                    },
+                    f.seed,
+                )),
+                // Timeouts fail attempts deterministically but may still
+                // need the RNG for backoff jitter.
+                None if cfg.retry.task_timeout_s > 0.0 => {
+                    Some(FaultInjector::new(FaultSpec::NONE, 0))
+                }
+                None => None,
+            },
+            in_flight: vec![None; capacity as usize],
+            task_failures: vec![0; n],
+            retries: 0,
+            preemptions: 0,
+            transfer_failures: 0,
+            wasted_cpu_s: 0.0,
+            wasted_bytes_in: 0,
+            wasted_bytes_out: 0,
+            aborted: false,
         }
     }
 
@@ -233,14 +302,32 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.dispatch(SimTime::ZERO);
         while let Some((now, ev)) = self.events.pop() {
             match ev {
-                Ev::FileArrived(f) => self.on_file_arrived(now, f),
-                Ev::InputArrived { task, bytes } => self.on_input_arrived(now, task, bytes),
+                Ev::FileArrived { file, attempt } => self.on_file_arrived(now, file, attempt),
+                Ev::InputArrived {
+                    task,
+                    bytes,
+                    attempt,
+                } => self.on_input_arrived(now, task, bytes, attempt),
                 Ev::TaskFinished { task, proc } => self.on_task_finished(now, task, proc),
-                Ev::FinalStageOutDone(f) => self.on_final_stage_out(now, f),
-                Ev::OutputStagedOut { task, bytes } => self.on_output_staged_out(now, task, bytes),
+                Ev::FinalStageOutDone { file, attempt } => {
+                    self.on_final_stage_out(now, file, attempt)
+                }
+                Ev::OutputStagedOut {
+                    task,
+                    bytes,
+                    attempt,
+                } => self.on_output_staged_out(now, task, bytes, attempt),
                 Ev::VmReady => self.sink.emit(now, TraceEvent::VmReady),
+                Ev::TaskRetry(t) => self.on_task_retry(now, t),
+                Ev::Preemption => self.on_preemption(now),
             }
             self.dispatch(now);
+        }
+        if self.aborted {
+            // Dead-letter: a task or transfer exhausted its retry budget.
+            // In-flight work has drained; report what did complete.
+            self.end_time = self.events.now();
+            return self.finish(false);
         }
         if self.tasks_done != self.wf.num_tasks() {
             assert!(
@@ -258,7 +345,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.storage.peak(),
             );
         }
-        self.finish()
+        self.finish(true)
     }
 
     /// Seeds the event queue with the initial transfers.
@@ -266,6 +353,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if self.vm_ready_at > SimTime::ZERO {
             self.events.push(self.vm_ready_at, Ev::VmReady);
         }
+        self.schedule_next_preemption(SimTime::ZERO);
         match self.cfg.mode {
             DataMode::Regular | DataMode::DynamicCleanup => {
                 // Count each task's wait on external (non-prestaged) inputs.
@@ -283,7 +371,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     // Stage in every external input up front, FCFS in file order.
                     for f in self.wf.external_inputs() {
                         let grant = self.submit_in(SimTime::ZERO, self.wf.file(f).bytes, None);
-                        self.events.push(grant.finish, Ev::FileArrived(f));
+                        self.events.push(
+                            grant.finish,
+                            Ev::FileArrived {
+                                file: f,
+                                attempt: 1,
+                            },
+                        );
                     }
                 }
                 for t in self.wf.task_ids() {
@@ -305,10 +399,203 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
     }
 
+    // --- fault handling ------------------------------------------------------
+
+    /// Schedules the next whole-processor preemption, when the model has
+    /// an MTTF configured.
+    fn schedule_next_preemption(&mut self, now: SimTime) {
+        let cap = self.pool.capacity();
+        if let Some(delay) = self.injector.as_mut().and_then(|i| i.next_preemption(cap)) {
+            self.events.push(now + delay, Ev::Preemption);
+        }
+    }
+
+    /// Draws whether a completing transfer failed; if so, books the wasted
+    /// (already billed) bytes and narrates the loss.
+    fn transfer_failed(
+        &mut self,
+        now: SimTime,
+        chan: Channel,
+        bytes: u64,
+        task: Option<TaskId>,
+    ) -> bool {
+        let failed = self.injector.as_mut().is_some_and(|i| i.transfer_fails());
+        if failed {
+            self.transfer_failures += 1;
+            match chan {
+                Channel::In => self.wasted_bytes_in += bytes,
+                Channel::Out => self.wasted_bytes_out += bytes,
+            }
+            self.sink.emit(
+                now,
+                TraceEvent::TransferFailed {
+                    chan,
+                    bytes,
+                    task: task.map(|t| t.0),
+                },
+            );
+        }
+        failed
+    }
+
+    /// True when a transfer that has now failed `attempt` times has no
+    /// retries left under the policy.
+    fn transfer_retry_exhausted(&self, attempt: u32) -> bool {
+        matches!(self.cfg.retry.max_retries, Some(m) if attempt > m)
+    }
+
+    /// Books one failed execution attempt (fault, timeout, or preemption)
+    /// and applies the retry policy: re-enqueue — possibly after a
+    /// jittered backoff — or dead-letter the task and abort gracefully.
+    fn on_attempt_failed(
+        &mut self,
+        now: SimTime,
+        t: TaskId,
+        proc: ProcId,
+        billed_s: f64,
+        kind: FailureKind,
+    ) {
+        self.failed_attempts += 1;
+        self.wasted_cpu_s += billed_s;
+        self.task_failures[t.index()] += 1;
+        let attempt = self.task_failures[t.index()];
+        self.sink.emit(
+            now,
+            TraceEvent::TaskFailed {
+                task: t.0,
+                proc: proc.0,
+                attempt,
+                kind,
+            },
+        );
+        if self.cfg.mode == DataMode::RemoteIo {
+            // Balance the working-set bookkeeping: the retry's dispatch
+            // re-adds it (the staged copies are still at the site; no
+            // re-transfer is modeled).
+            let held = self.working_set_bytes(t);
+            if held > 0 {
+                self.storage_free(now, held);
+            }
+        }
+        if matches!(self.cfg.retry.max_retries, Some(m) if attempt > m) {
+            self.aborted = true;
+            return;
+        }
+        self.retries += 1;
+        let delay_s = self.backoff_delay_s(attempt);
+        self.sink.emit(
+            now,
+            TraceEvent::TaskRetried {
+                task: t.0,
+                attempt: attempt + 1,
+                delay: SimDuration::from_secs_f64(delay_s),
+            },
+        );
+        if delay_s > 0.0 {
+            self.events
+                .push(now + SimDuration::from_secs_f64(delay_s), Ev::TaskRetry(t));
+        } else {
+            // Zero backoff re-enqueues synchronously, exactly like the
+            // original immediate-retry engine.
+            self.enqueue_ready(now, t);
+        }
+    }
+
+    /// The jittered backoff delay before retry number `retry`. Draws from
+    /// the injector's RNG only when both backoff and jitter are on.
+    fn backoff_delay_s(&mut self, retry: u32) -> f64 {
+        let b = Backoff {
+            base_s: self.cfg.retry.backoff_base_s,
+            cap_s: self.cfg.retry.backoff_cap_s,
+            jitter_frac: self.cfg.retry.jitter_frac,
+        };
+        match self.injector.as_mut() {
+            Some(inj) => b.delay_s(retry, inj.rng_mut()),
+            // Failures only happen with an injector present.
+            None => 0.0,
+        }
+    }
+
+    fn on_task_retry(&mut self, now: SimTime, t: TaskId) {
+        if !self.aborted {
+            self.enqueue_ready(now, t);
+        }
+    }
+
+    fn on_preemption(&mut self, now: SimTime) {
+        if self.aborted || self.tasks_done == self.wf.num_tasks() {
+            return; // compute is over (or abandoned); let the chain die out
+        }
+        let cap = self.pool.capacity();
+        let (victim, next) = {
+            let inj = self
+                .injector
+                .as_mut()
+                .expect("preemption event without an injector");
+            (inj.preemption_victim(cap), inj.next_preemption(cap))
+        };
+        if let Some(delay) = next {
+            self.events.push(now + delay, Ev::Preemption);
+        }
+        self.preemptions += 1;
+        match self.in_flight[victim as usize].take() {
+            Some(fl) => {
+                // The killed attempt's pending finish must never fire.
+                self.events.cancel(fl.finish_id);
+                let proc = ProcId(victim);
+                self.pool.release(now, proc);
+                let partial_s = now.since(fl.started).as_secs_f64();
+                self.run_seconds.push(partial_s);
+                self.sink.emit(
+                    now,
+                    TraceEvent::ProcessorPreempted {
+                        proc: victim,
+                        task: Some(fl.task.0),
+                    },
+                );
+                // The attempt still closes with a failed finish so span
+                // pairing and concurrency accounting stay balanced.
+                self.sink.emit(
+                    now,
+                    TraceEvent::TaskFinished {
+                        task: fl.task.0,
+                        proc: victim,
+                        ok: false,
+                    },
+                );
+                self.on_attempt_failed(now, fl.task, proc, partial_s, FailureKind::Preempted);
+            }
+            None => {
+                self.sink.emit(
+                    now,
+                    TraceEvent::ProcessorPreempted {
+                        proc: victim,
+                        task: None,
+                    },
+                );
+            }
+        }
+    }
+
     // --- shared-storage modes ----------------------------------------------
 
-    fn on_file_arrived(&mut self, now: SimTime, f: FileId) {
+    fn on_file_arrived(&mut self, now: SimTime, f: FileId, attempt: u32) {
         let bytes = self.wf.file(f).bytes;
+        if self.transfer_failed(now, Channel::In, bytes, None) {
+            if self.transfer_retry_exhausted(attempt) {
+                self.aborted = true;
+                return;
+            }
+            let grant = self.submit_in(now, bytes, None);
+            self.events.push(
+                grant.finish,
+                Ev::FileArrived {
+                    file: f,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
         self.sink.emit(
             now,
             TraceEvent::TransferCompleted {
@@ -326,12 +613,28 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
     }
 
-    fn on_final_stage_out(&mut self, now: SimTime, f: FileId) {
+    fn on_final_stage_out(&mut self, now: SimTime, f: FileId, attempt: u32) {
+        let bytes = self.wf.file(f).bytes;
+        if self.transfer_failed(now, Channel::Out, bytes, None) {
+            if self.transfer_retry_exhausted(attempt) {
+                self.aborted = true;
+                return;
+            }
+            let grant = self.submit_out(now, bytes, None);
+            self.events.push(
+                grant.finish,
+                Ev::FinalStageOutDone {
+                    file: f,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
         self.sink.emit(
             now,
             TraceEvent::TransferCompleted {
                 chan: Channel::Out,
-                bytes: self.wf.file(f).bytes,
+                bytes,
                 task: None,
             },
         );
@@ -390,13 +693,35 @@ impl<'a, S: EventSink> Engine<'a, S> {
             let bytes = self.wf.file(f).bytes;
             let grant = self.submit_in(now, bytes, Some(t));
             self.staged_in_bytes[t.index()] += bytes;
-            self.events
-                .push(grant.finish, Ev::InputArrived { task: t, bytes });
+            self.events.push(
+                grant.finish,
+                Ev::InputArrived {
+                    task: t,
+                    bytes,
+                    attempt: 1,
+                },
+            );
         }
         self.maybe_ready(now, t);
     }
 
-    fn on_input_arrived(&mut self, now: SimTime, t: TaskId, bytes: u64) {
+    fn on_input_arrived(&mut self, now: SimTime, t: TaskId, bytes: u64, attempt: u32) {
+        if self.transfer_failed(now, Channel::In, bytes, Some(t)) {
+            if self.transfer_retry_exhausted(attempt) {
+                self.aborted = true;
+                return;
+            }
+            let grant = self.submit_in(now, bytes, Some(t));
+            self.events.push(
+                grant.finish,
+                Ev::InputArrived {
+                    task: t,
+                    bytes,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
         self.sink.emit(
             now,
             TraceEvent::TransferCompleted {
@@ -413,7 +738,23 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.maybe_ready(now, t);
     }
 
-    fn on_output_staged_out(&mut self, now: SimTime, t: TaskId, bytes: u64) {
+    fn on_output_staged_out(&mut self, now: SimTime, t: TaskId, bytes: u64, attempt: u32) {
+        if self.transfer_failed(now, Channel::Out, bytes, Some(t)) {
+            if self.transfer_retry_exhausted(attempt) {
+                self.aborted = true;
+                return;
+            }
+            let grant = self.submit_out(now, bytes, Some(t));
+            self.events.push(
+                grant.finish,
+                Ev::OutputStagedOut {
+                    task: t,
+                    bytes,
+                    attempt: attempt + 1,
+                },
+            );
+            return;
+        }
         self.sink.emit(
             now,
             TraceEvent::TransferCompleted {
@@ -554,6 +895,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
 
     /// Starts as many ready tasks as there are free processors.
     fn dispatch(&mut self, now: SimTime) {
+        if self.aborted {
+            return; // dead-lettered: drain in-flight work, start nothing new
+        }
         if now < self.vm_ready_at {
             return; // VMs still booting; Ev::VmReady re-triggers dispatch.
         }
@@ -591,22 +935,49 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     self.storage_alloc(now, held);
                 }
             }
-            let runtime = SimDuration::from_secs_f64(self.wf.task(t).runtime_s);
-            self.events
+            // A configured timeout truncates the attempt: it fails (and
+            // bills) at the timeout instant instead of running to the end.
+            let runtime_s = self.attempt_seconds(t);
+            let runtime = SimDuration::from_secs_f64(runtime_s);
+            let finish_id = self
+                .events
                 .push(now + runtime, Ev::TaskFinished { task: t, proc });
+            self.in_flight[proc.0 as usize] = Some(InFlight {
+                task: t,
+                started: now,
+                finish_id,
+            });
+        }
+    }
+
+    /// How long one execution attempt of `t` occupies its processor: the
+    /// task runtime, truncated by the per-task timeout when one is set.
+    fn attempt_seconds(&self, t: TaskId) -> f64 {
+        let runtime_s = self.wf.task(t).runtime_s;
+        let timeout = self.cfg.retry.task_timeout_s;
+        if timeout > 0.0 && runtime_s > timeout {
+            timeout
+        } else {
+            runtime_s
         }
     }
 
     fn on_task_finished(&mut self, now: SimTime, t: TaskId, proc: ProcId) {
         self.pool.release(now, proc);
-        self.run_seconds.push(self.wf.task(t).runtime_s);
+        self.in_flight[proc.0 as usize] = None;
+        let timeout = self.cfg.retry.task_timeout_s;
+        let timed_out = timeout > 0.0 && self.wf.task(t).runtime_s > timeout;
+        let billed_s = self.attempt_seconds(t);
+        self.run_seconds.push(billed_s);
         // Fault injection: a failed attempt consumed its runtime (billed
-        // above) but produced nothing; the task goes back to the ready
-        // queue and retries.
-        let failed = match (self.fault_rng.as_mut(), self.cfg.faults) {
-            (Some(rng), Some(model)) => rng.chance(model.task_failure_prob),
-            _ => false,
-        };
+        // above) but produced nothing; the retry policy decides whether
+        // the task goes back to the ready queue. A timed-out attempt
+        // fails deterministically without consuming a fault draw.
+        let failed = timed_out
+            || self
+                .injector
+                .as_mut()
+                .is_some_and(|i| i.task_attempt_fails());
         self.sink.emit(
             now,
             TraceEvent::TaskFinished {
@@ -616,17 +987,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
             },
         );
         if failed {
-            self.failed_attempts += 1;
-            if self.cfg.mode == DataMode::RemoteIo {
-                // Balance the working-set bookkeeping: the retry's
-                // dispatch re-adds it (the staged copies are still at
-                // the site; no re-transfer is modeled).
-                let held = self.working_set_bytes(t);
-                if held > 0 {
-                    self.storage_free(now, held);
-                }
-            }
-            self.enqueue_ready(now, t);
+            let kind = if timed_out {
+                FailureKind::Timeout
+            } else {
+                FailureKind::Fault
+            };
+            self.on_attempt_failed(now, t, proc, billed_s, kind);
             return;
         }
         match self.cfg.mode {
@@ -676,8 +1042,14 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 for f in outputs {
                     let bytes = self.wf.file(f).bytes;
                     let grant = self.submit_out(now, bytes, Some(t));
-                    self.events
-                        .push(grant.finish, Ev::OutputStagedOut { task: t, bytes });
+                    self.events.push(
+                        grant.finish,
+                        Ev::OutputStagedOut {
+                            task: t,
+                            bytes,
+                            attempt: 1,
+                        },
+                    );
                 }
             }
         }
@@ -693,11 +1065,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
         for f in files {
             let bytes = self.wf.file(f).bytes;
             let grant = self.submit_out(now, bytes, None);
-            self.events.push(grant.finish, Ev::FinalStageOutDone(f));
+            self.events.push(
+                grant.finish,
+                Ev::FinalStageOutDone {
+                    file: f,
+                    attempt: 1,
+                },
+            );
         }
     }
 
-    fn finish(self) -> Report {
+    fn finish(self, completed: bool) -> Report {
         let makespan = self.end_time.since(SimTime::ZERO);
         let makespan_s = makespan.as_secs_f64();
         let task_runtime_seconds = self.wf.total_runtime_s();
@@ -751,6 +1129,14 @@ impl<'a, S: EventSink> Engine<'a, S> {
             cpu_utilization,
             task_executions: self.run_seconds.len() as u64,
             failed_attempts: self.failed_attempts,
+            completed,
+            tasks_completed: self.tasks_done as u64,
+            retries: self.retries,
+            preemptions: self.preemptions,
+            transfer_failures: self.transfer_failures,
+            wasted_cpu_seconds: self.wasted_cpu_s,
+            wasted_bytes_in: self.wasted_bytes_in,
+            wasted_bytes_out: self.wasted_bytes_out,
             queue_wait_mean_s: self.wait_stats.mean(),
             queue_wait_max_s: self.wait_stats.max(),
             queue_wait_hist: self.wait_hist,

@@ -36,14 +36,15 @@ mod report;
 mod trace;
 
 pub use config::{
-    DataMode, ExecConfig, FaultModel, Provisioning, SchedulePolicy, VmOverhead, PAPER_BANDWIDTH_BPS,
+    DataMode, ExecConfig, FaultModel, Provisioning, RetryPolicy, SchedulePolicy, VmOverhead,
+    PAPER_BANDWIDTH_BPS,
 };
 pub use engine::{simulate, simulate_traced, simulate_with_sink};
 pub use gantt::{gantt_csv, gantt_text};
 pub use profile::{
     attribute_profile_costs, profile_json, profile_svg, profile_text, profile_trace, ClassProfile,
     CostAttribution, LevelProfile, TaskProfile, WorkflowProfile, RESIDUAL_LABEL, SHARED_IN_LABEL,
-    SHARED_OUT_LABEL, STORAGE_LABEL,
+    SHARED_OUT_LABEL, STORAGE_LABEL, WASTED_LABEL,
 };
 pub use report::{Report, TaskSpan};
 pub use trace::{trace_from_jsonl, trace_to_chrome, trace_to_jsonl};

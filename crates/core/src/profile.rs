@@ -65,6 +65,12 @@ pub struct TaskProfile {
     pub bytes_in: u64,
     /// Bytes staged out privately by this task (remote I/O).
     pub bytes_out: u64,
+    /// Execution seconds consumed by failed attempts (billed but wasted).
+    pub wasted_s: f64,
+    /// Privately staged inbound bytes carried by failed transfers.
+    pub wasted_bytes_in: u64,
+    /// Privately staged outbound bytes carried by failed transfers.
+    pub wasted_bytes_out: u64,
 }
 
 /// Phase totals for one task class (all invocations of one Montage
@@ -91,6 +97,12 @@ pub struct ClassProfile {
     pub bytes_in: u64,
     /// Bytes staged out privately.
     pub bytes_out: u64,
+    /// Summed execution seconds consumed by failed attempts.
+    pub wasted_s: f64,
+    /// Summed inbound bytes carried by failed private transfers.
+    pub wasted_bytes_in: u64,
+    /// Summed outbound bytes carried by failed private transfers.
+    pub wasted_bytes_out: u64,
 }
 
 impl ClassProfile {
@@ -148,6 +160,16 @@ pub struct WorkflowProfile {
     pub shared_bytes_in: u64,
     /// Bytes moved outbound by shared (unattributed) staging.
     pub shared_bytes_out: u64,
+    /// Failed execution attempts observed in the trace.
+    pub failed_attempts: u64,
+    /// Whole-processor preemptions observed in the trace.
+    pub preemptions: u64,
+    /// Transfer failures observed in the trace.
+    pub transfer_failures: u64,
+    /// Shared (unattributed) inbound bytes carried by failed transfers.
+    pub shared_wasted_bytes_in: u64,
+    /// Shared (unattributed) outbound bytes carried by failed transfers.
+    pub shared_wasted_bytes_out: u64,
     /// Distribution of per-attempt queue waits, seconds.
     pub queue_wait_hist: Histogram,
     /// Distribution of per-attempt execution times, seconds.
@@ -163,6 +185,10 @@ pub const SHARED_IN_LABEL: &str = "(shared stage-in)";
 pub const SHARED_OUT_LABEL: &str = "(shared stage-out)";
 /// Attribution label for the storage resource (shared by construction).
 pub const STORAGE_LABEL: &str = "(storage)";
+/// Attribution label for wasted work: billed CPU-seconds and transfer
+/// bytes consumed by failed attempts under fault injection. Present only
+/// when the trace contains failures.
+pub const WASTED_LABEL: &str = "(wasted)";
 
 /// Per-class cost attribution with its reconciliation target.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +226,9 @@ struct Scan {
     out_last_done: Option<SimTime>,
     bytes_in: u64,
     bytes_out: u64,
+    wasted_s: f64,
+    wasted_bytes_in: u64,
+    wasted_bytes_out: u64,
 }
 
 /// Reconstructs per-task spans and phase attribution from a recorded event
@@ -227,6 +256,9 @@ pub fn profile_trace(wf: &Workflow, events: &[TimedEvent]) -> WorkflowProfile {
             out_last_done: None,
             bytes_in: 0,
             bytes_out: 0,
+            wasted_s: 0.0,
+            wasted_bytes_in: 0,
+            wasted_bytes_out: 0,
         };
         n
     ];
@@ -246,6 +278,11 @@ pub fn profile_trace(wf: &Workflow, events: &[TimedEvent]) -> WorkflowProfile {
     let mut makespan = SimTime::ZERO;
     let mut queue_wait_hist = Histogram::new();
     let mut exec_hist = Histogram::new();
+    let mut failed_attempts = 0u64;
+    let mut preemptions = 0u64;
+    let mut transfer_failures = 0u64;
+    let mut shared_wasted_bytes_in = 0u64;
+    let mut shared_wasted_bytes_out = 0u64;
 
     for e in events {
         makespan = makespan.max(e.at);
@@ -276,6 +313,27 @@ pub fn profile_trace(wf: &Workflow, events: &[TimedEvent]) -> WorkflowProfile {
                 exec_hist.record(dur);
                 if ok {
                     s.finish_ok = Some(e.at);
+                } else {
+                    s.wasted_s += dur;
+                }
+            }
+            TraceEvent::TaskFailed { .. } => {
+                failed_attempts += 1;
+            }
+            TraceEvent::ProcessorPreempted { .. } => {
+                preemptions += 1;
+            }
+            TraceEvent::TransferFailed { chan, bytes, task } => {
+                transfer_failures += 1;
+                match (task, chan) {
+                    (Some(t), mcloud_simkit::Channel::In) => {
+                        scan[idx(t)].wasted_bytes_in += bytes;
+                    }
+                    (Some(t), mcloud_simkit::Channel::Out) => {
+                        scan[idx(t)].wasted_bytes_out += bytes;
+                    }
+                    (None, mcloud_simkit::Channel::In) => shared_wasted_bytes_in += bytes,
+                    (None, mcloud_simkit::Channel::Out) => shared_wasted_bytes_out += bytes,
                 }
             }
             TraceEvent::TaskBlockedOnStorage { task } => {
@@ -385,6 +443,9 @@ pub fn profile_trace(wf: &Workflow, events: &[TimedEvent]) -> WorkflowProfile {
             storage_wait_s: s.storage_wait_s,
             bytes_in: s.bytes_in,
             bytes_out: s.bytes_out,
+            wasted_s: s.wasted_s,
+            wasted_bytes_in: s.wasted_bytes_in,
+            wasted_bytes_out: s.wasted_bytes_out,
         });
     }
 
@@ -408,6 +469,9 @@ pub fn profile_trace(wf: &Workflow, events: &[TimedEvent]) -> WorkflowProfile {
                 storage_wait_s: 0.0,
                 bytes_in: 0,
                 bytes_out: 0,
+                wasted_s: 0.0,
+                wasted_bytes_in: 0,
+                wasted_bytes_out: 0,
             });
             classes.len() - 1
         });
@@ -421,6 +485,9 @@ pub fn profile_trace(wf: &Workflow, events: &[TimedEvent]) -> WorkflowProfile {
         c.storage_wait_s += tp.storage_wait_s;
         c.bytes_in += tp.bytes_in;
         c.bytes_out += tp.bytes_out;
+        c.wasted_s += tp.wasted_s;
+        c.wasted_bytes_in += tp.wasted_bytes_in;
+        c.wasted_bytes_out += tp.wasted_bytes_out;
     }
 
     // Per-level aggregation.
@@ -509,6 +576,11 @@ pub fn profile_trace(wf: &Workflow, events: &[TimedEvent]) -> WorkflowProfile {
             .unwrap_or(0.0),
         shared_bytes_in,
         shared_bytes_out,
+        failed_attempts,
+        preemptions,
+        transfer_failures,
+        shared_wasted_bytes_in,
+        shared_wasted_bytes_out,
         queue_wait_hist,
         exec_hist,
     }
@@ -525,25 +597,51 @@ pub fn attribute_profile_costs(
     report: &Report,
     pricing: &Pricing,
 ) -> CostAttribution {
+    // Wasted work (failed attempts and failed transfers) is carved out of
+    // the class and shared rows into its own row, so the dollars lost to
+    // faults are visible without disturbing the overall reconciliation.
+    let wasted_s: f64 = profile.classes.iter().map(|c| c.wasted_s).sum();
+    let wasted_in: u64 = profile
+        .classes
+        .iter()
+        .map(|c| c.wasted_bytes_in)
+        .sum::<u64>()
+        + profile.shared_wasted_bytes_in;
+    let wasted_out: u64 = profile
+        .classes
+        .iter()
+        .map(|c| c.wasted_bytes_out)
+        .sum::<u64>()
+        + profile.shared_wasted_bytes_out;
+    let any_waste = wasted_s > 0.0 || wasted_in > 0 || wasted_out > 0;
     let mut usage: Vec<ResourceUsage> = profile
         .classes
         .iter()
         .map(|c| ResourceUsage {
             label: c.class.clone(),
-            cpu_seconds: c.exec_s,
-            bytes_in: c.bytes_in,
-            bytes_out: c.bytes_out,
+            cpu_seconds: c.exec_s - c.wasted_s,
+            bytes_in: c.bytes_in - c.wasted_bytes_in,
+            bytes_out: c.bytes_out - c.wasted_bytes_out,
             storage_byte_seconds: 0.0,
         })
         .collect();
+    if any_waste {
+        usage.push(ResourceUsage {
+            label: WASTED_LABEL.to_string(),
+            cpu_seconds: wasted_s,
+            bytes_in: wasted_in,
+            bytes_out: wasted_out,
+            storage_byte_seconds: 0.0,
+        });
+    }
     usage.push(ResourceUsage {
         label: SHARED_IN_LABEL.to_string(),
-        bytes_in: profile.shared_bytes_in,
+        bytes_in: profile.shared_bytes_in - profile.shared_wasted_bytes_in,
         ..ResourceUsage::new(SHARED_IN_LABEL)
     });
     usage.push(ResourceUsage {
         label: SHARED_OUT_LABEL.to_string(),
-        bytes_out: profile.shared_bytes_out,
+        bytes_out: profile.shared_bytes_out - profile.shared_wasted_bytes_out,
         ..ResourceUsage::new(SHARED_OUT_LABEL)
     });
     usage.push(ResourceUsage {
@@ -636,6 +734,34 @@ pub fn profile_text(
         profile.stage_out_window_s,
     )
     .unwrap();
+    // Only narrated when the trace contains failures, so fault-free
+    // profiles render byte-identically to older versions.
+    if profile.failed_attempts > 0 || profile.preemptions > 0 || profile.transfer_failures > 0 {
+        let wasted_s: f64 = profile.classes.iter().map(|c| c.wasted_s).sum();
+        let wasted_in: u64 = profile
+            .classes
+            .iter()
+            .map(|c| c.wasted_bytes_in)
+            .sum::<u64>()
+            + profile.shared_wasted_bytes_in;
+        let wasted_out: u64 = profile
+            .classes
+            .iter()
+            .map(|c| c.wasted_bytes_out)
+            .sum::<u64>()
+            + profile.shared_wasted_bytes_out;
+        writeln!(
+            out,
+            "faults: {} failed attempts, {} preemptions, {} failed transfers | wasted {:.1} s cpu, {:.4} GB in, {:.4} GB out",
+            profile.failed_attempts,
+            profile.preemptions,
+            profile.transfer_failures,
+            wasted_s,
+            wasted_in as f64 / 1e9,
+            wasted_out as f64 / 1e9,
+        )
+        .unwrap();
+    }
 
     writeln!(out).unwrap();
     writeln!(
@@ -753,6 +879,33 @@ pub fn profile_json(
         profile.queue_wait_hist.max(),
     )
     .unwrap();
+    // Conditional so fault-free profiles stay byte-identical.
+    if profile.failed_attempts > 0 || profile.preemptions > 0 || profile.transfer_failures > 0 {
+        let wasted_s: f64 = profile.classes.iter().map(|c| c.wasted_s).sum();
+        let wasted_in: u64 = profile
+            .classes
+            .iter()
+            .map(|c| c.wasted_bytes_in)
+            .sum::<u64>()
+            + profile.shared_wasted_bytes_in;
+        let wasted_out: u64 = profile
+            .classes
+            .iter()
+            .map(|c| c.wasted_bytes_out)
+            .sum::<u64>()
+            + profile.shared_wasted_bytes_out;
+        write!(
+            out,
+            r#","faults":{{"failed_attempts":{},"preemptions":{},"transfer_failures":{},"wasted_cpu_s":{:.6},"wasted_bytes_in":{},"wasted_bytes_out":{}}}"#,
+            profile.failed_attempts,
+            profile.preemptions,
+            profile.transfer_failures,
+            wasted_s,
+            wasted_in,
+            wasted_out,
+        )
+        .unwrap();
+    }
     out.push_str(r#","classes":["#);
     for (i, c) in profile.classes.iter().enumerate() {
         if i > 0 {
@@ -1106,6 +1259,61 @@ mod tests {
         assert!(j1.starts_with(r#"{"workflow":"diamond""#));
         assert!(s1.starts_with("<svg "));
         assert!(s1.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn wasted_work_is_carved_into_its_own_row_and_reconciles() {
+        use crate::config::{FaultModel, RetryPolicy};
+        let wf = diamond();
+        let cfg = ExecConfig::fixed(2)
+            .with_fault_model(FaultModel::tasks_only(0.5, 7))
+            .with_retry(RetryPolicy::bounded(10));
+        let (report, sink) = simulate_traced(&wf, &cfg);
+        assert!(report.completed);
+        assert!(
+            report.failed_attempts > 0,
+            "the seed should trip at least one fault"
+        );
+        let p = profile_trace(&wf, sink.events());
+        assert_eq!(p.failed_attempts, report.failed_attempts);
+        let wasted: f64 = p.classes.iter().map(|c| c.wasted_s).sum();
+        assert!(
+            (wasted - report.wasted_cpu_seconds).abs() < 1e-4,
+            "profiled waste {wasted} vs billed {}",
+            report.wasted_cpu_seconds
+        );
+        let attr = attribute_profile_costs(&p, &report, &cfg.pricing);
+        assert!(
+            attr.attributed().approx_eq(&report.costs, 1e-6),
+            "attributed {:?} vs billed {:?}",
+            attr.attributed(),
+            report.costs
+        );
+        let labels: Vec<&str> = attr.rows.iter().map(|r| r.label.as_str()).collect();
+        assert!(labels.contains(&WASTED_LABEL));
+        // The synthetic tail keeps its order with the wasted row added.
+        assert_eq!(
+            &labels[labels.len() - 4..],
+            &[
+                SHARED_IN_LABEL,
+                SHARED_OUT_LABEL,
+                STORAGE_LABEL,
+                RESIDUAL_LABEL
+            ]
+        );
+        // The renders narrate the faults; fault-free runs never do.
+        let text = profile_text(&wf, "diamond-faults", &p, &attr);
+        assert!(text.contains("faults: "));
+        let json = profile_json(&wf, "diamond-faults", &p, &attr);
+        assert!(json.contains(r#""faults":{"#));
+        let clean = {
+            let cfg = ExecConfig::fixed(2);
+            let (report, sink) = simulate_traced(&wf, &cfg);
+            let p = profile_trace(&wf, sink.events());
+            let attr = attribute_profile_costs(&p, &report, &cfg.pricing);
+            profile_text(&wf, "diamond", &p, &attr)
+        };
+        assert!(!clean.contains("faults: "));
     }
 
     #[test]

@@ -59,8 +59,29 @@ pub struct Report {
     /// Total execution attempts, including failed ones (equals the task
     /// count when fault injection is off).
     pub task_executions: u64,
-    /// Execution attempts that failed and were retried.
+    /// Execution attempts that failed (injected fault, timeout, or
+    /// preemption).
     pub failed_attempts: u64,
+    /// False when the run aborted after a task or transfer exhausted its
+    /// retry budget; the rest of the report then describes the partial
+    /// run up to the abort.
+    pub completed: bool,
+    /// Tasks that finished successfully (equals the workflow's task count
+    /// when [`Report::completed`] is true).
+    pub tasks_completed: u64,
+    /// Failed attempts that were granted another try under the retry
+    /// policy.
+    pub retries: u64,
+    /// Whole-processor preemptions that struck the pool (busy or idle).
+    pub preemptions: u64,
+    /// Transfers that failed on completion and were re-billed.
+    pub transfer_failures: u64,
+    /// Billed CPU-seconds consumed by failed attempts (wasted work).
+    pub wasted_cpu_seconds: f64,
+    /// Billed inbound bytes carried by failed transfers.
+    pub wasted_bytes_in: u64,
+    /// Billed outbound bytes carried by failed transfers.
+    pub wasted_bytes_out: u64,
     /// Mean seconds a runnable task waited for a processor (and, under a
     /// storage cap, for space).
     pub queue_wait_mean_s: f64,
@@ -127,6 +148,14 @@ mod tests {
             cpu_utilization: 0.97,
             task_executions: 10,
             failed_attempts: 0,
+            completed: true,
+            tasks_completed: 10,
+            retries: 0,
+            preemptions: 0,
+            transfer_failures: 0,
+            wasted_cpu_seconds: 0.0,
+            wasted_bytes_in: 0,
+            wasted_bytes_out: 0,
             queue_wait_mean_s: 1.0,
             queue_wait_max_s: 5.0,
             queue_wait_hist: Histogram::new(),

@@ -18,7 +18,7 @@
 //! `Report.trace` (and the Gantt renderers on top of it) keep working.
 
 use mcloud_dag::{TaskId, Workflow};
-use mcloud_simkit::{Channel, EventSink, SimTime, TimedEvent, TraceEvent};
+use mcloud_simkit::{Channel, EventSink, FailureKind, SimTime, TimedEvent, TraceEvent};
 
 use crate::report::TaskSpan;
 
@@ -127,6 +127,42 @@ pub fn trace_to_jsonl(wf: &Workflow, events: &[TimedEvent]) -> String {
                 r#"{{"t_us":{t},"ev":"task_finished","task":{task},"name":"{}","proc":{proc},"ok":{ok}}}"#,
                 task_name(wf, task)
             ),
+            TraceEvent::TaskFailed {
+                task,
+                proc,
+                attempt,
+                kind,
+            } => format!(
+                r#"{{"t_us":{t},"ev":"task_failed","task":{task},"name":"{}","proc":{proc},"attempt":{attempt},"kind":"{}"}}"#,
+                task_name(wf, task),
+                kind.label()
+            ),
+            TraceEvent::TaskRetried {
+                task,
+                attempt,
+                delay,
+            } => format!(
+                r#"{{"t_us":{t},"ev":"task_retried","task":{task},"name":"{}","attempt":{attempt},"delay_us":{}}}"#,
+                task_name(wf, task),
+                delay.as_micros()
+            ),
+            TraceEvent::ProcessorPreempted { proc, task } => {
+                let attribution = match task {
+                    Some(id) => format!(r#","task":{id}"#),
+                    None => String::new(),
+                };
+                format!(r#"{{"t_us":{t},"ev":"processor_preempted","proc":{proc}{attribution}}}"#)
+            }
+            TraceEvent::TransferFailed { chan, bytes, task } => {
+                let attribution = match task {
+                    Some(id) => format!(r#","task":{id}"#),
+                    None => String::new(),
+                };
+                format!(
+                    r#"{{"t_us":{t},"ev":"transfer_failed","chan":"{}","bytes":{bytes}{attribution}}}"#,
+                    chan.label()
+                )
+            }
             TraceEvent::TaskBlockedOnStorage { task } => format!(
                 r#"{{"t_us":{t},"ev":"task_blocked_on_storage","task":{task},"name":"{}"}}"#,
                 task_name(wf, task)
@@ -243,6 +279,31 @@ pub fn trace_from_jsonl(text: &str) -> Result<Vec<TimedEvent>, String> {
                 task: num(line, "task")?,
                 proc: num(line, "proc")?,
                 ok: num(line, "ok")?,
+            },
+            "task_failed" => TraceEvent::TaskFailed {
+                task: num(line, "task")?,
+                proc: num(line, "proc")?,
+                attempt: num(line, "attempt")?,
+                kind: match field(line, "kind") {
+                    Some("fault") => FailureKind::Fault,
+                    Some("timeout") => FailureKind::Timeout,
+                    Some("preempted") => FailureKind::Preempted,
+                    other => return Err(format!("bad kind {other:?} in line: {line}")),
+                },
+            },
+            "task_retried" => TraceEvent::TaskRetried {
+                task: num(line, "task")?,
+                attempt: num(line, "attempt")?,
+                delay: mcloud_simkit::SimDuration::from_micros(num(line, "delay_us")?),
+            },
+            "processor_preempted" => TraceEvent::ProcessorPreempted {
+                proc: num(line, "proc")?,
+                task: task_attr()?,
+            },
+            "transfer_failed" => TraceEvent::TransferFailed {
+                chan: chan()?,
+                bytes: num(line, "bytes")?,
+                task: task_attr()?,
             },
             "task_blocked_on_storage" => TraceEvent::TaskBlockedOnStorage {
                 task: num(line, "task")?,
@@ -373,6 +434,31 @@ pub fn trace_to_chrome(wf: &Workflow, events: &[TimedEvent]) -> String {
                     r#"{{"name":"vm_ready","ph":"i","pid":{PID_COMPUTE},"tid":0,"ts":{t},"s":"p"}}"#
                 ));
             }
+            TraceEvent::TaskFailed {
+                proc,
+                attempt,
+                kind,
+                ..
+            } => {
+                ev.push(format!(
+                    r#"{{"name":"task_failed:{}","ph":"i","pid":{PID_COMPUTE},"tid":{proc},"ts":{t},"s":"t","args":{{"attempt":{attempt}}}}}"#,
+                    kind.label()
+                ));
+            }
+            TraceEvent::ProcessorPreempted { proc, .. } => {
+                ev.push(format!(
+                    r#"{{"name":"preempted","ph":"i","pid":{PID_COMPUTE},"tid":{proc},"ts":{t},"s":"t"}}"#
+                ));
+            }
+            TraceEvent::TransferFailed { chan, bytes, .. } => {
+                let tid = match chan {
+                    Channel::In => 0,
+                    Channel::Out => 1,
+                };
+                ev.push(format!(
+                    r#"{{"name":"transfer_failed","ph":"i","pid":{PID_LINK},"tid":{tid},"ts":{t},"s":"t","args":{{"bytes":{bytes}}}}}"#
+                ));
+            }
             _ => {}
         }
     }
@@ -477,7 +563,95 @@ mod tests {
         assert!(trace_from_jsonl("not json\n").is_err());
         assert!(trace_from_jsonl(r#"{"t_us":1,"ev":"mystery"}"#).is_err());
         assert!(trace_from_jsonl(r#"{"t_us":1,"ev":"task_ready"}"#).is_err());
+        assert!(trace_from_jsonl(
+            r#"{"t_us":1,"ev":"task_failed","task":0,"proc":0,"attempt":1,"kind":"gremlin"}"#
+        )
+        .is_err());
         assert_eq!(trace_from_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn fault_events_round_trip_through_the_parser() {
+        use mcloud_simkit::SimDuration;
+        let wf = tiny_workflow();
+        let events = vec![
+            TimedEvent {
+                at: SimTime::from_secs_f64(10.0),
+                event: TraceEvent::TaskFailed {
+                    task: 0,
+                    proc: 1,
+                    attempt: 1,
+                    kind: FailureKind::Fault,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_secs_f64(10.0),
+                event: TraceEvent::TaskRetried {
+                    task: 0,
+                    attempt: 2,
+                    delay: SimDuration::from_secs_f64(30.5),
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_secs_f64(12.0),
+                event: TraceEvent::TaskFailed {
+                    task: 1,
+                    proc: 0,
+                    attempt: 1,
+                    kind: FailureKind::Timeout,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_secs_f64(15.0),
+                event: TraceEvent::ProcessorPreempted {
+                    proc: 1,
+                    task: Some(0),
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_secs_f64(16.0),
+                event: TraceEvent::ProcessorPreempted {
+                    proc: 0,
+                    task: None,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_secs_f64(20.0),
+                event: TraceEvent::TransferFailed {
+                    chan: Channel::In,
+                    bytes: 1_000_000,
+                    task: None,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_secs_f64(21.0),
+                event: TraceEvent::TransferFailed {
+                    chan: Channel::Out,
+                    bytes: 250_000,
+                    task: Some(1),
+                },
+            },
+        ];
+        let jsonl = trace_to_jsonl(&wf, &events);
+        for needle in [
+            r#""ev":"task_failed""#,
+            r#""kind":"fault""#,
+            r#""kind":"timeout""#,
+            r#""ev":"task_retried""#,
+            r#""delay_us":30500000"#,
+            r#""ev":"processor_preempted""#,
+            r#""ev":"transfer_failed""#,
+        ] {
+            assert!(jsonl.contains(needle), "missing {needle}");
+        }
+        let parsed = trace_from_jsonl(&jsonl).expect("parse");
+        assert_eq!(parsed, events);
+        assert_eq!(trace_to_jsonl(&wf, &parsed), jsonl);
+        // The chrome exporter renders them as instant markers.
+        let chrome = trace_to_chrome(&wf, &events);
+        assert!(chrome.contains(r#""name":"task_failed:fault""#));
+        assert!(chrome.contains(r#""name":"preempted""#));
+        assert!(chrome.contains(r#""name":"transfer_failed""#));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use std::path::PathBuf;
 
 use mcloud_core::{
-    simulate, simulate_traced, trace_to_chrome, trace_to_jsonl, DataMode, ExecConfig,
+    simulate, simulate_traced, trace_to_chrome, trace_to_jsonl, DataMode, ExecConfig, FaultModel,
+    RetryPolicy,
 };
 use mcloud_montage::montage_1_degree;
 use mcloud_simkit::SimTime;
@@ -60,6 +61,39 @@ fn golden_jsonl_1deg_per_mode() {
         let (_, sink) = simulate_traced(&wf, &ExecConfig::on_demand(mode));
         check_golden(&mode_file(mode), &trace_to_jsonl(&wf, sink.events()));
     }
+}
+
+/// The CI reliability gate's scenario: all three fault axes on, bounded
+/// retries, seed 2008 (`mcloud simulate --fault-rate 0.05
+/// --transfer-fault-rate 0.05 --mttf 5000 --retry-max 3 --fault-seed 2008`).
+fn fault_scenario() -> ExecConfig {
+    ExecConfig {
+        faults: Some(FaultModel {
+            task_failure_prob: 0.05,
+            transfer_failure_prob: 0.05,
+            proc_mttf_s: 5_000.0,
+            seed: 2008,
+        }),
+        ..ExecConfig::fixed(8).with_retry(RetryPolicy::bounded(3))
+    }
+}
+
+#[test]
+fn golden_jsonl_1deg_faults() {
+    let wf = montage_1_degree();
+    let (report, sink) = simulate_traced(&wf, &fault_scenario());
+    assert!(report.completed, "the golden scenario survives its budget");
+    let jsonl = trace_to_jsonl(&wf, sink.events());
+    // Every fault-event kind appears in the pinned narration.
+    for needle in [
+        r#""ev":"task_failed""#,
+        r#""ev":"task_retried""#,
+        r#""ev":"processor_preempted""#,
+        r#""ev":"transfer_failed""#,
+    ] {
+        assert!(jsonl.contains(needle), "golden trace lacks {needle}");
+    }
+    check_golden("trace_1deg_faults.jsonl", &jsonl);
 }
 
 #[test]

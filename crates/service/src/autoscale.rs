@@ -288,6 +288,7 @@ fn start_service(
         finish_hours: finish.as_hours_f64(),
         venue: Venue::Cloud,
         cost: dm,
+        attempts: 1,
     });
     events.push(finish, Ev::ServiceDone);
 }

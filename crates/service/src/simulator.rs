@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 
 use mcloud_core::ExecConfig;
 use mcloud_cost::Money;
-use mcloud_simkit::{EventQueue, EventSink, Histogram, NullSink, SimTime, TraceEvent};
+use mcloud_simkit::{EventQueue, EventSink, Histogram, NullSink, SimRng, SimTime, TraceEvent};
 
 use crate::arrivals::Arrival;
 use crate::profile::ProfileTable;
@@ -43,6 +43,14 @@ pub struct ServiceConfig {
     /// Amortized cost of one busy local slot-hour (defaults to free,
     /// i.e. sunk hardware).
     pub local_cost_per_slot_hour: Money,
+    /// Probability that a request's run fails and must be rerun from
+    /// scratch (0 disables the fault model entirely — no RNG draws).
+    pub request_failure_prob: f64,
+    /// Reruns granted per request beyond the first attempt; a request
+    /// occupies its slot (and bills) once per attempt.
+    pub request_retry_max: u32,
+    /// Seed for the request-level fault stream.
+    pub fault_seed: u64,
 }
 
 impl ServiceConfig {
@@ -56,6 +64,9 @@ impl ServiceConfig {
             burst_threshold: Some(2),
             exec: ExecConfig::paper_default(),
             local_cost_per_slot_hour: Money::ZERO,
+            request_failure_prob: 0.0,
+            request_retry_max: 0,
+            fault_seed: 0,
         }
     }
 
@@ -68,6 +79,9 @@ impl ServiceConfig {
         }
         if self.local_procs_per_request == 0 || self.cloud_procs_per_request == 0 {
             return Err("per-request processor counts must be positive".to_string());
+        }
+        if !(0.0..1.0).contains(&self.request_failure_prob) {
+            return Err("request_failure_prob must be in [0, 1)".to_string());
         }
         self.exec.validate()
     }
@@ -90,6 +104,8 @@ pub struct RequestOutcome {
     pub venue: Venue,
     /// What it cost.
     pub cost: Money,
+    /// Runs the request needed (1 unless the fault model rerolled it).
+    pub attempts: u32,
 }
 
 impl RequestOutcome {
@@ -293,6 +309,26 @@ pub fn simulate_service_with_sink<S: EventSink>(
     cfg.validate().expect("invalid service configuration");
     let mut profiles = ProfileTable::new(cfg.exec.clone());
 
+    // Pre-roll each request's attempt count in arrival order: every run
+    // fails independently with `request_failure_prob` and is rerun up to
+    // `request_retry_max` times. A zero rate draws nothing, so fault-free
+    // configurations replay historic byte-identical results.
+    let attempts_of: Vec<u32> = if cfg.request_failure_prob > 0.0 {
+        let mut rng = SimRng::new(cfg.fault_seed);
+        arrivals
+            .iter()
+            .map(|_| {
+                let mut runs = 1u32;
+                while runs <= cfg.request_retry_max && rng.chance(cfg.request_failure_prob) {
+                    runs += 1;
+                }
+                runs
+            })
+            .collect()
+    } else {
+        vec![1; arrivals.len()]
+    };
+
     let mut events: EventQueue<Ev> = EventQueue::new();
     for (i, a) in arrivals.iter().enumerate() {
         assert!(
@@ -319,6 +355,7 @@ pub fn simulate_service_with_sink<S: EventSink>(
                         now,
                         arrivals,
                         cfg,
+                        &attempts_of,
                         &mut profiles,
                         &mut events,
                         &mut outcomes,
@@ -327,7 +364,10 @@ pub fn simulate_service_with_sink<S: EventSink>(
                     );
                 } else if cfg.burst_threshold.is_some_and(|k| waiting.len() >= k) {
                     let profile = profiles.fixed(arrivals[i].degrees, cfg.cloud_procs_per_request);
-                    cloud_cost += profile.cost;
+                    let runs = attempts_of[i];
+                    let cost = profile.cost * runs as f64;
+                    let hours = profile.makespan_hours * runs as f64;
+                    cloud_cost += cost;
                     let start_h = now.as_hours_f64();
                     sink.emit(
                         now,
@@ -341,13 +381,13 @@ pub fn simulate_service_with_sink<S: EventSink>(
                         degrees: arrivals[i].degrees,
                         arrival_hours: arrivals[i].at_hours,
                         start_hours: start_h,
-                        finish_hours: start_h + profile.makespan_hours,
+                        finish_hours: start_h + hours,
                         venue: Venue::Cloud,
-                        cost: profile.cost,
+                        cost,
+                        attempts: runs,
                     });
                     if sink.enabled() {
-                        let finish = now
-                            + mcloud_simkit::SimDuration::from_hours_f64(profile.makespan_hours);
+                        let finish = now + mcloud_simkit::SimDuration::from_hours_f64(hours);
                         events.push(finish, Ev::CloudDone(i));
                     }
                 } else {
@@ -362,6 +402,7 @@ pub fn simulate_service_with_sink<S: EventSink>(
                         now,
                         arrivals,
                         cfg,
+                        &attempts_of,
                         &mut profiles,
                         &mut events,
                         &mut outcomes,
@@ -395,6 +436,7 @@ fn start_local<S: EventSink>(
     now: SimTime,
     arrivals: &[Arrival],
     cfg: &ServiceConfig,
+    attempts_of: &[u32],
     profiles: &mut ProfileTable,
     events: &mut EventQueue<Ev>,
     outcomes: &mut [Option<RequestOutcome>],
@@ -402,9 +444,11 @@ fn start_local<S: EventSink>(
     sink: &mut S,
 ) {
     let profile = profiles.owned(arrivals[i].degrees, cfg.local_procs_per_request);
+    let runs = attempts_of[i];
+    let hours = profile.makespan_hours * runs as f64;
     let start_h = now.as_hours_f64();
-    let finish = now + mcloud_simkit::SimDuration::from_hours_f64(profile.makespan_hours);
-    *local_busy_hours += profile.makespan_hours;
+    let finish = now + mcloud_simkit::SimDuration::from_hours_f64(hours);
+    *local_busy_hours += hours;
     sink.emit(
         now,
         TraceEvent::RequestStarted {
@@ -419,7 +463,8 @@ fn start_local<S: EventSink>(
         start_hours: start_h,
         finish_hours: finish.as_hours_f64(),
         venue: Venue::Local,
-        cost: cfg.local_cost_per_slot_hour * profile.makespan_hours,
+        cost: cfg.local_cost_per_slot_hour * hours,
+        attempts: runs,
     });
     events.push(finish, Ev::LocalDone(i));
 }
@@ -531,6 +576,7 @@ mod tests {
                     finish_hours: t,
                     venue: Venue::Local,
                     cost: Money::ZERO,
+                    attempts: 1,
                 })
                 .collect(),
             cloud_cost: Money::ZERO,
@@ -611,6 +657,68 @@ mod tests {
                 last = n;
             }
         }
+    }
+
+    #[test]
+    fn request_retries_inflate_turnaround_and_cost_deterministically() {
+        let arrivals = periodic(0.5, 24.0, 1.0);
+        let base = ServiceConfig {
+            local_slots: 1,
+            burst_threshold: Some(1),
+            local_cost_per_slot_hour: Money::from_dollars(0.10),
+            ..ServiceConfig::default_burst()
+        };
+        let faulty = ServiceConfig {
+            request_failure_prob: 0.5,
+            request_retry_max: 3,
+            fault_seed: 2008,
+            ..base.clone()
+        };
+        let clean = simulate_service(&arrivals, &base);
+        let a = simulate_service(&arrivals, &faulty);
+        let b = simulate_service(&arrivals, &faulty);
+        // Same seed, same stream: identical reports.
+        assert_eq!(a, b);
+        // At a 50% rate across 48 requests some retries must land, each
+        // within the configured budget.
+        assert!(a.outcomes.iter().any(|o| o.attempts > 1));
+        assert!(a.outcomes.iter().all(|o| o.attempts <= 4));
+        assert!(clean.outcomes.iter().all(|o| o.attempts == 1));
+        assert!(a.total_cost() > clean.total_cost());
+        assert!(a.mean_turnaround_hours() > clean.mean_turnaround_hours());
+        // Billing and service time scale with the rerolled attempts: a
+        // request's occupancy is its single-run span times its attempts.
+        for o in &a.outcomes {
+            let span = o.finish_hours - o.start_hours;
+            assert!(span > 0.0 && o.cost > Money::ZERO, "req {}", o.index);
+            let per_run = span / o.attempts as f64;
+            assert!(per_run > 0.0, "req {}", o.index);
+        }
+    }
+
+    #[test]
+    fn zero_failure_rate_is_byte_identical_to_the_legacy_model() {
+        let arrivals = periodic(0.5, 24.0, 1.0);
+        let base = ServiceConfig::default_burst();
+        // A nonzero seed with a zero rate must not perturb anything.
+        let seeded = ServiceConfig {
+            fault_seed: 99,
+            request_retry_max: 5,
+            ..base.clone()
+        };
+        assert_eq!(
+            simulate_service(&arrivals, &base),
+            simulate_service(&arrivals, &seeded)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_a_full_failure_rate() {
+        let cfg = ServiceConfig {
+            request_failure_prob: 1.0,
+            ..ServiceConfig::default_burst()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

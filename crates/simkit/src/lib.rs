@@ -26,6 +26,9 @@
 //!   cost, [`RecordingSink`] for counters and derived timeseries).
 //! * [`SimRng`] — a seeded xoshiro256++ generator so every stochastic
 //!   model input is reproducible across platforms.
+//! * [`FaultInjector`] / [`Backoff`] — deterministic fault injection
+//!   (task failures, transfer failures, processor preemptions) and
+//!   jittered exponential-backoff retry delays, all driven by [`SimRng`].
 //!
 //! The kernel is engine-agnostic: simulation logic lives in the crates that
 //! use it (see `mcloud-core`). Nothing here spawns threads or consults wall
@@ -62,6 +65,7 @@
 #![forbid(unsafe_code)]
 
 mod channel;
+mod fault;
 mod hist;
 mod pool;
 mod queue;
@@ -71,6 +75,7 @@ mod time;
 mod tracer;
 
 pub use channel::{FcfsChannel, TransferGrant};
+pub use fault::{Backoff, FaultInjector, FaultSpec};
 pub use hist::Histogram;
 pub use pool::{ProcId, ProcessorPool};
 pub use queue::{EventId, EventQueue};
@@ -78,5 +83,5 @@ pub use rng::SimRng;
 pub use stats::{RunningStats, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use tracer::{
-    Channel, EventSink, NullSink, RecordingSink, TimedEvent, TraceCounters, TraceEvent,
+    Channel, EventSink, FailureKind, NullSink, RecordingSink, TimedEvent, TraceCounters, TraceEvent,
 };

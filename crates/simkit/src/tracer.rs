@@ -39,6 +39,28 @@ impl Channel {
     }
 }
 
+/// Why a task execution attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A transient injected fault.
+    Fault,
+    /// The attempt exceeded the configured per-task timeout.
+    Timeout,
+    /// The processor running the attempt was preempted.
+    Preempted,
+}
+
+impl FailureKind {
+    /// Stable lowercase label used by exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Fault => "fault",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Preempted => "preempted",
+        }
+    }
+}
+
 /// One structured simulation event.
 ///
 /// Task and request identifiers are indices assigned by the emitting
@@ -70,6 +92,44 @@ pub enum TraceEvent {
         proc: u32,
         /// `false` for a failed attempt that will be retried.
         ok: bool,
+    },
+    /// An execution attempt failed, with its cause. Always follows the
+    /// matching `TaskFinished { ok: false, .. }`.
+    TaskFailed {
+        /// Task index.
+        task: u32,
+        /// Processor slot the attempt ran on.
+        proc: u32,
+        /// 1-based index of the failed attempt.
+        attempt: u32,
+        /// Why it failed.
+        kind: FailureKind,
+    },
+    /// A failed task was granted another attempt under the retry policy.
+    TaskRetried {
+        /// Task index.
+        task: u32,
+        /// 1-based index of the upcoming attempt.
+        attempt: u32,
+        /// Backoff delay before the task re-enters the ready queue.
+        delay: SimDuration,
+    },
+    /// A whole-processor preemption struck the pool.
+    ProcessorPreempted {
+        /// The victim slot.
+        proc: u32,
+        /// The task whose attempt was killed, if the slot was busy.
+        task: Option<u32>,
+    },
+    /// A transfer failed on completion and delivered nothing; its bytes
+    /// were still billed.
+    TransferFailed {
+        /// Which channel carried it.
+        chan: Channel,
+        /// Payload size.
+        bytes: u64,
+        /// Same attribution as the matching [`TraceEvent::TransferGranted`].
+        task: Option<u32>,
     },
     /// A ready task could not start because its outputs would overflow the
     /// configured storage capacity.
@@ -219,6 +279,14 @@ pub struct TraceCounters {
     pub requests_queued: u64,
     /// Service requests started.
     pub requests_started: u64,
+    /// Failed tasks granted another attempt.
+    pub tasks_retried: u64,
+    /// Whole-processor preemptions (busy or idle victims).
+    pub preemptions: u64,
+    /// Transfers that failed on completion.
+    pub transfers_failed: u64,
+    /// Bytes carried by failed transfers (billed but wasted).
+    pub bytes_failed: u64,
 }
 
 /// Records the full event stream and derives timeseries from it.
@@ -369,6 +437,12 @@ impl EventSink for RecordingSink {
             }
             TraceEvent::RequestQueued { .. } => self.counters.requests_queued += 1,
             TraceEvent::RequestStarted { .. } => self.counters.requests_started += 1,
+            TraceEvent::TaskRetried { .. } => self.counters.tasks_retried += 1,
+            TraceEvent::ProcessorPreempted { .. } => self.counters.preemptions += 1,
+            TraceEvent::TransferFailed { bytes, .. } => {
+                self.counters.transfers_failed += 1;
+                self.counters.bytes_failed += bytes;
+            }
             _ => {}
         }
         self.events.push(TimedEvent { at: now, event });
@@ -502,5 +576,55 @@ mod tests {
     fn channel_labels_are_stable() {
         assert_eq!(Channel::In.label(), "in");
         assert_eq!(Channel::Out.label(), "out");
+    }
+
+    #[test]
+    fn failure_kind_labels_are_stable() {
+        assert_eq!(FailureKind::Fault.label(), "fault");
+        assert_eq!(FailureKind::Timeout.label(), "timeout");
+        assert_eq!(FailureKind::Preempted.label(), "preempted");
+    }
+
+    #[test]
+    fn fault_events_feed_the_new_counters() {
+        let mut sink = RecordingSink::new();
+        sink.emit(
+            t(1.0),
+            TraceEvent::TaskFailed {
+                task: 0,
+                proc: 0,
+                attempt: 1,
+                kind: FailureKind::Fault,
+            },
+        );
+        sink.emit(
+            t(1.0),
+            TraceEvent::TaskRetried {
+                task: 0,
+                attempt: 2,
+                delay: SimDuration::from_secs(30),
+            },
+        );
+        sink.emit(
+            t(2.0),
+            TraceEvent::ProcessorPreempted {
+                proc: 3,
+                task: Some(1),
+            },
+        );
+        sink.emit(
+            t(3.0),
+            TraceEvent::TransferFailed {
+                chan: Channel::In,
+                bytes: 500,
+                task: None,
+            },
+        );
+        let c = sink.counters();
+        assert_eq!(c.tasks_retried, 1);
+        assert_eq!(c.preemptions, 1);
+        assert_eq!(c.transfers_failed, 1);
+        assert_eq!(c.bytes_failed, 500);
+        assert_eq!(c.events, 4);
     }
 }

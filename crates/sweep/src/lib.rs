@@ -38,7 +38,7 @@ pub use par::par_map;
 pub use pareto::{cheapest_within_deadline, pareto_frontier, CostTimePoint};
 pub use plot::{LinePlot, Series};
 pub use sweeps::{
-    ccr_sweep, geometric_processors, mode_matrix, processor_sweep, scale_to_ccr, CcrPoint,
-    ModePoint, ProcessorPoint,
+    ccr_sweep, fault_rate_sweep, geometric_processors, mode_matrix, processor_sweep, scale_to_ccr,
+    CcrPoint, FaultRatePoint, ModePoint, ProcessorPoint,
 };
 pub use table::{fmt_dollars, fmt_hours, Table};
