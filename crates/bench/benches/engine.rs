@@ -7,7 +7,9 @@ use std::hint::black_box;
 use mcloud_bench::harness::Bench;
 use mcloud_core::{simulate, DataMode, ExecConfig, Provisioning};
 use mcloud_dag::{from_dax, to_dax};
-use mcloud_montage::{generate, montage_4_degree, MosaicConfig};
+use mcloud_montage::{
+    generate, montage_16_degree, montage_4_degree, montage_8_degree, MosaicConfig,
+};
 use mcloud_sweep::{geometric_processors, processor_sweep};
 
 fn bench_simulator(b: &Bench) {
@@ -20,6 +22,18 @@ fn bench_simulator(b: &Bench) {
     b.run("engine/simulate_4deg_fixed128_trace", || {
         black_box(simulate(&wf, &ExecConfig::fixed(128).with_trace()))
     });
+    // Scale-up presets: the engine should stay in the
+    // tens-of-milliseconds range even at ~12k/~49k tasks.
+    let wf8 = montage_8_degree();
+    let wf16 = montage_16_degree();
+    for mode in DataMode::ALL {
+        b.run(&format!("engine/simulate_8deg/{}", mode.label()), || {
+            black_box(simulate(&wf8, &ExecConfig::on_demand(mode)))
+        });
+        b.run(&format!("engine/simulate_16deg/{}", mode.label()), || {
+            black_box(simulate(&wf16, &ExecConfig::on_demand(mode)))
+        });
+    }
 }
 
 fn bench_generator(b: &Bench) {

@@ -1,0 +1,159 @@
+//! A counting global allocator for allocation-budget benchmarks.
+//!
+//! Every binary in this crate (the stopwatch benches and the `repro` tool)
+//! routes its heap traffic through [`CountingAlloc`], which forwards to the
+//! system allocator while maintaining process-wide atomic counters. The
+//! baseline runner ([`crate::baseline`]) snapshots the counters around a
+//! single-threaded simulation to obtain *exact, deterministic* per-run
+//! allocation counts — the quantity the CI perf gate pins, because unlike
+//! wall-clock throughput it is identical on every machine.
+//!
+//! The counters use relaxed atomics: they are totals, not synchronization,
+//! and the measured regions are single-threaded.
+
+#![allow(unsafe_code)] // GlobalAlloc is an unsafe trait; this is the one spot.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts every allocation.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    fn on_alloc(size: usize) {
+        ALLOCS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(size as u64, Relaxed);
+        let live = LIVE_BYTES.fetch_add(size as u64, Relaxed) + size as u64;
+        PEAK_LIVE_BYTES.fetch_max(live, Relaxed);
+    }
+
+    fn on_free(size: usize) {
+        FREES.fetch_add(1, Relaxed);
+        LIVE_BYTES.fetch_sub(size as u64, Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        Self::on_free(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Count a realloc as one allocation event plus the byte delta,
+            // so growth strategies show up in the totals.
+            Self::on_free(layout.size());
+            Self::on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// A point-in-time copy of the allocator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events since process start (reallocs count once).
+    pub allocs: u64,
+    /// Bytes requested by those events.
+    pub alloc_bytes: u64,
+    /// Deallocation events.
+    pub frees: u64,
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes since the last [`reset_peak`].
+    pub peak_live_bytes: u64,
+}
+
+/// Reads the counters. Exact when no other thread is allocating.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Relaxed),
+        alloc_bytes: ALLOC_BYTES.load(Relaxed),
+        frees: FREES.load(Relaxed),
+        live_bytes: LIVE_BYTES.load(Relaxed),
+        peak_live_bytes: PEAK_LIVE_BYTES.load(Relaxed),
+    }
+}
+
+/// Restarts peak-live tracking from the current live level, so a
+/// subsequent [`snapshot`] reports the high-water mark of the measured
+/// region alone.
+pub fn reset_peak() {
+    PEAK_LIVE_BYTES.store(LIVE_BYTES.load(Relaxed), Relaxed);
+}
+
+/// What one region of code allocated: the difference between two
+/// snapshots bracketing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Allocation events inside the region.
+    pub allocs: u64,
+    /// Bytes requested inside the region.
+    pub alloc_bytes: u64,
+    /// Peak live bytes above the region's starting level.
+    pub peak_above_start: u64,
+}
+
+/// Runs `f` and returns its result together with exact allocation counts
+/// for the call. Only meaningful when no other thread allocates
+/// concurrently (the baseline runner is single-threaded).
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, AllocDelta) {
+    reset_peak();
+    let before = snapshot();
+    let out = f();
+    let after = snapshot();
+    (
+        out,
+        AllocDelta {
+            allocs: after.allocs - before.allocs,
+            alloc_bytes: after.alloc_bytes - before.alloc_bytes,
+            peak_above_start: after.peak_live_bytes.saturating_sub(before.live_bytes),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_a_vec_allocation() {
+        let (v, delta) = measure(|| vec![0u8; 4096]);
+        assert_eq!(v.len(), 4096);
+        assert!(delta.allocs >= 1, "vec must have allocated: {delta:?}");
+        assert!(delta.alloc_bytes >= 4096, "{delta:?}");
+        assert!(delta.peak_above_start >= 4096, "{delta:?}");
+    }
+
+    #[test]
+    fn measure_sees_no_allocations_in_pure_code() {
+        let (sum, delta) = measure(|| (0u64..100).sum::<u64>());
+        assert_eq!(sum, 4950);
+        assert_eq!(delta.allocs, 0, "{delta:?}");
+    }
+
+    #[test]
+    fn counters_monotonically_increase() {
+        let a = snapshot();
+        let _v = std::hint::black_box(vec![1u32; 100]);
+        let b = snapshot();
+        assert!(b.allocs >= a.allocs);
+        assert!(b.alloc_bytes >= a.alloc_bytes);
+    }
+}

@@ -4,15 +4,21 @@
 //! repro all              # everything
 //! repro fig4 fig10 q3    # a subset
 //! repro --list           # enumerate experiment ids
+//! repro bench-json       # (re)write BENCH_baseline.json at the repo root
+//! repro bench-json --check BENCH_baseline.json   # CI regression gate
 //! ```
 //!
 //! Each experiment prints its series as an aligned table and writes
-//! `results/<id>.csv` at the workspace root.
+//! `results/<id>.csv` at the workspace root. The `bench-json` subcommand
+//! instead measures the engine-throughput baseline (see
+//! `mcloud_bench::baseline`): `--out <path>` overrides where the JSON is
+//! written; `--check <path>` measures and compares against a committed
+//! baseline, exiting nonzero on allocation or throughput regressions.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mcloud_bench::experiments as ex;
-use mcloud_bench::results_dir;
+use mcloud_bench::{baseline, experiments as ex, results_dir};
 use mcloud_sweep::{LinePlot, Table};
 
 struct Experiment {
@@ -266,8 +272,100 @@ const EXPERIMENTS: &[Experiment] = &[
     },
 ];
 
+/// Per-workload timing budget for `bench-json`, overridable the same way
+/// as the stopwatch benches (`MCLOUD_BENCH_TARGET_MS`).
+fn bench_budget_ms() -> u64 {
+    std::env::var("MCLOUD_BENCH_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// `repro bench-json [--out <path>] [--check <path>]`.
+fn bench_json(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" | "--check" => {
+                let Some(path) = it.next() else {
+                    eprintln!("{a} requires a path argument");
+                    return ExitCode::FAILURE;
+                };
+                let slot = if a == "--out" { &mut out } else { &mut check };
+                *slot = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown bench-json argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let budget = bench_budget_ms();
+    println!("measuring engine baseline ({budget} ms/workload budget)...");
+    let measured = baseline::measure_all(budget, |m| {
+        println!(
+            "  {:<18} {:>6} tasks  {:>8} events  {:>8} allocs/sim ({:.1}/task)  {:>10.0} events/s",
+            m.name,
+            m.tasks,
+            m.events,
+            m.allocs_per_sim,
+            m.allocs_per_task(),
+            m.events_per_sec,
+        );
+    });
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("failed to read {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match baseline::from_json(&text) {
+            Ok(b) => b,
+            Err(err) => {
+                eprintln!("failed to parse {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = baseline::compare(&measured, &committed);
+        if violations.is_empty() {
+            println!(
+                "baseline check passed against {} ({} workloads)",
+                path.display(),
+                committed.workloads.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("baseline check FAILED against {}:", path.display());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let path = out.unwrap_or_else(|| results_dir().join("..").join("BENCH_baseline.json"));
+    match std::fs::write(&path, baseline::to_json(&measured)) {
+        Ok(()) => {
+            println!("   -> wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "bench-json") {
+        return bench_json(&args[1..]);
+    }
     if args.iter().any(|a| a == "--list") {
         for e in EXPERIMENTS {
             println!("{:<12} {}", e.id, e.description);

@@ -257,8 +257,8 @@ pub fn q3_whole_sky() -> Table {
         let report = simulate(&wf, &ExecConfig::paper_default());
         let mosaic = wf
             .staged_out_files()
-            .into_iter()
-            .map(|f| wf.file(f))
+            .iter()
+            .map(|&f| wf.file(f))
             .find(|f| f.name.ends_with(".fits"))
             .expect("every mosaic workflow delivers a FITS mosaic");
         let archive = ArchiveOrRecompute {

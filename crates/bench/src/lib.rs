@@ -5,12 +5,21 @@
 //! paper-style series and writes CSV) and the stopwatch benches.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one allocator module needs an
+// `allow(unsafe_code)` override for its `GlobalAlloc` impl.
+#![deny(unsafe_code)]
 
+pub mod alloc;
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 
 use std::path::PathBuf;
+
+/// Every binary in this crate counts its allocations, so the baseline
+/// runner can report exact per-simulation allocation budgets.
+#[global_allocator]
+static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Directory where `repro` writes its CSV outputs (`<workspace>/results`).
 pub fn results_dir() -> PathBuf {

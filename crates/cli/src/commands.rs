@@ -677,8 +677,8 @@ flags:
 
     let mosaic = wf
         .staged_out_files()
-        .into_iter()
-        .map(|f| wf.file(f).clone())
+        .iter()
+        .map(|&f| wf.file(f).clone())
         .find(|f| f.name.ends_with(".fits"))
         .ok_or("workflow delivers no FITS mosaic")?;
     let archive = ArchiveOrRecompute {

@@ -107,6 +107,18 @@ enum Ev {
     Preemption,
 }
 
+/// Emits a trace event only when the sink wants one. `EventSink::enabled`
+/// is a const `false` for [`NullSink`] (and inlined as such), so untraced
+/// runs skip both the event construction and the emit call entirely —
+/// the hot path builds no `TraceEvent` values at all.
+macro_rules! narrate {
+    ($self:expr, $now:expr, $ev:expr $(,)?) => {
+        if $self.sink.enabled() {
+            $self.sink.emit($now, $ev);
+        }
+    };
+}
+
 /// The execution attempt currently occupying one processor slot, tracked
 /// so a preemption can cancel its pending finish event and bill the
 /// partial runtime.
@@ -136,10 +148,15 @@ struct Engine<'a, S: EventSink> {
     missing_inputs: Vec<u32>,
     ready: BinaryHeap<Reverse<(u64, TaskId)>>,
     /// Tasks that are ready but whose outputs do not currently fit within
-    /// the storage capacity; re-examined whenever space is freed.
-    storage_blocked: Vec<TaskId>,
+    /// the storage capacity, keyed by `(output_bytes, priority, id)`: when
+    /// space is freed, exactly the entries that now fit are popped off the
+    /// top and re-enqueued, instead of rescanning every waiter.
+    storage_blocked: BinaryHeap<Reverse<(u64, u64, TaskId)>>,
     /// Scheduling priority per task (lower pops first).
     priority: Vec<u64>,
+    /// Total output bytes per task, precomputed so the storage-cap check
+    /// in `dispatch` is O(1) instead of walking the output list.
+    task_output_bytes: Vec<u64>,
     started: Vec<bool>,
     /// When each task first became runnable (for queue-wait statistics).
     ready_time: Vec<SimTime>,
@@ -245,8 +262,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
             pending_parents: wf.task_ids().map(|t| wf.parents(t).len() as u32).collect(),
             missing_inputs: vec![0; n],
             ready: BinaryHeap::new(),
-            storage_blocked: Vec::new(),
+            storage_blocked: BinaryHeap::new(),
             priority,
+            task_output_bytes: wf
+                .tasks()
+                .iter()
+                .map(|t| t.outputs.iter().map(|f| wf.file(*f).bytes).sum())
+                .collect(),
             started: vec![false; n],
             ready_time: vec![SimTime::ZERO; n],
             wait_stats: mcloud_simkit::RunningStats::new(),
@@ -317,7 +339,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     bytes,
                     attempt,
                 } => self.on_output_staged_out(now, task, bytes, attempt),
-                Ev::VmReady => self.sink.emit(now, TraceEvent::VmReady),
+                Ev::VmReady => narrate!(self, now, TraceEvent::VmReady),
                 Ev::TaskRetry(t) => self.on_task_retry(now, t),
                 Ev::Preemption => self.on_preemption(now),
             }
@@ -369,8 +391,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
                         self.missing_inputs[t.index()] = missing as u32;
                     }
                     // Stage in every external input up front, FCFS in file order.
-                    for f in self.wf.external_inputs() {
-                        let grant = self.submit_in(SimTime::ZERO, self.wf.file(f).bytes, None);
+                    let wf = self.wf;
+                    for &f in wf.external_inputs() {
+                        let grant = self.submit_in(SimTime::ZERO, wf.file(f).bytes, None);
                         self.events.push(
                             grant.finish,
                             Ev::FileArrived {
@@ -426,7 +449,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 Channel::In => self.wasted_bytes_in += bytes,
                 Channel::Out => self.wasted_bytes_out += bytes,
             }
-            self.sink.emit(
+            narrate!(
+                self,
                 now,
                 TraceEvent::TransferFailed {
                     chan,
@@ -459,7 +483,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.wasted_cpu_s += billed_s;
         self.task_failures[t.index()] += 1;
         let attempt = self.task_failures[t.index()];
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TaskFailed {
                 task: t.0,
@@ -483,7 +508,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
         self.retries += 1;
         let delay_s = self.backoff_delay_s(attempt);
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TaskRetried {
                 task: t.0,
@@ -546,7 +572,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.pool.release(now, proc);
                 let partial_s = now.since(fl.started).as_secs_f64();
                 self.run_seconds.push(partial_s);
-                self.sink.emit(
+                narrate!(
+                    self,
                     now,
                     TraceEvent::ProcessorPreempted {
                         proc: victim,
@@ -555,7 +582,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 );
                 // The attempt still closes with a failed finish so span
                 // pairing and concurrency accounting stay balanced.
-                self.sink.emit(
+                narrate!(
+                    self,
                     now,
                     TraceEvent::TaskFinished {
                         task: fl.task.0,
@@ -566,7 +594,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.on_attempt_failed(now, fl.task, proc, partial_s, FailureKind::Preempted);
             }
             None => {
-                self.sink.emit(
+                narrate!(
+                    self,
                     now,
                     TraceEvent::ProcessorPreempted {
                         proc: victim,
@@ -596,7 +625,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             );
             return;
         }
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TransferCompleted {
                 chan: Channel::In,
@@ -606,8 +636,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
         );
         self.storage_alloc(now, bytes);
         self.counted_in_storage[f.index()] = true;
-        let consumers: Vec<TaskId> = self.wf.consumers(f).to_vec();
-        for t in consumers {
+        // `self.wf` outlives `self`'s borrows, so copying the reference out
+        // lets the adjacency slice be iterated while `self` mutates.
+        let wf = self.wf;
+        for &t in wf.consumers(f) {
             self.missing_inputs[t.index()] -= 1;
             self.maybe_ready(now, t);
         }
@@ -630,7 +662,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             );
             return;
         }
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TransferCompleted {
                 chan: Channel::Out,
@@ -657,7 +690,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// Adds `bytes` to the storage occupancy and narrates the step.
     fn storage_alloc(&mut self, now: SimTime, bytes: u64) {
         self.storage.add(now, bytes as f64);
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::StorageAlloc {
                 bytes,
@@ -669,7 +703,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// Removes `bytes` from the storage occupancy and narrates the step.
     fn storage_free(&mut self, now: SimTime, bytes: u64) {
         self.storage.add(now, -(bytes as f64));
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::StorageFree {
                 bytes,
@@ -682,15 +717,15 @@ impl<'a, S: EventSink> Engine<'a, S> {
 
     /// Submits the private stage-in transfers for one task's inputs.
     fn stage_task_inputs(&mut self, now: SimTime, t: TaskId) {
-        let inputs = self.wf.task(t).inputs.clone();
-        for f in inputs {
-            let external = self.wf.producer(f).is_none();
+        let wf = self.wf;
+        for &f in &wf.task(t).inputs {
+            let external = wf.producer(f).is_none();
             if external && self.cfg.prestaged_inputs {
                 // Reads from the in-cloud archive are free and instant.
                 self.missing_inputs[t.index()] -= 1;
                 continue;
             }
-            let bytes = self.wf.file(f).bytes;
+            let bytes = wf.file(f).bytes;
             let grant = self.submit_in(now, bytes, Some(t));
             self.staged_in_bytes[t.index()] += bytes;
             self.events.push(
@@ -722,7 +757,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             );
             return;
         }
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TransferCompleted {
                 chan: Channel::In,
@@ -755,7 +791,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             );
             return;
         }
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TransferCompleted {
                 chan: Channel::Out,
@@ -784,8 +821,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if self.tasks_done == self.wf.num_tasks() {
             self.end_time = now;
         }
-        let children: Vec<TaskId> = self.wf.children(t).to_vec();
-        for c in children {
+        let wf = self.wf;
+        for &c in wf.children(t) {
             self.pending_parents[c.index()] -= 1;
             if self.pending_parents[c.index()] == 0 {
                 self.stage_task_inputs(now, c);
@@ -806,7 +843,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn enqueue_ready(&mut self, now: SimTime, t: TaskId) {
-        self.sink.emit(now, TraceEvent::TaskReady { task: t.0 });
+        narrate!(self, now, TraceEvent::TaskReady { task: t.0 });
         self.ready_time[t.index()] = now;
         self.ready.push(Reverse((self.priority[t.index()], t)));
     }
@@ -823,7 +860,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let grant = self.link.submit(now, bytes);
         self.bytes_in += bytes;
         self.transfers_in += 1;
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TransferGranted {
                 chan: Channel::In,
@@ -852,7 +890,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
         };
         self.bytes_out += bytes;
         self.transfers_out += 1;
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TransferGranted {
                 chan: Channel::Out,
@@ -874,21 +913,25 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if self.cfg.mode == DataMode::RemoteIo {
             return false; // capacity modeling targets the shared store
         }
-        let outputs: u64 = self
-            .wf
-            .task(t)
-            .outputs
-            .iter()
-            .map(|f| self.wf.file(*f).bytes)
-            .sum();
-        self.storage.value() + outputs as f64 > cap as f64
+        self.storage.value() + self.task_output_bytes[t.index()] as f64 > cap as f64
     }
 
-    /// Moves storage-blocked tasks back into the ready queue (called when
-    /// space is freed).
+    /// Moves the storage-blocked tasks that now fit back into the ready
+    /// queue (called when space is freed). The blocked heap is keyed by
+    /// output bytes, so exactly the waiters that fit are popped; the rest
+    /// stay put instead of churning through the ready queue. Dispatch
+    /// re-checks the cap in priority order, so scheduling outcomes are
+    /// unchanged — only redundant block/ready cycles disappear.
     fn unblock_storage_waiters(&mut self, now: SimTime) {
-        let blocked = std::mem::take(&mut self.storage_blocked);
-        for t in blocked {
+        let Some(cap) = self.cfg.storage_capacity_bytes else {
+            return;
+        };
+        let available = (cap as f64 - self.storage.value()).max(0.0);
+        while let Some(&Reverse((bytes, _, t))) = self.storage_blocked.peek() {
+            if bytes as f64 > available {
+                break; // smallest waiter doesn't fit; none of the rest do
+            }
+            self.storage_blocked.pop();
             self.enqueue_ready(now, t);
         }
     }
@@ -904,9 +947,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
         while let Some(&Reverse((_, t))) = self.ready.peek() {
             if self.storage_would_overflow(t) {
                 self.ready.pop();
-                self.storage_blocked.push(t);
-                self.sink
-                    .emit(now, TraceEvent::TaskBlockedOnStorage { task: t.0 });
+                self.storage_blocked.push(Reverse((
+                    self.task_output_bytes[t.index()],
+                    self.priority[t.index()],
+                    t,
+                )));
+                narrate!(self, now, TraceEvent::TaskBlockedOnStorage { task: t.0 });
                 continue; // try the next-priority candidate
             }
             let Some(proc) = self.pool.try_acquire(now) else {
@@ -916,7 +962,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             let waited = now.since(self.ready_time[t.index()]);
             self.wait_stats.push(waited.as_secs_f64());
             self.wait_hist.record(waited.as_secs_f64());
-            self.sink.emit(
+            narrate!(
+                self,
                 now,
                 TraceEvent::TaskStarted {
                     task: t.0,
@@ -978,7 +1025,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 .injector
                 .as_mut()
                 .is_some_and(|i| i.task_attempt_fails());
-        self.sink.emit(
+        narrate!(
+            self,
             now,
             TraceEvent::TaskFinished {
                 task: t.0,
@@ -995,24 +1043,22 @@ impl<'a, S: EventSink> Engine<'a, S> {
             self.on_attempt_failed(now, t, proc, billed_s, kind);
             return;
         }
+        let wf = self.wf;
         match self.cfg.mode {
             DataMode::Regular | DataMode::DynamicCleanup => {
                 // Outputs materialize on shared storage. (Consumers track
                 // intermediate availability through `pending_parents`, so
                 // only the occupancy bookkeeping happens here.)
-                let outputs = self.wf.task(t).outputs.clone();
-                for f in outputs {
-                    self.storage_alloc(now, self.wf.file(f).bytes);
+                for &f in &wf.task(t).outputs {
+                    self.storage_alloc(now, wf.file(f).bytes);
                     self.counted_in_storage[f.index()] = true;
                 }
-                let children: Vec<TaskId> = self.wf.children(t).to_vec();
-                for c in children {
+                for &c in wf.children(t) {
                     self.pending_parents[c.index()] -= 1;
                     self.maybe_ready(now, c);
                 }
                 if self.cfg.mode == DataMode::DynamicCleanup {
-                    let inputs = self.wf.task(t).inputs.clone();
-                    for f in inputs {
+                    for &f in &wf.task(t).inputs {
                         self.remaining_consumers[f.index()] -= 1;
                         if self.remaining_consumers[f.index()] == 0
                             && !self.is_staged_out[f.index()]
@@ -1022,7 +1068,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     }
                 }
                 self.tasks_done += 1;
-                if self.tasks_done == self.wf.num_tasks() {
+                if self.tasks_done == wf.num_tasks() {
                     self.begin_final_stage_out(now);
                 }
             }
@@ -1033,14 +1079,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     self.storage_free(now, held);
                 }
                 // ...and every output is staged back to the user's site.
-                let task = self.wf.task(t);
-                if task.outputs.is_empty() {
+                if wf.task(t).outputs.is_empty() {
                     self.task_fully_done(now, t);
                     return;
                 }
-                let outputs = task.outputs.clone();
-                for f in outputs {
-                    let bytes = self.wf.file(f).bytes;
+                for &f in &wf.task(t).outputs {
+                    let bytes = wf.file(f).bytes;
                     let grant = self.submit_out(now, bytes, Some(t));
                     self.events.push(
                         grant.finish,
@@ -1056,14 +1100,15 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn begin_final_stage_out(&mut self, now: SimTime) {
-        let files = self.wf.staged_out_files();
+        let wf = self.wf;
+        let files = wf.staged_out_files();
         if files.is_empty() {
             self.end_time = now;
             return;
         }
         self.stageouts_pending = files.len();
-        for f in files {
-            let bytes = self.wf.file(f).bytes;
+        for &f in files {
+            let bytes = wf.file(f).bytes;
             let grant = self.submit_out(now, bytes, None);
             self.events.push(
                 grant.finish,
@@ -1075,10 +1120,11 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
     }
 
-    fn finish(self, completed: bool) -> Report {
+    fn finish(mut self, completed: bool) -> Report {
         let makespan = self.end_time.since(SimTime::ZERO);
         let makespan_s = makespan.as_secs_f64();
         let task_runtime_seconds = self.wf.total_runtime_s();
+        let task_executions = self.run_seconds.len() as u64;
 
         let (instance_seconds, processors, cpu_utilization): (Vec<f64>, Option<u32>, f64) =
             match self.cfg.provisioning {
@@ -1096,8 +1142,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 Provisioning::OnDemand => {
                     // Billed exactly for what ran (including failed
                     // attempts); each execution is its own instance
-                    // occupation for granularity purposes.
-                    (self.run_seconds.clone(), None, 1.0)
+                    // occupation for granularity purposes. The attempt
+                    // list is moved, not cloned — `finish` owns `self`.
+                    (std::mem::take(&mut self.run_seconds), None, 1.0)
                 }
             };
         let cpu_seconds_billed: f64 = instance_seconds.iter().sum();
@@ -1127,7 +1174,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             processors,
             peak_concurrency: self.pool.peak_in_use(),
             cpu_utilization,
-            task_executions: self.run_seconds.len() as u64,
+            task_executions,
+            events_processed: self.events.popped(),
             failed_attempts: self.failed_attempts,
             completed,
             tasks_completed: self.tasks_done as u64,

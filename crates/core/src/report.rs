@@ -59,6 +59,10 @@ pub struct Report {
     /// Total execution attempts, including failed ones (equals the task
     /// count when fault injection is off).
     pub task_executions: u64,
+    /// Discrete events the engine processed to produce this report — the
+    /// benchmark baseline's throughput denominator. Deterministic for a
+    /// given workflow + configuration.
+    pub events_processed: u64,
     /// Execution attempts that failed (injected fault, timeout, or
     /// preemption).
     pub failed_attempts: u64,
@@ -147,6 +151,7 @@ mod tests {
             peak_concurrency: 1,
             cpu_utilization: 0.97,
             task_executions: 10,
+            events_processed: 100,
             failed_attempts: 0,
             completed: true,
             tasks_completed: 10,

@@ -1,0 +1,78 @@
+//! Output-equivalence guarantees behind the hot-path optimisations.
+//!
+//! The engine's allocation-free event loop (CSR adjacency walks, sink-gated
+//! trace construction, the bytes-keyed storage-blocked heap) must be
+//! invisible from the outside: the same workflow and config always produce
+//! the same report and the same full event trace, traced or untraced,
+//! rebuilt or reused, in every data mode, with faults striking mid-run.
+
+use mcloud_core::{
+    simulate, simulate_traced, trace_to_jsonl, DataMode, ExecConfig, FaultModel, RetryPolicy,
+};
+use mcloud_montage::{generate, MosaicConfig};
+
+fn workflow() -> mcloud_dag::Workflow {
+    generate(&MosaicConfig::new(0.5))
+}
+
+/// A config that exercises retries and fault bookkeeping in `mode`.
+fn faulty(mode: DataMode) -> ExecConfig {
+    ExecConfig::on_demand(mode)
+        .with_fault_model(FaultModel::tasks_only(0.2, 0xEC_2008))
+        .with_retry(RetryPolicy::bounded(8))
+}
+
+/// Repeated runs are bit-identical in every mode: same report, same trace.
+#[test]
+fn repeated_runs_are_identical_in_all_modes_with_faults() {
+    let wf = workflow();
+    for mode in DataMode::ALL {
+        let cfg = faulty(mode);
+        let (report_a, sink_a) = simulate_traced(&wf, &cfg);
+        let (report_b, sink_b) = simulate_traced(&wf, &cfg);
+        assert_eq!(report_a, report_b, "{mode:?}: report drifted across runs");
+        assert_eq!(
+            trace_to_jsonl(&wf, sink_a.events()),
+            trace_to_jsonl(&wf, sink_b.events()),
+            "{mode:?}: trace drifted across runs"
+        );
+        assert!(report_a.events_processed > 0, "{mode:?}: counter dead");
+    }
+}
+
+/// The untraced fast path (NullSink, trace construction compiled away by
+/// the sink gate) reports exactly what the traced run reports.
+#[test]
+fn untraced_and_traced_runs_agree_in_all_modes_with_faults() {
+    let wf = workflow();
+    for mode in DataMode::ALL {
+        let cfg = faulty(mode);
+        let untraced = simulate(&wf, &cfg);
+        let (traced, sink) = simulate_traced(&wf, &cfg);
+        assert_eq!(untraced, traced, "{mode:?}: sink gating changed results");
+        assert!(
+            !sink.events().is_empty(),
+            "{mode:?}: traced run recorded nothing"
+        );
+    }
+}
+
+/// Regenerating the workflow from the same spec yields the same outputs:
+/// nothing in the report depends on allocation addresses or construction
+/// history.
+#[test]
+fn rebuilt_workflow_simulates_identically() {
+    let wf_a = workflow();
+    let wf_b = workflow();
+    for mode in DataMode::ALL {
+        let cfg = faulty(mode);
+        let (report_a, sink_a) = simulate_traced(&wf_a, &cfg);
+        let (report_b, sink_b) = simulate_traced(&wf_b, &cfg);
+        assert_eq!(report_a, report_b, "{mode:?}: rebuild changed the report");
+        assert_eq!(
+            trace_to_jsonl(&wf_a, sink_a.events()),
+            trace_to_jsonl(&wf_b, sink_b.events()),
+            "{mode:?}: rebuild changed the trace"
+        );
+    }
+}

@@ -40,19 +40,60 @@ pub struct Task {
     pub outputs: Vec<FileId>,
 }
 
+/// Adjacency lists flattened into compressed-sparse-row form: the list for
+/// row `i` lives at `ids[offsets[i]..offsets[i + 1]]`. One offsets array
+/// plus one flat ids array replaces a `Vec<Vec<_>>`, so looking up a row is
+/// two loads with no pointer chase per row and the whole structure is two
+/// allocations regardless of row count.
+#[derive(Debug, Clone)]
+struct Csr<T> {
+    offsets: Vec<u32>,
+    ids: Vec<T>,
+}
+
+impl<T: Copy> Csr<T> {
+    /// Flattens per-row lists. Row order and within-row order are preserved.
+    fn from_lists(lists: &[Vec<T>]) -> Self {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "adjacency has {total} edges, exceeding the u32 offset range"
+        );
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut ids = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for list in lists {
+            ids.extend_from_slice(list);
+            offsets.push(ids.len() as u32);
+        }
+        Csr { offsets, ids }
+    }
+
+    fn row(&self, i: usize) -> &[T] {
+        &self.ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// An immutable, validated workflow DAG.
 ///
 /// Construct via [`WorkflowBuilder`]; validation guarantees the graph is
 /// non-empty, acyclic, and that every file has at most one producer.
+///
+/// All adjacency (file consumers, task parents/children) is stored in CSR
+/// form and every derived file set (external inputs, staged-out files) is
+/// computed once at construction, so the accessors used by the simulation
+/// engine's event loop are allocation-free slice borrows.
 #[derive(Debug, Clone)]
 pub struct Workflow {
     name: String,
     tasks: Vec<Task>,
     files: Vec<FileMeta>,
     producer: Vec<Option<TaskId>>,
-    consumers: Vec<Vec<TaskId>>,
-    parents: Vec<Vec<TaskId>>,
-    children: Vec<Vec<TaskId>>,
+    consumers: Csr<TaskId>,
+    parents: Csr<TaskId>,
+    children: Csr<TaskId>,
+    external_inputs: Vec<FileId>,
+    staged_out: Vec<FileId>,
 }
 
 impl Workflow {
@@ -108,36 +149,31 @@ impl Workflow {
 
     /// Tasks that read `file`, sorted by id.
     pub fn consumers(&self, file: FileId) -> &[TaskId] {
-        &self.consumers[file.index()]
+        self.consumers.row(file.index())
     }
 
     /// Distinct tasks whose outputs this task reads, sorted by id.
     pub fn parents(&self, task: TaskId) -> &[TaskId] {
-        &self.parents[task.index()]
+        self.parents.row(task.index())
     }
 
     /// Distinct tasks that read this task's outputs, sorted by id.
     pub fn children(&self, task: TaskId) -> &[TaskId] {
-        &self.children[task.index()]
+        self.children.row(task.index())
     }
 
     /// Files with no producer: they are staged in from the user/archive.
-    pub fn external_inputs(&self) -> Vec<FileId> {
-        self.file_ids()
-            .filter(|f| self.producer(*f).is_none())
-            .collect()
+    /// Computed once at construction; sorted by file id.
+    pub fn external_inputs(&self) -> &[FileId] {
+        &self.external_inputs
     }
 
     /// Files that are staged out to the user at the end of the workflow:
     /// produced files that either nobody consumes or that are explicitly
     /// marked deliverable (the paper's "net output of the workflow").
-    pub fn staged_out_files(&self) -> Vec<FileId> {
-        self.file_ids()
-            .filter(|f| {
-                self.producer(*f).is_some()
-                    && (self.file(*f).deliverable || self.consumers(*f).is_empty())
-            })
-            .collect()
+    /// Computed once at construction; sorted by file id.
+    pub fn staged_out_files(&self) -> &[FileId] {
+        &self.staged_out
     }
 
     /// Multiplies every file size by `factor`, rounding to the nearest byte
@@ -168,14 +204,28 @@ impl Workflow {
         parents: Vec<Vec<TaskId>>,
         children: Vec<Vec<TaskId>>,
     ) -> Self {
+        let consumers = Csr::from_lists(&consumers);
+        let external_inputs: Vec<FileId> = (0..files.len() as u32)
+            .map(FileId)
+            .filter(|f| producer[f.index()].is_none())
+            .collect();
+        let staged_out: Vec<FileId> = (0..files.len() as u32)
+            .map(FileId)
+            .filter(|f| {
+                producer[f.index()].is_some()
+                    && (files[f.index()].deliverable || consumers.row(f.index()).is_empty())
+            })
+            .collect();
         Workflow {
             name,
             tasks,
             files,
             producer,
             consumers,
-            parents,
-            children,
+            parents: Csr::from_lists(&parents),
+            children: Csr::from_lists(&children),
+            external_inputs,
+            staged_out,
         }
     }
 }
@@ -428,7 +478,7 @@ mod tests {
     #[test]
     fn external_and_staged_out() {
         let wf = figure3();
-        let names = |ids: Vec<FileId>| -> Vec<String> {
+        let names = |ids: &[FileId]| -> Vec<String> {
             ids.iter().map(|f| wf.file(*f).name.clone()).collect()
         };
         assert_eq!(names(wf.external_inputs()), vec!["a"]);
@@ -448,7 +498,7 @@ mod tests {
         b.add_task("shrink", "mShrink", 1.0, &[m], &[s]).unwrap();
         b.mark_deliverable(m);
         let wf = b.build().unwrap();
-        let mut out = wf.staged_out_files();
+        let mut out = wf.staged_out_files().to_vec();
         out.sort();
         assert_eq!(out, vec![m, s]);
     }

@@ -3,7 +3,7 @@
 //! Each case builds a random layered workflow from a deterministic
 //! xorshift64* stream (seeded by the case index), so failures reproduce.
 
-use mcloud_dag::{from_dax, to_dax, FileId, Workflow, WorkflowBuilder};
+use mcloud_dag::{from_dax, to_dax, FileId, TaskId, Workflow, WorkflowBuilder};
 
 const CASES: u64 = 48;
 
@@ -142,7 +142,7 @@ fn dax_roundtrip_is_lossless() {
         );
         // File ids are assigned in registration order, which differs between
         // the builder and the DAX reader; compare by name.
-        let names = |w: &Workflow, ids: Vec<FileId>| -> Vec<String> {
+        let names = |w: &Workflow, ids: &[FileId]| -> Vec<String> {
             let mut v: Vec<String> = ids.iter().map(|f| w.file(*f).name.clone()).collect();
             v.sort();
             v
@@ -176,6 +176,67 @@ fn ccr_is_linear_in_scale() {
             "case {case}: {got} vs {}",
             base * factor
         );
+    }
+}
+
+/// The CSR adjacency and the construction-time file-set caches agree with
+/// a from-scratch recomputation that scans task inputs/outputs, i.e. the
+/// flattened layout is exactly the old `Vec<Vec<_>>` scan semantics.
+#[test]
+fn csr_and_cached_sets_match_scan_recomputation() {
+    for case in 0..CASES {
+        let wf = layered_workflow(0xDA6_0008 ^ case);
+        let file_ids = || (0..wf.num_files() as u32).map(FileId);
+
+        // Consumers of a file: every task listing it among its inputs, in
+        // task order (inputs are deduplicated by the builder).
+        for f in file_ids() {
+            let scan: Vec<TaskId> = wf
+                .task_ids()
+                .filter(|&t| wf.task(t).inputs.contains(&f))
+                .collect();
+            assert_eq!(wf.consumers(f), &scan[..], "case {case}: consumers");
+        }
+
+        // Parents/children: set-compare against the producer map; ordering
+        // within a row is checked structurally by `adjacency_is_symmetric`.
+        for t in wf.task_ids() {
+            let mut parents: Vec<TaskId> = wf
+                .task(t)
+                .inputs
+                .iter()
+                .filter_map(|&f| wf.producer(f))
+                .collect();
+            parents.sort();
+            parents.dedup();
+            let mut got = wf.parents(t).to_vec();
+            got.sort();
+            assert_eq!(got, parents, "case {case}: parents");
+
+            let mut children: Vec<TaskId> = wf
+                .task(t)
+                .outputs
+                .iter()
+                .flat_map(|&f| wf.consumers(f).iter().copied())
+                .collect();
+            children.sort();
+            children.dedup();
+            let mut got = wf.children(t).to_vec();
+            got.sort();
+            assert_eq!(got, children, "case {case}: children");
+        }
+
+        // External inputs: files nothing produces, in file order.
+        let ext: Vec<FileId> = file_ids().filter(|&f| wf.producer(f).is_none()).collect();
+        assert_eq!(wf.external_inputs(), &ext[..], "case {case}: external");
+
+        // Staged-out: produced files that are deliverable or dead-end.
+        let staged: Vec<FileId> = file_ids()
+            .filter(|&f| {
+                wf.producer(f).is_some() && (wf.file(f).deliverable || wf.consumers(f).is_empty())
+            })
+            .collect();
+        assert_eq!(wf.staged_out_files(), &staged[..], "case {case}: staged");
     }
 }
 

@@ -325,6 +325,20 @@ pub fn montage_4_degree() -> Workflow {
     generate(&MosaicConfig::new(4.0))
 }
 
+/// Synthetic 8-degree scale-up (12,149 tasks): beyond the paper's largest
+/// run, at the mosaic sizes of the follow-on EC2 studies (Juve et al.;
+/// Berriman et al.). Same generator and calibration as the canonical
+/// sizes, extrapolated.
+pub fn montage_8_degree() -> Workflow {
+    generate(&MosaicConfig::new(8.0))
+}
+
+/// Synthetic 16-degree scale-up (48,897 tasks): a stress workload for
+/// engine-throughput benchmarking at production scale.
+pub fn montage_16_degree() -> Workflow {
+    generate(&MosaicConfig::new(16.0))
+}
+
 /// The paper's Figure 3 pedagogical workflow: seven tasks, one external
 /// input `a`, and net outputs `g` and `h`. Used in Section 3 to explain the
 /// three data-management modes.
@@ -376,6 +390,8 @@ mod tests {
         assert_eq!(montage_1_degree().num_tasks(), 203);
         assert_eq!(montage_2_degree().num_tasks(), 731);
         assert_eq!(montage_4_degree().num_tasks(), 3027);
+        assert_eq!(montage_8_degree().num_tasks(), 12_149);
+        assert_eq!(montage_16_degree().num_tasks(), 48_897);
     }
 
     #[test]

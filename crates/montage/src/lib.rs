@@ -35,8 +35,8 @@ mod grid;
 mod trace;
 
 pub use generator::{
-    generate, montage_1_degree, montage_2_degree, montage_4_degree, paper_figure3, pipeline_stage,
-    Band, MosaicConfig, MONTAGE_PIPELINE,
+    generate, montage_16_degree, montage_1_degree, montage_2_degree, montage_4_degree,
+    montage_8_degree, paper_figure3, pipeline_stage, Band, MosaicConfig, MONTAGE_PIPELINE,
 };
 pub use grid::{overlap_count, overlap_pairs, Plate};
 pub use trace::{apply_runtime_overrides, apply_size_overrides};

@@ -5,6 +5,9 @@
 //! pool always grants the lowest-numbered free slot so that a given workload
 //! produces an identical schedule on every run.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::time::{SimDuration, SimTime};
 
 /// Index of a processor slot within a [`ProcessorPool`].
@@ -16,8 +19,9 @@ pub struct ProcId(pub u32);
 pub struct ProcessorPool {
     /// For each slot: `None` if free, else the time it became busy.
     busy_since: Vec<Option<SimTime>>,
-    /// Free slots kept sorted descending so `pop` yields the lowest index.
-    free: Vec<u32>,
+    /// Free slots as a min-heap, so acquiring the lowest index and
+    /// releasing are both O(log n) (a sorted-vec insert was O(n)).
+    free: BinaryHeap<Reverse<u32>>,
     busy_time: SimDuration,
     grants: u64,
     max_in_use: u32,
@@ -32,7 +36,7 @@ impl ProcessorPool {
         assert!(n > 0, "a processor pool needs at least one processor");
         ProcessorPool {
             busy_since: vec![None; n as usize],
-            free: (0..n).rev().collect(),
+            free: (0..n).map(Reverse).collect(),
             busy_time: SimDuration::ZERO,
             grants: 0,
             max_in_use: 0,
@@ -66,7 +70,7 @@ impl ProcessorPool {
 
     /// Acquires the lowest-numbered free processor, if any.
     pub fn try_acquire(&mut self, now: SimTime) -> Option<ProcId> {
-        let slot = self.free.pop()?;
+        let Reverse(slot) = self.free.pop()?;
         self.busy_since[slot as usize] = Some(now);
         self.grants += 1;
         self.max_in_use = self.max_in_use.max(self.in_use());
@@ -83,9 +87,7 @@ impl ProcessorPool {
             .take()
             .expect("released a processor that was not busy");
         self.busy_time += now.since(since);
-        // Keep `free` sorted descending (lowest index on top).
-        let pos = self.free.partition_point(|&s| s > proc.0);
-        self.free.insert(pos, proc.0);
+        self.free.push(Reverse(proc.0));
     }
 
     /// Cumulative busy time over all processors (completed occupations only).

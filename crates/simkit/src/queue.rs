@@ -9,7 +9,6 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
@@ -33,11 +32,52 @@ pub struct EventId(u64);
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
-    /// Sequence numbers of events that are scheduled and not yet delivered
-    /// or cancelled. Cancellation is lazy: a heap entry whose seq is absent
-    /// from this set is skipped at pop time.
-    pending: HashSet<u64>,
+    /// Pending-event bitset indexed by sequence number: bit set = the event
+    /// is scheduled and not yet delivered or cancelled. Cancellation is
+    /// lazy: a heap entry whose bit is clear is skipped at pop time.
+    /// Sequence numbers are dense (0, 1, 2, ...), so a bitset costs one
+    /// bit per event ever pushed and — unlike a hash set — no hashing on
+    /// the push/pop hot path.
+    pending: PendingBits,
     last_popped: SimTime,
+    popped: u64,
+}
+
+/// A grow-only bitset over dense sequence numbers.
+#[derive(Debug, Default)]
+struct PendingBits {
+    words: Vec<u64>,
+    /// Number of set bits, so `len()` is O(1).
+    count: usize,
+}
+
+impl PendingBits {
+    fn insert(&mut self, seq: u64) {
+        let (word, bit) = (seq as usize / 64, seq % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << bit;
+        self.count += 1;
+    }
+
+    /// Clears the bit; returns whether it was set.
+    fn remove(&mut self, seq: u64) -> bool {
+        let (word, bit) = (seq as usize / 64, seq % 64);
+        match self.words.get_mut(word) {
+            Some(w) if *w & (1 << bit) != 0 => {
+                *w &= !(1 << bit);
+                self.count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        let (word, bit) = (seq as usize / 64, seq % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
 }
 
 #[derive(Debug)]
@@ -77,8 +117,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: HashSet::new(),
+            pending: PendingBits::default(),
             last_popped: SimTime::ZERO,
+            popped: 0,
         }
     }
 
@@ -104,16 +145,17 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (lazy deletion: the entry is skipped at pop time).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        self.pending.remove(id.0)
     }
 
     /// Removes and returns the earliest pending event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if !self.pending.remove(&entry.seq) {
+            if !self.pending.remove(entry.seq) {
                 continue; // cancelled
             }
             self.last_popped = entry.time;
+            self.popped += 1;
             return Some((entry.time, entry.payload));
         }
         None
@@ -122,7 +164,7 @@ impl<E> EventQueue<E> {
     /// The timestamp of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if !self.pending.contains(&entry.seq) {
+            if !self.pending.contains(entry.seq) {
                 self.heap.pop();
                 continue;
             }
@@ -136,9 +178,17 @@ impl<E> EventQueue<E> {
         self.last_popped
     }
 
+    /// Total events delivered by [`pop`](Self::pop) over the queue's
+    /// lifetime (cancelled entries are not counted). This is the
+    /// denominator-free "work done" metric the benchmark baseline reports
+    /// as events/sec.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.pending.count
     }
 
     /// True when no events are pending.
@@ -232,6 +282,18 @@ mod tests {
         }
         assert_eq!(q.len(), 6);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn popped_counts_deliveries_not_cancellations() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.popped(), 0);
+        let a = q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        q.push(t(3.0), "c");
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.popped(), 2);
     }
 
     #[test]

@@ -5,9 +5,17 @@
 //! index regardless of how the OS schedules the workers, so a parallel
 //! sweep is byte-identical to a sequential one. Work is handed out through
 //! an atomic index dispenser (cheap dynamic load balancing — sweep points
-//! vary widely in cost as `P` grows).
+//! vary widely in cost as `P` grows). Workers grab small *batches* of
+//! indices per atomic increment, so sweeps over many cheap points don't
+//! serialize on the dispenser cache line; results are still slotted by
+//! input index, so the output stays byte-identical to a sequential run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Indices handed to a worker per `fetch_add`. Small enough that the tail
+/// imbalance is at most `CHUNK - 1` cheap points per worker, large enough
+/// to divide dispenser contention by `CHUNK`.
+const CHUNK: usize = 4;
 
 /// Applies `f` to every item, in parallel, returning results in input
 /// order. Panics from `f` propagate to the caller.
@@ -31,11 +39,14 @@ where
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        let end = (start + CHUNK).min(n);
+                        for (off, item) in items[start..end].iter().enumerate() {
+                            local.push((start + off, f(item)));
+                        }
                     }
                     local
                 })
@@ -76,6 +87,20 @@ mod tests {
     fn handles_empty_and_single() {
         assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
         assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn handles_sizes_straddling_chunk_boundaries() {
+        // Around the batch size: tails shorter than a full chunk, exactly
+        // one chunk, one element over.
+        for n in [CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK - 1, 13, 203] {
+            let items: Vec<usize> = (0..n).collect();
+            assert_eq!(
+                par_map(&items, |&x| x + 1),
+                items.iter().map(|x| x + 1).collect::<Vec<_>>(),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

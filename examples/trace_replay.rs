@@ -54,8 +54,8 @@ mosaic_M17_small.fits,2010000
     let pricing = Pricing::amazon_2008();
     let mosaic = wf
         .staged_out_files()
-        .into_iter()
-        .map(|f| wf.file(f).clone())
+        .iter()
+        .map(|&f| wf.file(f).clone())
         .find(|f| f.name.ends_with(".fits"))
         .unwrap();
     let on_demand = simulate(&wf, &ExecConfig::paper_default());

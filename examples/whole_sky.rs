@@ -59,8 +59,8 @@ fn main() {
         let report = simulate(&wf, &ExecConfig::paper_default());
         let mosaic = wf
             .staged_out_files()
-            .into_iter()
-            .map(|f| wf.file(f).clone())
+            .iter()
+            .map(|&f| wf.file(f).clone())
             .find(|f| f.name.ends_with(".fits"))
             .expect("mosaic is always delivered");
         let choice = ArchiveOrRecompute {

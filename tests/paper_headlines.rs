@@ -222,8 +222,8 @@ fn question3_whole_sky_and_archival() {
         let r = simulate(&wf, &ExecConfig::paper_default());
         let mosaic = wf
             .staged_out_files()
-            .into_iter()
-            .map(|f| wf.file(f).clone())
+            .iter()
+            .map(|&f| wf.file(f).clone())
             .find(|f| f.name.ends_with(".fits"))
             .unwrap();
         let months = ArchiveOrRecompute {
