@@ -304,16 +304,22 @@ fn bench_json(args: &[String]) -> ExitCode {
     }
 
     let budget = bench_budget_ms();
-    println!("measuring engine baseline ({budget} ms/workload budget)...");
+    println!(
+        "measuring engine baseline ({budget} ms/workload budget, {} worker lanes)...",
+        mcloud_simkit::configured_lanes()
+    );
     let measured = baseline::measure_all(budget, |m| {
         println!(
-            "  {:<18} {:>6} tasks  {:>8} events  {:>8} allocs/sim ({:.1}/task)  {:>10.0} events/s",
+            "  {:<18} {:>6} tasks  {:>8} events  {:>8} allocs/sim ({:.1}/task)  \
+             {:>3} warm allocs/sim  {:>10.0} events/s  {:>9.1} batch sims/s",
             m.name,
             m.tasks,
             m.events,
             m.allocs_per_sim,
             m.allocs_per_task(),
+            m.batch_allocs_per_sim,
             m.events_per_sec,
+            m.batch_sims_per_sec,
         );
     });
 

@@ -590,13 +590,18 @@ pub fn bandwidth_sweep(degrees: f64, processors: u32) -> Table {
         "total_cost",
         "wire_share_pct",
     ]);
-    for mbps in [5.0, 10.0, 20.0, 40.0, 100.0, 1000.0] {
-        let cfg = ExecConfig {
-            provisioning: Provisioning::Fixed { processors },
-            ..ExecConfig::paper_default().bandwidth(mbps * 1e6)
-        };
-        let r = simulate(&wf, &cfg);
-        let wire_s = (r.bytes_in + r.bytes_out) as f64 * 8.0 / (mbps * 1e6);
+    let mbps_axis = [5.0, 10.0, 20.0, 40.0, 100.0, 1000.0];
+    let bps: Vec<f64> = mbps_axis.iter().map(|m| m * 1e6).collect();
+    let base = ExecConfig {
+        provisioning: Provisioning::Fixed { processors },
+        ..ExecConfig::paper_default()
+    };
+    for (point, mbps) in mcloud_sweep::bandwidth_sweep(&wf, &base, &bps)
+        .iter()
+        .zip(mbps_axis)
+    {
+        let r = &point.report;
+        let wire_s = (r.bytes_in + r.bytes_out) as f64 * 8.0 / point.bandwidth_bps;
         t.push_row(vec![
             format!("{mbps:.0}"),
             format!("{:.3}", r.makespan_hours()),

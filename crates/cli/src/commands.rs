@@ -37,7 +37,12 @@ commands:
   autoscale   simulate an auto-scaled standing pool (dynamic Question 2)
   help        this text
 
-run `mcloud <command> --help` for per-command flags.";
+run `mcloud <command> --help` for per-command flags.
+
+environment:
+  MCLOUD_WORKERS  worker lanes for parallel sweeps (default: all cores;
+                  1 = fully inline, zero thread spawns; results are
+                  byte-identical at every setting)";
 
 /// Dispatches a command line (without the program name).
 pub fn run(argv: &[String]) -> Result<String, String> {

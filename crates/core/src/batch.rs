@@ -1,0 +1,113 @@
+//! Batch simulation: many configurations (or workflows) through warm,
+//! lane-owned scratches on the persistent worker pool.
+//!
+//! The paper's experiments are sweeps — processor counts 1→128, three
+//! data modes, three mosaic sizes — so the real workload is *many*
+//! simulations. [`simulate_batch`] amortizes all per-simulation setup:
+//! each pool lane owns one long-lived [`SimScratch`], so steady-state
+//! batch work allocates (almost) nothing per run, and the pool itself is
+//! created once per process.
+//!
+//! ## Determinism
+//!
+//! Every result is produced by `simulate_with_scratch`, which is a pure
+//! function of `(workflow, config)` — the scratch contributes capacity,
+//! never values (asserted by the scratch-equivalence test matrix). Results
+//! are slotted by input index inside the pool. Which *lane* computes which
+//! item is scheduling-dependent; what the item's result is, and where it
+//! lands, is not. Hence batch output is byte-identical across worker
+//! counts and chunk sizes, including the single-threaded inline path.
+
+use mcloud_dag::Workflow;
+use mcloud_simkit::WorkerPool;
+
+use crate::config::ExecConfig;
+use crate::engine::{simulate_with_scratch, SimScratch};
+use crate::report::Report;
+
+/// Per-lane scratch storage for batch simulation. Create once, pass to
+/// every [`simulate_batch`] call; lanes are grown on demand and their
+/// buffers stay warm across calls.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    lanes: Vec<SimScratch>,
+}
+
+impl BatchScratch {
+    /// Creates an empty batch scratch (lanes materialize on first use).
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Number of lane scratches materialized so far.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn ensure(&mut self, n: usize) -> &mut [SimScratch] {
+        if self.lanes.len() < n {
+            self.lanes.resize_with(n, SimScratch::new);
+        }
+        &mut self.lanes
+    }
+}
+
+/// Simulates `wf` under every configuration in `cfgs`, in input order,
+/// fanning across the process-wide [`WorkerPool`]. Equivalent to (and
+/// byte-identical with) `cfgs.iter().map(|c| simulate(wf, c)).collect()`.
+///
+/// Degenerate inputs (≤ 1 config, or a one-lane configuration) run inline
+/// on the caller thread and never create the pool.
+///
+/// # Panics
+/// Panics if any configuration fails validation, as [`simulate`] would.
+///
+/// [`simulate`]: crate::simulate
+pub fn simulate_batch(
+    wf: &Workflow,
+    cfgs: &[ExecConfig],
+    scratch: &mut BatchScratch,
+) -> Vec<Report> {
+    if cfgs.len() <= 1 || mcloud_simkit::configured_lanes() == 1 {
+        let scr = &mut scratch.ensure(1)[0];
+        return cfgs
+            .iter()
+            .map(|cfg| simulate_with_scratch(wf, cfg, scr))
+            .collect();
+    }
+    simulate_batch_on(WorkerPool::global(), wf, cfgs, scratch)
+}
+
+/// [`simulate_batch`] on an explicit pool — the worker-count-independence
+/// tests and scaling benchmarks drive this directly with pools of
+/// different widths.
+pub fn simulate_batch_on(
+    pool: &WorkerPool,
+    wf: &Workflow,
+    cfgs: &[ExecConfig],
+    scratch: &mut BatchScratch,
+) -> Vec<Report> {
+    let lanes = scratch.ensure(pool.lanes().max(1));
+    pool.map_with_state(lanes, cfgs, |scr, cfg| simulate_with_scratch(wf, cfg, scr))
+}
+
+/// Simulates every workflow in `wfs` under one configuration, in input
+/// order, with the same pooling and determinism contract as
+/// [`simulate_batch`]. This is the shape CCR-style sweeps need, where the
+/// *workflow* varies instead of the configuration.
+pub fn simulate_batch_workflows(
+    wfs: &[Workflow],
+    cfg: &ExecConfig,
+    scratch: &mut BatchScratch,
+) -> Vec<Report> {
+    if wfs.len() <= 1 || mcloud_simkit::configured_lanes() == 1 {
+        let scr = &mut scratch.ensure(1)[0];
+        return wfs
+            .iter()
+            .map(|wf| simulate_with_scratch(wf, cfg, scr))
+            .collect();
+    }
+    let pool = WorkerPool::global();
+    let lanes = scratch.ensure(pool.lanes().max(1));
+    pool.map_with_state(lanes, wfs, |scr, wf| simulate_with_scratch(wf, cfg, scr))
+}

@@ -40,10 +40,23 @@ use crate::trace::SpanTee;
 /// Simulates one execution plan over a workflow and reports the paper's
 /// metrics and costs.
 ///
+/// Builds a fresh [`SimScratch`] per call; batch callers should hold a
+/// scratch and use [`simulate_with_scratch`] to amortize the setup.
+///
 /// # Panics
 /// Panics if the configuration fails [`ExecConfig::validate`].
 pub fn simulate(wf: &Workflow, cfg: &ExecConfig) -> Report {
     simulate_with_sink(wf, cfg, &mut NullSink)
+}
+
+/// [`simulate`] against a caller-owned [`SimScratch`]: identical output
+/// (byte-for-byte, including traces), but a warm scratch makes the run
+/// allocation-free at steady state.
+///
+/// # Panics
+/// Panics if the configuration fails [`ExecConfig::validate`].
+pub fn simulate_with_scratch(wf: &Workflow, cfg: &ExecConfig, scratch: &mut SimScratch) -> Report {
+    simulate_with_sink_scratch(wf, cfg, &mut NullSink, scratch)
 }
 
 /// Simulates one execution plan while streaming every engine event into
@@ -55,9 +68,24 @@ pub fn simulate(wf: &Workflow, cfg: &ExecConfig) -> Report {
 /// # Panics
 /// Panics if the configuration fails [`ExecConfig::validate`].
 pub fn simulate_with_sink<S: EventSink>(wf: &Workflow, cfg: &ExecConfig, sink: &mut S) -> Report {
+    let mut scratch = SimScratch::new();
+    simulate_with_sink_scratch(wf, cfg, sink, &mut scratch)
+}
+
+/// [`simulate_with_sink`] against a caller-owned [`SimScratch`] — the
+/// fully general entry point the other three forms wrap.
+///
+/// # Panics
+/// Panics if the configuration fails [`ExecConfig::validate`].
+pub fn simulate_with_sink_scratch<S: EventSink>(
+    wf: &Workflow,
+    cfg: &ExecConfig,
+    sink: &mut S,
+    scratch: &mut SimScratch,
+) -> Report {
     cfg.validate().expect("invalid execution configuration");
     let mut tee = SpanTee::new(sink, cfg.record_trace);
-    let mut report = Engine::new(wf, cfg, &mut tee).run();
+    let mut report = Engine::new(wf, cfg, &mut tee, scratch).run();
     if cfg.record_trace {
         report.trace = Some(tee.into_spans());
     }
@@ -129,20 +157,20 @@ struct InFlight {
     finish_id: EventId,
 }
 
-struct Engine<'a, S: EventSink> {
-    wf: &'a Workflow,
-    cfg: &'a ExecConfig,
-    /// Receives the structured event stream (a no-op [`NullSink`] unless
-    /// the caller attached an observer).
-    sink: S,
+/// Reusable per-run engine state: every collection the engine touches
+/// during a simulation, owned outside the run so warm reuse costs no
+/// allocation.
+///
+/// A fresh scratch and a warm one produce byte-identical results: a run
+/// starts with an internal reset that rebuilds every value the
+/// engine reads from the workflow and configuration; only the *capacity*
+/// of the buffers survives between runs, and capacity is never observable
+/// in a report or trace. `simulate()` itself is now a thin wrapper that
+/// builds a scratch, runs once, and drops it.
+#[derive(Debug)]
+pub struct SimScratch {
     events: EventQueue<Ev>,
-    link: FcfsChannel,
-    /// Outbound channel when `duplex_link` is set; otherwise all traffic
-    /// shares `link`.
-    link_out: Option<FcfsChannel>,
     pool: ProcessorPool,
-    storage: TimeWeighted,
-
     // Readiness tracking.
     pending_parents: Vec<u32>,
     missing_inputs: Vec<u32>,
@@ -160,19 +188,150 @@ struct Engine<'a, S: EventSink> {
     started: Vec<bool>,
     /// When each task first became runnable (for queue-wait statistics).
     ready_time: Vec<SimTime>,
-    /// Wait between readiness and dispatch, per execution attempt.
-    wait_stats: mcloud_simkit::RunningStats,
-    /// The same waits as a distribution (p50/p95/p99 for the report).
+    /// Queue waits as a distribution (p50/p95/p99 for the report).
     wait_hist: Histogram,
-    /// Instant before which no task may start (VM boot).
-    vm_ready_at: SimTime,
-
     // Mode-specific bookkeeping.
     remaining_consumers: Vec<u32>,
     is_staged_out: Vec<bool>,
     counted_in_storage: Vec<bool>,
     staged_in_bytes: Vec<u64>,
     outputs_remaining: Vec<u32>,
+    /// Duration of every execution attempt (successes and failures), for
+    /// utilization-based billing.
+    run_seconds: Vec<f64>,
+    /// What runs on each processor slot right now (preemption targeting).
+    in_flight: Vec<Option<InFlight>>,
+    /// Failed attempts per task, for retry budgeting and backoff growth.
+    task_failures: Vec<u32>,
+    /// Billing buffer for fixed provisioning (`finish` fills it with one
+    /// entry per provisioned instance).
+    instance_seconds: Vec<f64>,
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        SimScratch {
+            events: EventQueue::new(),
+            // Placeholder capacity; `reset` re-sizes the pool per run.
+            pool: ProcessorPool::new(1),
+            pending_parents: Vec::new(),
+            missing_inputs: Vec::new(),
+            ready: BinaryHeap::new(),
+            storage_blocked: BinaryHeap::new(),
+            priority: Vec::new(),
+            task_output_bytes: Vec::new(),
+            started: Vec::new(),
+            ready_time: Vec::new(),
+            wait_hist: Histogram::new(),
+            remaining_consumers: Vec::new(),
+            is_staged_out: Vec::new(),
+            counted_in_storage: Vec::new(),
+            staged_in_bytes: Vec::new(),
+            outputs_remaining: Vec::new(),
+            run_seconds: Vec::new(),
+            in_flight: Vec::new(),
+            task_failures: Vec::new(),
+            instance_seconds: Vec::new(),
+        }
+    }
+}
+
+impl SimScratch {
+    /// Creates an empty scratch. The first run sizes every buffer; later
+    /// runs over same-or-smaller workflows reuse the capacity.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Rebuilds every engine input for a run of `wf` under `cfg`, keeping
+    /// buffer capacity. After a reset, no state from any previous run is
+    /// observable.
+    fn reset(&mut self, wf: &Workflow, cfg: &ExecConfig) {
+        let n = wf.num_tasks();
+        let nf = wf.num_files();
+        let capacity = match cfg.provisioning {
+            Provisioning::Fixed { processors } => processors,
+            // "the number of processors greater than the maximum
+            // parallelism of the workflow" (Section 5): one slot per task
+            // can never be exhausted.
+            Provisioning::OnDemand => n as u32,
+        };
+        self.events.reset();
+        self.pool.reset(capacity);
+        self.ready.clear();
+        self.storage_blocked.clear();
+        self.pending_parents.clear();
+        self.pending_parents
+            .extend(wf.task_ids().map(|t| wf.parents(t).len() as u32));
+        self.missing_inputs.clear();
+        self.missing_inputs.resize(n, 0);
+        self.priority.clear();
+        match cfg.policy {
+            SchedulePolicy::FifoById => self.priority.extend(0..n as u64),
+            SchedulePolicy::CriticalPathFirst => {
+                // Rank tasks by descending bottom level; the rank becomes
+                // the priority (lower pops first), ties by id.
+                let bl = wf.bottom_levels();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| bl[b].total_cmp(&bl[a]).then(a.cmp(&b)));
+                self.priority.resize(n, 0);
+                for (rank, &t) in order.iter().enumerate() {
+                    self.priority[t] = rank as u64;
+                }
+            }
+        }
+        self.task_output_bytes.clear();
+        self.task_output_bytes.extend(
+            wf.tasks()
+                .iter()
+                .map(|t| t.outputs.iter().map(|f| wf.file(*f).bytes).sum::<u64>()),
+        );
+        self.started.clear();
+        self.started.resize(n, false);
+        self.ready_time.clear();
+        self.ready_time.resize(n, SimTime::ZERO);
+        self.wait_hist.clear();
+        self.remaining_consumers.clear();
+        self.remaining_consumers
+            .extend(wf.file_ids().map(|f| wf.consumers(f).len() as u32));
+        self.is_staged_out.clear();
+        self.is_staged_out.resize(nf, false);
+        for f in wf.staged_out_files() {
+            self.is_staged_out[f.index()] = true;
+        }
+        self.counted_in_storage.clear();
+        self.counted_in_storage.resize(nf, false);
+        self.staged_in_bytes.clear();
+        self.staged_in_bytes.resize(n, 0);
+        self.outputs_remaining.clear();
+        self.outputs_remaining.resize(n, 0);
+        self.run_seconds.clear();
+        self.in_flight.clear();
+        self.in_flight.resize(capacity as usize, None);
+        self.task_failures.clear();
+        self.task_failures.resize(n, 0);
+        self.instance_seconds.clear();
+    }
+}
+
+struct Engine<'a, S: EventSink> {
+    wf: &'a Workflow,
+    cfg: &'a ExecConfig,
+    /// Receives the structured event stream (a no-op [`NullSink`] unless
+    /// the caller attached an observer).
+    sink: S,
+    /// All reusable per-run collections (see [`SimScratch`]); the fields
+    /// below are plain scalars rebuilt per run.
+    scr: &'a mut SimScratch,
+    link: FcfsChannel,
+    /// Outbound channel when `duplex_link` is set; otherwise all traffic
+    /// shares `link`.
+    link_out: Option<FcfsChannel>,
+    storage: TimeWeighted,
+    /// Wait between readiness and dispatch, per execution attempt.
+    wait_stats: mcloud_simkit::RunningStats,
+    /// Instant before which no task may start (VM boot).
+    vm_ready_at: SimTime,
 
     // Progress and accounting.
     tasks_done: usize,
@@ -182,17 +341,10 @@ struct Engine<'a, S: EventSink> {
     transfers_in: u64,
     transfers_out: u64,
     end_time: SimTime,
-    /// Duration of every execution attempt (successes and failures), for
-    /// utilization-based billing.
-    run_seconds: Vec<f64>,
     failed_attempts: u64,
     /// Seeded fault source (present when the config enables faults or a
     /// task timeout).
     injector: Option<FaultInjector>,
-    /// What runs on each processor slot right now (preemption targeting).
-    in_flight: Vec<Option<InFlight>>,
-    /// Failed attempts per task, for retry budgeting and backoff growth.
-    task_failures: Vec<u32>,
     /// Failed attempts that were granted another try.
     retries: u64,
     /// Whole-processor preemptions that struck the pool.
@@ -211,35 +363,8 @@ struct Engine<'a, S: EventSink> {
 }
 
 impl<'a, S: EventSink> Engine<'a, S> {
-    fn new(wf: &'a Workflow, cfg: &'a ExecConfig, sink: S) -> Self {
-        let n = wf.num_tasks();
-        let nf = wf.num_files();
-        let capacity = match cfg.provisioning {
-            Provisioning::Fixed { processors } => processors,
-            // "the number of processors greater than the maximum
-            // parallelism of the workflow" (Section 5): one slot per task
-            // can never be exhausted.
-            Provisioning::OnDemand => n as u32,
-        };
-        let mut is_staged_out = vec![false; nf];
-        for f in wf.staged_out_files() {
-            is_staged_out[f.index()] = true;
-        }
-        let priority: Vec<u64> = match cfg.policy {
-            SchedulePolicy::FifoById => (0..n as u64).collect(),
-            SchedulePolicy::CriticalPathFirst => {
-                // Rank tasks by descending bottom level; the rank becomes
-                // the priority (lower pops first), ties by id.
-                let bl = wf.bottom_levels();
-                let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| bl[b].total_cmp(&bl[a]).then(a.cmp(&b)));
-                let mut prio = vec![0u64; n];
-                for (rank, &t) in order.iter().enumerate() {
-                    prio[t] = rank as u64;
-                }
-                prio
-            }
-        };
+    fn new(wf: &'a Workflow, cfg: &'a ExecConfig, sink: S, scr: &'a mut SimScratch) -> Self {
+        scr.reset(wf, cfg);
         let mut link = FcfsChannel::new(cfg.bandwidth_bps);
         for &(start_s, dur_s) in &cfg.storage_outages {
             let start = SimTime::from_secs_f64(start_s);
@@ -254,34 +379,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
             wf,
             cfg,
             sink,
-            events: EventQueue::new(),
+            scr,
             link,
             link_out,
-            pool: ProcessorPool::new(capacity),
             storage: TimeWeighted::new(),
-            pending_parents: wf.task_ids().map(|t| wf.parents(t).len() as u32).collect(),
-            missing_inputs: vec![0; n],
-            ready: BinaryHeap::new(),
-            storage_blocked: BinaryHeap::new(),
-            priority,
-            task_output_bytes: wf
-                .tasks()
-                .iter()
-                .map(|t| t.outputs.iter().map(|f| wf.file(*f).bytes).sum())
-                .collect(),
-            started: vec![false; n],
-            ready_time: vec![SimTime::ZERO; n],
             wait_stats: mcloud_simkit::RunningStats::new(),
-            wait_hist: Histogram::new(),
             vm_ready_at,
-            remaining_consumers: wf
-                .file_ids()
-                .map(|f| wf.consumers(f).len() as u32)
-                .collect(),
-            is_staged_out,
-            counted_in_storage: vec![false; nf],
-            staged_in_bytes: vec![0; n],
-            outputs_remaining: vec![0; n],
             tasks_done: 0,
             stageouts_pending: 0,
             bytes_in: 0,
@@ -289,7 +392,6 @@ impl<'a, S: EventSink> Engine<'a, S> {
             transfers_in: 0,
             transfers_out: 0,
             end_time: SimTime::ZERO,
-            run_seconds: Vec::with_capacity(n),
             failed_attempts: 0,
             injector: match cfg.faults {
                 Some(f) => Some(FaultInjector::new(
@@ -307,8 +409,6 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 }
                 None => None,
             },
-            in_flight: vec![None; capacity as usize],
-            task_failures: vec![0; n],
             retries: 0,
             preemptions: 0,
             transfer_failures: 0,
@@ -322,7 +422,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     fn run(mut self) -> Report {
         self.bootstrap();
         self.dispatch(SimTime::ZERO);
-        while let Some((now, ev)) = self.events.pop() {
+        while let Some((now, ev)) = self.scr.events.pop() {
             match ev {
                 Ev::FileArrived { file, attempt } => self.on_file_arrived(now, file, attempt),
                 Ev::InputArrived {
@@ -348,12 +448,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if self.aborted {
             // Dead-letter: a task or transfer exhausted its retry budget.
             // In-flight work has drained; report what did complete.
-            self.end_time = self.events.now();
+            self.end_time = self.scr.events.now();
             return self.finish(false);
         }
         if self.tasks_done != self.wf.num_tasks() {
             assert!(
-                !self.storage_blocked.is_empty(),
+                !self.scr.storage_blocked.is_empty(),
                 "simulation deadlocked without storage pressure (engine bug)"
             );
             panic!(
@@ -363,7 +463,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 self.cfg.storage_capacity_bytes.unwrap_or(0),
                 self.tasks_done,
                 self.wf.num_tasks(),
-                self.storage_blocked.len(),
+                self.scr.storage_blocked.len(),
                 self.storage.peak(),
             );
         }
@@ -373,7 +473,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// Seeds the event queue with the initial transfers.
     fn bootstrap(&mut self) {
         if self.vm_ready_at > SimTime::ZERO {
-            self.events.push(self.vm_ready_at, Ev::VmReady);
+            self.scr.events.push(self.vm_ready_at, Ev::VmReady);
         }
         self.schedule_next_preemption(SimTime::ZERO);
         match self.cfg.mode {
@@ -388,13 +488,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
                             .iter()
                             .filter(|f| self.wf.producer(**f).is_none())
                             .count();
-                        self.missing_inputs[t.index()] = missing as u32;
+                        self.scr.missing_inputs[t.index()] = missing as u32;
                     }
                     // Stage in every external input up front, FCFS in file order.
                     let wf = self.wf;
                     for &f in wf.external_inputs() {
                         let grant = self.submit_in(SimTime::ZERO, wf.file(f).bytes, None);
-                        self.events.push(
+                        self.scr.events.push(
                             grant.finish,
                             Ev::FileArrived {
                                 file: f,
@@ -409,12 +509,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
             }
             DataMode::RemoteIo => {
                 for t in self.wf.task_ids() {
-                    self.missing_inputs[t.index()] = self.wf.task(t).inputs.len() as u32;
-                    self.outputs_remaining[t.index()] = self.wf.task(t).outputs.len() as u32;
+                    self.scr.missing_inputs[t.index()] = self.wf.task(t).inputs.len() as u32;
+                    self.scr.outputs_remaining[t.index()] = self.wf.task(t).outputs.len() as u32;
                 }
                 // Parentless tasks can begin staging immediately.
                 for t in self.wf.task_ids() {
-                    if self.pending_parents[t.index()] == 0 {
+                    if self.scr.pending_parents[t.index()] == 0 {
                         self.stage_task_inputs(SimTime::ZERO, t);
                     }
                 }
@@ -427,9 +527,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// Schedules the next whole-processor preemption, when the model has
     /// an MTTF configured.
     fn schedule_next_preemption(&mut self, now: SimTime) {
-        let cap = self.pool.capacity();
+        let cap = self.scr.pool.capacity();
         if let Some(delay) = self.injector.as_mut().and_then(|i| i.next_preemption(cap)) {
-            self.events.push(now + delay, Ev::Preemption);
+            self.scr.events.push(now + delay, Ev::Preemption);
         }
     }
 
@@ -481,8 +581,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
     ) {
         self.failed_attempts += 1;
         self.wasted_cpu_s += billed_s;
-        self.task_failures[t.index()] += 1;
-        let attempt = self.task_failures[t.index()];
+        self.scr.task_failures[t.index()] += 1;
+        let attempt = self.scr.task_failures[t.index()];
         narrate!(
             self,
             now,
@@ -518,7 +618,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             },
         );
         if delay_s > 0.0 {
-            self.events
+            self.scr
+                .events
                 .push(now + SimDuration::from_secs_f64(delay_s), Ev::TaskRetry(t));
         } else {
             // Zero backoff re-enqueues synchronously, exactly like the
@@ -552,7 +653,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if self.aborted || self.tasks_done == self.wf.num_tasks() {
             return; // compute is over (or abandoned); let the chain die out
         }
-        let cap = self.pool.capacity();
+        let cap = self.scr.pool.capacity();
         let (victim, next) = {
             let inj = self
                 .injector
@@ -561,17 +662,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
             (inj.preemption_victim(cap), inj.next_preemption(cap))
         };
         if let Some(delay) = next {
-            self.events.push(now + delay, Ev::Preemption);
+            self.scr.events.push(now + delay, Ev::Preemption);
         }
         self.preemptions += 1;
-        match self.in_flight[victim as usize].take() {
+        match self.scr.in_flight[victim as usize].take() {
             Some(fl) => {
                 // The killed attempt's pending finish must never fire.
-                self.events.cancel(fl.finish_id);
+                self.scr.events.cancel(fl.finish_id);
                 let proc = ProcId(victim);
-                self.pool.release(now, proc);
+                self.scr.pool.release(now, proc);
                 let partial_s = now.since(fl.started).as_secs_f64();
-                self.run_seconds.push(partial_s);
+                self.scr.run_seconds.push(partial_s);
                 narrate!(
                     self,
                     now,
@@ -616,7 +717,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 return;
             }
             let grant = self.submit_in(now, bytes, None);
-            self.events.push(
+            self.scr.events.push(
                 grant.finish,
                 Ev::FileArrived {
                     file: f,
@@ -635,12 +736,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
             },
         );
         self.storage_alloc(now, bytes);
-        self.counted_in_storage[f.index()] = true;
+        self.scr.counted_in_storage[f.index()] = true;
         // `self.wf` outlives `self`'s borrows, so copying the reference out
         // lets the adjacency slice be iterated while `self` mutates.
         let wf = self.wf;
         for &t in wf.consumers(f) {
-            self.missing_inputs[t.index()] -= 1;
+            self.scr.missing_inputs[t.index()] -= 1;
             self.maybe_ready(now, t);
         }
     }
@@ -653,7 +754,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 return;
             }
             let grant = self.submit_out(now, bytes, None);
-            self.events.push(
+            self.scr.events.push(
                 grant.finish,
                 Ev::FinalStageOutDone {
                     file: f,
@@ -679,9 +780,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn remove_from_storage(&mut self, now: SimTime, f: FileId) {
-        if std::mem::take(&mut self.counted_in_storage[f.index()]) {
+        if std::mem::take(&mut self.scr.counted_in_storage[f.index()]) {
             self.storage_free(now, self.wf.file(f).bytes);
-            if self.cfg.storage_capacity_bytes.is_some() && !self.storage_blocked.is_empty() {
+            if self.cfg.storage_capacity_bytes.is_some() && !self.scr.storage_blocked.is_empty() {
                 self.unblock_storage_waiters(now);
             }
         }
@@ -722,13 +823,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
             let external = wf.producer(f).is_none();
             if external && self.cfg.prestaged_inputs {
                 // Reads from the in-cloud archive are free and instant.
-                self.missing_inputs[t.index()] -= 1;
+                self.scr.missing_inputs[t.index()] -= 1;
                 continue;
             }
             let bytes = wf.file(f).bytes;
             let grant = self.submit_in(now, bytes, Some(t));
-            self.staged_in_bytes[t.index()] += bytes;
-            self.events.push(
+            self.scr.staged_in_bytes[t.index()] += bytes;
+            self.scr.events.push(
                 grant.finish,
                 Ev::InputArrived {
                     task: t,
@@ -747,7 +848,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 return;
             }
             let grant = self.submit_in(now, bytes, Some(t));
-            self.events.push(
+            self.scr.events.push(
                 grant.finish,
                 Ev::InputArrived {
                     task: t,
@@ -770,7 +871,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // are present on the resource only during the execution of the
         // current task", so occupancy is charged at task start (inputs)
         // and task end (outputs), not at transfer arrival.
-        self.missing_inputs[t.index()] -= 1;
+        self.scr.missing_inputs[t.index()] -= 1;
         self.maybe_ready(now, t);
     }
 
@@ -781,7 +882,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 return;
             }
             let grant = self.submit_out(now, bytes, Some(t));
-            self.events.push(
+            self.scr.events.push(
                 grant.finish,
                 Ev::OutputStagedOut {
                     task: t,
@@ -800,8 +901,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 task: Some(t.0),
             },
         );
-        self.outputs_remaining[t.index()] -= 1;
-        if self.outputs_remaining[t.index()] == 0 {
+        self.scr.outputs_remaining[t.index()] -= 1;
+        if self.scr.outputs_remaining[t.index()] == 0 {
             self.task_fully_done(now, t);
         }
     }
@@ -811,7 +912,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// to the outbound link ("stage out the output data from the resource
     /// and then delete"), so they never rest on the metered storage.
     fn working_set_bytes(&self, t: TaskId) -> u64 {
-        self.staged_in_bytes[t.index()]
+        self.scr.staged_in_bytes[t.index()]
     }
 
     /// Remote I/O epilogue: all outputs have landed back at the user's
@@ -823,8 +924,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
         let wf = self.wf;
         for &c in wf.children(t) {
-            self.pending_parents[c.index()] -= 1;
-            if self.pending_parents[c.index()] == 0 {
+            self.scr.pending_parents[c.index()] -= 1;
+            if self.scr.pending_parents[c.index()] == 0 {
                 self.stage_task_inputs(now, c);
             }
         }
@@ -833,19 +934,21 @@ impl<'a, S: EventSink> Engine<'a, S> {
     // --- common ---------------------------------------------------------------
 
     fn maybe_ready(&mut self, now: SimTime, t: TaskId) {
-        if !self.started[t.index()]
-            && self.pending_parents[t.index()] == 0
-            && self.missing_inputs[t.index()] == 0
+        if !self.scr.started[t.index()]
+            && self.scr.pending_parents[t.index()] == 0
+            && self.scr.missing_inputs[t.index()] == 0
         {
-            self.started[t.index()] = true;
+            self.scr.started[t.index()] = true;
             self.enqueue_ready(now, t);
         }
     }
 
     fn enqueue_ready(&mut self, now: SimTime, t: TaskId) {
         narrate!(self, now, TraceEvent::TaskReady { task: t.0 });
-        self.ready_time[t.index()] = now;
-        self.ready.push(Reverse((self.priority[t.index()], t)));
+        self.scr.ready_time[t.index()] = now;
+        self.scr
+            .ready
+            .push(Reverse((self.scr.priority[t.index()], t)));
     }
 
     /// Submits an inbound (user/archive -> storage) transfer, updating the
@@ -913,7 +1016,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if self.cfg.mode == DataMode::RemoteIo {
             return false; // capacity modeling targets the shared store
         }
-        self.storage.value() + self.task_output_bytes[t.index()] as f64 > cap as f64
+        self.storage.value() + self.scr.task_output_bytes[t.index()] as f64 > cap as f64
     }
 
     /// Moves the storage-blocked tasks that now fit back into the ready
@@ -927,11 +1030,11 @@ impl<'a, S: EventSink> Engine<'a, S> {
             return;
         };
         let available = (cap as f64 - self.storage.value()).max(0.0);
-        while let Some(&Reverse((bytes, _, t))) = self.storage_blocked.peek() {
+        while let Some(&Reverse((bytes, _, t))) = self.scr.storage_blocked.peek() {
             if bytes as f64 > available {
                 break; // smallest waiter doesn't fit; none of the rest do
             }
-            self.storage_blocked.pop();
+            self.scr.storage_blocked.pop();
             self.enqueue_ready(now, t);
         }
     }
@@ -944,24 +1047,24 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if now < self.vm_ready_at {
             return; // VMs still booting; Ev::VmReady re-triggers dispatch.
         }
-        while let Some(&Reverse((_, t))) = self.ready.peek() {
+        while let Some(&Reverse((_, t))) = self.scr.ready.peek() {
             if self.storage_would_overflow(t) {
-                self.ready.pop();
-                self.storage_blocked.push(Reverse((
-                    self.task_output_bytes[t.index()],
-                    self.priority[t.index()],
+                self.scr.ready.pop();
+                self.scr.storage_blocked.push(Reverse((
+                    self.scr.task_output_bytes[t.index()],
+                    self.scr.priority[t.index()],
                     t,
                 )));
                 narrate!(self, now, TraceEvent::TaskBlockedOnStorage { task: t.0 });
                 continue; // try the next-priority candidate
             }
-            let Some(proc) = self.pool.try_acquire(now) else {
+            let Some(proc) = self.scr.pool.try_acquire(now) else {
                 break;
             };
-            self.ready.pop();
-            let waited = now.since(self.ready_time[t.index()]);
+            self.scr.ready.pop();
+            let waited = now.since(self.scr.ready_time[t.index()]);
             self.wait_stats.push(waited.as_secs_f64());
-            self.wait_hist.record(waited.as_secs_f64());
+            self.scr.wait_hist.record(waited.as_secs_f64());
             narrate!(
                 self,
                 now,
@@ -987,9 +1090,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
             let runtime_s = self.attempt_seconds(t);
             let runtime = SimDuration::from_secs_f64(runtime_s);
             let finish_id = self
+                .scr
                 .events
                 .push(now + runtime, Ev::TaskFinished { task: t, proc });
-            self.in_flight[proc.0 as usize] = Some(InFlight {
+            self.scr.in_flight[proc.0 as usize] = Some(InFlight {
                 task: t,
                 started: now,
                 finish_id,
@@ -1010,12 +1114,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn on_task_finished(&mut self, now: SimTime, t: TaskId, proc: ProcId) {
-        self.pool.release(now, proc);
-        self.in_flight[proc.0 as usize] = None;
+        self.scr.pool.release(now, proc);
+        self.scr.in_flight[proc.0 as usize] = None;
         let timeout = self.cfg.retry.task_timeout_s;
         let timed_out = timeout > 0.0 && self.wf.task(t).runtime_s > timeout;
         let billed_s = self.attempt_seconds(t);
-        self.run_seconds.push(billed_s);
+        self.scr.run_seconds.push(billed_s);
         // Fault injection: a failed attempt consumed its runtime (billed
         // above) but produced nothing; the retry policy decides whether
         // the task goes back to the ready queue. A timed-out attempt
@@ -1051,17 +1155,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 // only the occupancy bookkeeping happens here.)
                 for &f in &wf.task(t).outputs {
                     self.storage_alloc(now, wf.file(f).bytes);
-                    self.counted_in_storage[f.index()] = true;
+                    self.scr.counted_in_storage[f.index()] = true;
                 }
                 for &c in wf.children(t) {
-                    self.pending_parents[c.index()] -= 1;
+                    self.scr.pending_parents[c.index()] -= 1;
                     self.maybe_ready(now, c);
                 }
                 if self.cfg.mode == DataMode::DynamicCleanup {
                     for &f in &wf.task(t).inputs {
-                        self.remaining_consumers[f.index()] -= 1;
-                        if self.remaining_consumers[f.index()] == 0
-                            && !self.is_staged_out[f.index()]
+                        self.scr.remaining_consumers[f.index()] -= 1;
+                        if self.scr.remaining_consumers[f.index()] == 0
+                            && !self.scr.is_staged_out[f.index()]
                         {
                             self.remove_from_storage(now, f);
                         }
@@ -1086,7 +1190,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 for &f in &wf.task(t).outputs {
                     let bytes = wf.file(f).bytes;
                     let grant = self.submit_out(now, bytes, Some(t));
-                    self.events.push(
+                    self.scr.events.push(
                         grant.finish,
                         Ev::OutputStagedOut {
                             task: t,
@@ -1110,7 +1214,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         for &f in files {
             let bytes = wf.file(f).bytes;
             let grant = self.submit_out(now, bytes, None);
-            self.events.push(
+            self.scr.events.push(
                 grant.finish,
                 Ev::FinalStageOutDone {
                     file: f,
@@ -1120,31 +1224,34 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
     }
 
-    fn finish(mut self, completed: bool) -> Report {
+    fn finish(self, completed: bool) -> Report {
         let makespan = self.end_time.since(SimTime::ZERO);
         let makespan_s = makespan.as_secs_f64();
         let task_runtime_seconds = self.wf.total_runtime_s();
-        let task_executions = self.run_seconds.len() as u64;
+        let task_executions = self.scr.run_seconds.len() as u64;
 
-        let (instance_seconds, processors, cpu_utilization): (Vec<f64>, Option<u32>, f64) =
+        let (instance_seconds, processors, cpu_utilization): (&[f64], Option<u32>, f64) =
             match self.cfg.provisioning {
                 Provisioning::Fixed { processors } => {
                     let util = if makespan_s > 0.0 {
-                        self.pool.utilization(self.end_time)
+                        self.scr.pool.utilization(self.end_time)
                     } else {
                         0.0
                     };
                     // Instances are acquired at t=0 (boot time is inside
-                    // the makespan) and billed through teardown.
+                    // the makespan) and billed through teardown. The
+                    // scratch buffer replaces a per-run `vec!`.
                     let held = makespan_s + self.cfg.vm.teardown_s;
-                    (vec![held; processors as usize], Some(processors), util)
+                    self.scr.instance_seconds.clear();
+                    self.scr.instance_seconds.resize(processors as usize, held);
+                    (&self.scr.instance_seconds, Some(processors), util)
                 }
                 Provisioning::OnDemand => {
                     // Billed exactly for what ran (including failed
                     // attempts); each execution is its own instance
                     // occupation for granularity purposes. The attempt
-                    // list is moved, not cloned — `finish` owns `self`.
-                    (std::mem::take(&mut self.run_seconds), None, 1.0)
+                    // list is borrowed straight from the scratch.
+                    (&self.scr.run_seconds, None, 1.0)
                 }
             };
         let cpu_seconds_billed: f64 = instance_seconds.iter().sum();
@@ -1154,7 +1261,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             cpu: self
                 .cfg
                 .granularity
-                .cpu_cost(&self.cfg.pricing, &instance_seconds),
+                .cpu_cost(&self.cfg.pricing, instance_seconds),
             storage: self.cfg.pricing.storage_cost(storage_byte_seconds),
             transfer_in: self.cfg.pricing.transfer_in_cost(self.bytes_in),
             transfer_out: self.cfg.pricing.transfer_out_cost(self.bytes_out),
@@ -1172,10 +1279,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
             task_runtime_seconds,
             costs,
             processors,
-            peak_concurrency: self.pool.peak_in_use(),
+            peak_concurrency: self.scr.pool.peak_in_use(),
             cpu_utilization,
             task_executions,
-            events_processed: self.events.popped(),
+            events_processed: self.scr.events.popped(),
             failed_attempts: self.failed_attempts,
             completed,
             tasks_completed: self.tasks_done as u64,
@@ -1187,7 +1294,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
             wasted_bytes_out: self.wasted_bytes_out,
             queue_wait_mean_s: self.wait_stats.mean(),
             queue_wait_max_s: self.wait_stats.max(),
-            queue_wait_hist: self.wait_hist,
+            // Cloned (not moved) out of the scratch: the one warm-path
+            // allocation a report still costs.
+            queue_wait_hist: self.scr.wait_hist.clone(),
             // Attached by `simulate_with_sink` (via the span tee) when
             // `record_trace` is set.
             trace: None,

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod config;
 mod engine;
 mod gantt;
@@ -35,11 +36,15 @@ mod profile;
 mod report;
 mod trace;
 
+pub use batch::{simulate_batch, simulate_batch_on, simulate_batch_workflows, BatchScratch};
 pub use config::{
     DataMode, ExecConfig, FaultModel, Provisioning, RetryPolicy, SchedulePolicy, VmOverhead,
     PAPER_BANDWIDTH_BPS,
 };
-pub use engine::{simulate, simulate_traced, simulate_with_sink};
+pub use engine::{
+    simulate, simulate_traced, simulate_with_scratch, simulate_with_sink,
+    simulate_with_sink_scratch, SimScratch,
+};
 pub use gantt::{gantt_csv, gantt_text};
 pub use profile::{
     attribute_profile_costs, profile_json, profile_svg, profile_text, profile_trace, ClassProfile,

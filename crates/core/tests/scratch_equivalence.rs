@@ -1,0 +1,115 @@
+//! Warm-scratch and batch simulation are byte-identical to fresh runs.
+//!
+//! The batch-throughput machinery (`SimScratch` reuse, `BatchScratch`
+//! lanes, the persistent worker pool) must be invisible from the outside:
+//! every data mode, every paper-sized mosaic, with and without faults,
+//! produces the same report and the same JSONL event trace whether the
+//! engine runs on fresh buffers, a warm scratch that just finished a
+//! different workload, or a pool lane of any width.
+
+use mcloud_core::{
+    simulate, simulate_batch, simulate_batch_on, simulate_batch_workflows, simulate_with_scratch,
+    simulate_with_sink, simulate_with_sink_scratch, trace_to_jsonl, BatchScratch, DataMode,
+    ExecConfig, FaultModel, RetryPolicy, SimScratch,
+};
+use mcloud_dag::Workflow;
+use mcloud_montage::{generate, MosaicConfig};
+use mcloud_simkit::{RecordingSink, WorkerPool};
+
+fn config(mode: DataMode, faults: bool) -> ExecConfig {
+    let cfg = ExecConfig::on_demand(mode);
+    if faults {
+        cfg.with_fault_model(FaultModel::tasks_only(0.2, 0xEC_2008))
+            .with_retry(RetryPolicy::bounded(8))
+    } else {
+        cfg
+    }
+}
+
+/// Every combination this file sweeps: all three data modes, faults off
+/// and on.
+fn all_configs() -> Vec<ExecConfig> {
+    let mut out = Vec::new();
+    for faults in [false, true] {
+        for mode in DataMode::ALL {
+            out.push(config(mode, faults));
+        }
+    }
+    out
+}
+
+/// One scratch carried across every mode x size x fault combination: each
+/// reset must leave no residue from the previous (different-shaped) run,
+/// and the warm report and full JSONL trace must equal the fresh ones
+/// byte for byte.
+#[test]
+fn warm_scratch_matches_fresh_runs_across_modes_sizes_and_faults() {
+    let mut scratch = SimScratch::new();
+    for degrees in [1.0, 2.0, 4.0] {
+        let wf = generate(&MosaicConfig::new(degrees));
+        for cfg in all_configs() {
+            let fresh = simulate(&wf, &cfg);
+            let warm = simulate_with_scratch(&wf, &cfg, &mut scratch);
+            assert_eq!(fresh, warm, "{degrees}deg {cfg:?}: warm report drifted");
+
+            let mut fresh_sink = RecordingSink::new();
+            let fresh_traced = simulate_with_sink(&wf, &cfg, &mut fresh_sink);
+            let mut warm_sink = RecordingSink::new();
+            let warm_traced = simulate_with_sink_scratch(&wf, &cfg, &mut warm_sink, &mut scratch);
+            assert_eq!(fresh_traced, warm_traced, "{degrees}deg: traced report");
+            assert_eq!(
+                trace_to_jsonl(&wf, fresh_sink.events()),
+                trace_to_jsonl(&wf, warm_sink.events()),
+                "{degrees}deg {cfg:?}: warm trace drifted"
+            );
+        }
+    }
+}
+
+/// `simulate_batch` returns exactly what a sequential loop of fresh
+/// `simulate` calls returns, in input order.
+#[test]
+fn batch_matches_sequential_simulation() {
+    let wf = generate(&MosaicConfig::new(1.0));
+    let cfgs = all_configs();
+    let expected: Vec<_> = cfgs.iter().map(|c| simulate(&wf, c)).collect();
+    let got = simulate_batch(&wf, &cfgs, &mut BatchScratch::new());
+    assert_eq!(expected, got);
+}
+
+/// Batch output is independent of the pool width (and therefore of the
+/// chunking, which varies with the lane count): 1 through 4 lanes all
+/// reproduce the inline result, cold and warm.
+#[test]
+fn batch_output_is_independent_of_worker_count_and_chunking() {
+    let wf = generate(&MosaicConfig::new(1.0));
+    // Seven configs: not a multiple of any lane count, so chunk boundaries
+    // land differently at every pool width.
+    let mut cfgs = all_configs();
+    cfgs.push(config(DataMode::Regular, true).with_retry(RetryPolicy::bounded(3)));
+    assert_eq!(cfgs.len(), 7);
+
+    let reference = simulate_batch_on(&WorkerPool::new(1), &wf, &cfgs, &mut BatchScratch::new());
+    for lanes in 2..=4 {
+        let pool = WorkerPool::new(lanes);
+        let mut scratch = BatchScratch::new();
+        let cold = simulate_batch_on(&pool, &wf, &cfgs, &mut scratch);
+        assert_eq!(reference, cold, "{lanes} lanes, cold scratch");
+        let warm = simulate_batch_on(&pool, &wf, &cfgs, &mut scratch);
+        assert_eq!(reference, warm, "{lanes} lanes, warm scratch");
+    }
+}
+
+/// The one-config-many-workflows form agrees with sequential simulation
+/// too (the CCR sweep rides on it).
+#[test]
+fn workflow_batch_matches_sequential_simulation() {
+    let wfs: Vec<Workflow> = [0.5, 1.0, 2.0]
+        .iter()
+        .map(|&d| generate(&MosaicConfig::new(d)))
+        .collect();
+    let cfg = config(DataMode::Regular, true);
+    let expected: Vec<_> = wfs.iter().map(|wf| simulate(wf, &cfg)).collect();
+    let got = simulate_batch_workflows(&wfs, &cfg, &mut BatchScratch::new());
+    assert_eq!(expected, got);
+}

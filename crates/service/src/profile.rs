@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use mcloud_core::{simulate, ExecConfig, Provisioning};
+use mcloud_core::{simulate_with_scratch, ExecConfig, Provisioning, SimScratch};
 use mcloud_cost::Money;
 use mcloud_montage::{generate, MosaicConfig};
 
@@ -31,6 +31,9 @@ pub struct RequestProfile {
 pub struct ProfileTable {
     exec: ExecConfig,
     cache: HashMap<(u64, u32), RequestProfile>,
+    /// Warm engine buffers, reused across every cache-miss simulation the
+    /// table runs over its lifetime.
+    scratch: SimScratch,
 }
 
 impl ProfileTable {
@@ -40,6 +43,7 @@ impl ProfileTable {
         ProfileTable {
             exec,
             cache: HashMap::new(),
+            scratch: SimScratch::new(),
         }
     }
 
@@ -55,7 +59,7 @@ impl ProfileTable {
             provisioning: Provisioning::Fixed { processors },
             ..self.exec.clone()
         };
-        let report = simulate(&wf, &cfg);
+        let report = simulate_with_scratch(&wf, &cfg, &mut self.scratch);
         let profile = RequestProfile {
             makespan_hours: report.makespan_hours(),
             cost: report.total_cost(),
@@ -90,6 +94,7 @@ impl ProfileTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcloud_core::simulate;
 
     #[test]
     fn profiles_are_cached() {

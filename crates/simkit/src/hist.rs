@@ -12,10 +12,12 @@
 //! bucket indices are computed from the IEEE-754 bit pattern of the sample
 //! (exponent plus the top three mantissa bits), never from `log2`, so the
 //! same sample stream produces the same histogram on every platform.
-//! Buckets are stored sparsely in a `BTreeMap`, so iteration order is the
-//! bucket order and two histograms over the same samples compare equal.
-
-use std::collections::BTreeMap;
+//! Buckets are stored sparsely as a `Vec` of `(index, count)` pairs kept
+//! sorted by index, so iteration order is the bucket order, two histograms
+//! over the same samples compare equal, and [`Histogram::clear`] retains
+//! the bucket storage for reuse (a `BTreeMap` would free its nodes). The
+//! simulator's distributions occupy a few dozen buckets, so the sorted
+//! insert's `O(buckets)` shift is cheaper than tree rebalancing.
 
 /// Sub-buckets per power of two (8 → bucket width is 1/8 octave).
 const SUB_BITS: u32 = 3;
@@ -29,8 +31,9 @@ const SUB: i64 = 1 << SUB_BITS;
 /// non-negative; the simulator has no negative durations or sizes.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
-    /// Sparse bucket counts keyed by log-grid index (see [`bucket_index`]).
-    buckets: BTreeMap<i64, u64>,
+    /// Sparse bucket counts as `(log-grid index, count)` pairs, sorted by
+    /// index (see [`bucket_index`]).
+    buckets: Vec<(i64, u64)>,
     /// Samples equal to zero.
     zeros: u64,
     count: u64,
@@ -88,8 +91,28 @@ impl Histogram {
         if v == 0.0 {
             self.zeros += 1;
         } else {
-            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+            self.bump_bucket(bucket_index(v), 1);
         }
+    }
+
+    /// Adds `n` to bucket `idx`, keeping the pair list sorted.
+    fn bump_bucket(&mut self, idx: i64, n: u64) {
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(at) => self.buckets[at].1 += n,
+            Err(at) => self.buckets.insert(at, (idx, n)),
+        }
+    }
+
+    /// Empties the histogram while keeping the bucket storage allocated,
+    /// so a reused histogram records at steady state without touching the
+    /// heap.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.zeros = 0;
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = 0.0;
+        self.max = 0.0;
     }
 
     /// Number of samples recorded.
@@ -152,7 +175,7 @@ impl Histogram {
         if rank <= seen {
             return 0.0;
         }
-        for (&idx, &n) in &self.buckets {
+        for &(idx, n) in &self.buckets {
             seen += n;
             if rank <= seen {
                 let lo = bucket_lower(idx);
@@ -178,8 +201,8 @@ impl Histogram {
         self.count += other.count;
         self.sum += other.sum;
         self.zeros += other.zeros;
-        for (&idx, &n) in &other.buckets {
-            *self.buckets.entry(idx).or_insert(0) += n;
+        for &(idx, n) in &other.buckets {
+            self.bump_bucket(idx, n);
         }
     }
 
@@ -195,7 +218,7 @@ impl Histogram {
             cum += self.zeros;
             out.push((0.0, cum));
         }
-        for (&idx, &n) in &self.buckets {
+        for &(idx, n) in &self.buckets {
             cum += n;
             out.push((bucket_lower(idx + 1), cum));
         }

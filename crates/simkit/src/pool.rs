@@ -43,6 +43,23 @@ impl ProcessorPool {
         }
     }
 
+    /// Re-initializes the pool to `n` idle processors, reusing the slot and
+    /// free-heap storage (no allocation when `n` does not exceed a previous
+    /// capacity).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn reset(&mut self, n: u32) {
+        assert!(n > 0, "a processor pool needs at least one processor");
+        self.busy_since.clear();
+        self.busy_since.resize(n as usize, None);
+        self.free.clear();
+        self.free.extend((0..n).map(Reverse));
+        self.busy_time = SimDuration::ZERO;
+        self.grants = 0;
+        self.max_in_use = 0;
+    }
+
     /// Total number of slots.
     pub fn capacity(&self) -> u32 {
         self.busy_since.len() as u32

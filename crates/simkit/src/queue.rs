@@ -142,6 +142,18 @@ impl<E> EventQueue<E> {
         EventId(seq)
     }
 
+    /// Empties the queue and rewinds the clock to [`SimTime::ZERO`] while
+    /// keeping the heap and bitset storage allocated, so a reused queue
+    /// schedules at steady state without touching the heap allocator.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.pending.words.clear();
+        self.pending.count = 0;
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+        self.popped = 0;
+    }
+
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (lazy deletion: the entry is skipped at pop time).
     pub fn cancel(&mut self, id: EventId) -> bool {

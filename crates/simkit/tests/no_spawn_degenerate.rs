@@ -1,0 +1,49 @@
+//! Degenerate and inline `pool_map` calls never create worker threads.
+//!
+//! This file is its own test binary, so nothing else in the process has
+//! touched the global pool: a single test can observe that trivial inputs
+//! (and `MCLOUD_WORKERS=1`) leave the pool uninitialized and spawn no OS
+//! threads at all.
+
+use mcloud_simkit::{pool_map, WorkerPool};
+
+/// OS thread count of this process, when the platform exposes it.
+fn os_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn degenerate_and_inline_calls_spawn_nothing() {
+    // Pin the lane count before anything queries it. Safe: this is the
+    // only test in the binary, so no other thread is running yet.
+    std::env::set_var("MCLOUD_WORKERS", "1");
+    let before = os_threads();
+
+    // Degenerate inputs run inline regardless of configuration.
+    let empty: Vec<i32> = pool_map(&[] as &[i32], |x| *x);
+    assert!(empty.is_empty());
+    let one = pool_map(&[21], |x| x * 2);
+    assert_eq!(one, vec![42]);
+
+    // MCLOUD_WORKERS=1: even a large input stays on the caller's thread.
+    let items: Vec<u64> = (0..1000).collect();
+    let mapped = pool_map(&items, |x| x + 1);
+    assert_eq!(mapped.len(), 1000);
+    assert_eq!(mapped[999], 1000);
+
+    assert!(
+        !WorkerPool::global_initialized(),
+        "inline pool_map calls must not build the global pool"
+    );
+    if let Some(b) = before {
+        assert_eq!(
+            os_threads(),
+            Some(b),
+            "inline pool_map calls must not spawn OS threads"
+        );
+    }
+}

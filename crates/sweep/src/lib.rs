@@ -5,10 +5,12 @@
 //! sweeps (Figure 11), Pareto analysis of the cost/makespan trade-off, and
 //! table/CSV emitters for the results.
 //!
-//! Sweeps fan out over scoped worker threads ([`par_map`]); each point is
-//! an independent deterministic simulation and results are returned in
+//! Sweeps fan out over the kernel's persistent worker pool (via the
+//! batch simulation API, or [`par_map`] for ad-hoc closures); each point
+//! is an independent deterministic simulation and results are returned in
 //! input order, so parallel and sequential execution produce identical
-//! results (asserted in this crate's tests).
+//! results (asserted in this crate's tests). Set `MCLOUD_WORKERS` to pin
+//! the lane count (`MCLOUD_WORKERS=1` forces fully inline execution).
 //!
 //! ```
 //! use mcloud_core::ExecConfig;
@@ -38,7 +40,8 @@ pub use par::par_map;
 pub use pareto::{cheapest_within_deadline, pareto_frontier, CostTimePoint};
 pub use plot::{LinePlot, Series};
 pub use sweeps::{
-    ccr_sweep, fault_rate_sweep, geometric_processors, mode_matrix, processor_sweep, scale_to_ccr,
-    CcrPoint, FaultRatePoint, ModePoint, ProcessorPoint,
+    bandwidth_sweep, ccr_sweep, fault_rate_sweep, geometric_processors, mode_matrix,
+    processor_sweep, scale_to_ccr, BandwidthPoint, CcrPoint, FaultRatePoint, ModePoint,
+    ProcessorPoint,
 };
 pub use table::{fmt_dollars, fmt_hours, Table};

@@ -1,21 +1,17 @@
-//! A small deterministic fork-join helper built on scoped threads.
+//! A deterministic fork-join helper: the sweep-facing facade over the
+//! kernel's persistent [`WorkerPool`](mcloud_simkit::WorkerPool).
 //!
 //! Sweeps fan independent simulations out across cores. The contract that
 //! matters here is *determinism*: the output vector is ordered by input
 //! index regardless of how the OS schedules the workers, so a parallel
-//! sweep is byte-identical to a sequential one. Work is handed out through
-//! an atomic index dispenser (cheap dynamic load balancing — sweep points
-//! vary widely in cost as `P` grows). Workers grab small *batches* of
-//! indices per atomic increment, so sweeps over many cheap points don't
-//! serialize on the dispenser cache line; results are still slotted by
-//! input index, so the output stays byte-identical to a sequential run.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Indices handed to a worker per `fetch_add`. Small enough that the tail
-/// imbalance is at most `CHUNK - 1` cheap points per worker, large enough
-/// to divide dispenser contention by `CHUNK`.
-const CHUNK: usize = 4;
+//! sweep is byte-identical to a sequential one.
+//!
+//! Earlier versions spawned and joined scoped OS threads per call; this
+//! one delegates to the process-wide pool, which is created once and
+//! reused, so a sweep pays a condvar broadcast instead of thread churn.
+//! Degenerate inputs — at most one item, or a one-lane configuration
+//! (`MCLOUD_WORKERS=1`, or a single-core host) — run inline on the caller
+//! thread with zero spawns and never create the pool.
 
 /// Applies `f` to every item, in parallel, returning results in input
 /// order. Panics from `f` propagate to the caller.
@@ -25,51 +21,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |p| p.get())
-        .min(n);
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + CHUNK).min(n);
-                        for (off, item) in items[start..end].iter().enumerate() {
-                            local.push((start + off, f(item)));
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| match w.join() {
-                Ok(local) => local,
-                // Re-raise the worker's own panic payload, matching what a
-                // sequential run of `f` would have done.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in indexed {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|r| r.expect("sweep worker dropped an item"))
-        .collect()
+    mcloud_simkit::pool_map(items, f)
 }
 
 #[cfg(test)]
@@ -91,9 +43,9 @@ mod tests {
 
     #[test]
     fn handles_sizes_straddling_chunk_boundaries() {
-        // Around the batch size: tails shorter than a full chunk, exactly
-        // one chunk, one element over.
-        for n in [CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK - 1, 13, 203] {
+        // Around the pool's dispenser batch size: tails shorter than a
+        // full chunk, exactly one chunk, one element over.
+        for n in [3, 4, 5, 11, 13, 203] {
             let items: Vec<usize> = (0..n).collect();
             assert_eq!(
                 par_map(&items, |&x| x + 1),

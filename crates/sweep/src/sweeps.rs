@@ -1,12 +1,16 @@
 //! The parameter sweeps behind the paper's figures, run in parallel.
 //!
-//! Each sweep point is an independent deterministic simulation, so the
-//! sweeps fan out over [`par_map`]'s scoped worker threads (the
-//! simulations themselves stay single-threaded and reproducible).
+//! Each sweep point is an independent deterministic simulation. A sweep
+//! builds its full `ExecConfig` list up front and hands it to
+//! [`simulate_batch`], which fans the points across the persistent worker
+//! pool with one warm scratch per lane (the simulations themselves stay
+//! single-threaded and reproducible, so the batch output is byte-identical
+//! to a sequential loop).
 
-use crate::par::par_map;
-
-use mcloud_core::{simulate, DataMode, ExecConfig, FaultModel, Provisioning, Report};
+use mcloud_core::{
+    simulate_batch, simulate_batch_workflows, BatchScratch, DataMode, ExecConfig, FaultModel,
+    Provisioning, Report,
+};
 use mcloud_dag::Workflow;
 
 /// One point of a processor-count sweep (Figures 4–6).
@@ -49,6 +53,16 @@ pub struct FaultRatePoint {
     pub report: Report,
 }
 
+/// One point of a link-bandwidth sweep: the same plan re-simulated with a
+/// different user↔storage link speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthPoint {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Simulation result.
+    pub report: Report,
+}
+
 /// Simulates the workflow at each task-failure rate, in parallel. Every
 /// point uses the same `seed`, so the sweep isolates the rate axis; the
 /// retry policy comes from `base`.
@@ -58,26 +72,34 @@ pub fn fault_rate_sweep(
     probs: &[f64],
     seed: u64,
 ) -> Vec<FaultRatePoint> {
-    par_map(probs, |&p| {
-        // A zero-rate point keeps the base configuration untouched, so it
-        // reproduces the fault-free baseline byte for byte.
-        let faults = if p > 0.0 {
-            let mut fm = base.faults.unwrap_or(FaultModel::tasks_only(0.0, seed));
-            fm.task_failure_prob = p;
-            fm.seed = seed;
-            Some(fm)
-        } else {
-            base.faults
-        };
-        let cfg = ExecConfig {
-            faults,
-            ..base.clone()
-        };
-        FaultRatePoint {
+    let cfgs: Vec<ExecConfig> = probs
+        .iter()
+        .map(|&p| {
+            // A zero-rate point keeps the base configuration untouched, so
+            // it reproduces the fault-free baseline byte for byte.
+            let faults = if p > 0.0 {
+                let mut fm = base.faults.unwrap_or(FaultModel::tasks_only(0.0, seed));
+                fm.task_failure_prob = p;
+                fm.seed = seed;
+                Some(fm)
+            } else {
+                base.faults
+            };
+            ExecConfig {
+                faults,
+                ..base.clone()
+            }
+        })
+        .collect();
+    let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
+    probs
+        .iter()
+        .zip(reports)
+        .map(|(&p, report)| FaultRatePoint {
             failure_prob: p,
-            report: simulate(wf, &cfg),
-        }
-    })
+            report,
+        })
+        .collect()
 }
 
 /// The paper's processor axis: 1, 2, 4, ... up to `max` ("from 1 to 128 in
@@ -103,31 +125,65 @@ pub fn processor_sweep(
     base: &ExecConfig,
     processors: &[u32],
 ) -> Vec<ProcessorPoint> {
-    par_map(processors, |&p| {
-        let cfg = ExecConfig {
+    let cfgs: Vec<ExecConfig> = processors
+        .iter()
+        .map(|&p| ExecConfig {
             provisioning: Provisioning::Fixed { processors: p },
             ..base.clone()
-        };
-        ProcessorPoint {
+        })
+        .collect();
+    let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
+    processors
+        .iter()
+        .zip(reports)
+        .map(|(&p, report)| ProcessorPoint {
             processors: p,
-            report: simulate(wf, &cfg),
-        }
-    })
+            report,
+        })
+        .collect()
 }
 
 /// Simulates the workflow under each of the three data-management modes,
 /// in parallel.
 pub fn mode_matrix(wf: &Workflow, base: &ExecConfig) -> Vec<ModePoint> {
-    par_map(&DataMode::ALL, |&mode| ModePoint {
-        mode,
-        report: simulate(
-            wf,
-            &ExecConfig {
-                mode,
-                ..base.clone()
-            },
-        ),
-    })
+    let cfgs: Vec<ExecConfig> = DataMode::ALL
+        .iter()
+        .map(|&mode| ExecConfig {
+            mode,
+            ..base.clone()
+        })
+        .collect();
+    let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
+    DataMode::ALL
+        .iter()
+        .zip(reports)
+        .map(|(&mode, report)| ModePoint { mode, report })
+        .collect()
+}
+
+/// Simulates the workflow at each link bandwidth, in parallel — the axis
+/// behind the "what does a faster link buy" analyses.
+pub fn bandwidth_sweep(
+    wf: &Workflow,
+    base: &ExecConfig,
+    bandwidths_bps: &[f64],
+) -> Vec<BandwidthPoint> {
+    let cfgs: Vec<ExecConfig> = bandwidths_bps
+        .iter()
+        .map(|&bps| ExecConfig {
+            bandwidth_bps: bps,
+            ..base.clone()
+        })
+        .collect();
+    let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
+    bandwidths_bps
+        .iter()
+        .zip(reports)
+        .map(|(&bps, report)| BandwidthPoint {
+            bandwidth_bps: bps,
+            report,
+        })
+        .collect()
 }
 
 /// Rescales every file size so the workflow's CCR at the given link equals
@@ -148,21 +204,31 @@ pub fn scale_to_ccr(wf: &Workflow, desired_ccr: f64, link_bps: f64) -> Workflow 
 }
 
 /// Simulates the workflow rescaled to each target CCR, in parallel
-/// (Figure 11 uses 8 fixed processors on the 1-degree workflow).
+/// (Figure 11 uses 8 fixed processors on the 1-degree workflow). The
+/// rescaled workflows are built up front; the batch varies the *workflow*
+/// under one shared configuration.
 pub fn ccr_sweep(wf: &Workflow, base: &ExecConfig, targets: &[f64]) -> Vec<CcrPoint> {
-    par_map(targets, |&ccr| {
-        let scaled = scale_to_ccr(wf, ccr, base.bandwidth_bps);
-        CcrPoint {
+    let scaled: Vec<Workflow> = targets
+        .iter()
+        .map(|&ccr| scale_to_ccr(wf, ccr, base.bandwidth_bps))
+        .collect();
+    let reports = simulate_batch_workflows(&scaled, base, &mut BatchScratch::new());
+    targets
+        .iter()
+        .zip(scaled.iter())
+        .zip(reports)
+        .map(|((&ccr, sw), report)| CcrPoint {
             target_ccr: ccr,
-            actual_ccr: scaled.ccr_at_link(base.bandwidth_bps),
-            report: simulate(&scaled, base),
-        }
-    })
+            actual_ccr: sw.ccr_at_link(base.bandwidth_bps),
+            report,
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcloud_core::simulate;
     use mcloud_montage::{montage_1_degree, paper_figure3};
 
     #[test]
@@ -235,6 +301,27 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn scale_to_ccr_rejects_zero() {
         scale_to_ccr(&paper_figure3(), 0.0, 10e6);
+    }
+
+    #[test]
+    fn bandwidth_sweep_equals_sequential_simulation() {
+        let wf = paper_figure3();
+        let base = ExecConfig::paper_default();
+        let bws = [5e6, 10e6, 100e6];
+        let points = bandwidth_sweep(&wf, &base, &bws);
+        assert_eq!(points.len(), 3);
+        for (point, &bps) in points.iter().zip(&bws) {
+            let direct = simulate(
+                &wf,
+                &ExecConfig {
+                    bandwidth_bps: bps,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(point.report, direct, "bandwidth {bps}");
+        }
+        // A faster link can only shorten the makespan.
+        assert!(points[2].report.makespan <= points[0].report.makespan);
     }
 
     #[test]
