@@ -36,6 +36,16 @@
 //! `4deg/regular` rows. Both sides of that ratio come from the *same*
 //! measurement run, so the check never compares across machines.
 //!
+//! Schema v3 adds the throughput-*flatness* rows: per data mode, the ratio
+//! of 1° to 16° events/sec. The paper's experiment is a size sweep, so the
+//! simulator must not get slower *per event* as the mosaic grows; the
+//! binary-heap/pointer-chasing kernel degraded ~12x from 1° to 16° on the
+//! original baseline machine, while the cache-native kernel (calendar
+//! queue + struct-of-arrays engine state) holds ~2x. Like the batch
+//! speedup gate, both sides of the ratio come from the same run, so the
+//! flatness gate is largely machine-independent; it fails when the ratio
+//! exceeds the committed one by more than [`FLATNESS_TOLERANCE`]×.
+//!
 //! The JSON is hand-emitted with fixed key order so a re-run on identical
 //! hardware diffs minimally, and parsed back with a small field scanner —
 //! no external dependencies.
@@ -142,6 +152,43 @@ pub struct ScalingRow {
     pub batch_sims_per_sec: f64,
 }
 
+/// One throughput-flatness row (schema v3): how much slower the engine
+/// processes events at 16° than at 1° in one data mode. A perfectly
+/// scale-oblivious kernel holds `ratio` ~1; a kernel that falls out of
+/// cache at 49k tasks shows a large ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatnessRow {
+    /// Data-mode label (`regular` / `cleanup` / `remote-io`).
+    pub mode: String,
+    /// Events/sec of the `1deg` workload in this mode.
+    pub small_events_per_sec: f64,
+    /// Events/sec of the `16deg` workload in this mode.
+    pub large_events_per_sec: f64,
+    /// `small_events_per_sec / large_events_per_sec` (lower is flatter).
+    pub ratio: f64,
+}
+
+/// Derives the per-mode flatness rows from a set of workload measurements
+/// (the `1deg` and `16deg` rows of each mode must be present).
+pub fn flatness_rows(workloads: &[WorkloadMeasurement]) -> Vec<FlatnessRow> {
+    DataMode::ALL
+        .iter()
+        .filter_map(|mode| {
+            let find = |deg: &str| {
+                let name = format!("{deg}deg/{}", mode.label());
+                workloads.iter().find(|w| w.name == name)
+            };
+            let (small, large) = (find("1")?, find("16")?);
+            Some(FlatnessRow {
+                mode: mode.label().to_string(),
+                small_events_per_sec: small.events_per_sec,
+                large_events_per_sec: large.events_per_sec,
+                ratio: small.events_per_sec / large.events_per_sec.max(1e-9),
+            })
+        })
+        .collect()
+}
+
 /// A full baseline: one measurement per workload plus the measuring
 /// machine's parallelism and the worker-count scaling rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +203,8 @@ pub struct Baseline {
     /// Informational `1deg/regular` scaling rows (not gated: throughput
     /// at a lane count the host can't supply is meaningless).
     pub scaling: Vec<ScalingRow>,
+    /// Per-mode 1°/16° events/sec ratios, gated by [`FLATNESS_TOLERANCE`].
+    pub flatness: Vec<FlatnessRow>,
 }
 
 /// Simulations per [`simulate_batch`] call in the batch timing loop —
@@ -163,10 +212,20 @@ pub struct Baseline {
 /// 16° workloads take minutes.
 const BATCH_SIMS: usize = 8;
 
-/// Minimum whole-batch timing samples per workload, even past the budget:
-/// the slow workloads fit at most one batch in the budget, and a best-of
-/// needs more than one observation to damp scheduler noise.
-const MIN_BATCH_RUNS: u32 = 3;
+/// Minimum whole-batch timing samples per workload, even past the budget.
+///
+/// Measurement rule for the batch column: the slow (8°/16°) workloads fit
+/// at most one whole batch inside the budget, so the sample floor — not
+/// the budget — decides how many observations the best-of sees. At 3
+/// samples the committed 8°/cleanup row once recorded batch throughput
+/// 33% *below* the single-sim rate on a 1-lane pool (132.69 vs 198.85
+/// sims/s), which is physically impossible at steady state: the single-sim
+/// column got 12+ samples to find the fast envelope while the batch
+/// column got 3, at least one of them polluted by cold per-lane scratch
+/// growth. Two warm-up batches (the first grows every lane's scratch, the
+/// second settles the allocator) plus a floor of 6 timed samples pins the
+/// best-of near the true envelope for both columns.
+const MIN_BATCH_RUNS: u32 = 6;
 
 /// Minimum single-simulation timing samples per workload, even past the
 /// budget. The 16° workloads fit only ~4 runs in the default budget, which
@@ -220,6 +279,9 @@ pub fn measure_workload(w: &Workload, budget_ms: u64) -> WorkloadMeasurement {
     // pool (all lanes inline when `MCLOUD_WORKERS=1` or one core).
     let cfgs = vec![cfg.clone(); BATCH_SIMS];
     let mut batch_scratch = BatchScratch::new();
+    // Two warm-up batches before the timing window — see [`MIN_BATCH_RUNS`]
+    // for the measurement rule.
+    std::hint::black_box(simulate_batch(&wf, &cfgs, &mut batch_scratch));
     std::hint::black_box(simulate_batch(&wf, &cfgs, &mut batch_scratch));
     let mut best_batch_s = f64::INFINITY;
     let mut batch_runs = 0u32;
@@ -301,18 +363,20 @@ pub fn measure_all(budget_ms: u64, mut progress: impl FnMut(&WorkloadMeasurement
         progress(&m);
         out.push(m);
     }
+    let flatness = flatness_rows(&out);
     Baseline {
         workers: configured_lanes(),
         host_parallelism: host_parallelism(),
         workloads: out,
         scaling: measure_scaling(budget_ms),
+        flatness,
     }
 }
 
 // --- JSON ------------------------------------------------------------------
 
 /// Schema tag written into (and required from) the baseline file.
-pub const SCHEMA: &str = "mcloud-bench-baseline/v2";
+pub const SCHEMA: &str = "mcloud-bench-baseline/v3";
 
 /// Serializes a baseline as pretty-printed JSON with a fixed key order.
 pub fn to_json(b: &Baseline) -> String {
@@ -354,6 +418,17 @@ pub fn to_json(b: &Baseline) -> String {
             r.workers, r.batch_sims_per_sec,
         );
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"flatness\": [\n");
+    for (i, f) in b.flatness.iter().enumerate() {
+        let comma = if i + 1 < b.flatness.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"mode\": \"{}\", \"small_events_per_sec\": {:.0}, \
+             \"large_events_per_sec\": {:.0}, \"ratio\": {:.3}}}{comma}",
+            f.mode, f.small_events_per_sec, f.large_events_per_sec, f.ratio,
+        );
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -390,6 +465,7 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
     let mut host_parallelism = None;
     let mut workloads = Vec::new();
     let mut scaling = Vec::new();
+    let mut flatness = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.starts_with('{') && line.contains("\"name\"") {
@@ -417,6 +493,19 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
                 workers: get("workers")? as usize,
                 batch_sims_per_sec: get("batch_sims_per_sec")?,
             });
+        } else if line.starts_with('{') && line.contains("\"mode\"") {
+            // A flatness row:
+            // {"mode": "...", "small_events_per_sec": A,
+            //  "large_events_per_sec": B, "ratio": R}.
+            let get = |key: &str| {
+                num_field(line, key).ok_or_else(|| format!("missing numeric field {key:?}: {line}"))
+            };
+            flatness.push(FlatnessRow {
+                mode: str_field(line, "mode").ok_or_else(|| format!("missing mode: {line}"))?,
+                small_events_per_sec: get("small_events_per_sec")?,
+                large_events_per_sec: get("large_events_per_sec")?,
+                ratio: get("ratio")?,
+            });
         } else if !line.starts_with('{') {
             if workers.is_none() {
                 workers = num_field(line, "workers").map(|v| v as usize);
@@ -435,6 +524,7 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
             .ok_or("baseline file lacks a top-level \"host_parallelism\" field")?,
         workloads,
         scaling,
+        flatness,
     })
 }
 
@@ -468,6 +558,16 @@ pub const BATCH_SPEEDUP_GATE: f64 = 1.5;
 /// Workload rows the [`BATCH_SPEEDUP_GATE`] applies to.
 pub const SPEEDUP_GATED_ROWS: [&str; 2] = ["1deg/regular", "4deg/regular"];
 
+/// Growth factor tolerated on a per-mode 1°/16° events/sec ratio before
+/// the flatness gate fails. The ratio is a same-run quotient, so absolute
+/// machine speed cancels out of it; what remains is the cache-hierarchy
+/// shape, which still varies between hosts. The committed cache-native
+/// kernel holds ~1.7–2.0x, while the binary-heap/pointer-chasing kernel it
+/// replaced measured ~12x on the original baseline machine and ~3x even on
+/// a host with a very large last-level cache — a 2x growth allowance
+/// (fail above ~4x) separates the two regimes with margin on both sides.
+pub const FLATNESS_TOLERANCE: f64 = 2.0;
+
 /// Compares a fresh measurement against the committed baseline.
 ///
 /// Returns the list of human-readable violations (empty = gate passes):
@@ -485,7 +585,9 @@ pub const SPEEDUP_GATED_ROWS: [&str; 2] = ["1deg/regular", "4deg/regular"];
 ///   batch throughput below [`BATCH_SPEEDUP_GATE`]× single-sim throughput
 ///   on the [`SPEEDUP_GATED_ROWS`]. Both numbers come from the *current*
 ///   run, so the check is machine-local and cannot flake on hardware
-///   differences from the committed file.
+///   differences from the committed file;
+/// * a per-mode 1°/16° events/sec ratio more than [`FLATNESS_TOLERANCE`]×
+///   the committed ratio, or a mode whose flatness row disappeared.
 ///
 /// Improvements never fail the gate; re-baseline to lock them in.
 pub fn compare(current: &Baseline, committed: &Baseline) -> Vec<String> {
@@ -570,7 +672,115 @@ pub fn compare(current: &Baseline, committed: &Baseline) -> Vec<String> {
             ));
         }
     }
+    for b in &committed.flatness {
+        let Some(c) = current.flatness.iter().find(|f| f.mode == b.mode) else {
+            violations.push(format!(
+                "flatness/{}: row missing from the current measurement",
+                b.mode
+            ));
+            continue;
+        };
+        let ceiling = b.ratio * FLATNESS_TOLERANCE;
+        if c.ratio > ceiling {
+            violations.push(format!(
+                "flatness/{}: 1deg/16deg events-per-sec ratio grew {:.2} -> {:.2} \
+                 (ceiling {:.2}); the engine is losing throughput with scale",
+                b.mode, b.ratio, c.ratio, ceiling
+            ));
+        }
+    }
     violations
+}
+
+/// Renders a one-line-per-metric delta table between a fresh measurement
+/// and the committed baseline, annotating every cell with the gate's
+/// verdict. `repro bench-json --check` prints this when the gate fails so
+/// the CI log names the row, the metric, and the old/new values directly,
+/// instead of leaving the reader to diff two JSON files.
+pub fn delta_summary(current: &Baseline, committed: &Baseline) -> Vec<String> {
+    let mut lines = Vec::new();
+    let verdict = |bad: bool| if bad { "FAIL" } else { "ok" };
+    let mut push = |name: &str, metric: &str, old: String, new: String, bad: bool| {
+        lines.push(format!(
+            "{name:<18} {metric:<20} {old:>14} -> {new:<14} {}",
+            verdict(bad)
+        ));
+    };
+    for c in &current.workloads {
+        let Some(b) = committed.workloads.iter().find(|w| w.name == c.name) else {
+            push(
+                &c.name,
+                "(whole row)",
+                "absent".into(),
+                "present".into(),
+                true,
+            );
+            continue;
+        };
+        push(
+            &c.name,
+            "allocs_per_sim",
+            b.allocs_per_sim.to_string(),
+            c.allocs_per_sim.to_string(),
+            c.allocs_per_sim > b.allocs_per_sim,
+        );
+        push(
+            &c.name,
+            "alloc_bytes_per_sim",
+            b.alloc_bytes_per_sim.to_string(),
+            c.alloc_bytes_per_sim.to_string(),
+            c.alloc_bytes_per_sim > b.alloc_bytes_per_sim,
+        );
+        push(
+            &c.name,
+            "events",
+            b.events.to_string(),
+            c.events.to_string(),
+            c.events != b.events,
+        );
+        push(
+            &c.name,
+            "batch_allocs_per_sim",
+            b.batch_allocs_per_sim.to_string(),
+            c.batch_allocs_per_sim.to_string(),
+            c.batch_allocs_per_sim > b.batch_allocs_per_sim,
+        );
+        push(
+            &c.name,
+            "events_per_sec",
+            format!("{:.0}", b.events_per_sec),
+            format!("{:.0}", c.events_per_sec),
+            c.events_per_sec < b.events_per_sec * (1.0 - THROUGHPUT_TOLERANCE),
+        );
+        push(
+            &c.name,
+            "batch_sims_per_sec",
+            format!("{:.2}", b.batch_sims_per_sec),
+            format!("{:.2}", c.batch_sims_per_sec),
+            current.workers == committed.workers
+                && c.batch_sims_per_sec < b.batch_sims_per_sec * (1.0 - BATCH_THROUGHPUT_TOLERANCE),
+        );
+    }
+    for b in &committed.flatness {
+        let name = format!("flatness/{}", b.mode);
+        match current.flatness.iter().find(|f| f.mode == b.mode) {
+            Some(c) => push(
+                &name,
+                "ratio_1deg_16deg",
+                format!("{:.2}", b.ratio),
+                format!("{:.2}", c.ratio),
+                c.ratio > b.ratio * FLATNESS_TOLERANCE,
+            ),
+            None => push(
+                &name,
+                "ratio_1deg_16deg",
+                format!("{:.2}", b.ratio),
+                "absent".into(),
+                true,
+            ),
+        }
+    }
+    lines
 }
 
 #[cfg(test)]
@@ -603,6 +813,12 @@ mod tests {
                     batch_sims_per_sec: 2500.25,
                 },
             ],
+            flatness: vec![FlatnessRow {
+                mode: "regular".into(),
+                small_events_per_sec: 1_234_500.0,
+                large_events_per_sec: 600_000.0,
+                ratio: 2.058,
+            }],
         }
     }
 
@@ -627,6 +843,11 @@ mod tests {
         assert_eq!(parsed.scaling.len(), 2);
         assert_eq!(parsed.scaling[1].workers, 2);
         assert!((parsed.scaling[1].batch_sims_per_sec - 2500.25).abs() < 0.01);
+        assert_eq!(parsed.flatness.len(), 1);
+        assert_eq!(parsed.flatness[0].mode, "regular");
+        assert!((parsed.flatness[0].small_events_per_sec - 1_234_500.0).abs() < 1.0);
+        assert!((parsed.flatness[0].large_events_per_sec - 600_000.0).abs() < 1.0);
+        assert!((parsed.flatness[0].ratio - 2.058).abs() < 0.001);
     }
 
     #[test]
@@ -690,6 +911,7 @@ mod tests {
             host_parallelism: 1,
             workloads: vec![],
             scaling: vec![],
+            flatness: vec![],
         };
         // An empty committed set can't happen via from_json, but the gate
         // still reports the mismatch rather than silently passing.
@@ -791,6 +1013,85 @@ mod tests {
             a.batch_allocs_per_sim <= WARM_ALLOC_BUDGET,
             "warm scratch must not allocate: {} allocs/sim",
             a.batch_allocs_per_sim
+        );
+    }
+
+    #[test]
+    fn flatness_rows_pair_small_and_large_workloads_per_mode() {
+        let mk = |name: &str, eps: f64| {
+            let mut w = sample().workloads[0].clone();
+            w.name = name.into();
+            w.events_per_sec = eps;
+            w
+        };
+        let rows = flatness_rows(&[
+            mk("1deg/regular", 9_000_000.0),
+            mk("16deg/regular", 4_500_000.0),
+            mk("1deg/cleanup", 8_000_000.0),
+            // No 16deg/cleanup row: the cleanup mode must be skipped, not
+            // fabricated.
+        ]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].mode, "regular");
+        assert!((rows[0].ratio - 2.0).abs() < 1e-9);
+        assert!((rows[0].small_events_per_sec - 9_000_000.0).abs() < 1e-3);
+        assert!((rows[0].large_events_per_sec - 4_500_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flatness_regression_fails_the_gate() {
+        let committed = sample();
+        let mut current = sample();
+        // Ratio growing past FLATNESS_TOLERANCE x the committed one: the
+        // engine got disproportionately slower at 16deg.
+        current.flatness[0].ratio = committed.flatness[0].ratio * FLATNESS_TOLERANCE * 1.01;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("flatness/regular"), "{v:?}");
+        // At exactly the ceiling it still passes (the tolerance is the
+        // allowance, not the trigger).
+        current.flatness[0].ratio = committed.flatness[0].ratio * FLATNESS_TOLERANCE;
+        assert!(compare(&current, &committed).is_empty());
+        // A flatter-than-committed ratio is an improvement, never a failure.
+        current.flatness[0].ratio = committed.flatness[0].ratio * 0.5;
+        assert!(compare(&current, &committed).is_empty());
+    }
+
+    #[test]
+    fn missing_flatness_row_fails_the_gate() {
+        let committed = sample();
+        let mut current = sample();
+        current.flatness.clear();
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("row missing"), "{v:?}");
+    }
+
+    #[test]
+    fn delta_summary_names_the_failing_metric() {
+        let committed = sample();
+        let mut current = sample();
+        current.workloads[0].allocs_per_sim += 7;
+        current.flatness[0].ratio = committed.flatness[0].ratio * 3.0;
+        let lines = delta_summary(&current, &committed);
+        // One line per gated metric per row, plus the flatness rows.
+        assert_eq!(lines.len(), 7, "{lines:?}");
+        let failing: Vec<&String> = lines.iter().filter(|l| l.ends_with("FAIL")).collect();
+        assert_eq!(failing.len(), 2, "{lines:?}");
+        assert!(
+            failing[0].contains("allocs_per_sim") && failing[0].contains("42 -> 49"),
+            "{failing:?}"
+        );
+        assert!(
+            failing[1].contains("flatness/regular") && failing[1].contains("ratio_1deg_16deg"),
+            "{failing:?}"
+        );
+        // Metrics inside tolerance carry an "ok" verdict, not silence.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("events_per_sec") && l.ends_with("ok")),
+            "{lines:?}"
         );
     }
 

@@ -351,6 +351,11 @@ fn bench_json(args: &[String]) -> ExitCode {
         for v in &violations {
             eprintln!("  - {v}");
         }
+        eprintln!();
+        eprintln!("per-row deltas (committed -> current):");
+        for line in baseline::delta_summary(&measured, &committed) {
+            eprintln!("  {line}");
+        }
         return ExitCode::FAILURE;
     }
 

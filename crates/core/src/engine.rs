@@ -28,13 +28,14 @@ use std::collections::BinaryHeap;
 use mcloud_cost::CostBreakdown;
 use mcloud_dag::{FileId, TaskId, Workflow};
 use mcloud_simkit::{
-    Backoff, Channel, EventId, EventQueue, EventSink, FailureKind, FaultInjector, FaultSpec,
-    FcfsChannel, Histogram, NullSink, ProcId, ProcessorPool, RecordingSink, SimDuration, SimTime,
-    TimeWeighted, TraceEvent,
+    Backoff, Channel, EventQueue, EventSink, FailureKind, FaultInjector, FaultSpec, FcfsChannel,
+    Histogram, NullSink, ProcId, ProcessorPool, RecordingSink, SimDuration, SimTime, TimeWeighted,
+    TraceEvent,
 };
 
-use crate::config::{DataMode, ExecConfig, Provisioning, SchedulePolicy};
+use crate::config::{DataMode, ExecConfig, Provisioning};
 use crate::report::Report;
+use crate::soa::{FileTable, InFlightTable, ReadySet, TaskTable};
 use crate::trace::SpanTee;
 
 /// Simulates one execution plan over a workflow and reports the paper's
@@ -147,19 +148,11 @@ macro_rules! narrate {
     };
 }
 
-/// The execution attempt currently occupying one processor slot, tracked
-/// so a preemption can cancel its pending finish event and bill the
-/// partial runtime.
-#[derive(Debug, Clone, Copy)]
-struct InFlight {
-    task: TaskId,
-    started: SimTime,
-    finish_id: EventId,
-}
-
 /// Reusable per-run engine state: every collection the engine touches
 /// during a simulation, owned outside the run so warm reuse costs no
-/// allocation.
+/// allocation. The per-task, per-file, and per-processor bookkeeping lives
+/// in struct-of-arrays tables (the `soa` module) so the hot loops walk
+/// contiguous memory.
 ///
 /// A fresh scratch and a warm one produce byte-identical results: a run
 /// starts with an internal reset that rebuilds every value the
@@ -171,38 +164,26 @@ struct InFlight {
 pub struct SimScratch {
     events: EventQueue<Ev>,
     pool: ProcessorPool,
-    // Readiness tracking.
-    pending_parents: Vec<u32>,
-    missing_inputs: Vec<u32>,
-    ready: BinaryHeap<Reverse<(u64, TaskId)>>,
+    /// Per-task columns (readiness counters, priorities, retry counters,
+    /// timestamps, byte totals).
+    tasks: TaskTable,
+    /// Per-file columns (consumer counts, staged-out/in-storage flags).
+    files: FileTable,
+    /// The ready queue as a priority-rank bitmap (pop order identical to
+    /// the former binary heap; see [`ReadySet`]).
+    ready: ReadySet,
     /// Tasks that are ready but whose outputs do not currently fit within
     /// the storage capacity, keyed by `(output_bytes, priority, id)`: when
     /// space is freed, exactly the entries that now fit are popped off the
     /// top and re-enqueued, instead of rescanning every waiter.
     storage_blocked: BinaryHeap<Reverse<(u64, u64, TaskId)>>,
-    /// Scheduling priority per task (lower pops first).
-    priority: Vec<u64>,
-    /// Total output bytes per task, precomputed so the storage-cap check
-    /// in `dispatch` is O(1) instead of walking the output list.
-    task_output_bytes: Vec<u64>,
-    started: Vec<bool>,
-    /// When each task first became runnable (for queue-wait statistics).
-    ready_time: Vec<SimTime>,
     /// Queue waits as a distribution (p50/p95/p99 for the report).
     wait_hist: Histogram,
-    // Mode-specific bookkeeping.
-    remaining_consumers: Vec<u32>,
-    is_staged_out: Vec<bool>,
-    counted_in_storage: Vec<bool>,
-    staged_in_bytes: Vec<u64>,
-    outputs_remaining: Vec<u32>,
     /// Duration of every execution attempt (successes and failures), for
     /// utilization-based billing.
     run_seconds: Vec<f64>,
     /// What runs on each processor slot right now (preemption targeting).
-    in_flight: Vec<Option<InFlight>>,
-    /// Failed attempts per task, for retry budgeting and backoff growth.
-    task_failures: Vec<u32>,
+    in_flight: InFlightTable,
     /// Billing buffer for fixed provisioning (`finish` fills it with one
     /// entry per provisioned instance).
     instance_seconds: Vec<f64>,
@@ -214,23 +195,13 @@ impl Default for SimScratch {
             events: EventQueue::new(),
             // Placeholder capacity; `reset` re-sizes the pool per run.
             pool: ProcessorPool::new(1),
-            pending_parents: Vec::new(),
-            missing_inputs: Vec::new(),
-            ready: BinaryHeap::new(),
+            tasks: TaskTable::default(),
+            files: FileTable::default(),
+            ready: ReadySet::default(),
             storage_blocked: BinaryHeap::new(),
-            priority: Vec::new(),
-            task_output_bytes: Vec::new(),
-            started: Vec::new(),
-            ready_time: Vec::new(),
             wait_hist: Histogram::new(),
-            remaining_consumers: Vec::new(),
-            is_staged_out: Vec::new(),
-            counted_in_storage: Vec::new(),
-            staged_in_bytes: Vec::new(),
-            outputs_remaining: Vec::new(),
             run_seconds: Vec::new(),
-            in_flight: Vec::new(),
-            task_failures: Vec::new(),
+            in_flight: InFlightTable::default(),
             instance_seconds: Vec::new(),
         }
     }
@@ -247,69 +218,22 @@ impl SimScratch {
     /// buffer capacity. After a reset, no state from any previous run is
     /// observable.
     fn reset(&mut self, wf: &Workflow, cfg: &ExecConfig) {
-        let n = wf.num_tasks();
-        let nf = wf.num_files();
         let capacity = match cfg.provisioning {
             Provisioning::Fixed { processors } => processors,
             // "the number of processors greater than the maximum
             // parallelism of the workflow" (Section 5): one slot per task
             // can never be exhausted.
-            Provisioning::OnDemand => n as u32,
+            Provisioning::OnDemand => wf.num_tasks() as u32,
         };
         self.events.reset();
         self.pool.reset(capacity);
-        self.ready.clear();
+        self.tasks.reset(wf, cfg.policy);
+        self.files.reset(wf);
+        self.ready.reset(&self.tasks.priority);
         self.storage_blocked.clear();
-        self.pending_parents.clear();
-        self.pending_parents
-            .extend(wf.task_ids().map(|t| wf.parents(t).len() as u32));
-        self.missing_inputs.clear();
-        self.missing_inputs.resize(n, 0);
-        self.priority.clear();
-        match cfg.policy {
-            SchedulePolicy::FifoById => self.priority.extend(0..n as u64),
-            SchedulePolicy::CriticalPathFirst => {
-                // Rank tasks by descending bottom level; the rank becomes
-                // the priority (lower pops first), ties by id.
-                let bl = wf.bottom_levels();
-                let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| bl[b].total_cmp(&bl[a]).then(a.cmp(&b)));
-                self.priority.resize(n, 0);
-                for (rank, &t) in order.iter().enumerate() {
-                    self.priority[t] = rank as u64;
-                }
-            }
-        }
-        self.task_output_bytes.clear();
-        self.task_output_bytes.extend(
-            wf.tasks()
-                .iter()
-                .map(|t| t.outputs.iter().map(|f| wf.file(*f).bytes).sum::<u64>()),
-        );
-        self.started.clear();
-        self.started.resize(n, false);
-        self.ready_time.clear();
-        self.ready_time.resize(n, SimTime::ZERO);
         self.wait_hist.clear();
-        self.remaining_consumers.clear();
-        self.remaining_consumers
-            .extend(wf.file_ids().map(|f| wf.consumers(f).len() as u32));
-        self.is_staged_out.clear();
-        self.is_staged_out.resize(nf, false);
-        for f in wf.staged_out_files() {
-            self.is_staged_out[f.index()] = true;
-        }
-        self.counted_in_storage.clear();
-        self.counted_in_storage.resize(nf, false);
-        self.staged_in_bytes.clear();
-        self.staged_in_bytes.resize(n, 0);
-        self.outputs_remaining.clear();
-        self.outputs_remaining.resize(n, 0);
         self.run_seconds.clear();
-        self.in_flight.clear();
-        self.in_flight.resize(capacity as usize, None);
-        self.task_failures.clear();
-        self.task_failures.resize(n, 0);
+        self.in_flight.reset(capacity as usize);
         self.instance_seconds.clear();
     }
 }
@@ -488,7 +412,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
                             .iter()
                             .filter(|f| self.wf.producer(**f).is_none())
                             .count();
-                        self.scr.missing_inputs[t.index()] = missing as u32;
+                        self.scr.tasks.missing_inputs[t.index()] = missing as u32;
                     }
                     // Stage in every external input up front, FCFS in file order.
                     let wf = self.wf;
@@ -509,12 +433,13 @@ impl<'a, S: EventSink> Engine<'a, S> {
             }
             DataMode::RemoteIo => {
                 for t in self.wf.task_ids() {
-                    self.scr.missing_inputs[t.index()] = self.wf.task(t).inputs.len() as u32;
-                    self.scr.outputs_remaining[t.index()] = self.wf.task(t).outputs.len() as u32;
+                    self.scr.tasks.missing_inputs[t.index()] = self.wf.task(t).inputs.len() as u32;
+                    self.scr.tasks.outputs_remaining[t.index()] =
+                        self.wf.task(t).outputs.len() as u32;
                 }
                 // Parentless tasks can begin staging immediately.
                 for t in self.wf.task_ids() {
-                    if self.scr.pending_parents[t.index()] == 0 {
+                    if self.scr.tasks.pending_parents[t.index()] == 0 {
                         self.stage_task_inputs(SimTime::ZERO, t);
                     }
                 }
@@ -581,8 +506,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
     ) {
         self.failed_attempts += 1;
         self.wasted_cpu_s += billed_s;
-        self.scr.task_failures[t.index()] += 1;
-        let attempt = self.scr.task_failures[t.index()];
+        self.scr.tasks.failures[t.index()] += 1;
+        let attempt = self.scr.tasks.failures[t.index()];
         narrate!(
             self,
             now,
@@ -665,20 +590,20 @@ impl<'a, S: EventSink> Engine<'a, S> {
             self.scr.events.push(now + delay, Ev::Preemption);
         }
         self.preemptions += 1;
-        match self.scr.in_flight[victim as usize].take() {
-            Some(fl) => {
+        match self.scr.in_flight.take(victim as usize) {
+            Some((task, started, finish_id)) => {
                 // The killed attempt's pending finish must never fire.
-                self.scr.events.cancel(fl.finish_id);
+                self.scr.events.cancel(finish_id);
                 let proc = ProcId(victim);
                 self.scr.pool.release(now, proc);
-                let partial_s = now.since(fl.started).as_secs_f64();
+                let partial_s = now.since(started).as_secs_f64();
                 self.scr.run_seconds.push(partial_s);
                 narrate!(
                     self,
                     now,
                     TraceEvent::ProcessorPreempted {
                         proc: victim,
-                        task: Some(fl.task.0),
+                        task: Some(task.0),
                     },
                 );
                 // The attempt still closes with a failed finish so span
@@ -687,12 +612,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
                     self,
                     now,
                     TraceEvent::TaskFinished {
-                        task: fl.task.0,
+                        task: task.0,
                         proc: victim,
                         ok: false,
                     },
                 );
-                self.on_attempt_failed(now, fl.task, proc, partial_s, FailureKind::Preempted);
+                self.on_attempt_failed(now, task, proc, partial_s, FailureKind::Preempted);
             }
             None => {
                 narrate!(
@@ -736,12 +661,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
             },
         );
         self.storage_alloc(now, bytes);
-        self.scr.counted_in_storage[f.index()] = true;
+        self.scr.files.mark_in_storage(f);
         // `self.wf` outlives `self`'s borrows, so copying the reference out
         // lets the adjacency slice be iterated while `self` mutates.
         let wf = self.wf;
         for &t in wf.consumers(f) {
-            self.scr.missing_inputs[t.index()] -= 1;
+            self.scr.tasks.missing_inputs[t.index()] -= 1;
             self.maybe_ready(now, t);
         }
     }
@@ -780,7 +705,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn remove_from_storage(&mut self, now: SimTime, f: FileId) {
-        if std::mem::take(&mut self.scr.counted_in_storage[f.index()]) {
+        if self.scr.files.take_in_storage(f) {
             self.storage_free(now, self.wf.file(f).bytes);
             if self.cfg.storage_capacity_bytes.is_some() && !self.scr.storage_blocked.is_empty() {
                 self.unblock_storage_waiters(now);
@@ -823,12 +748,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
             let external = wf.producer(f).is_none();
             if external && self.cfg.prestaged_inputs {
                 // Reads from the in-cloud archive are free and instant.
-                self.scr.missing_inputs[t.index()] -= 1;
+                self.scr.tasks.missing_inputs[t.index()] -= 1;
                 continue;
             }
             let bytes = wf.file(f).bytes;
             let grant = self.submit_in(now, bytes, Some(t));
-            self.scr.staged_in_bytes[t.index()] += bytes;
+            self.scr.tasks.staged_in_bytes[t.index()] += bytes;
             self.scr.events.push(
                 grant.finish,
                 Ev::InputArrived {
@@ -871,7 +796,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // are present on the resource only during the execution of the
         // current task", so occupancy is charged at task start (inputs)
         // and task end (outputs), not at transfer arrival.
-        self.scr.missing_inputs[t.index()] -= 1;
+        self.scr.tasks.missing_inputs[t.index()] -= 1;
         self.maybe_ready(now, t);
     }
 
@@ -901,8 +826,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 task: Some(t.0),
             },
         );
-        self.scr.outputs_remaining[t.index()] -= 1;
-        if self.scr.outputs_remaining[t.index()] == 0 {
+        self.scr.tasks.outputs_remaining[t.index()] -= 1;
+        if self.scr.tasks.outputs_remaining[t.index()] == 0 {
             self.task_fully_done(now, t);
         }
     }
@@ -912,7 +837,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     /// to the outbound link ("stage out the output data from the resource
     /// and then delete"), so they never rest on the metered storage.
     fn working_set_bytes(&self, t: TaskId) -> u64 {
-        self.scr.staged_in_bytes[t.index()]
+        self.scr.tasks.staged_in_bytes[t.index()]
     }
 
     /// Remote I/O epilogue: all outputs have landed back at the user's
@@ -924,8 +849,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
         let wf = self.wf;
         for &c in wf.children(t) {
-            self.scr.pending_parents[c.index()] -= 1;
-            if self.scr.pending_parents[c.index()] == 0 {
+            self.scr.tasks.pending_parents[c.index()] -= 1;
+            if self.scr.tasks.pending_parents[c.index()] == 0 {
                 self.stage_task_inputs(now, c);
             }
         }
@@ -934,21 +859,19 @@ impl<'a, S: EventSink> Engine<'a, S> {
     // --- common ---------------------------------------------------------------
 
     fn maybe_ready(&mut self, now: SimTime, t: TaskId) {
-        if !self.scr.started[t.index()]
-            && self.scr.pending_parents[t.index()] == 0
-            && self.scr.missing_inputs[t.index()] == 0
+        if !self.scr.tasks.started(t)
+            && self.scr.tasks.pending_parents[t.index()] == 0
+            && self.scr.tasks.missing_inputs[t.index()] == 0
         {
-            self.scr.started[t.index()] = true;
+            self.scr.tasks.mark_started(t);
             self.enqueue_ready(now, t);
         }
     }
 
     fn enqueue_ready(&mut self, now: SimTime, t: TaskId) {
         narrate!(self, now, TraceEvent::TaskReady { task: t.0 });
-        self.scr.ready_time[t.index()] = now;
-        self.scr
-            .ready
-            .push(Reverse((self.scr.priority[t.index()], t)));
+        self.scr.tasks.ready_time[t.index()] = now;
+        self.scr.ready.insert(self.scr.tasks.priority[t.index()]);
     }
 
     /// Submits an inbound (user/archive -> storage) transfer, updating the
@@ -1016,7 +939,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if self.cfg.mode == DataMode::RemoteIo {
             return false; // capacity modeling targets the shared store
         }
-        self.storage.value() + self.scr.task_output_bytes[t.index()] as f64 > cap as f64
+        self.storage.value() + self.scr.tasks.output_bytes[t.index()] as f64 > cap as f64
     }
 
     /// Moves the storage-blocked tasks that now fit back into the ready
@@ -1047,12 +970,12 @@ impl<'a, S: EventSink> Engine<'a, S> {
         if now < self.vm_ready_at {
             return; // VMs still booting; Ev::VmReady re-triggers dispatch.
         }
-        while let Some(&Reverse((_, t))) = self.scr.ready.peek() {
+        while let Some((rank, t)) = self.scr.ready.peek_min() {
             if self.storage_would_overflow(t) {
-                self.scr.ready.pop();
+                self.scr.ready.remove(rank);
                 self.scr.storage_blocked.push(Reverse((
-                    self.scr.task_output_bytes[t.index()],
-                    self.scr.priority[t.index()],
+                    self.scr.tasks.output_bytes[t.index()],
+                    rank,
                     t,
                 )));
                 narrate!(self, now, TraceEvent::TaskBlockedOnStorage { task: t.0 });
@@ -1061,8 +984,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             let Some(proc) = self.scr.pool.try_acquire(now) else {
                 break;
             };
-            self.scr.ready.pop();
-            let waited = now.since(self.scr.ready_time[t.index()]);
+            self.scr.ready.remove(rank);
+            let waited = now.since(self.scr.tasks.ready_time[t.index()]);
             self.wait_stats.push(waited.as_secs_f64());
             self.scr.wait_hist.record(waited.as_secs_f64());
             narrate!(
@@ -1093,11 +1016,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 .scr
                 .events
                 .push(now + runtime, Ev::TaskFinished { task: t, proc });
-            self.scr.in_flight[proc.0 as usize] = Some(InFlight {
-                task: t,
-                started: now,
-                finish_id,
-            });
+            self.scr
+                .in_flight
+                .occupy(proc.0 as usize, t, now, finish_id);
         }
     }
 
@@ -1115,7 +1036,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
 
     fn on_task_finished(&mut self, now: SimTime, t: TaskId, proc: ProcId) {
         self.scr.pool.release(now, proc);
-        self.scr.in_flight[proc.0 as usize] = None;
+        self.scr.in_flight.clear(proc.0 as usize);
         let timeout = self.cfg.retry.task_timeout_s;
         let timed_out = timeout > 0.0 && self.wf.task(t).runtime_s > timeout;
         let billed_s = self.attempt_seconds(t);
@@ -1155,17 +1076,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 // only the occupancy bookkeeping happens here.)
                 for &f in &wf.task(t).outputs {
                     self.storage_alloc(now, wf.file(f).bytes);
-                    self.scr.counted_in_storage[f.index()] = true;
+                    self.scr.files.mark_in_storage(f);
                 }
                 for &c in wf.children(t) {
-                    self.scr.pending_parents[c.index()] -= 1;
+                    self.scr.tasks.pending_parents[c.index()] -= 1;
                     self.maybe_ready(now, c);
                 }
                 if self.cfg.mode == DataMode::DynamicCleanup {
                     for &f in &wf.task(t).inputs {
-                        self.scr.remaining_consumers[f.index()] -= 1;
-                        if self.scr.remaining_consumers[f.index()] == 0
-                            && !self.scr.is_staged_out[f.index()]
+                        self.scr.files.remaining_consumers[f.index()] -= 1;
+                        if self.scr.files.remaining_consumers[f.index()] == 0
+                            && !self.scr.files.is_staged_out(f)
                         {
                             self.remove_from_storage(now, f);
                         }

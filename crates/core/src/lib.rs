@@ -34,6 +34,7 @@ mod engine;
 mod gantt;
 mod profile;
 mod report;
+mod soa;
 mod trace;
 
 pub use batch::{simulate_batch, simulate_batch_on, simulate_batch_workflows, BatchScratch};

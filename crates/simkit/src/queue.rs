@@ -1,20 +1,90 @@
 //! The event calendar: a time-ordered queue with deterministic FIFO
-//! tie-breaking and O(log n) cancellation.
+//! tie-breaking and O(1) cancellation.
 //!
 //! Determinism matters here: the paper's experiments are comparisons between
 //! execution plans, so two runs of the same configuration must produce
 //! byte-identical schedules. Events scheduled for the same instant pop in
 //! the order they were pushed (a strictly increasing sequence number breaks
-//! ties), independent of heap internals.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! ties), independent of the queue's internal layout.
+//!
+//! # Calendar layout
+//!
+//! The queue is a *calendar queue* (Brown 1988): a ring of buckets ("days"),
+//! each covering a power-of-two-microsecond slice of simulated time. An
+//! event at time `t` belongs to bucket `(t >> width_bits) & (buckets - 1)`.
+//! Insertion links the event into one bucket; popping serves the bucket of
+//! the current day and only ever compares entries within it. For the
+//! inter-event gaps a discrete-event simulation produces (many events, gaps
+//! clustered around a typical value) both operations are O(1), and — unlike
+//! a binary heap, whose siftdown touches log(n) scattered cache lines — a
+//! pop reads one small contiguous run, so the queue stays fast when a
+//! 49k-task workflow puts tens of thousands of events in flight.
+//!
+//! All storage lives in a handful of flat arrays — a slab of event slots
+//! (with an intrusive free list), per-bucket chain heads, and one sorted
+//! "run" for the bucket being served — so a fresh queue performs a few
+//! amortized-doubling allocations total and a [`reset`](Self::reset) queue
+//! performs none.
+//!
+//! Three policies keep the calendar adaptive without ever changing the pop
+//! order, which is *always* exactly ascending `(time, seq)`:
+//!
+//! * **Bucket width** is re-derived on every resize from the observed
+//!   inter-event gaps of the live events (mean gap, rounded up to a power
+//!   of two), so one bucket holds ~one event at steady state.
+//! * **Lazy resize**: the ring doubles when occupancy exceeds two events
+//!   per bucket and halves (toward a floor) when it drops below one event
+//!   per eight buckets. Both thresholds depend only on the push/pop/cancel
+//!   sequence, so resizes are deterministic.
+//! * **Lazy ordering**: bucket chains are unsorted; the day's entries are
+//!   sorted (descending, so the minimum pops off the tail in O(1)) only
+//!   when the serve cursor reaches their bucket.
+//!
+//! Far-future outliers cost nothing extra: when a whole ring revolution
+//! finds no event, the queue jumps the cursor straight to the earliest
+//! pending day instead of stepping through empty buckets.
 
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    /// A handle that never names a live event: cancelling it is a no-op
+    /// that returns `false`. Useful as the empty value of a dense slot
+    /// array tracking pending events.
+    pub const NONE: EventId = EventId(u64::MAX);
+}
+
+/// Buckets the ring starts with (and never shrinks below).
+const MIN_BUCKETS: usize = 16;
+
+/// Bucket width before the first resize derives one from observed gaps:
+/// 2^20 us (~1 s), a typical task-scale event spacing.
+const DEFAULT_WIDTH_BITS: u32 = 20;
+
+/// Widest bucket the sizing policy may pick (2^44 us, ~200 days): beyond
+/// this the ring degenerates into one bucket anyway and the width math
+/// must not overflow on adversarial far-future outliers.
+const MAX_WIDTH_BITS: u32 = 44;
+
+/// Empty chain link / empty bucket marker.
+const NIL: u32 = u32::MAX;
+
+/// "No bucket is currently being served."
+const NO_RUN: usize = usize::MAX;
+
+/// One slab entry: an event plus its intrusive chain link. `payload` is
+/// taken on delivery and dropped on lazy cancellation cleanup; a `None`
+/// payload marks a slot sitting on the free list.
+#[derive(Debug)]
+struct Slot<E> {
+    time: SimTime,
+    seq: u64,
+    next: u32,
+    payload: Option<E>,
+}
 
 /// A time-ordered event queue over an arbitrary payload type.
 ///
@@ -30,14 +100,36 @@ pub struct EventId(u64);
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// The event slab. Slots are recycled through `free`, so the slab's
+    /// high-water mark is the peak number of simultaneously live events.
+    slots: Vec<Slot<E>>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Per-bucket chain heads ([`NIL`] = empty). Only the first `mask + 1`
+    /// are active; the array never shrinks, so a shrink-then-grow cycle
+    /// (and a warm [`reset`](Self::reset) reuse) costs no allocation.
+    heads: Vec<u32>,
+    /// `active_buckets - 1`; the active count is a power of two.
+    mask: usize,
+    /// log2 of the bucket width in microseconds.
+    width_bits: u32,
+    /// The day (`time_us >> width_bits`) the serve cursor is at. No
+    /// *pending* event is ever earlier than this day.
+    cur_day: u64,
+    /// The serving bucket's entries, detached from its chain and sorted
+    /// descending by (time, seq): the next event to pop is the tail.
+    run: Vec<u32>,
+    /// Which bucket `run` belongs to ([`NO_RUN`] = none).
+    run_bucket: usize,
+    /// Staging buffer for resizes (capacity persists across runs).
+    spill: Vec<u32>,
     next_seq: u64,
     /// Pending-event bitset indexed by sequence number: bit set = the event
     /// is scheduled and not yet delivered or cancelled. Cancellation is
-    /// lazy: a heap entry whose bit is clear is skipped at pop time.
-    /// Sequence numbers are dense (0, 1, 2, ...), so a bitset costs one
-    /// bit per event ever pushed and — unlike a hash set — no hashing on
-    /// the push/pop hot path.
+    /// lazy: a slot whose bit is clear is freed when the serve cursor or a
+    /// resize next touches it. Sequence numbers are dense (0, 1, 2, ...),
+    /// so a bitset costs one bit per event ever pushed and — unlike a hash
+    /// set — no hashing on the push/pop hot path.
     pending: PendingBits,
     last_popped: SimTime,
     popped: u64,
@@ -80,31 +172,6 @@ impl PendingBits {
     }
 }
 
-#[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-// Manual impls: ordering must depend only on (time, seq), never on payload.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
@@ -115,12 +182,37 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heads: vec![NIL; MIN_BUCKETS],
+            mask: MIN_BUCKETS - 1,
+            width_bits: DEFAULT_WIDTH_BITS,
+            cur_day: 0,
+            run: Vec::new(),
+            run_bucket: NO_RUN,
+            spill: Vec::new(),
             next_seq: 0,
             pending: PendingBits::default(),
             last_popped: SimTime::ZERO,
             popped: 0,
         }
+    }
+
+    #[inline]
+    fn active(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn day_of(&self, time: SimTime) -> u64 {
+        time.as_micros() >> self.width_bits
+    }
+
+    /// Returns a slot to the free list, dropping its payload.
+    #[inline]
+    fn release(&mut self, slot: u32) {
+        self.slots[slot as usize].payload = None;
+        self.free.push(slot);
     }
 
     /// Schedules `payload` at `time` and returns a cancellation handle.
@@ -138,15 +230,57 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.insert(seq);
-        self.heap.push(Reverse(Entry { time, seq, payload }));
+        if self.pending.count > 2 * self.active() {
+            self.rebuild(self.active() * 2);
+        }
+        let day = self.day_of(time);
+        // The serve cursor may have coasted past this day over empty
+        // buckets (only *pending* events pin it); pull it back so the new
+        // event is found before anything later.
+        if day < self.cur_day {
+            self.cur_day = day;
+        }
+        let b = (day as usize) & self.mask;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Slot {
+                    time,
+                    seq,
+                    next: self.heads[b],
+                    payload: Some(payload),
+                };
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("event slab overflow");
+                self.slots.push(Slot {
+                    time,
+                    seq,
+                    next: self.heads[b],
+                    payload: Some(payload),
+                });
+                s
+            }
+        };
+        self.heads[b] = slot;
         EventId(seq)
     }
 
     /// Empties the queue and rewinds the clock to [`SimTime::ZERO`] while
-    /// keeping the heap and bitset storage allocated, so a reused queue
-    /// schedules at steady state without touching the heap allocator.
+    /// keeping every buffer's storage allocated, so a reused queue replays
+    /// an identical schedule without touching the heap allocator.
     pub fn reset(&mut self) {
-        self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+        for h in &mut self.heads {
+            *h = NIL;
+        }
+        self.mask = MIN_BUCKETS - 1;
+        self.width_bits = DEFAULT_WIDTH_BITS;
+        self.cur_day = 0;
+        self.run.clear();
+        self.run_bucket = NO_RUN;
+        self.spill.clear();
         self.pending.words.clear();
         self.pending.count = 0;
         self.next_seq = 0;
@@ -155,34 +289,241 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
-    /// still pending (lazy deletion: the entry is skipped at pop time).
+    /// still pending (lazy deletion: the slot is recycled when the serve
+    /// cursor or a resize next touches it).
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.pending.remove(id.0)
     }
 
     /// Removes and returns the earliest pending event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if !self.pending.remove(entry.seq) {
-                continue; // cancelled
-            }
-            self.last_popped = entry.time;
-            self.popped += 1;
-            return Some((entry.time, entry.payload));
+        if self.pending.count == 0 {
+            return None;
         }
-        None
+        self.seek();
+        let slot = self.run.pop().expect("seek left an empty run");
+        let s = &mut self.slots[slot as usize];
+        let removed = self.pending.remove(s.seq);
+        debug_assert!(removed, "seek left a cancelled entry at the run tail");
+        self.last_popped = s.time;
+        self.popped += 1;
+        let time = s.time;
+        let payload = s.payload.take().expect("live slot without a payload");
+        self.free.push(slot);
+        self.maybe_shrink();
+        Some((time, payload))
     }
 
     /// The timestamp of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if !self.pending.contains(entry.seq) {
-                self.heap.pop();
-                continue;
-            }
-            return Some(entry.time);
+        if self.pending.count == 0 {
+            return None;
         }
-        None
+        self.seek();
+        self.run.last().map(|&s| self.slots[s as usize].time)
+    }
+
+    /// Advances `cur_day` to the day of the earliest pending event and
+    /// leaves that event at the tail of `run`. Requires at least one
+    /// pending event.
+    ///
+    /// Correctness of the (time, seq) pop order: every pending event has
+    /// day >= `cur_day` (pushes pull the cursor back, resizes re-derive
+    /// it), a day maps to exactly one bucket, and all events of a later
+    /// day are strictly later in time than all events of an earlier one —
+    /// so the first served day's bucket minimum is the global minimum.
+    fn seek(&mut self) {
+        let mut steps = 0usize;
+        loop {
+            let b = (self.cur_day as usize) & self.mask;
+            if self.serve_ready(b) {
+                return;
+            }
+            self.cur_day += 1;
+            steps += 1;
+            if steps > self.mask {
+                // A full ring revolution of empty days: jump the cursor
+                // straight to the earliest pending event (far-future
+                // outliers would otherwise cost a step per empty day).
+                self.cur_day = self.min_pending_day();
+                let b = (self.cur_day as usize) & self.mask;
+                let found = self.serve_ready(b);
+                debug_assert!(found, "min_pending_day pointed at an empty day");
+                return;
+            }
+        }
+    }
+
+    /// Makes bucket `b` the serving bucket — detaching its chain into the
+    /// sorted run, recycling cancelled slots along the way — and reports
+    /// whether the run tail is a pending entry belonging to `cur_day`.
+    fn serve_ready(&mut self, b: usize) -> bool {
+        if self.run_bucket != b {
+            self.flush_run();
+            self.run_bucket = b;
+        }
+        if self.heads[b] != NIL {
+            // Pull freshly chained entries into the run and re-sort. The
+            // common case is an empty run plus a ~one-event chain.
+            let mut s = self.heads[b];
+            self.heads[b] = NIL;
+            while s != NIL {
+                let nx = self.slots[s as usize].next;
+                if self.pending.contains(self.slots[s as usize].seq) {
+                    self.run.push(s);
+                } else {
+                    self.release(s);
+                }
+                s = nx;
+            }
+            let (run, slots, pending, free) = (
+                &mut self.run,
+                &mut self.slots,
+                &self.pending,
+                &mut self.free,
+            );
+            run.retain(|&s| {
+                let live = pending.contains(slots[s as usize].seq);
+                if !live {
+                    slots[s as usize].payload = None;
+                    free.push(s);
+                }
+                live
+            });
+            // Descending, so the minimum (next to pop) sits at the tail.
+            let slots = &self.slots;
+            self.run.sort_unstable_by(|&x, &y| {
+                let kx = (slots[x as usize].time, slots[x as usize].seq);
+                let ky = (slots[y as usize].time, slots[y as usize].seq);
+                ky.cmp(&kx)
+            });
+        }
+        // Purge entries cancelled since the run was sorted.
+        while let Some(&s) = self.run.last() {
+            if self.pending.contains(self.slots[s as usize].seq) {
+                break;
+            }
+            self.run.pop();
+            self.release(s);
+        }
+        match self.run.last() {
+            None => false,
+            Some(&s) => self.day_of(self.slots[s as usize].time) == self.cur_day,
+        }
+    }
+
+    /// Re-attaches the run's remaining entries to their bucket's chain
+    /// (they may belong to a later ring revolution of the same bucket).
+    fn flush_run(&mut self) {
+        let rb = self.run_bucket;
+        if rb == NO_RUN {
+            return;
+        }
+        while let Some(s) = self.run.pop() {
+            if self.pending.contains(self.slots[s as usize].seq) {
+                self.slots[s as usize].next = self.heads[rb];
+                self.heads[rb] = s;
+            } else {
+                self.release(s);
+            }
+        }
+        self.run_bucket = NO_RUN;
+    }
+
+    /// The day of the earliest pending event (slab scan; only reached
+    /// after a whole empty ring revolution, so the cost is amortized).
+    fn min_pending_day(&self) -> u64 {
+        let mut best: Option<(SimTime, u64)> = None;
+        for s in &self.slots {
+            if s.payload.is_some()
+                && self.pending.contains(s.seq)
+                && best.is_none_or(|k| (s.time, s.seq) < k)
+            {
+                best = Some((s.time, s.seq));
+            }
+        }
+        let (time, _) = best.expect("no pending entry despite a positive count");
+        self.day_of(time)
+    }
+
+    /// Halves the ring (toward [`MIN_BUCKETS`]) when occupancy falls below
+    /// one event per eight buckets, so a draining queue never pays long
+    /// empty-day scans.
+    fn maybe_shrink(&mut self) {
+        let active = self.active();
+        if active > MIN_BUCKETS && self.pending.count * 8 < active {
+            let target = (self.pending.count.max(1) * 2)
+                .next_power_of_two()
+                .max(MIN_BUCKETS);
+            if target < active {
+                self.rebuild(target);
+            }
+        }
+    }
+
+    /// Re-shapes the ring to `target` buckets (a power of two), re-deriving
+    /// the bucket width from the live events' observed gaps and recycling
+    /// cancelled slots. Pop order is unaffected: membership and the
+    /// (time, seq) keys never change, only the layout. No payload moves:
+    /// only the intrusive links are rewritten.
+    fn rebuild(&mut self, target: usize) {
+        debug_assert!(target.is_power_of_two() && target >= MIN_BUCKETS);
+        self.flush_run();
+        self.spill.clear();
+        for b in 0..self.active() {
+            let mut s = self.heads[b];
+            self.heads[b] = NIL;
+            while s != NIL {
+                let nx = self.slots[s as usize].next;
+                if self.pending.contains(self.slots[s as usize].seq) {
+                    self.spill.push(s);
+                } else {
+                    self.release(s);
+                }
+                s = nx;
+            }
+        }
+        if target > self.heads.len() {
+            self.heads.resize(target, NIL);
+        }
+        self.mask = target - 1;
+        self.width_bits = self.pick_width_bits();
+        // All pending events are at or after the last delivery, so this
+        // floor keeps the no-pending-day-before-cursor invariant.
+        self.cur_day = self.day_of(self.last_popped);
+        for i in 0..self.spill.len() {
+            let s = self.spill[i];
+            let b = (self.day_of(self.slots[s as usize].time) as usize) & self.mask;
+            self.slots[s as usize].next = self.heads[b];
+            self.heads[b] = s;
+        }
+    }
+
+    /// Picks the bucket width (log2 microseconds) for the events staged in
+    /// `spill`: the mean observed inter-event gap rounded up to a power of
+    /// two, so one bucket covers about one event. Degenerate inputs (fewer
+    /// than two events, or all at one instant) keep a safe constant.
+    fn pick_width_bits(&self) -> u32 {
+        if self.spill.len() < 2 {
+            return DEFAULT_WIDTH_BITS;
+        }
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for &s in &self.spill {
+            let us = self.slots[s as usize].time.as_micros();
+            lo = lo.min(us);
+            hi = hi.max(us);
+        }
+        let span = hi - lo;
+        if span == 0 {
+            // All at one instant: any width works; one sorted bucket
+            // serves them FIFO.
+            return 0;
+        }
+        let gap = (span / (self.spill.len() as u64 - 1)).max(1);
+        // ceil(log2(gap)): gap == 1 -> 0 bits, gap == 3 -> 2 bits.
+        let bits = 64 - (gap - 1).leading_zeros();
+        bits.min(MAX_WIDTH_BITS)
     }
 
     /// The time of the most recently popped event (the simulation "now").
@@ -273,6 +614,7 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(42)));
+        assert!(!q.cancel(EventId::NONE));
     }
 
     #[test]
@@ -315,5 +657,126 @@ mod tests {
         q.pop();
         q.push(t(1.0), 1); // same instant as "now": fine
         assert_eq!(q.pop().unwrap(), (t(1.0), 1));
+    }
+
+    #[test]
+    fn growth_past_the_initial_ring_keeps_order() {
+        // Far more events than MIN_BUCKETS * 2 forces at least one grow
+        // rebuild mid-stream; order must stay exactly (time, seq).
+        let mut q = EventQueue::new();
+        let n = 10 * MIN_BUCKETS as u64;
+        for i in 0..n {
+            // A decimated time pattern so several events share a day.
+            q.push(SimTime::from_micros((i % 17) * 1_000_003), i);
+        }
+        let mut got = Vec::new();
+        while let Some((time, i)) = q.pop() {
+            got.push((time, i));
+        }
+        let mut want = got.clone();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(got.len(), n as usize);
+    }
+
+    #[test]
+    fn far_future_outlier_is_reached_via_cursor_jump() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), "near");
+        // ~3 years of simulated microseconds past the near cluster.
+        q.push(SimTime::from_micros(100_000_000_000_000), "far");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_behind_the_cursor_still_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(t(100.0), "late");
+        // peek advances the serve cursor to the "late" day...
+        assert_eq!(q.peek_time(), Some(t(100.0)));
+        // ...but an earlier (still >= now) push must pop before it.
+        q.push(t(1.0), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn reset_reuses_the_slab_without_leaking_state() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(SimTime::from_micros(i * 977), i);
+        }
+        for _ in 0..500 {
+            q.pop();
+        }
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.popped(), 0);
+        assert_eq!(q.now(), SimTime::ZERO);
+        // A fresh schedule replays exactly as on a brand-new queue.
+        q.push(t(2.0), 20);
+        q.push(t(1.0), 10);
+        q.push(t(1.0), 11);
+        assert_eq!(q.pop().unwrap(), (t(1.0), 10));
+        assert_eq!(q.pop().unwrap(), (t(1.0), 11));
+        assert_eq!(q.pop().unwrap(), (t(2.0), 20));
+    }
+
+    #[test]
+    fn shrink_after_mass_cancellation_keeps_survivors() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..512u64)
+            .map(|i| q.push(SimTime::from_micros(i * 1_000), i))
+            .collect();
+        // Cancel everything but three stragglers, then pop: the ring
+        // shrinks while the survivors must still arrive in order.
+        for (i, id) in ids.iter().enumerate() {
+            if ![5usize, 250, 511].contains(&i) {
+                q.cancel(*id);
+            }
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 250);
+        assert_eq!(q.pop().unwrap().1, 511);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn width_sizing_handles_degenerate_gaps() {
+        // All-equal timestamps: one bucket, FIFO within it.
+        let mut q = EventQueue::new();
+        for i in 0..200u64 {
+            q.push(t(7.0), i);
+        }
+        for i in 0..200u64 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+        // Giant span: the width clamp keeps day math finite.
+        let mut q = EventQueue::new();
+        for i in 0..64u64 {
+            q.push(SimTime::from_micros(i * (u64::MAX / 128)), i);
+        }
+        for i in 0..64u64 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn slots_are_recycled_through_the_free_list() {
+        let mut q = EventQueue::new();
+        for round in 0..50u64 {
+            for i in 0..8u64 {
+                q.push(SimTime::from_micros(round * 1000 + i), (round, i));
+            }
+            for i in 0..8u64 {
+                assert_eq!(q.pop().unwrap().1, (round, i));
+            }
+        }
+        // 400 events total, but never more than 8 live at once: the slab
+        // must have stayed at its high-water mark.
+        assert!(q.slots.len() <= 8, "slab grew to {}", q.slots.len());
     }
 }
