@@ -46,6 +46,13 @@
 //! flatness gate is largely machine-independent; it fails when the ratio
 //! exceeds the committed one by more than [`FLATNESS_TOLERANCE`]×.
 //!
+//! Schema v4 adds the kernel-counter columns from the engine's
+//! self-telemetry ([`mcloud_core::KernelStats`]): calendar-queue pops,
+//! cancellations, and peak pending events per simulation. All three are
+//! deterministic — pure functions of the simulated event sequence — so the
+//! gate compares them exactly, the same way it treats `events`: any drift
+//! is a semantic change to the kernel, never noise.
+//!
 //! The JSON is hand-emitted with fixed key order so a re-run on identical
 //! hardware diffs minimally, and parsed back with a small field scanner —
 //! no external dependencies.
@@ -133,6 +140,15 @@ pub struct WorkloadMeasurement {
     /// Simulations per second through [`simulate_batch`] over the
     /// persistent worker pool (environment-dependent).
     pub batch_sims_per_sec: f64,
+    /// Calendar-queue pops one simulation performs (deterministic; from
+    /// the kernel self-telemetry).
+    pub queue_pops: u64,
+    /// Calendar-queue cancellations one simulation performs
+    /// (deterministic).
+    pub queue_cancellations: u64,
+    /// Peak simultaneously pending events in the calendar queue
+    /// (deterministic).
+    pub queue_peak_pending: u64,
 }
 
 impl WorkloadMeasurement {
@@ -311,6 +327,9 @@ pub fn measure_workload(w: &Workload, budget_ms: u64) -> WorkloadMeasurement {
         events_per_sec: events as f64 / per_sim_s,
         batch_allocs_per_sim: warm_delta.allocs,
         batch_sims_per_sec: BATCH_SIMS as f64 / best_batch_s.max(1e-9),
+        queue_pops: warm.kernel.queue.popped,
+        queue_cancellations: warm.kernel.queue.cancelled,
+        queue_peak_pending: warm.kernel.queue.peak_pending,
     }
 }
 
@@ -376,7 +395,7 @@ pub fn measure_all(budget_ms: u64, mut progress: impl FnMut(&WorkloadMeasurement
 // --- JSON ------------------------------------------------------------------
 
 /// Schema tag written into (and required from) the baseline file.
-pub const SCHEMA: &str = "mcloud-bench-baseline/v3";
+pub const SCHEMA: &str = "mcloud-bench-baseline/v4";
 
 /// Serializes a baseline as pretty-printed JSON with a fixed key order.
 pub fn to_json(b: &Baseline) -> String {
@@ -394,7 +413,9 @@ pub fn to_json(b: &Baseline) -> String {
              \"allocs_per_sim\": {}, \"alloc_bytes_per_sim\": {}, \
              \"peak_live_bytes\": {}, \"allocs_per_task\": {:.2}, \
              \"sims_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \
-             \"batch_allocs_per_sim\": {}, \"batch_sims_per_sec\": {:.2}}}{comma}",
+             \"batch_allocs_per_sim\": {}, \"batch_sims_per_sec\": {:.2}, \
+             \"queue_pops\": {}, \"queue_cancellations\": {}, \
+             \"queue_peak_pending\": {}}}{comma}",
             w.name,
             w.tasks,
             w.events,
@@ -406,6 +427,9 @@ pub fn to_json(b: &Baseline) -> String {
             w.events_per_sec,
             w.batch_allocs_per_sim,
             w.batch_sims_per_sec,
+            w.queue_pops,
+            w.queue_cancellations,
+            w.queue_peak_pending,
         );
     }
     s.push_str("  ],\n");
@@ -483,6 +507,9 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
                 events_per_sec: get("events_per_sec")?,
                 batch_allocs_per_sim: get("batch_allocs_per_sim")? as u64,
                 batch_sims_per_sec: get("batch_sims_per_sec")?,
+                queue_pops: get("queue_pops")? as u64,
+                queue_cancellations: get("queue_cancellations")? as u64,
+                queue_peak_pending: get("queue_peak_pending")? as u64,
             });
         } else if line.starts_with('{') && line.contains("\"workers\"") {
             // A scaling row: {"workers": N, "batch_sims_per_sec": X}.
@@ -618,6 +645,28 @@ pub fn compare(current: &Baseline, committed: &Baseline) -> Vec<String> {
                 c.name, b.events, c.events
             ));
         }
+        // The kernel counters are event-derived, so like `events` any
+        // change is a semantic drift, not noise.
+        for (metric, old, new) in [
+            ("calendar-queue pops", b.queue_pops, c.queue_pops),
+            (
+                "calendar-queue cancellations",
+                b.queue_cancellations,
+                c.queue_cancellations,
+            ),
+            (
+                "calendar-queue peak pending",
+                b.queue_peak_pending,
+                c.queue_peak_pending,
+            ),
+        ] {
+            if new != old {
+                violations.push(format!(
+                    "{}: {metric} per simulation changed {old} -> {new} (semantics drift?)",
+                    c.name
+                ));
+            }
+        }
         if c.batch_allocs_per_sim > b.batch_allocs_per_sim {
             violations.push(format!(
                 "{}: warm-scratch allocations per simulation regressed {} -> {}",
@@ -747,6 +796,27 @@ pub fn delta_summary(current: &Baseline, committed: &Baseline) -> Vec<String> {
         );
         push(
             &c.name,
+            "queue_pops",
+            b.queue_pops.to_string(),
+            c.queue_pops.to_string(),
+            c.queue_pops != b.queue_pops,
+        );
+        push(
+            &c.name,
+            "queue_cancellations",
+            b.queue_cancellations.to_string(),
+            c.queue_cancellations.to_string(),
+            c.queue_cancellations != b.queue_cancellations,
+        );
+        push(
+            &c.name,
+            "queue_peak_pending",
+            b.queue_peak_pending.to_string(),
+            c.queue_peak_pending.to_string(),
+            c.queue_peak_pending != b.queue_peak_pending,
+        );
+        push(
+            &c.name,
             "events_per_sec",
             format!("{:.0}", b.events_per_sec),
             format!("{:.0}", c.events_per_sec),
@@ -802,6 +872,9 @@ mod tests {
                 events_per_sec: 1_234_500.0,
                 batch_allocs_per_sim: 2,
                 batch_sims_per_sec: 1300.0,
+                queue_pops: 900,
+                queue_cancellations: 12,
+                queue_peak_pending: 64,
             }],
             scaling: vec![
                 ScalingRow {
@@ -840,6 +913,9 @@ mod tests {
         assert!((a.events_per_sec - p.events_per_sec).abs() < 1.0);
         assert_eq!(a.batch_allocs_per_sim, p.batch_allocs_per_sim);
         assert!((a.batch_sims_per_sec - p.batch_sims_per_sec).abs() < 0.01);
+        assert_eq!(a.queue_pops, p.queue_pops);
+        assert_eq!(a.queue_cancellations, p.queue_cancellations);
+        assert_eq!(a.queue_peak_pending, p.queue_peak_pending);
         assert_eq!(parsed.scaling.len(), 2);
         assert_eq!(parsed.scaling[1].workers, 2);
         assert!((parsed.scaling[1].batch_sims_per_sec - 2500.25).abs() < 0.01);
@@ -902,6 +978,26 @@ mod tests {
         current.workloads[0].events -= 1;
         let v = compare(&current, &committed);
         assert!(v.iter().any(|m| m.contains("semantics drift")), "{v:?}");
+    }
+
+    #[test]
+    fn kernel_counter_drift_is_flagged_in_both_directions() {
+        let committed = sample();
+        let mut current = sample();
+        // A *decrease* is drift too: these columns pin kernel semantics,
+        // not budgets.
+        current.workloads[0].queue_pops -= 1;
+        current.workloads[0].queue_peak_pending += 5;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("calendar-queue pops"), "{v:?}");
+        assert!(v[1].contains("calendar-queue peak pending"), "{v:?}");
+        // Cancellations likewise.
+        let mut current = sample();
+        current.workloads[0].queue_cancellations += 1;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("calendar-queue cancellations"), "{v:?}");
     }
 
     #[test]
@@ -1009,6 +1105,10 @@ mod tests {
         assert_eq!(a.alloc_bytes_per_sim, b.alloc_bytes_per_sim);
         assert_eq!(a.peak_live_bytes, b.peak_live_bytes);
         assert_eq!(a.batch_allocs_per_sim, b.batch_allocs_per_sim);
+        assert_eq!(a.queue_pops, b.queue_pops);
+        assert_eq!(a.queue_cancellations, b.queue_cancellations);
+        assert_eq!(a.queue_peak_pending, b.queue_peak_pending);
+        assert!(a.queue_pops > 0);
         assert!(
             a.batch_allocs_per_sim <= WARM_ALLOC_BUDGET,
             "warm scratch must not allocate: {} allocs/sim",
@@ -1075,7 +1175,7 @@ mod tests {
         current.flatness[0].ratio = committed.flatness[0].ratio * 3.0;
         let lines = delta_summary(&current, &committed);
         // One line per gated metric per row, plus the flatness rows.
-        assert_eq!(lines.len(), 7, "{lines:?}");
+        assert_eq!(lines.len(), 10, "{lines:?}");
         let failing: Vec<&String> = lines.iter().filter(|l| l.ends_with("FAIL")).collect();
         assert_eq!(failing.len(), 2, "{lines:?}");
         assert!(

@@ -339,7 +339,14 @@ fn bench_json(args: &[String]) -> ExitCode {
             }
         };
         let violations = baseline::compare(&measured, &committed);
+        // The delta table prints on *both* verdicts: a green CI log should
+        // still show how far each metric sits from its committed value, so
+        // drift is visible before it crosses a tolerance.
         if violations.is_empty() {
+            println!("per-row deltas (committed -> current):");
+            for line in baseline::delta_summary(&measured, &committed) {
+                println!("  {line}");
+            }
             println!(
                 "baseline check passed against {} ({} workloads)",
                 path.display(),

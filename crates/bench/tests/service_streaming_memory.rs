@@ -1,0 +1,69 @@
+//! Acceptance gate for the streaming service layer: peak memory must not
+//! scale with the request count.
+//!
+//! The pre-streaming `simulate_service` materialized one `RequestOutcome`
+//! per arrival, so a month-scale stream held the whole campaign in memory
+//! at once. The streaming fold replaces that vector with registered
+//! histograms plus a reorder buffer bounded by the *backlog*, so a 10x
+//! longer arrival stream must cost (almost) no extra peak heap inside the
+//! simulation. This is measured exactly with the crate's counting global
+//! allocator — the same instrument the benchmark baseline gates on.
+
+use mcloud_bench::alloc;
+use mcloud_service::{poisson, simulate_service, Arrival, ServiceConfig};
+
+fn arrivals(horizon_hours: f64) -> Vec<Arrival> {
+    // ~2 requests/hour of 1-degree mosaics: a steady stream with enough
+    // contention that the backlog (and thus the reorder buffer) is
+    // regularly non-empty.
+    poisson(2.0, horizon_hours, 1.0, 0xBEEF)
+}
+
+/// One test, not several: the allocation counters are process-wide, so
+/// the measured regions must not race a sibling test's allocations.
+#[test]
+fn service_peak_memory_is_backlog_bounded_not_request_bounded() {
+    let cfg = ServiceConfig::default_burst();
+    let small = arrivals(1_000.0);
+    let large = arrivals(10_000.0);
+    assert!(
+        large.len() >= 9 * small.len(),
+        "stream sizes too close: {} vs {}",
+        small.len(),
+        large.len()
+    );
+
+    // Warm-up so lazily initialized runtime structures (allocator arenas,
+    // profile caches) don't bill to the measured runs.
+    std::hint::black_box(simulate_service(&small, &cfg));
+
+    let (report_small, delta_small) =
+        alloc::measure(|| std::hint::black_box(simulate_service(&small, &cfg)));
+    let (report_large, delta_large) =
+        alloc::measure(|| std::hint::black_box(simulate_service(&large, &cfg)));
+    assert_eq!(report_small.requests(), small.len());
+    assert_eq!(report_large.requests(), large.len());
+
+    // The old materializing implementation held one ~88-byte outcome per
+    // request, so 10x the requests meant ~10x the peak. Streaming keeps
+    // the peak at the event queue + backlog working set: allow 2x for
+    // backlog wobble between the two streams, nowhere near 10x.
+    assert!(
+        delta_large.peak_above_start <= 2 * delta_small.peak_above_start.max(16 * 1024),
+        "service peak memory scaled with request count: \
+         {} requests -> {} peak bytes, {} requests -> {} peak bytes",
+        small.len(),
+        delta_small.peak_above_start,
+        large.len(),
+        delta_large.peak_above_start
+    );
+
+    // Allocation *count* must not scale with requests either: the fold
+    // reuses its buffers, so 10x arrivals may not cost 10x allocations.
+    assert!(
+        delta_large.allocs <= delta_small.allocs + delta_small.allocs / 2 + 64,
+        "service allocations scaled with request count: {} -> {}",
+        delta_small.allocs,
+        delta_large.allocs
+    );
+}

@@ -11,9 +11,10 @@ use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Pricing};
 use mcloud_dag::{from_dax, to_dax, to_dot, DotStyle, Workflow};
 use mcloud_montage::{generate, Band, MosaicConfig};
 use mcloud_service::{bursty, poisson, simulate_service, ServiceConfig};
+use mcloud_simkit::WorkerPool;
 use mcloud_sweep::{
     cheapest_within_deadline, geometric_processors, pareto_frontier, processor_sweep,
-    CostTimePoint, Table,
+    processor_sweep_progress, CostTimePoint, Table,
 };
 
 use crate::args::Args;
@@ -30,6 +31,7 @@ commands:
   trace       run one plan and export its event trace (JSONL or Chrome)
   profile     attribute a run's time and dollars to phases and task classes
   plan        sweep provisioning levels and recommend one
+  sweep       sweep processor counts with kernel telemetry per point
   generate    emit a synthetic Montage workflow as DAX (and DOT)
   info        analyze a DAX workflow file
   economics   archive-vs-recompute and dataset-hosting break-evens
@@ -54,6 +56,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "trace" => cmd_trace(rest),
         "profile" => cmd_profile(rest),
         "plan" => cmd_plan(rest),
+        "sweep" => cmd_sweep(rest),
         "generate" => cmd_generate(rest),
         "info" => cmd_info(rest),
         "economics" => cmd_economics(rest),
@@ -230,11 +233,15 @@ flags:
   --trace-format F       jsonl (default) | chrome
   --profile-out FILE     also write a phase/cost profile report
                          (.json for JSON, anything else for text)
+  --metrics-out FILE     also write the run's self-telemetry as Prometheus
+                         text exposition (.json for the JSON snapshot);
+                         deterministic — byte-identical across runs,
+                         machines, and MCLOUD_WORKERS settings
   --seed / --region / --band   workload generator knobs"
             .to_string());
     }
     let mut flags = SIM_FLAGS.to_vec();
-    flags.push("profile-out");
+    flags.extend(["profile-out", "metrics-out"]);
     let args = Args::parse(rest, &flags)?;
     let wf = workflow_from(&args)?;
     let mut cfg = exec_from(&args)?;
@@ -277,6 +284,16 @@ flags:
     } else {
         simulate(&wf, &cfg)
     };
+    if let Some(path) = args.get("metrics-out") {
+        let reg = r.registry();
+        let doc = if path.ends_with(".json") {
+            reg.json()
+        } else {
+            reg.prometheus_text()
+        };
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        trace_note.push_str(&format!("metrics       {} bytes -> {path}\n", doc.len()));
+    }
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -563,6 +580,87 @@ flags:
         }
     }
     Ok(out)
+}
+
+fn cmd_sweep(rest: &[String]) -> Result<String, String> {
+    if wants_help(rest) {
+        return Ok("\
+mcloud sweep — sweep processor counts with kernel telemetry per point
+
+Simulates the workflow at every processor count of a geometric ladder
+and tabulates cost, makespan, and the kernel's deterministic
+self-telemetry (events processed, calendar-queue pops, peak pending)
+for each point. The table is byte-identical at every MCLOUD_WORKERS
+setting; --progress adds a live wall-clock heartbeat on stderr.
+
+flags:
+  --degrees D          mosaic size (default 1)
+  --max-procs P        top of the geometric ladder (default 128)
+  --progress           live `sweep done/total` heartbeat on stderr, plus
+                       a worker-lane summary after the sweep (wall-clock;
+                       never part of the stdout table)
+  plus all `mcloud simulate` execution flags"
+            .to_string());
+    }
+    let mut flags = SIM_FLAGS.to_vec();
+    flags.extend(["max-procs", "progress"]);
+    let args = Args::parse(rest, &flags)?;
+    let wf = workflow_from(&args)?;
+    let cfg = exec_from(&args)?;
+    let max_procs: u32 = args.get_or("max-procs", 128u32)?;
+    let ladder = geometric_processors(max_procs);
+
+    let points = if args.has("progress") {
+        let on_progress = |done: usize, total: usize| {
+            eprint!("\rsweep {done}/{total} points");
+            if done == total {
+                eprintln!();
+            }
+        };
+        let points = processor_sweep_progress(&wf, &cfg, &ladder, &on_progress);
+        // Lane summary: wall-clock class, so stderr only — stdout stays
+        // byte-identical at every MCLOUD_WORKERS setting.
+        if WorkerPool::global_initialized() {
+            let pool = WorkerPool::global();
+            let uptime_s = pool.uptime_ns() as f64 / 1e9;
+            for s in pool.lane_stats() {
+                eprintln!(
+                    "lane {}: {} sims in {} chunks, {:.3}s busy / {:.3}s up",
+                    s.lane,
+                    s.items,
+                    s.chunks,
+                    s.busy_ns as f64 / 1e9,
+                    uptime_s
+                );
+            }
+        }
+        points
+    } else {
+        processor_sweep(&wf, &cfg, &ladder)
+    };
+
+    let mut table = Table::new(vec![
+        "procs",
+        "cost",
+        "hours",
+        "events",
+        "pops",
+        "peak-pend",
+        "grants",
+    ]);
+    for p in &points {
+        let k = &p.report.kernel;
+        table.push_row(vec![
+            p.processors.to_string(),
+            format!("{:.3}", p.report.total_cost().dollars()),
+            format!("{:.3}", p.report.makespan_hours()),
+            p.report.events_processed.to_string(),
+            k.queue.popped.to_string(),
+            k.queue.peak_pending.to_string(),
+            k.pool_grants.to_string(),
+        ]);
+    }
+    Ok(table.to_ascii())
 }
 
 fn cmd_generate(rest: &[String]) -> Result<String, String> {

@@ -18,6 +18,8 @@
 //! lands, is not. Hence batch output is byte-identical across worker
 //! counts and chunk sizes, including the single-threaded inline path.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use mcloud_dag::Workflow;
 use mcloud_simkit::WorkerPool;
 
@@ -89,6 +91,42 @@ pub fn simulate_batch_on(
 ) -> Vec<Report> {
     let lanes = scratch.ensure(pool.lanes().max(1));
     pool.map_with_state(lanes, cfgs, |scr, cfg| simulate_with_scratch(wf, cfg, scr))
+}
+
+/// [`simulate_batch`] with a live progress callback: `on_progress(done,
+/// total)` fires after every completed simulation, from whichever thread
+/// finished it, with `done` counting completions in *completion* order
+/// (not input order). The results are byte-identical to
+/// [`simulate_batch`] — the callback observes progress, it cannot affect
+/// scheduling or output.
+///
+/// This is what drives `mcloud sweep --progress` and any other
+/// long-running fan-out that wants a heartbeat without giving up the
+/// warm-scratch batch path.
+pub fn simulate_batch_progress(
+    wf: &Workflow,
+    cfgs: &[ExecConfig],
+    scratch: &mut BatchScratch,
+    on_progress: &(dyn Fn(usize, usize) + Sync),
+) -> Vec<Report> {
+    let total = cfgs.len();
+    let done = AtomicUsize::new(0);
+    let tick = |report: Report| {
+        on_progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+        report
+    };
+    if total <= 1 || mcloud_simkit::configured_lanes() == 1 {
+        let scr = &mut scratch.ensure(1)[0];
+        return cfgs
+            .iter()
+            .map(|cfg| tick(simulate_with_scratch(wf, cfg, scr)))
+            .collect();
+    }
+    let pool = WorkerPool::global();
+    let lanes = scratch.ensure(pool.lanes().max(1));
+    pool.map_with_state(lanes, cfgs, |scr, cfg| {
+        tick(simulate_with_scratch(wf, cfg, scr))
+    })
 }
 
 /// Simulates every workflow in `wfs` under one configuration, in input

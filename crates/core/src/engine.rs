@@ -34,7 +34,7 @@ use mcloud_simkit::{
 };
 
 use crate::config::{DataMode, ExecConfig, Provisioning};
-use crate::report::Report;
+use crate::report::{KernelStats, Report};
 use crate::soa::{FileTable, InFlightTable, ReadySet, TaskTable};
 use crate::trace::SpanTee;
 
@@ -252,6 +252,10 @@ struct Engine<'a, S: EventSink> {
     /// shares `link`.
     link_out: Option<FcfsChannel>,
     storage: TimeWeighted,
+    /// Ready-queue occupancy as a step function of simulated time (the
+    /// kernel telemetry's `ready_mean`/`ready_peak`). Deterministic: it
+    /// tracks [`ReadySet::len`] at every insert and remove.
+    ready_occ: TimeWeighted,
     /// Wait between readiness and dispatch, per execution attempt.
     wait_stats: mcloud_simkit::RunningStats,
     /// Instant before which no task may start (VM boot).
@@ -307,6 +311,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             link,
             link_out,
             storage: TimeWeighted::new(),
+            ready_occ: TimeWeighted::new(),
             wait_stats: mcloud_simkit::RunningStats::new(),
             vm_ready_at,
             tasks_done: 0,
@@ -872,6 +877,14 @@ impl<'a, S: EventSink> Engine<'a, S> {
         narrate!(self, now, TraceEvent::TaskReady { task: t.0 });
         self.scr.tasks.ready_time[t.index()] = now;
         self.scr.ready.insert(self.scr.tasks.priority[t.index()]);
+        self.ready_occ.set(now, self.scr.ready.len() as f64);
+    }
+
+    /// Removes `rank` from the ready queue, keeping the occupancy curve
+    /// in step.
+    fn remove_ready(&mut self, now: SimTime, rank: u64) {
+        self.scr.ready.remove(rank);
+        self.ready_occ.set(now, self.scr.ready.len() as f64);
     }
 
     /// Submits an inbound (user/archive -> storage) transfer, updating the
@@ -972,7 +985,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
         while let Some((rank, t)) = self.scr.ready.peek_min() {
             if self.storage_would_overflow(t) {
-                self.scr.ready.remove(rank);
+                self.remove_ready(now, rank);
                 self.scr.storage_blocked.push(Reverse((
                     self.scr.tasks.output_bytes[t.index()],
                     rank,
@@ -984,7 +997,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             let Some(proc) = self.scr.pool.try_acquire(now) else {
                 break;
             };
-            self.scr.ready.remove(rank);
+            self.remove_ready(now, rank);
             let waited = now.since(self.scr.tasks.ready_time[t.index()]);
             self.wait_stats.push(waited.as_secs_f64());
             self.scr.wait_hist.record(waited.as_secs_f64());
@@ -1215,6 +1228,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
             wasted_bytes_out: self.wasted_bytes_out,
             queue_wait_mean_s: self.wait_stats.mean(),
             queue_wait_max_s: self.wait_stats.max(),
+            kernel: KernelStats {
+                queue: self.scr.events.stats(),
+                ready_mean: self.ready_occ.mean(self.end_time),
+                ready_peak: self.ready_occ.peak(),
+                pool_busy_mean: if makespan_s > 0.0 {
+                    self.scr.pool.busy_time().as_secs_f64() / makespan_s
+                } else {
+                    0.0
+                },
+                pool_grants: self.scr.pool.grants(),
+            },
             // Cloned (not moved) out of the scratch: the one warm-path
             // allocation a report still costs.
             queue_wait_hist: self.scr.wait_hist.clone(),

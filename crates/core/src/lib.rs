@@ -37,7 +37,10 @@ mod report;
 mod soa;
 mod trace;
 
-pub use batch::{simulate_batch, simulate_batch_on, simulate_batch_workflows, BatchScratch};
+pub use batch::{
+    simulate_batch, simulate_batch_on, simulate_batch_progress, simulate_batch_workflows,
+    BatchScratch,
+};
 pub use config::{
     DataMode, ExecConfig, FaultModel, Provisioning, RetryPolicy, SchedulePolicy, VmOverhead,
     PAPER_BANDWIDTH_BPS,
@@ -52,5 +55,5 @@ pub use profile::{
     CostAttribution, LevelProfile, TaskProfile, WorkflowProfile, RESIDUAL_LABEL, SHARED_IN_LABEL,
     SHARED_OUT_LABEL, STORAGE_LABEL, WASTED_LABEL,
 };
-pub use report::{Report, TaskSpan};
+pub use report::{KernelStats, Report, TaskSpan};
 pub use trace::{trace_from_jsonl, trace_to_chrome, trace_to_jsonl};

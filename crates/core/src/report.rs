@@ -3,7 +3,7 @@
 
 use mcloud_cost::{CostBreakdown, Money, BYTES_PER_GB};
 use mcloud_dag::TaskId;
-use mcloud_simkit::{Histogram, SimDuration, SimTime};
+use mcloud_simkit::{Histogram, MetricClass, QueueStats, Registry, SimDuration, SimTime};
 
 /// One task's execution span (a Gantt row), recorded when
 /// [`ExecConfig::record_trace`] is set.
@@ -19,6 +19,33 @@ pub struct TaskSpan {
     pub start: SimTime,
     /// Execution finish.
     pub finish: SimTime,
+}
+
+/// Deterministic self-telemetry from the simulation kernel for one run:
+/// how the calendar queue, ready set, and processor pool actually behaved
+/// while producing the report.
+///
+/// Every field is a pure function of the simulated event sequence, so the
+/// stats are byte-identical across runs, machines, and `MCLOUD_WORKERS`
+/// settings — they can appear in committed goldens and strict benchmark
+/// baselines. Wall-clock timings (worker-lane busy time and the like) are
+/// deliberately *not* here; those live with the worker pool and carry the
+/// wall-clock metric class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelStats {
+    /// Calendar-queue lifetime counters: pops, cancellations, ring
+    /// resizes, cursor jumps, peak pending events, final geometry.
+    pub queue: QueueStats,
+    /// Time-weighted mean number of ready-queued tasks over the makespan.
+    pub ready_mean: f64,
+    /// Peak number of simultaneously ready tasks.
+    pub ready_peak: f64,
+    /// Time-weighted mean number of busy processors over the makespan
+    /// (completed occupations; equals utilization times capacity for
+    /// fixed plans).
+    pub pool_busy_mean: f64,
+    /// Processor acquisitions granted over the run.
+    pub pool_grants: u64,
 }
 
 /// The result of simulating one execution plan.
@@ -94,6 +121,9 @@ pub struct Report {
     /// Distribution of those waits; `quantile(1.0)` equals
     /// [`Report::queue_wait_max_s`] exactly.
     pub queue_wait_hist: Histogram,
+    /// Deterministic kernel self-telemetry (calendar queue, ready set,
+    /// processor pool) for this run.
+    pub kernel: KernelStats,
     /// Per-task spans, when tracing was requested.
     pub trace: Option<Vec<TaskSpan>>,
 }
@@ -122,6 +152,171 @@ impl Report {
     /// Data staged out, in GB.
     pub fn gb_out(&self) -> f64 {
         self.bytes_out as f64 / BYTES_PER_GB
+    }
+
+    /// This run as a metrics [`Registry`]: the paper's headline numbers
+    /// plus the kernel self-telemetry, every metric
+    /// [`MetricClass::Deterministic`]. Rendering it with
+    /// [`Registry::prometheus_text`] is byte-identical across runs,
+    /// machines, and `MCLOUD_WORKERS` settings — this is what
+    /// `mcloud simulate --metrics-out` writes and what the committed
+    /// telemetry golden pins.
+    pub fn registry(&self) -> Registry {
+        const D: MetricClass = MetricClass::Deterministic;
+        let mut r = Registry::new();
+
+        // Headline run metrics (the paper's Section 5 axes).
+        r.set_gauge(
+            "mcloud_run_makespan_hours",
+            "Workflow execution time, hours.",
+            D,
+            &[],
+            self.makespan_hours(),
+        );
+        r.set_gauge(
+            "mcloud_run_cost_dollars",
+            "Total run cost under the configured rate card.",
+            D,
+            &[],
+            self.total_cost().dollars(),
+        );
+        r.set_counter(
+            "mcloud_run_bytes_total",
+            "Bytes staged between the archive and cloud storage.",
+            D,
+            &[("direction", "in")],
+            self.bytes_in,
+        );
+        r.set_counter(
+            "mcloud_run_bytes_total",
+            "Bytes staged between the archive and cloud storage.",
+            D,
+            &[("direction", "out")],
+            self.bytes_out,
+        );
+        r.set_gauge(
+            "mcloud_run_storage_gb_hours",
+            "Storage occupancy integral, GB-hours.",
+            D,
+            &[],
+            self.storage_gb_hours(),
+        );
+        r.set_counter(
+            "mcloud_run_events_total",
+            "Discrete events the engine processed.",
+            D,
+            &[],
+            self.events_processed,
+        );
+        r.set_counter(
+            "mcloud_run_task_executions_total",
+            "Execution attempts, failed ones included.",
+            D,
+            &[],
+            self.task_executions,
+        );
+        r.set_counter(
+            "mcloud_run_failed_attempts_total",
+            "Execution attempts that failed.",
+            D,
+            &[],
+            self.failed_attempts,
+        );
+        r.set_counter(
+            "mcloud_run_retries_total",
+            "Failed attempts granted another try.",
+            D,
+            &[],
+            self.retries,
+        );
+        r.set_histogram(
+            "mcloud_run_queue_wait_seconds",
+            "Seconds runnable tasks waited for a processor.",
+            D,
+            &[],
+            &self.queue_wait_hist,
+        );
+
+        // Kernel self-telemetry: calendar queue, ready set, processor pool.
+        let q = &self.kernel.queue;
+        r.set_counter(
+            "mcloud_kernel_queue_pops_total",
+            "Events delivered by the calendar queue.",
+            D,
+            &[],
+            q.popped,
+        );
+        r.set_counter(
+            "mcloud_kernel_queue_cancellations_total",
+            "Cancellations that removed a still-pending event.",
+            D,
+            &[],
+            q.cancelled,
+        );
+        r.set_counter(
+            "mcloud_kernel_queue_resizes_total",
+            "Calendar-queue ring rebuilds (grows and shrinks).",
+            D,
+            &[],
+            q.resizes,
+        );
+        r.set_counter(
+            "mcloud_kernel_queue_cursor_jumps_total",
+            "Empty-revolution cursor jumps to the earliest pending day.",
+            D,
+            &[],
+            q.cursor_jumps,
+        );
+        r.set_gauge(
+            "mcloud_kernel_queue_peak_pending",
+            "High-water mark of simultaneously pending events.",
+            D,
+            &[],
+            q.peak_pending as f64,
+        );
+        r.set_gauge(
+            "mcloud_kernel_queue_width_bits",
+            "Final log2 bucket width of the calendar queue, microseconds.",
+            D,
+            &[],
+            q.width_bits as f64,
+        );
+        r.set_gauge(
+            "mcloud_kernel_queue_buckets",
+            "Final number of active buckets in the calendar-queue ring.",
+            D,
+            &[],
+            q.buckets as f64,
+        );
+        r.set_gauge(
+            "mcloud_kernel_ready_mean",
+            "Time-weighted mean ready-queued tasks over the makespan.",
+            D,
+            &[],
+            self.kernel.ready_mean,
+        );
+        r.set_gauge(
+            "mcloud_kernel_ready_peak",
+            "Peak simultaneously ready tasks.",
+            D,
+            &[],
+            self.kernel.ready_peak,
+        );
+        r.set_gauge(
+            "mcloud_kernel_pool_busy_mean",
+            "Time-weighted mean busy processors over the makespan.",
+            D,
+            &[],
+            self.kernel.pool_busy_mean,
+        );
+        r.set_counter(
+            "mcloud_kernel_pool_grants_total",
+            "Processor acquisitions granted over the run.",
+            D,
+            &[],
+            self.kernel.pool_grants,
+        );
+        r
     }
 }
 
@@ -164,8 +359,36 @@ mod tests {
             queue_wait_mean_s: 1.0,
             queue_wait_max_s: 5.0,
             queue_wait_hist: Histogram::new(),
+            kernel: KernelStats {
+                queue: QueueStats::default(),
+                ready_mean: 0.5,
+                ready_peak: 4.0,
+                pool_busy_mean: 0.9,
+                pool_grants: 10,
+            },
             trace: None,
         }
+    }
+
+    #[test]
+    fn registry_exposes_headline_and_kernel_metrics() {
+        let text = sample().registry().prometheus_text();
+        assert!(text.contains("mcloud_run_makespan_hours 2\n"), "{text}");
+        assert!(
+            text.contains("mcloud_run_bytes_total{direction=\"in\"} 2000000000\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mcloud_kernel_pool_grants_total 10\n"),
+            "{text}"
+        );
+        assert!(text.contains("mcloud_kernel_ready_peak 4\n"), "{text}");
+        assert!(
+            text.contains("mcloud_run_queue_wait_seconds_count 0\n"),
+            "{text}"
+        );
+        // All deterministic: the wall-clock-inclusive render is identical.
+        assert_eq!(text, sample().registry().prometheus_text_all());
     }
 
     #[test]

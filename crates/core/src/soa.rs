@@ -219,6 +219,12 @@ impl ReadySet {
         self.len -= 1;
     }
 
+    /// Number of ready tasks currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
     /// The highest-priority (lowest-rank) ready task, without removing it.
     #[inline]
     pub fn peek_min(&mut self) -> Option<(u64, TaskId)> {

@@ -17,7 +17,7 @@
 //! // 2-slot local cluster with cloud bursting.
 //! let arrivals = periodic(2.0, 24.0, 1.0);
 //! let report = simulate_service(&arrivals, &ServiceConfig::default_burst());
-//! assert_eq!(report.outcomes.len(), 11);
+//! assert_eq!(report.requests(), 11);
 //! // Light traffic never bursts: everything fits locally.
 //! assert_eq!(report.cloud_requests(), 0);
 //! ```
@@ -34,6 +34,6 @@ pub use arrivals::{bursty, mixed, periodic, poisson, Arrival};
 pub use autoscale::{simulate_autoscale, AutoScaleConfig, AutoScaleReport};
 pub use profile::{ProfileTable, RequestProfile};
 pub use simulator::{
-    service_trace_jsonl, simulate_service, simulate_service_with_sink, RequestOutcome,
-    ServiceConfig, ServiceReport, Venue,
+    service_trace_jsonl, simulate_service, simulate_service_each, simulate_service_with_sink,
+    RequestOutcome, ServiceConfig, ServiceReport, Venue,
 };

@@ -7,12 +7,25 @@
 //! but bills per request. This is the decision problem behind the paper's
 //! Question 1: "sometimes it needs more resources than it has, so it
 //! reaches out to the cloud from time to time".
+//!
+//! # Streaming aggregation
+//!
+//! The simulator never materializes a per-request result vector: outcomes
+//! are folded into [`Histogram`]s and a [`TimeWeighted`] backlog
+//! integrator as requests start, so simulating a month — or a decade — of
+//! traffic takes memory proportional to the *peak backlog*, not the
+//! request count. Callers that do want every [`RequestOutcome`] (tests,
+//! trace tooling) use [`simulate_service_each`], which streams them to a
+//! visitor in arrival order.
 
 use std::collections::VecDeque;
 
 use mcloud_core::ExecConfig;
 use mcloud_cost::Money;
-use mcloud_simkit::{EventQueue, EventSink, Histogram, NullSink, SimRng, SimTime, TraceEvent};
+use mcloud_simkit::{
+    EventQueue, EventSink, Histogram, MetricClass, NullSink, Registry, SimRng, SimTime,
+    TimeWeighted, TraceEvent,
+};
 
 use crate::arrivals::Arrival;
 use crate::profile::ProfileTable;
@@ -120,11 +133,31 @@ impl RequestOutcome {
     }
 }
 
-/// Aggregate result of a service simulation.
+/// Aggregate result of a service simulation: streaming folds over every
+/// request, in constant memory.
+///
+/// Per-request detail is not retained; the distributions here are folded
+/// in arrival order as requests are served, so the summary statistics
+/// (means, maxima, counts, costs) are bit-identical to what a
+/// materialized outcome vector would yield. Callers that need individual
+/// outcomes stream them through [`simulate_service_each`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
-    /// Every request, in arrival order.
-    pub outcomes: Vec<RequestOutcome>,
+    /// Requests served on local slots.
+    pub served_local: u64,
+    /// Requests burst to the cloud.
+    pub served_cloud: u64,
+    /// Distribution of per-request slot waits, hours, folded in arrival
+    /// order.
+    pub wait_hist: Histogram,
+    /// Distribution of per-request turnarounds, hours, folded in arrival
+    /// order.
+    pub turnaround_hist: Histogram,
+    /// Time-weighted mean number of requests waiting for a slot over the
+    /// simulated span.
+    pub backlog_mean: f64,
+    /// Peak number of simultaneously waiting requests.
+    pub backlog_peak: f64,
     /// Dollars spent on cloud bursts.
     pub cloud_cost: Money,
     /// Amortized local cost (zero unless configured).
@@ -132,20 +165,19 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// Total requests served.
+    pub fn requests(&self) -> usize {
+        (self.served_local + self.served_cloud) as usize
+    }
+
     /// Requests served locally.
     pub fn local_requests(&self) -> usize {
-        self.outcomes
-            .iter()
-            .filter(|o| o.venue == Venue::Local)
-            .count()
+        self.served_local as usize
     }
 
     /// Requests burst to the cloud.
     pub fn cloud_requests(&self) -> usize {
-        self.outcomes
-            .iter()
-            .filter(|o| o.venue == Venue::Cloud)
-            .count()
+        self.served_cloud as usize
     }
 
     /// Total spend.
@@ -155,131 +187,116 @@ impl ServiceReport {
 
     /// Mean wait for a slot, hours.
     pub fn mean_wait_hours(&self) -> f64 {
-        mean(self.outcomes.iter().map(RequestOutcome::wait_hours))
+        self.wait_hist.mean()
     }
 
     /// Longest wait, hours.
     pub fn max_wait_hours(&self) -> f64 {
-        self.outcomes
-            .iter()
-            .map(RequestOutcome::wait_hours)
-            .fold(0.0, f64::max)
+        self.wait_hist.max()
     }
 
     /// Mean turnaround, hours.
     pub fn mean_turnaround_hours(&self) -> f64 {
-        mean(self.outcomes.iter().map(RequestOutcome::turnaround_hours))
+        self.turnaround_hist.mean()
     }
 
     /// Empirical `q`-quantile of turnaround, `0 <= q <= 1`. `q = 0`
-    /// returns the smallest observation, `q = 1` the largest; an empty
-    /// report returns 0.
+    /// returns the smallest observation and `q = 1` the largest, exactly;
+    /// interior quantiles are log-bucket midpoints (≤ ~9% relative
+    /// error). An empty report returns 0.
     pub fn turnaround_quantile(&self, q: f64) -> f64 {
-        quantile_of(
-            self.outcomes.iter().map(RequestOutcome::turnaround_hours),
-            q,
-        )
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        self.turnaround_hist.quantile(q)
     }
 
     /// Empirical `q`-quantile of slot wait, same conventions as
     /// [`ServiceReport::turnaround_quantile`].
     pub fn wait_quantile(&self, q: f64) -> f64 {
-        quantile_of(self.outcomes.iter().map(RequestOutcome::wait_hours), q)
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        self.wait_hist.quantile(q)
     }
 
     /// Distribution of per-request slot waits, in hours.
-    pub fn wait_histogram(&self) -> Histogram {
-        let mut h = Histogram::new();
-        for o in &self.outcomes {
-            h.record(o.wait_hours());
-        }
-        h
+    pub fn wait_histogram(&self) -> &Histogram {
+        &self.wait_hist
     }
 
     /// Distribution of per-request turnarounds, in hours.
-    pub fn turnaround_histogram(&self) -> Histogram {
-        let mut h = Histogram::new();
-        for o in &self.outcomes {
-            h.record(o.turnaround_hours());
-        }
-        h
+    pub fn turnaround_histogram(&self) -> &Histogram {
+        &self.turnaround_hist
     }
 
-    /// Prometheus text-format exposition of the request latency
-    /// distributions: two cumulative histograms
-    /// (`mcloud_request_wait_hours`, `mcloud_request_turnaround_hours`)
-    /// plus request/venue counters and the spend gauge. Deterministic for
-    /// a deterministic report.
+    /// The report as a deterministic metrics [`Registry`]: the request
+    /// latency histograms, venue counters, spend gauges, and backlog
+    /// occupancy. Everything is event-derived, so the registry renders
+    /// byte-identically for a deterministic report.
+    pub fn registry(&self) -> Registry {
+        let det = MetricClass::Deterministic;
+        let mut reg = Registry::new();
+        reg.set_histogram(
+            "mcloud_request_wait_hours",
+            "Hours each request waited for a slot.",
+            det,
+            &[],
+            &self.wait_hist,
+        );
+        reg.set_histogram(
+            "mcloud_request_turnaround_hours",
+            "Hours from request arrival to completion.",
+            det,
+            &[],
+            &self.turnaround_hist,
+        );
+        reg.set_counter(
+            "mcloud_requests_total",
+            "Requests served, by venue.",
+            det,
+            &[("venue", "local")],
+            self.served_local,
+        );
+        reg.set_counter(
+            "mcloud_requests_total",
+            "Requests served, by venue.",
+            det,
+            &[("venue", "cloud")],
+            self.served_cloud,
+        );
+        reg.set_gauge(
+            "mcloud_spend_dollars",
+            "Total service spend in dollars.",
+            det,
+            &[],
+            self.total_cost().dollars(),
+        );
+        reg.set_gauge(
+            "mcloud_service_backlog_mean",
+            "Time-weighted mean number of requests waiting for a slot.",
+            det,
+            &[],
+            self.backlog_mean,
+        );
+        reg.set_gauge(
+            "mcloud_service_backlog_peak",
+            "Peak number of simultaneously waiting requests.",
+            det,
+            &[],
+            self.backlog_peak,
+        );
+        reg
+    }
+
+    /// Prometheus text-format exposition of [`ServiceReport::registry`]:
+    /// two cumulative histograms (`mcloud_request_wait_hours`,
+    /// `mcloud_request_turnaround_hours`) plus request/venue counters,
+    /// the spend gauge, and backlog occupancy. Deterministic for a
+    /// deterministic report.
     pub fn prometheus_text(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        for (name, help, h) in [
-            (
-                "mcloud_request_wait_hours",
-                "Hours each request waited for a slot.",
-                self.wait_histogram(),
-            ),
-            (
-                "mcloud_request_turnaround_hours",
-                "Hours from request arrival to completion.",
-                self.turnaround_histogram(),
-            ),
-        ] {
-            writeln!(out, "# HELP {name} {help}").unwrap();
-            writeln!(out, "# TYPE {name} histogram").unwrap();
-            for (le, cum) in h.cumulative_buckets() {
-                writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}").unwrap();
-            }
-            writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count()).unwrap();
-            writeln!(out, "{name}_sum {}", h.sum()).unwrap();
-            writeln!(out, "{name}_count {}", h.count()).unwrap();
-        }
-        writeln!(
-            out,
-            "mcloud_requests_total{{venue=\"local\"}} {}",
-            self.local_requests()
-        )
-        .unwrap();
-        writeln!(
-            out,
-            "mcloud_requests_total{{venue=\"cloud\"}} {}",
-            self.cloud_requests()
-        )
-        .unwrap();
-        writeln!(out, "mcloud_spend_dollars {}", self.total_cost().dollars()).unwrap();
-        out
-    }
-}
-
-/// Shared empirical-quantile kernel: nearest-rank with `q = 0` mapped to
-/// the minimum, 0 on an empty stream.
-fn quantile_of(xs: impl Iterator<Item = f64>, q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-    let mut v: Vec<f64> = xs.collect();
-    if v.is_empty() {
-        return 0.0;
-    }
-    v.sort_by(f64::total_cmp);
-    let idx = ((v.len() as f64 * q).ceil() as usize).clamp(1, v.len());
-    v[idx - 1]
-}
-
-fn mean(xs: impl Iterator<Item = f64>) -> f64 {
-    let (mut sum, mut n) = (0.0, 0u64);
-    for x in xs {
-        sum += x;
-        n += 1;
-    }
-    if n == 0 {
-        0.0
-    } else {
-        sum / n as f64
+        self.registry().prometheus_text()
     }
 }
 
 #[derive(Debug)]
 enum Ev {
-    Arrive(usize),
     LocalDone(usize),
     /// Emits the finish event for a cloud request; scheduled only when a
     /// trace sink is listening (cloud runs occupy no service state).
@@ -291,7 +308,7 @@ enum Ev {
 /// # Panics
 /// Panics if the configuration fails validation.
 pub fn simulate_service(arrivals: &[Arrival], cfg: &ServiceConfig) -> ServiceReport {
-    simulate_service_with_sink(arrivals, cfg, &mut NullSink)
+    simulate_service_each(arrivals, cfg, &mut NullSink, |_| {})
 }
 
 /// Like [`simulate_service`], but narrates each request's lifecycle into
@@ -306,106 +323,190 @@ pub fn simulate_service_with_sink<S: EventSink>(
     cfg: &ServiceConfig,
     sink: &mut S,
 ) -> ServiceReport {
+    simulate_service_each(arrivals, cfg, sink, |_| {})
+}
+
+/// Drains completed [`RequestOutcome`]s to the visitor in arrival-index
+/// order, buffering only the out-of-order window (bounded by the peak
+/// backlog, not the request count), and folds each drained outcome into
+/// the report's histograms so the fold order matches arrival order.
+struct OutcomeFold<F: FnMut(&RequestOutcome)> {
+    buf: VecDeque<Option<RequestOutcome>>,
+    next: usize,
+    wait_hist: Histogram,
+    turnaround_hist: Histogram,
+    served_local: u64,
+    served_cloud: u64,
+    visit: F,
+}
+
+impl<F: FnMut(&RequestOutcome)> OutcomeFold<F> {
+    fn new(visit: F) -> Self {
+        OutcomeFold {
+            buf: VecDeque::new(),
+            next: 0,
+            wait_hist: Histogram::new(),
+            turnaround_hist: Histogram::new(),
+            served_local: 0,
+            served_cloud: 0,
+            visit,
+        }
+    }
+
+    fn push(&mut self, o: RequestOutcome) {
+        debug_assert!(o.index >= self.next, "outcome {} delivered twice", o.index);
+        let at = o.index - self.next;
+        if at >= self.buf.len() {
+            self.buf.resize_with(at + 1, || None);
+        }
+        self.buf[at] = Some(o);
+        while let Some(Some(_)) = self.buf.front() {
+            let o = self.buf.pop_front().unwrap().unwrap();
+            self.next += 1;
+            // The clock is quantized to microseconds, so a request served
+            // on arrival can report a wait a fraction of a microsecond
+            // below zero; the histogram wants true durations.
+            self.wait_hist.record(o.wait_hours().max(0.0));
+            self.turnaround_hist.record(o.turnaround_hours().max(0.0));
+            match o.venue {
+                Venue::Local => self.served_local += 1,
+                Venue::Cloud => self.served_cloud += 1,
+            }
+            (self.visit)(&o);
+        }
+    }
+}
+
+/// The streaming core: like [`simulate_service_with_sink`], but also
+/// hands every [`RequestOutcome`] to `on_outcome` in arrival-index order
+/// as soon as it (and all its predecessors) are decided. Memory stays
+/// proportional to the peak backlog — arrivals are merged into the event
+/// calendar lazily and outcomes are folded into the report's histograms
+/// instead of being collected.
+///
+/// # Panics
+/// Panics if the configuration fails validation or the arrivals are not
+/// sorted by time.
+pub fn simulate_service_each<S: EventSink>(
+    arrivals: &[Arrival],
+    cfg: &ServiceConfig,
+    sink: &mut S,
+    on_outcome: impl FnMut(&RequestOutcome),
+) -> ServiceReport {
     cfg.validate().expect("invalid service configuration");
     let mut profiles = ProfileTable::new(cfg.exec.clone());
 
-    // Pre-roll each request's attempt count in arrival order: every run
-    // fails independently with `request_failure_prob` and is rerun up to
-    // `request_retry_max` times. A zero rate draws nothing, so fault-free
-    // configurations replay historic byte-identical results.
-    let attempts_of: Vec<u32> = if cfg.request_failure_prob > 0.0 {
-        let mut rng = SimRng::new(cfg.fault_seed);
-        arrivals
-            .iter()
-            .map(|_| {
-                let mut runs = 1u32;
-                while runs <= cfg.request_retry_max && rng.chance(cfg.request_failure_prob) {
-                    runs += 1;
-                }
-                runs
-            })
-            .collect()
-    } else {
-        vec![1; arrivals.len()]
+    // Each request's attempt count is drawn when it arrives — arrivals
+    // are processed in index order, so the draw stream is identical to
+    // pre-rolling the whole vector. A zero rate draws nothing, so
+    // fault-free configurations replay historic byte-identical results.
+    let mut rng = (cfg.request_failure_prob > 0.0).then(|| SimRng::new(cfg.fault_seed));
+    let mut draw_attempts = || -> u32 {
+        let mut runs = 1u32;
+        if let Some(rng) = rng.as_mut() {
+            while runs <= cfg.request_retry_max && rng.chance(cfg.request_failure_prob) {
+                runs += 1;
+            }
+        }
+        runs
     };
 
     let mut events: EventQueue<Ev> = EventQueue::new();
-    for (i, a) in arrivals.iter().enumerate() {
-        assert!(
-            i == 0 || arrivals[i - 1].at_hours <= a.at_hours,
-            "arrivals must be sorted by time"
-        );
-        events.push(hours(a.at_hours), Ev::Arrive(i));
-    }
-
+    let mut next_arrival = 0usize;
     let mut free_slots = cfg.local_slots;
-    let mut waiting: VecDeque<usize> = VecDeque::new();
-    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; arrivals.len()];
+    // FIFO backlog of (arrival index, pre-drawn attempt count).
+    let mut waiting: VecDeque<(usize, u32)> = VecDeque::new();
+    let mut fold = OutcomeFold::new(on_outcome);
+    let mut backlog = TimeWeighted::new();
     let mut cloud_cost = Money::ZERO;
     let mut local_busy_hours = 0.0f64;
+    let mut last_now = SimTime::ZERO;
 
-    while let Some((now, ev)) = events.pop() {
-        match ev {
-            Ev::Arrive(i) => {
-                sink.emit(now, TraceEvent::RequestQueued { req: i as u32 });
-                if free_slots > 0 {
-                    free_slots -= 1;
-                    start_local(
-                        i,
-                        now,
-                        arrivals,
-                        cfg,
-                        &attempts_of,
-                        &mut profiles,
-                        &mut events,
-                        &mut outcomes,
-                        &mut local_busy_hours,
-                        sink,
-                    );
-                } else if cfg.burst_threshold.is_some_and(|k| waiting.len() >= k) {
-                    let profile = profiles.fixed(arrivals[i].degrees, cfg.cloud_procs_per_request);
-                    let runs = attempts_of[i];
-                    let cost = profile.cost * runs as f64;
-                    let hours = profile.makespan_hours * runs as f64;
-                    cloud_cost += cost;
-                    let start_h = now.as_hours_f64();
-                    sink.emit(
-                        now,
-                        TraceEvent::RequestStarted {
-                            req: i as u32,
-                            cloud: true,
-                        },
-                    );
-                    outcomes[i] = Some(RequestOutcome {
-                        index: i,
-                        degrees: arrivals[i].degrees,
-                        arrival_hours: arrivals[i].at_hours,
-                        start_hours: start_h,
-                        finish_hours: start_h + hours,
-                        venue: Venue::Cloud,
-                        cost,
-                        attempts: runs,
-                    });
-                    if sink.enabled() {
-                        let finish = now + mcloud_simkit::SimDuration::from_hours_f64(hours);
-                        events.push(finish, Ev::CloudDone(i));
-                    }
-                } else {
-                    waiting.push_back(i);
+    loop {
+        // Merge the sorted arrival stream against the event calendar
+        // without enqueueing every arrival up front. An arrival ties
+        // ahead of any completion at the same instant, exactly as if all
+        // arrivals had been pushed first with the lowest sequence numbers.
+        let arrival_due = next_arrival < arrivals.len()
+            && match events.peek_time() {
+                None => true,
+                Some(t) => hours(arrivals[next_arrival].at_hours) <= t,
+            };
+        if arrival_due {
+            let i = next_arrival;
+            next_arrival += 1;
+            let a = &arrivals[i];
+            assert!(
+                i == 0 || arrivals[i - 1].at_hours <= a.at_hours,
+                "arrivals must be sorted by time"
+            );
+            let now = hours(a.at_hours);
+            last_now = now;
+            let attempts = draw_attempts();
+            sink.emit(now, TraceEvent::RequestQueued { req: i as u32 });
+            if free_slots > 0 {
+                free_slots -= 1;
+                start_local(
+                    i,
+                    attempts,
+                    now,
+                    arrivals,
+                    cfg,
+                    &mut profiles,
+                    &mut events,
+                    &mut fold,
+                    &mut local_busy_hours,
+                    sink,
+                );
+            } else if cfg.burst_threshold.is_some_and(|k| waiting.len() >= k) {
+                let profile = profiles.fixed(a.degrees, cfg.cloud_procs_per_request);
+                let cost = profile.cost * attempts as f64;
+                let run_hours = profile.makespan_hours * attempts as f64;
+                cloud_cost += cost;
+                let start_h = now.as_hours_f64();
+                sink.emit(
+                    now,
+                    TraceEvent::RequestStarted {
+                        req: i as u32,
+                        cloud: true,
+                    },
+                );
+                fold.push(RequestOutcome {
+                    index: i,
+                    degrees: a.degrees,
+                    arrival_hours: a.at_hours,
+                    start_hours: start_h,
+                    finish_hours: start_h + run_hours,
+                    venue: Venue::Cloud,
+                    cost,
+                    attempts,
+                });
+                if sink.enabled() {
+                    let finish = now + mcloud_simkit::SimDuration::from_hours_f64(run_hours);
+                    events.push(finish, Ev::CloudDone(i));
                 }
+            } else {
+                waiting.push_back((i, attempts));
+                backlog.set(now, waiting.len() as f64);
             }
+            continue;
+        }
+        let Some((now, ev)) = events.pop() else { break };
+        last_now = now;
+        match ev {
             Ev::LocalDone(done) => {
                 sink.emit(now, TraceEvent::RequestFinished { req: done as u32 });
-                if let Some(i) = waiting.pop_front() {
+                if let Some((i, attempts)) = waiting.pop_front() {
+                    backlog.set(now, waiting.len() as f64);
                     start_local(
                         i,
+                        attempts,
                         now,
                         arrivals,
                         cfg,
-                        &attempts_of,
                         &mut profiles,
                         &mut events,
-                        &mut outcomes,
+                        &mut fold,
                         &mut local_busy_hours,
                         sink,
                     );
@@ -419,36 +520,37 @@ pub fn simulate_service_with_sink<S: EventSink>(
         }
     }
 
-    let outcomes: Vec<RequestOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every request is served"))
-        .collect();
+    debug_assert_eq!(fold.next, arrivals.len(), "every request is served");
     ServiceReport {
-        outcomes,
+        served_local: fold.served_local,
+        served_cloud: fold.served_cloud,
+        wait_hist: fold.wait_hist,
+        turnaround_hist: fold.turnaround_hist,
+        backlog_mean: backlog.mean(last_now),
+        backlog_peak: backlog.peak(),
         cloud_cost,
         local_cost: cfg.local_cost_per_slot_hour * local_busy_hours,
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn start_local<S: EventSink>(
+fn start_local<S: EventSink, F: FnMut(&RequestOutcome)>(
     i: usize,
+    attempts: u32,
     now: SimTime,
     arrivals: &[Arrival],
     cfg: &ServiceConfig,
-    attempts_of: &[u32],
     profiles: &mut ProfileTable,
     events: &mut EventQueue<Ev>,
-    outcomes: &mut [Option<RequestOutcome>],
+    fold: &mut OutcomeFold<F>,
     local_busy_hours: &mut f64,
     sink: &mut S,
 ) {
     let profile = profiles.owned(arrivals[i].degrees, cfg.local_procs_per_request);
-    let runs = attempts_of[i];
-    let hours = profile.makespan_hours * runs as f64;
+    let run_hours = profile.makespan_hours * attempts as f64;
     let start_h = now.as_hours_f64();
-    let finish = now + mcloud_simkit::SimDuration::from_hours_f64(hours);
-    *local_busy_hours += hours;
+    let finish = now + mcloud_simkit::SimDuration::from_hours_f64(run_hours);
+    *local_busy_hours += run_hours;
     sink.emit(
         now,
         TraceEvent::RequestStarted {
@@ -456,15 +558,15 @@ fn start_local<S: EventSink>(
             cloud: false,
         },
     );
-    outcomes[i] = Some(RequestOutcome {
+    fold.push(RequestOutcome {
         index: i,
         degrees: arrivals[i].degrees,
         arrival_hours: arrivals[i].at_hours,
         start_hours: start_h,
         finish_hours: finish.as_hours_f64(),
         venue: Venue::Local,
-        cost: cfg.local_cost_per_slot_hour * hours,
-        attempts: runs,
+        cost: cfg.local_cost_per_slot_hour * run_hours,
+        attempts,
     });
     events.push(finish, Ev::LocalDone(i));
 }
@@ -506,6 +608,12 @@ mod tests {
     use crate::arrivals::periodic;
     use mcloud_simkit::RecordingSink;
 
+    fn outcomes_of(arrivals: &[Arrival], cfg: &ServiceConfig) -> Vec<RequestOutcome> {
+        let mut v = Vec::new();
+        simulate_service_each(arrivals, cfg, &mut NullSink, |o| v.push(*o));
+        v
+    }
+
     #[test]
     fn traced_service_run_matches_untraced() {
         let arrivals = periodic(2.0, 24.0, 1.0);
@@ -513,6 +621,41 @@ mod tests {
         let mut sink = RecordingSink::new();
         let traced = simulate_service_with_sink(&arrivals, &cfg, &mut sink);
         assert_eq!(traced, simulate_service(&arrivals, &cfg));
+    }
+
+    #[test]
+    fn visitor_streams_every_outcome_in_arrival_order() {
+        // Heavy traffic on one slot with bursting: cloud outcomes are
+        // decided out of order (a burst starts instantly while earlier
+        // arrivals still wait), so the reorder window is exercised.
+        let arrivals = periodic(0.25, 12.0, 1.0);
+        let cfg = ServiceConfig {
+            local_slots: 1,
+            burst_threshold: Some(1),
+            ..ServiceConfig::default_burst()
+        };
+        let outcomes = outcomes_of(&arrivals, &cfg);
+        let report = simulate_service(&arrivals, &cfg);
+        assert_eq!(outcomes.len(), arrivals.len());
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.index, i, "visitor must see arrival order");
+        }
+        assert!(outcomes.iter().any(|o| o.venue == Venue::Cloud));
+        // The folded report agrees with the streamed outcomes, bit for
+        // bit: the fold accumulates in the same order a materialized
+        // vector would have been reduced.
+        assert_eq!(
+            report.local_requests(),
+            outcomes.iter().filter(|o| o.venue == Venue::Local).count()
+        );
+        let naive_mean: f64 =
+            outcomes.iter().map(RequestOutcome::wait_hours).sum::<f64>() / outcomes.len() as f64;
+        assert_eq!(report.mean_wait_hours().to_bits(), naive_mean.to_bits());
+        let naive_max = outcomes
+            .iter()
+            .map(RequestOutcome::wait_hours)
+            .fold(0.0f64, f64::max);
+        assert_eq!(report.max_wait_hours().to_bits(), naive_max.to_bits());
     }
 
     #[test]
@@ -525,7 +668,8 @@ mod tests {
             ..ServiceConfig::default_burst()
         };
         let mut sink = RecordingSink::new();
-        let report = simulate_service_with_sink(&arrivals, &cfg, &mut sink);
+        let mut outcomes = Vec::new();
+        let report = simulate_service_each(&arrivals, &cfg, &mut sink, |o| outcomes.push(*o));
         assert!(report.cloud_requests() > 0 && report.local_requests() > 0);
 
         let c = sink.counters();
@@ -535,7 +679,7 @@ mod tests {
 
         // Each outcome's queued/started/finished events appear at exactly
         // the times the report says, with the right venue.
-        for o in &report.outcomes {
+        for o in &outcomes {
             let req = o.index as u32;
             let mut queued = None;
             let mut started = None;
@@ -564,21 +708,19 @@ mod tests {
     }
 
     fn report_with_turnarounds(ts: &[f64]) -> ServiceReport {
+        let mut wait_hist = Histogram::new();
+        let mut turnaround_hist = Histogram::new();
+        for &t in ts {
+            wait_hist.record(t / 2.0);
+            turnaround_hist.record(t);
+        }
         ServiceReport {
-            outcomes: ts
-                .iter()
-                .enumerate()
-                .map(|(i, &t)| RequestOutcome {
-                    index: i,
-                    degrees: 1.0,
-                    arrival_hours: 0.0,
-                    start_hours: t / 2.0,
-                    finish_hours: t,
-                    venue: Venue::Local,
-                    cost: Money::ZERO,
-                    attempts: 1,
-                })
-                .collect(),
+            served_local: ts.len() as u64,
+            served_cloud: 0,
+            wait_hist,
+            turnaround_hist,
+            backlog_mean: 0.0,
+            backlog_peak: 0.0,
             cloud_cost: Money::ZERO,
             local_cost: Money::ZERO,
         }
@@ -599,10 +741,14 @@ mod tests {
 
         let r = report_with_turnarounds(&[4.0, 1.0, 3.0, 2.0]);
         assert_eq!(r.turnaround_quantile(0.0), 1.0); // q = 0 is the minimum
-        assert_eq!(r.turnaround_quantile(0.25), 1.0);
-        assert_eq!(r.turnaround_quantile(0.5), 2.0);
+        assert_eq!(r.turnaround_quantile(0.25), 1.0); // rank 1: still exact
         assert_eq!(r.turnaround_quantile(1.0), 4.0); // q = 1 is the maximum
         assert_eq!(r.wait_quantile(1.0), 2.0); // waits are half of these
+
+        // Interior quantiles are log-bucket midpoints: rank 2 lands on the
+        // sample 2.0, whose 1/8-octave bucket [2.0, 2.25) reports 2.125.
+        let q50 = r.turnaround_quantile(0.5);
+        assert!((q50 - 2.125).abs() < 1e-12, "got {q50}");
     }
 
     #[test]
@@ -622,19 +768,30 @@ mod tests {
         let report = simulate_service(&arrivals, &cfg);
         let w = report.wait_histogram();
         let t = report.turnaround_histogram();
-        assert_eq!(w.count() as usize, report.outcomes.len());
-        assert_eq!(t.count() as usize, report.outcomes.len());
+        assert_eq!(w.count() as usize, report.requests());
+        assert_eq!(t.count() as usize, report.requests());
         assert!((w.mean() - report.mean_wait_hours()).abs() < 1e-9);
         assert!((t.mean() - report.mean_turnaround_hours()).abs() < 1e-9);
         assert_eq!(w.quantile(1.0).to_bits(), report.max_wait_hours().to_bits());
-        // Bucketed quantiles sit within one 12.5%-wide bucket of the
-        // exact nearest-rank ones.
-        let exact = report.turnaround_quantile(0.95);
-        assert!(
-            (t.quantile(0.95) - exact).abs() <= exact / 8.0 + 1e-9,
-            "bucketed {} vs exact {exact}",
-            t.quantile(0.95)
-        );
+    }
+
+    #[test]
+    fn backlog_occupancy_tracks_the_waiting_queue() {
+        // No bursting on one slot: heavy traffic must build a backlog.
+        let arrivals = periodic(0.25, 12.0, 1.0);
+        let cfg = ServiceConfig {
+            local_slots: 1,
+            burst_threshold: None,
+            ..ServiceConfig::default_burst()
+        };
+        let report = simulate_service(&arrivals, &cfg);
+        assert!(report.backlog_peak >= 1.0, "{}", report.backlog_peak);
+        assert!(report.backlog_mean > 0.0);
+        assert!(report.backlog_mean <= report.backlog_peak);
+        // Spaced-out traffic never queues.
+        let light = simulate_service(&periodic(2.0, 20.0, 1.0), &cfg);
+        assert_eq!(light.backlog_peak, 0.0);
+        assert_eq!(light.backlog_mean, 0.0);
     }
 
     #[test]
@@ -648,6 +805,7 @@ mod tests {
         assert!(a.contains("mcloud_request_turnaround_hours_bucket{le=\"+Inf\"}"));
         assert!(a.contains("mcloud_requests_total{venue=\"local\"}"));
         assert!(a.contains("mcloud_spend_dollars "));
+        assert!(a.contains("mcloud_service_backlog_mean "));
         // Cumulative bucket counts are monotonically non-decreasing.
         let mut last = 0u64;
         for line in a.lines() {
@@ -674,21 +832,23 @@ mod tests {
             fault_seed: 2008,
             ..base.clone()
         };
-        let clean = simulate_service(&arrivals, &base);
-        let a = simulate_service(&arrivals, &faulty);
-        let b = simulate_service(&arrivals, &faulty);
-        // Same seed, same stream: identical reports.
+        let clean = outcomes_of(&arrivals, &base);
+        let a = outcomes_of(&arrivals, &faulty);
+        let b = outcomes_of(&arrivals, &faulty);
+        // Same seed, same stream: identical outcomes.
         assert_eq!(a, b);
         // At a 50% rate across 48 requests some retries must land, each
         // within the configured budget.
-        assert!(a.outcomes.iter().any(|o| o.attempts > 1));
-        assert!(a.outcomes.iter().all(|o| o.attempts <= 4));
-        assert!(clean.outcomes.iter().all(|o| o.attempts == 1));
-        assert!(a.total_cost() > clean.total_cost());
-        assert!(a.mean_turnaround_hours() > clean.mean_turnaround_hours());
+        assert!(a.iter().any(|o| o.attempts > 1));
+        assert!(a.iter().all(|o| o.attempts <= 4));
+        assert!(clean.iter().all(|o| o.attempts == 1));
+        let clean_report = simulate_service(&arrivals, &base);
+        let faulty_report = simulate_service(&arrivals, &faulty);
+        assert!(faulty_report.total_cost() > clean_report.total_cost());
+        assert!(faulty_report.mean_turnaround_hours() > clean_report.mean_turnaround_hours());
         // Billing and service time scale with the rerolled attempts: a
         // request's occupancy is its single-run span times its attempts.
-        for o in &a.outcomes {
+        for o in &a {
             let span = o.finish_hours - o.start_hours;
             assert!(span > 0.0 && o.cost > Money::ZERO, "req {}", o.index);
             let per_run = span / o.attempts as f64;

@@ -1,8 +1,18 @@
 //! Randomized-property tests of the service queue over random traffic.
 
-use mcloud_service::{poisson, simulate_service, ServiceConfig, Venue};
+use mcloud_service::{
+    poisson, simulate_service, simulate_service_each, Arrival, RequestOutcome, ServiceConfig, Venue,
+};
+use mcloud_simkit::NullSink;
 
 const CASES: u64 = 24;
+
+/// Streams every outcome out of the constant-memory simulator.
+fn outcomes_of(arrivals: &[Arrival], cfg: &ServiceConfig) -> Vec<RequestOutcome> {
+    let mut v = Vec::new();
+    simulate_service_each(arrivals, cfg, &mut NullSink, |o| v.push(*o));
+    v
+}
 
 fn cfg(slots: u32, threshold: Option<usize>) -> ServiceConfig {
     ServiceConfig {
@@ -26,11 +36,11 @@ fn queue_invariants() {
         let slots = 1 + (case % 3) as u32;
         let arrivals = poisson(rate, 50.0, 1.0, 0x5E_0001 ^ case);
         assert!(!arrivals.is_empty(), "case {case}: no arrivals");
-        let report = simulate_service(&arrivals, &cfg(slots, None));
+        let outcomes = outcomes_of(&arrivals, &cfg(slots, None));
 
         // Sweep local busy intervals.
         let mut events: Vec<(f64, i32)> = Vec::new();
-        for o in &report.outcomes {
+        for o in &outcomes {
             assert!(o.wait_hours() >= -1e-9, "case {case}");
             if o.venue == Venue::Local {
                 events.push((o.start_hours, 1));
@@ -45,8 +55,7 @@ fn queue_invariants() {
         }
 
         // FIFO: local requests start in arrival order.
-        let starts: Vec<f64> = report
-            .outcomes
+        let starts: Vec<f64> = outcomes
             .iter()
             .filter(|o| o.venue == Venue::Local)
             .map(|o| o.start_hours)
@@ -107,13 +116,12 @@ fn turnaround_lower_bound() {
         let rate = param(case, 0.5, 4.0);
         let arrivals = poisson(rate, 30.0, 2.0, 0x5E_0004 ^ case);
         assert!(!arrivals.is_empty(), "case {case}: no arrivals");
-        let report = simulate_service(&arrivals, &cfg(2, Some(2)));
-        let min_service = report
-            .outcomes
+        let outcomes = outcomes_of(&arrivals, &cfg(2, Some(2)));
+        let min_service = outcomes
             .iter()
             .map(|o| o.finish_hours - o.start_hours)
             .fold(f64::INFINITY, f64::min);
-        for o in &report.outcomes {
+        for o in &outcomes {
             assert!(o.turnaround_hours() + 1e-9 >= min_service, "case {case}");
         }
     }

@@ -1,13 +1,24 @@
 //! Hand-checkable semantics of the service queueing simulator.
 
 use mcloud_cost::Money;
-use mcloud_service::{bursty, periodic, poisson, simulate_service, Arrival, ServiceConfig, Venue};
+use mcloud_service::{
+    bursty, periodic, poisson, simulate_service, simulate_service_each, Arrival, RequestOutcome,
+    ServiceConfig, Venue,
+};
+use mcloud_simkit::NullSink;
 
 fn at(hours: f64) -> Arrival {
     Arrival {
         at_hours: hours,
         degrees: 1.0,
     }
+}
+
+/// Streams every outcome out of the constant-memory simulator.
+fn outcomes_of(arrivals: &[Arrival], cfg: &ServiceConfig) -> Vec<RequestOutcome> {
+    let mut v = Vec::new();
+    simulate_service_each(arrivals, cfg, &mut NullSink, |o| v.push(*o));
+    v
 }
 
 /// Config with one local slot and no bursting: a pure FIFO M/D/1-style
@@ -26,10 +37,11 @@ fn fifo_queue_on_one_slot() {
     let arrivals = vec![at(0.0), at(0.0), at(0.0)];
     let report = simulate_service(&arrivals, &single_slot_no_burst());
     assert_eq!(report.cloud_requests(), 0);
-    let m = report.outcomes[0].turnaround_hours();
-    assert!((report.outcomes[0].start_hours - 0.0).abs() < 1e-9);
-    assert!((report.outcomes[1].start_hours - m).abs() < 1e-9);
-    assert!((report.outcomes[2].start_hours - 2.0 * m).abs() < 1e-9);
+    let outcomes = outcomes_of(&arrivals, &single_slot_no_burst());
+    let m = outcomes[0].turnaround_hours();
+    assert!((outcomes[0].start_hours - 0.0).abs() < 1e-9);
+    assert!((outcomes[1].start_hours - m).abs() < 1e-9);
+    assert!((outcomes[2].start_hours - 2.0 * m).abs() < 1e-9);
     assert!((report.max_wait_hours() - 2.0 * m).abs() < 1e-9);
     assert_eq!(report.total_cost(), Money::ZERO);
 }
@@ -40,7 +52,7 @@ fn spaced_requests_never_wait() {
     let arrivals = periodic(2.0, 20.0, 1.0);
     let report = simulate_service(&arrivals, &single_slot_no_burst());
     assert!(report.mean_wait_hours() < 1e-9);
-    assert_eq!(report.local_requests(), report.outcomes.len());
+    assert_eq!(report.local_requests(), report.requests());
 }
 
 #[test]
@@ -56,16 +68,17 @@ fn burst_threshold_routes_overflow_to_cloud() {
     let report = simulate_service(&arrivals, &cfg);
     assert_eq!(report.local_requests(), 2);
     assert_eq!(report.cloud_requests(), 2);
-    assert_eq!(report.outcomes[0].venue, Venue::Local);
-    assert_eq!(report.outcomes[1].venue, Venue::Local);
-    assert_eq!(report.outcomes[2].venue, Venue::Cloud);
-    assert_eq!(report.outcomes[3].venue, Venue::Cloud);
+    let outcomes = outcomes_of(&arrivals, &cfg);
+    assert_eq!(outcomes[0].venue, Venue::Local);
+    assert_eq!(outcomes[1].venue, Venue::Local);
+    assert_eq!(outcomes[2].venue, Venue::Cloud);
+    assert_eq!(outcomes[3].venue, Venue::Cloud);
     // Cloud requests start instantly and pay the 16-processor price.
-    assert!(report.outcomes[2].wait_hours() < 1e-9);
+    assert!(outcomes[2].wait_hours() < 1e-9);
     assert!(report.cloud_cost > Money::ZERO);
     assert!(report
         .cloud_cost
-        .approx_eq(report.outcomes[2].cost + report.outcomes[3].cost, 1e-12));
+        .approx_eq(outcomes[2].cost + outcomes[3].cost, 1e-12));
 }
 
 #[test]
@@ -116,8 +129,7 @@ fn amortized_local_cost_is_accounted() {
         ..ServiceConfig::default_burst()
     };
     let report = simulate_service(&arrivals, &cfg);
-    let busy: f64 = report
-        .outcomes
+    let busy: f64 = outcomes_of(&arrivals, &cfg)
         .iter()
         .map(|o| o.finish_hours - o.start_hours)
         .sum();
@@ -139,15 +151,17 @@ fn service_simulation_is_deterministic() {
 fn every_request_is_served_exactly_once() {
     let arrivals = poisson(4.0, 100.0, 1.0, 3);
     let report = simulate_service(&arrivals, &ServiceConfig::default_burst());
-    assert_eq!(report.outcomes.len(), arrivals.len());
-    for (i, o) in report.outcomes.iter().enumerate() {
+    let outcomes = outcomes_of(&arrivals, &ServiceConfig::default_burst());
+    assert_eq!(outcomes.len(), arrivals.len());
+    assert_eq!(report.requests(), arrivals.len());
+    for (i, o) in outcomes.iter().enumerate() {
         assert_eq!(o.index, i);
         assert!(o.start_hours >= o.arrival_hours - 1e-9);
         assert!(o.finish_hours > o.start_hours);
     }
     assert_eq!(
         report.local_requests() + report.cloud_requests(),
-        report.outcomes.len()
+        report.requests()
     );
 }
 

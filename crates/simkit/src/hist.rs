@@ -171,6 +171,9 @@ impl Histogram {
         if rank == self.count {
             return self.max;
         }
+        if rank == 1 {
+            return self.min;
+        }
         let mut seen = self.zeros;
         if rank <= seen {
             return 0.0;
@@ -324,6 +327,88 @@ mod tests {
         let before = a.clone();
         a.merge(&Histogram::new()); // merging empty is a no-op
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merging_into_an_empty_histogram_copies_the_other_exactly() {
+        let mut src = Histogram::new();
+        for v in [0.0, 0.0, 1.5, 300.25, 7e-4] {
+            src.record(v);
+        }
+        let mut dst = Histogram::new();
+        dst.merge(&src);
+        assert_eq!(dst, src);
+        // Exact extrema survive, bit for bit.
+        assert_eq!(dst.min().to_bits(), src.min().to_bits());
+        assert_eq!(dst.max().to_bits(), src.max().to_bits());
+    }
+
+    #[test]
+    fn merging_two_empties_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a, Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), 0.0);
+        assert!(a.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn merging_disjoint_bucket_ranges_interleaves_nothing() {
+        // a occupies only sub-unit buckets, b only large ones: no bucket
+        // index is shared, so the merge is a pure sorted interleave.
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for i in 1..=16 {
+            a.record(i as f64 / 1000.0);
+            b.record(i as f64 * 1000.0);
+        }
+        let (a_buckets, b_buckets) = (a.buckets.len(), b.buckets.len());
+        a.merge(&b);
+        assert_eq!(a.buckets.len(), a_buckets + b_buckets);
+        assert_eq!(a.count(), 32);
+        assert_eq!(a.min(), 0.001);
+        assert_eq!(a.max(), 16_000.0);
+        // The bucket list is still sorted with strictly increasing indices.
+        for w in a.buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        // Low quantiles come from a's range, high ones from b's.
+        assert!(a.quantile(0.25) < 1.0);
+        assert!(a.quantile(0.75) > 1.0);
+    }
+
+    #[test]
+    fn merge_then_quantile_matches_record_all_then_quantile() {
+        // Split one sample stream across three shards in round-robin order,
+        // merge, and compare every quantile against the unsharded histogram:
+        // the sparse-bucket merge must be exactly count-preserving.
+        let mut shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let mut whole = Histogram::new();
+        for i in 0..999u64 {
+            let v = match i % 4 {
+                0 => 0.0,
+                1 => (i as f64).sqrt(),
+                2 => 1e-6 * i as f64,
+                _ => 1e6 / (i + 1) as f64,
+            };
+            shards[(i % 3) as usize].record(v);
+            whole.record(v);
+        }
+        let mut merged = Histogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.buckets, whole.buckets);
+        assert_eq!(merged.zeros, whole.zeros);
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                merged.quantile(q).to_bits(),
+                whole.quantile(q).to_bits(),
+                "q={q}"
+            );
+        }
+        assert_eq!(merged.cumulative_buckets(), whole.cumulative_buckets());
     }
 
     #[test]

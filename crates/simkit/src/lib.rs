@@ -33,6 +33,10 @@
 //!   pool for fanning *independent* simulations across cores. Results are
 //!   slotted by input index, so parallel output is byte-identical to a
 //!   sequential run.
+//! * [`Registry`] — a deterministic metrics registry (counters, gauges,
+//!   registrable [`Histogram`]s) with byte-deterministic Prometheus text
+//!   and JSON renderings, split by [`MetricClass`] into golden-safe
+//!   event-derived metrics and wall-clock timings.
 //!
 //! The kernel is engine-agnostic: simulation logic lives in the crates that
 //! use it (see `mcloud-core`). The simulation primitives never spawn threads
@@ -80,6 +84,7 @@ mod pool;
 mod queue;
 mod rng;
 mod stats;
+mod telemetry;
 mod time;
 mod tracer;
 mod worker;
@@ -88,11 +93,12 @@ pub use channel::{FcfsChannel, TransferGrant};
 pub use fault::{Backoff, FaultInjector, FaultSpec};
 pub use hist::Histogram;
 pub use pool::{ProcId, ProcessorPool};
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, QueueStats};
 pub use rng::SimRng;
 pub use stats::{RunningStats, TimeWeighted};
+pub use telemetry::{MetricClass, Registry};
 pub use time::{SimDuration, SimTime};
 pub use tracer::{
     Channel, EventSink, FailureKind, NullSink, RecordingSink, TimedEvent, TraceCounters, TraceEvent,
 };
-pub use worker::{configured_lanes, pool_map, WorkerPool};
+pub use worker::{configured_lanes, pool_map, LaneStats, WorkerPool};

@@ -133,6 +133,40 @@ pub struct EventQueue<E> {
     pending: PendingBits,
     last_popped: SimTime,
     popped: u64,
+    /// Cancellations that hit a still-pending event.
+    cancelled: u64,
+    /// Ring rebuilds (grows and shrinks) over the queue's lifetime.
+    resizes: u64,
+    /// Times a full empty ring revolution made the serve cursor jump
+    /// straight to the earliest pending day.
+    cursor_jumps: u64,
+    /// High-water mark of pending (non-cancelled) events.
+    peak_pending: usize,
+}
+
+/// A point-in-time snapshot of the calendar queue's self-telemetry: how
+/// much work it has done and how its adaptive policies (resizing, width
+/// re-derivation, cursor jumps) actually behaved on this event stream.
+///
+/// Every field is derived purely from the push/pop/cancel sequence, so the
+/// snapshot is deterministic: two runs of the same simulation produce
+/// identical stats on any machine and at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Events delivered by [`EventQueue::pop`].
+    pub popped: u64,
+    /// Cancellations that removed a still-pending event.
+    pub cancelled: u64,
+    /// Ring rebuilds (grows and shrinks).
+    pub resizes: u64,
+    /// Empty-revolution cursor jumps to the earliest pending day.
+    pub cursor_jumps: u64,
+    /// High-water mark of simultaneously pending events.
+    pub peak_pending: u64,
+    /// Current log2 bucket width in microseconds.
+    pub width_bits: u32,
+    /// Current number of active buckets in the ring.
+    pub buckets: u64,
 }
 
 /// A grow-only bitset over dense sequence numbers.
@@ -195,6 +229,10 @@ impl<E> EventQueue<E> {
             pending: PendingBits::default(),
             last_popped: SimTime::ZERO,
             popped: 0,
+            cancelled: 0,
+            resizes: 0,
+            cursor_jumps: 0,
+            peak_pending: 0,
         }
     }
 
@@ -230,6 +268,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.insert(seq);
+        self.peak_pending = self.peak_pending.max(self.pending.count);
         if self.pending.count > 2 * self.active() {
             self.rebuild(self.active() * 2);
         }
@@ -286,13 +325,19 @@ impl<E> EventQueue<E> {
         self.next_seq = 0;
         self.last_popped = SimTime::ZERO;
         self.popped = 0;
+        self.cancelled = 0;
+        self.resizes = 0;
+        self.cursor_jumps = 0;
+        self.peak_pending = 0;
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (lazy deletion: the slot is recycled when the serve
     /// cursor or a resize next touches it).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(id.0)
+        let hit = self.pending.remove(id.0);
+        self.cancelled += u64::from(hit);
+        hit
     }
 
     /// Removes and returns the earliest pending event, advancing the clock.
@@ -345,6 +390,7 @@ impl<E> EventQueue<E> {
                 // A full ring revolution of empty days: jump the cursor
                 // straight to the earliest pending event (far-future
                 // outliers would otherwise cost a step per empty day).
+                self.cursor_jumps += 1;
                 self.cur_day = self.min_pending_day();
                 let b = (self.cur_day as usize) & self.mask;
                 let found = self.serve_ready(b);
@@ -468,6 +514,7 @@ impl<E> EventQueue<E> {
     /// only the intrusive links are rewritten.
     fn rebuild(&mut self, target: usize) {
         debug_assert!(target.is_power_of_two() && target >= MIN_BUCKETS);
+        self.resizes += 1;
         self.flush_run();
         self.spill.clear();
         for b in 0..self.active() {
@@ -547,6 +594,19 @@ impl<E> EventQueue<E> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Snapshots the queue's deterministic self-telemetry counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            popped: self.popped,
+            cancelled: self.cancelled,
+            resizes: self.resizes,
+            cursor_jumps: self.cursor_jumps,
+            peak_pending: self.peak_pending as u64,
+            width_bits: self.width_bits,
+            buckets: self.active() as u64,
+        }
     }
 }
 
@@ -762,6 +822,45 @@ mod tests {
         for i in 0..64u64 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+    }
+
+    #[test]
+    fn stats_track_the_adaptive_machinery() {
+        let mut q = EventQueue::new();
+        let fresh = q.stats();
+        assert_eq!((fresh.popped, fresh.cancelled, fresh.resizes), (0, 0, 0));
+        assert_eq!((fresh.cursor_jumps, fresh.peak_pending), (0, 0));
+        assert_eq!(fresh.buckets, MIN_BUCKETS as u64);
+        assert_eq!(fresh.width_bits, DEFAULT_WIDTH_BITS);
+
+        // Enough events to force at least one grow rebuild.
+        let ids: Vec<_> = (0..10 * MIN_BUCKETS as u64)
+            .map(|i| q.push(SimTime::from_micros((i % 17) * 1_000_003), i))
+            .collect();
+        let peak = q.len() as u64;
+        q.cancel(ids[3]);
+        q.cancel(ids[3]); // double-cancel counts once
+        while q.pop().is_some() {}
+
+        let s = q.stats();
+        assert_eq!(s.popped, ids.len() as u64 - 1);
+        assert_eq!(s.cancelled, 1);
+        assert!(s.resizes >= 1, "grow must have rebuilt the ring: {s:?}");
+        assert_eq!(s.peak_pending, peak);
+        assert_eq!(s.buckets, q.active() as u64);
+
+        // A far-future outlier forces an empty-revolution cursor jump.
+        let mut q = EventQueue::new();
+        q.push(t(1.0), "near");
+        q.push(SimTime::from_micros(100_000_000_000_000), "far");
+        while q.pop().is_some() {}
+        assert!(q.stats().cursor_jumps >= 1, "{:?}", q.stats());
+
+        // reset() zeroes the lifetime counters.
+        q.reset();
+        let s = q.stats();
+        assert_eq!((s.popped, s.cancelled, s.resizes), (0, 0, 0));
+        assert_eq!((s.cursor_jumps, s.peak_pending), (0, 0));
     }
 
     #[test]

@@ -36,8 +36,9 @@
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
 /// Locks ignoring poison: a panicking job unwinds through `run` after the
 /// barrier has already restored every invariant (`job` cleared, `active`
@@ -106,6 +107,38 @@ struct Shared {
     work: Condvar,
     /// Signals the caller that `active` reached zero.
     done: Condvar,
+    /// Per-lane self-telemetry counters (index = lane number).
+    stats: Vec<LaneCounters>,
+}
+
+/// Per-lane atomic counters behind [`LaneStats`]. Relaxed ordering: these
+/// are totals read at quiescent points, never synchronization.
+#[derive(Default)]
+struct LaneCounters {
+    items: AtomicU64,
+    chunks: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+/// A snapshot of one lane's lifetime work counters.
+///
+/// `items` and `chunks` describe how the atomic dispenser actually split
+/// the work; `busy_ns` is host wall-clock time spent inside jobs. All
+/// three are **scheduling-dependent** — which lane computes an item is a
+/// race by design — so they belong to the wall-clock metric class
+/// ([`crate::MetricClass::WallClock`]) and must never enter a golden.
+/// Only their invariants are stable: items sum to the submitted total,
+/// and results are identical however the counts land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneStats {
+    /// Lane number (0 = the caller's lane).
+    pub lane: usize,
+    /// Items this lane computed across all jobs.
+    pub items: u64,
+    /// Dispenser chunks this lane claimed.
+    pub chunks: u64,
+    /// Wall-clock nanoseconds spent executing jobs.
+    pub busy_ns: u64,
 }
 
 /// A persistent pool of `lanes` worker lanes (the caller participates as
@@ -117,6 +150,9 @@ pub struct WorkerPool {
     submit: Mutex<()>,
     lanes: usize,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// When the pool was created; [`WorkerPool::uptime_ns`] measures from
+    /// here so idle time can be derived as uptime minus busy.
+    created: Instant,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -146,6 +182,7 @@ impl WorkerPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            stats: (0..lanes).map(|_| LaneCounters::default()).collect(),
         });
         let handles = (1..lanes)
             .map(|lane| {
@@ -161,6 +198,7 @@ impl WorkerPool {
             submit: Mutex::new(()),
             lanes,
             handles,
+            created: Instant::now(),
         }
     }
 
@@ -216,19 +254,27 @@ impl WorkerPool {
         assert!(chunk >= 1, "chunk size must be at least 1");
         let n = items.len();
         if self.run_inline(n) {
-            return items.iter().map(f).collect();
+            let t0 = Instant::now();
+            let out = items.iter().map(f).collect();
+            self.count_inline(n, t0);
+            return out;
         }
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
         let slots = SlotPtr(out.as_mut_ptr());
         let next = AtomicUsize::new(0);
-        self.run(&|_lane| {
+        self.run(&|lane| {
+            let counters = &self.shared.stats[lane];
             loop {
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
                 }
                 let end = (start + chunk).min(n);
+                counters.chunks.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .items
+                    .fetch_add((end - start) as u64, Ordering::Relaxed);
                 for (off, item) in items[start..end].iter().enumerate() {
                     let r = f(item);
                     // SAFETY: the dispenser hands out each index exactly
@@ -288,7 +334,10 @@ impl WorkerPool {
         let n = items.len();
         if self.run_inline(n) {
             let state = states.first_mut().expect("need at least one lane state");
-            return items.iter().map(|item| f(state, item)).collect();
+            let t0 = Instant::now();
+            let out = items.iter().map(|item| f(state, item)).collect();
+            self.count_inline(n, t0);
+            return out;
         }
         assert!(
             states.len() >= self.lanes,
@@ -306,12 +355,17 @@ impl WorkerPool {
             // caller, 1.. are workers), so each lane holds the only
             // reference to its element for the whole job.
             let state = unsafe { &mut *lane_states.slot(lane) };
+            let counters = &self.shared.stats[lane];
             loop {
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
                 }
                 let end = (start + chunk).min(n);
+                counters.chunks.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .items
+                    .fetch_add((end - start) as u64, Ordering::Relaxed);
                 for (off, item) in items[start..end].iter().enumerate() {
                     let r = f(state, item);
                     // SAFETY: disjoint indices, as in `map_chunk`.
@@ -328,6 +382,96 @@ impl WorkerPool {
     /// lane, at most one item, or already inside a pool job.
     fn run_inline(&self, n: usize) -> bool {
         self.lanes == 1 || n <= 1 || IN_POOL.with(Cell::get)
+    }
+
+    /// Books an inline (non-broadcast) call against lane 0's counters.
+    fn count_inline(&self, n: usize, started: Instant) {
+        let counters = &self.shared.stats[0];
+        if n > 0 {
+            counters.chunks.fetch_add(1, Ordering::Relaxed);
+            counters.items.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        counters
+            .busy_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshots every lane's lifetime counters (index = lane number).
+    /// Exact when the pool is quiescent; during a job the counts are a
+    /// consistent-enough progress read (relaxed atomics, totals only).
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.shared
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(lane, c)| LaneStats {
+                lane,
+                items: c.items.load(Ordering::Relaxed),
+                chunks: c.chunks.load(Ordering::Relaxed),
+                busy_ns: c.busy_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Wall-clock nanoseconds since the pool was created. Idle time of a
+    /// lane is this minus its [`LaneStats::busy_ns`].
+    pub fn uptime_ns(&self) -> u64 {
+        self.created.elapsed().as_nanos() as u64
+    }
+
+    /// The pool's self-telemetry as a metrics [`Registry`] — every series
+    /// [`MetricClass::WallClock`], because which lane computed what is a
+    /// scheduling race by design. [`Registry::prometheus_text`] therefore
+    /// renders none of it; use [`Registry::prometheus_text_all`] for
+    /// operator-facing dumps and keep these out of goldens.
+    ///
+    /// [`Registry`]: crate::Registry
+    /// [`Registry::prometheus_text`]: crate::Registry::prometheus_text
+    /// [`Registry::prometheus_text_all`]: crate::Registry::prometheus_text_all
+    /// [`MetricClass::WallClock`]: crate::MetricClass::WallClock
+    pub fn registry(&self) -> crate::Registry {
+        const W: crate::MetricClass = crate::MetricClass::WallClock;
+        let mut r = crate::Registry::new();
+        r.set_gauge(
+            "mcloud_pool_lanes",
+            "Total worker lanes, the caller's lane 0 included.",
+            W,
+            &[],
+            self.lanes as f64,
+        );
+        r.set_gauge(
+            "mcloud_pool_uptime_seconds",
+            "Wall-clock seconds since the pool was created.",
+            W,
+            &[],
+            self.uptime_ns() as f64 / 1e9,
+        );
+        for s in self.lane_stats() {
+            let lane = s.lane.to_string();
+            let labels: &[(&str, &str)] = &[("lane", &lane)];
+            r.set_counter(
+                "mcloud_pool_lane_items_total",
+                "Items this lane computed across all jobs.",
+                W,
+                labels,
+                s.items,
+            );
+            r.set_counter(
+                "mcloud_pool_lane_chunks_total",
+                "Dispenser chunks this lane claimed.",
+                W,
+                labels,
+                s.chunks,
+            );
+            r.set_gauge(
+                "mcloud_pool_lane_busy_seconds",
+                "Wall-clock seconds this lane spent executing jobs.",
+                W,
+                labels,
+                s.busy_ns as f64 / 1e9,
+            );
+        }
+        r
     }
 
     /// Broadcasts `job` to every lane, runs lane 0 on the caller thread,
@@ -355,7 +499,11 @@ impl WorkerPool {
         }
         let mine = IN_POOL.with(|flag| {
             flag.set(true);
+            let t0 = Instant::now();
             let r = catch_unwind(AssertUnwindSafe(|| job(0)));
+            self.shared.stats[0]
+                .busy_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             flag.set(false);
             r
         });
@@ -461,7 +609,11 @@ fn worker_loop(shared: &Shared, lane: usize) {
         };
         // SAFETY: the submitter keeps the pointee alive until every lane
         // reports done (the barrier in `run`).
+        let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(lane) }));
+        shared.stats[lane]
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let mut st = lock(&shared.state);
         if let Err(payload) = result {
             if st.panic.is_none() {
@@ -602,6 +754,47 @@ mod tests {
         assert_eq!(chunk_for(1000, 8), CHUNK);
         assert_eq!(chunk_for(0, 4), 1);
         assert_eq!(chunk_for(100, 1), CHUNK);
+    }
+
+    #[test]
+    fn lane_stats_account_for_every_item() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<u64> = (0..100).collect();
+        let _ = pool.map(&items, |&x| x * 2);
+        let _ = pool.map_chunk(&items, 2, |&x| x + 1);
+        let stats = pool.lane_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|s| s.lane).collect::<Vec<_>>(), [0, 1, 2]);
+        // Scheduling decides *which* lane got what, but never the totals.
+        assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), 200);
+        assert!(stats.iter().map(|s| s.chunks).sum::<u64>() >= 2);
+        assert!(pool.uptime_ns() > 0);
+    }
+
+    #[test]
+    fn pool_registry_is_wall_clock_only() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.map(&[1u32, 2, 3], |&x| x);
+        let r = pool.registry();
+        // Deterministic render: empty — nothing here may enter a golden.
+        assert_eq!(r.prometheus_text(), "");
+        let all = r.prometheus_text_all();
+        assert!(all.contains("mcloud_pool_lanes 2\n"), "{all}");
+        assert!(
+            all.contains("mcloud_pool_lane_items_total{lane=\"0\"}"),
+            "{all}"
+        );
+        assert!(all.contains("mcloud_pool_uptime_seconds"), "{all}");
+    }
+
+    #[test]
+    fn inline_calls_are_booked_against_lane_zero() {
+        let pool = WorkerPool::new(4);
+        let _ = pool.map(&[7u32], |&x| x); // single item: inline path
+        let stats = pool.lane_stats();
+        assert_eq!(stats[0].items, 1);
+        assert_eq!(stats[0].chunks, 1);
+        assert_eq!(stats[1].items + stats[2].items + stats[3].items, 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use pareto::{cheapest_within_deadline, pareto_frontier, CostTimePoint};
 pub use plot::{LinePlot, Series};
 pub use sweeps::{
     bandwidth_sweep, ccr_sweep, fault_rate_sweep, geometric_processors, mode_matrix,
-    processor_sweep, scale_to_ccr, BandwidthPoint, CcrPoint, FaultRatePoint, ModePoint,
-    ProcessorPoint,
+    processor_sweep, processor_sweep_progress, scale_to_ccr, BandwidthPoint, CcrPoint,
+    FaultRatePoint, ModePoint, ProcessorPoint,
 };
 pub use table::{fmt_dollars, fmt_hours, Table};

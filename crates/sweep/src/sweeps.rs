@@ -8,8 +8,8 @@
 //! to a sequential loop).
 
 use mcloud_core::{
-    simulate_batch, simulate_batch_workflows, BatchScratch, DataMode, ExecConfig, FaultModel,
-    Provisioning, Report,
+    simulate_batch, simulate_batch_progress, simulate_batch_workflows, BatchScratch, DataMode,
+    ExecConfig, FaultModel, Provisioning, Report,
 };
 use mcloud_dag::Workflow;
 
@@ -133,6 +133,35 @@ pub fn processor_sweep(
         })
         .collect();
     let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
+    processors
+        .iter()
+        .zip(reports)
+        .map(|(&p, report)| ProcessorPoint {
+            processors: p,
+            report,
+        })
+        .collect()
+}
+
+/// [`processor_sweep`] with a live progress callback: `on_progress(done,
+/// total)` fires after each completed point, in completion order, from
+/// whichever pool lane finished it. The sweep's results are byte-identical
+/// to [`processor_sweep`] — the callback observes, it cannot perturb.
+/// This is the heartbeat behind `mcloud sweep --progress`.
+pub fn processor_sweep_progress(
+    wf: &Workflow,
+    base: &ExecConfig,
+    processors: &[u32],
+    on_progress: &(dyn Fn(usize, usize) + Sync),
+) -> Vec<ProcessorPoint> {
+    let cfgs: Vec<ExecConfig> = processors
+        .iter()
+        .map(|&p| ExecConfig {
+            provisioning: Provisioning::Fixed { processors: p },
+            ..base.clone()
+        })
+        .collect();
+    let reports = simulate_batch_progress(wf, &cfgs, &mut BatchScratch::new(), on_progress);
     processors
         .iter()
         .zip(reports)

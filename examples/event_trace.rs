@@ -75,7 +75,7 @@ fn main() {
     let svc = simulate_service_with_sink(&arrivals, &ServiceConfig::default_burst(), &mut svc_sink);
     println!(
         "\nservice day   {} requests ({} local, {} cloud), {} span events",
-        svc.outcomes.len(),
+        svc.requests(),
         svc.local_requests(),
         svc.cloud_requests(),
         svc_sink.events().len()

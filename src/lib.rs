@@ -64,16 +64,16 @@ pub mod prelude {
     };
     pub use mcloud_service::{
         bursty, mixed, periodic, poisson, service_trace_jsonl, simulate_autoscale,
-        simulate_service, simulate_service_with_sink, Arrival, AutoScaleConfig, AutoScaleReport,
-        ServiceConfig, ServiceReport, Venue,
+        simulate_service, simulate_service_each, simulate_service_with_sink, Arrival,
+        AutoScaleConfig, AutoScaleReport, RequestOutcome, ServiceConfig, ServiceReport, Venue,
     };
     pub use mcloud_simkit::{
-        Channel, EventSink, Histogram, NullSink, RecordingSink, TimedEvent, TraceCounters,
-        TraceEvent,
+        Channel, EventSink, Histogram, MetricClass, NullSink, RecordingSink, Registry, TimedEvent,
+        TraceCounters, TraceEvent, WorkerPool,
     };
     pub use mcloud_sweep::{
         ccr_sweep, cheapest_within_deadline, geometric_processors, mode_matrix, pareto_frontier,
-        processor_sweep, scale_to_ccr, CostTimePoint, Table,
+        processor_sweep, processor_sweep_progress, scale_to_ccr, CostTimePoint, Table,
     };
 }
 
