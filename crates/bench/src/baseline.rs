@@ -53,6 +53,13 @@
 //! gate compares them exactly, the same way it treats `events`: any drift
 //! is a semantic change to the kernel, never noise.
 //!
+//! Schema v5 adds the service-scale row: a seeded streaming service
+//! campaign (diurnal/seasonal/flash-modulated class mix through the
+//! bounded-queue admission path) whose offered/admitted/rejected/deflected
+//! counters are deterministic and exactly gated, plus a
+//! `service_requests_per_sec` throughput column gated tolerantly like the
+//! other wall-clock numbers.
+//!
 //! The JSON is hand-emitted with fixed key order so a re-run on identical
 //! hardware diffs minimally, and parsed back with a small field scanner —
 //! no external dependencies.
@@ -184,6 +191,125 @@ pub struct FlatnessRow {
     pub ratio: f64,
 }
 
+/// One service-scale row (schema v5): a seeded streaming service campaign
+/// replayed through [`mcloud_service::simulate_service_stream`]. The
+/// request counters are event-derived and deterministic — the gate
+/// compares them exactly — while `requests_per_sec` is wall-clock and
+/// gated tolerantly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceScaleRow {
+    /// Stable scenario identifier.
+    pub scenario: String,
+    /// Requests the arrival stream offered.
+    pub offered: u64,
+    /// Requests admitted and served (local or cloud).
+    pub admitted: u64,
+    /// Requests turned away by the bounded-queue admission control.
+    pub rejected: u64,
+    /// Requests deflected to per-request cloud resources.
+    pub deflected: u64,
+    /// Offered requests simulated per wall-clock second
+    /// (environment-dependent).
+    pub requests_per_sec: f64,
+}
+
+/// The service-scale campaign: a quarter of diurnally/seasonally
+/// modulated mixed traffic with one flash crowd, against a 4-slot local
+/// cluster with a bounded queue that rejects overflow. Sized (~25k
+/// requests) to finish in well under a second in release builds while
+/// still exercising every admission path.
+fn service_scale_scenario() -> (
+    &'static str,
+    Vec<mcloud_service::RequestClass>,
+    mcloud_service::RateProfile,
+    f64,
+    u64,
+    mcloud_service::ServiceConfig,
+) {
+    use mcloud_service::{AdmissionPolicy, FlashCrowd, RateProfile, RequestClass, ServiceConfig};
+    let classes = vec![
+        RequestClass {
+            rate_per_hour: 8.0,
+            degrees: 1.0,
+            priority: 2,
+        },
+        RequestClass {
+            rate_per_hour: 3.0,
+            degrees: 2.0,
+            priority: 1,
+        },
+        RequestClass {
+            rate_per_hour: 0.5,
+            degrees: 4.0,
+            priority: 0,
+        },
+    ];
+    let profile = RateProfile {
+        base_rate_per_hour: 1.0, // per-class rates substitute for this
+        diurnal_amplitude: 0.4,
+        seasonal_amplitude: 0.2,
+        flash_crowds: vec![FlashCrowd {
+            start_hour: 400.0,
+            duration_hours: 24.0,
+            multiplier: 5.0,
+        }],
+    };
+    // A cluster sized right at the mean offered load (no cloud bursting,
+    // or the burst path would drain the queue before it ever reached the
+    // bound): the diurnal peak and the flash crowd overflow the 24-deep
+    // queue, so the row pins real rejected counts.
+    let cfg = ServiceConfig {
+        local_slots: 12,
+        burst_threshold: None,
+        queue_bound: Some(24),
+        admission: AdmissionPolicy::Reject,
+        ..ServiceConfig::default_burst()
+    };
+    ("quarter-mixed-reject", classes, profile, 2190.0, 2008, cfg)
+}
+
+/// Measures the service-scale row: one counted streaming campaign for the
+/// deterministic request counters, then timed replays (best-of) for the
+/// throughput column.
+pub fn measure_service_scale(budget_ms: u64) -> Vec<ServiceScaleRow> {
+    use mcloud_service::{class_stream, simulate_service_stream};
+    use mcloud_simkit::NullSink;
+
+    let (scenario, classes, profile, horizon, seed, cfg) = service_scale_scenario();
+    let run = || {
+        simulate_service_stream(
+            class_stream(&classes, &profile, horizon, seed),
+            &cfg,
+            &mut NullSink,
+            |_| {},
+        )
+    };
+    let report = run();
+
+    let budget_s = budget_ms as f64 / 1e3;
+    let mut best_s = f64::INFINITY;
+    let mut runs = 0u32;
+    let all = Instant::now();
+    loop {
+        let start = Instant::now();
+        std::hint::black_box(run());
+        best_s = best_s.min(start.elapsed().as_secs_f64());
+        runs += 1;
+        if (runs >= MIN_TIMED_RUNS && all.elapsed().as_secs_f64() >= budget_s) || runs >= 10_000 {
+            break;
+        }
+    }
+
+    vec![ServiceScaleRow {
+        scenario: scenario.to_string(),
+        offered: report.offered() as u64,
+        admitted: report.requests() as u64,
+        rejected: report.rejected_requests() as u64,
+        deflected: report.deflected_requests() as u64,
+        requests_per_sec: report.offered() as f64 / best_s.max(1e-9),
+    }]
+}
+
 /// Derives the per-mode flatness rows from a set of workload measurements
 /// (the `1deg` and `16deg` rows of each mode must be present).
 pub fn flatness_rows(workloads: &[WorkloadMeasurement]) -> Vec<FlatnessRow> {
@@ -221,6 +347,9 @@ pub struct Baseline {
     pub scaling: Vec<ScalingRow>,
     /// Per-mode 1°/16° events/sec ratios, gated by [`FLATNESS_TOLERANCE`].
     pub flatness: Vec<FlatnessRow>,
+    /// Service-scale campaign rows (schema v5): exact request counters
+    /// plus tolerant requests/sec throughput.
+    pub service: Vec<ServiceScaleRow>,
 }
 
 /// Simulations per [`simulate_batch`] call in the batch timing loop —
@@ -389,13 +518,14 @@ pub fn measure_all(budget_ms: u64, mut progress: impl FnMut(&WorkloadMeasurement
         workloads: out,
         scaling: measure_scaling(budget_ms),
         flatness,
+        service: measure_service_scale(budget_ms),
     }
 }
 
 // --- JSON ------------------------------------------------------------------
 
 /// Schema tag written into (and required from) the baseline file.
-pub const SCHEMA: &str = "mcloud-bench-baseline/v4";
+pub const SCHEMA: &str = "mcloud-bench-baseline/v5";
 
 /// Serializes a baseline as pretty-printed JSON with a fixed key order.
 pub fn to_json(b: &Baseline) -> String {
@@ -453,6 +583,18 @@ pub fn to_json(b: &Baseline) -> String {
             f.mode, f.small_events_per_sec, f.large_events_per_sec, f.ratio,
         );
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"service\": [\n");
+    for (i, r) in b.service.iter().enumerate() {
+        let comma = if i + 1 < b.service.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"scenario\": \"{}\", \"offered\": {}, \"admitted\": {}, \
+             \"rejected\": {}, \"deflected\": {}, \
+             \"service_requests_per_sec\": {:.0}}}{comma}",
+            r.scenario, r.offered, r.admitted, r.rejected, r.deflected, r.requests_per_sec,
+        );
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -490,9 +632,25 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
     let mut workloads = Vec::new();
     let mut scaling = Vec::new();
     let mut flatness = Vec::new();
+    let mut service = Vec::new();
     for line in text.lines() {
         let line = line.trim();
-        if line.starts_with('{') && line.contains("\"name\"") {
+        // The service row is classified first: its key set must never be
+        // shadowed by the broader "name"/"workers"/"mode" matchers below.
+        if line.starts_with('{') && line.contains("\"scenario\"") {
+            let get = |key: &str| {
+                num_field(line, key).ok_or_else(|| format!("missing numeric field {key:?}: {line}"))
+            };
+            service.push(ServiceScaleRow {
+                scenario: str_field(line, "scenario")
+                    .ok_or_else(|| format!("missing scenario: {line}"))?,
+                offered: get("offered")? as u64,
+                admitted: get("admitted")? as u64,
+                rejected: get("rejected")? as u64,
+                deflected: get("deflected")? as u64,
+                requests_per_sec: get("service_requests_per_sec")?,
+            });
+        } else if line.starts_with('{') && line.contains("\"name\"") {
             let get = |key: &str| {
                 num_field(line, key).ok_or_else(|| format!("missing numeric field {key:?}: {line}"))
             };
@@ -552,6 +710,7 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
         workloads,
         scaling,
         flatness,
+        service,
     })
 }
 
@@ -738,6 +897,42 @@ pub fn compare(current: &Baseline, committed: &Baseline) -> Vec<String> {
             ));
         }
     }
+    for b in &committed.service {
+        let Some(c) = current.service.iter().find(|r| r.scenario == b.scenario) else {
+            violations.push(format!(
+                "service/{}: row missing from the current measurement",
+                b.scenario
+            ));
+            continue;
+        };
+        // The request counters are event-derived: the same seeded stream
+        // through the same admission rules must produce the same counts
+        // on every machine at every lane count. Any drift is semantic.
+        for (metric, old, new) in [
+            ("offered requests", b.offered, c.offered),
+            ("admitted requests", b.admitted, c.admitted),
+            ("rejected requests", b.rejected, c.rejected),
+            ("deflected requests", b.deflected, c.deflected),
+        ] {
+            if new != old {
+                violations.push(format!(
+                    "service/{}: {metric} changed {old} -> {new} (semantics drift?)",
+                    b.scenario
+                ));
+            }
+        }
+        let floor = b.requests_per_sec * (1.0 - THROUGHPUT_TOLERANCE);
+        if c.requests_per_sec < floor {
+            violations.push(format!(
+                "service/{}: requests/sec fell more than {:.0}% below baseline \
+                 ({:.0} < {:.0})",
+                b.scenario,
+                THROUGHPUT_TOLERANCE * 100.0,
+                c.requests_per_sec,
+                floor
+            ));
+        }
+    }
     violations
 }
 
@@ -850,6 +1045,35 @@ pub fn delta_summary(current: &Baseline, committed: &Baseline) -> Vec<String> {
             ),
         }
     }
+    for b in &committed.service {
+        let name = format!("service/{}", b.scenario);
+        match current.service.iter().find(|r| r.scenario == b.scenario) {
+            Some(c) => {
+                for (metric, old, new) in [
+                    ("offered", b.offered, c.offered),
+                    ("admitted", b.admitted, c.admitted),
+                    ("rejected", b.rejected, c.rejected),
+                    ("deflected", b.deflected, c.deflected),
+                ] {
+                    push(&name, metric, old.to_string(), new.to_string(), new != old);
+                }
+                push(
+                    &name,
+                    "requests_per_sec",
+                    format!("{:.0}", b.requests_per_sec),
+                    format!("{:.0}", c.requests_per_sec),
+                    c.requests_per_sec < b.requests_per_sec * (1.0 - THROUGHPUT_TOLERANCE),
+                );
+            }
+            None => push(
+                &name,
+                "(whole row)",
+                "present".into(),
+                "absent".into(),
+                true,
+            ),
+        }
+    }
     lines
 }
 
@@ -892,6 +1116,14 @@ mod tests {
                 large_events_per_sec: 600_000.0,
                 ratio: 2.058,
             }],
+            service: vec![ServiceScaleRow {
+                scenario: "quarter-mixed-reject".into(),
+                offered: 25_000,
+                admitted: 24_000,
+                rejected: 1_000,
+                deflected: 0,
+                requests_per_sec: 50_000.0,
+            }],
         }
     }
 
@@ -924,6 +1156,14 @@ mod tests {
         assert!((parsed.flatness[0].small_events_per_sec - 1_234_500.0).abs() < 1.0);
         assert!((parsed.flatness[0].large_events_per_sec - 600_000.0).abs() < 1.0);
         assert!((parsed.flatness[0].ratio - 2.058).abs() < 0.001);
+        assert_eq!(parsed.service.len(), 1);
+        let s = &parsed.service[0];
+        assert_eq!(s.scenario, "quarter-mixed-reject");
+        assert_eq!(s.offered, 25_000);
+        assert_eq!(s.admitted, 24_000);
+        assert_eq!(s.rejected, 1_000);
+        assert_eq!(s.deflected, 0);
+        assert!((s.requests_per_sec - 50_000.0).abs() < 1.0);
     }
 
     #[test]
@@ -1008,6 +1248,7 @@ mod tests {
             workloads: vec![],
             scaling: vec![],
             flatness: vec![],
+            service: vec![],
         };
         // An empty committed set can't happen via from_json, but the gate
         // still reports the mismatch rather than silently passing.
@@ -1168,14 +1409,69 @@ mod tests {
     }
 
     #[test]
+    fn service_counter_drift_is_flagged_in_both_directions() {
+        let committed = sample();
+        let mut current = sample();
+        // A rejected request moving to admitted is drift on both
+        // counters even though the offered total is unchanged.
+        current.service[0].admitted += 1;
+        current.service[0].rejected -= 1;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("admitted requests"), "{v:?}");
+        assert!(v[1].contains("rejected requests"), "{v:?}");
+    }
+
+    #[test]
+    fn service_throughput_gate_is_tolerant_not_absent() {
+        let committed = sample();
+        let mut current = sample();
+        current.service[0].requests_per_sec = committed.service[0].requests_per_sec * 0.5;
+        assert!(compare(&current, &committed).is_empty());
+        current.service[0].requests_per_sec = committed.service[0].requests_per_sec * 0.2;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("requests/sec"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_service_row_fails_the_gate() {
+        let committed = sample();
+        let mut current = sample();
+        current.service.clear();
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("service/quarter-mixed-reject"), "{v:?}");
+    }
+
+    #[test]
+    fn service_scale_measurement_is_deterministic() {
+        // The counted campaign twice over: the deterministic counters
+        // must agree exactly, and the scenario must actually exercise
+        // the admission path (some requests rejected, none lost).
+        let a = measure_service_scale(1);
+        let b = measure_service_scale(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].scenario, b[0].scenario);
+        assert_eq!(a[0].offered, b[0].offered);
+        assert_eq!(a[0].admitted, b[0].admitted);
+        assert_eq!(a[0].rejected, b[0].rejected);
+        assert_eq!(a[0].deflected, b[0].deflected);
+        assert!(a[0].offered > 10_000, "{}", a[0].offered);
+        assert!(a[0].rejected > 0, "the flash crowd must overflow the queue");
+        assert_eq!(a[0].admitted + a[0].rejected, a[0].offered);
+    }
+
+    #[test]
     fn delta_summary_names_the_failing_metric() {
         let committed = sample();
         let mut current = sample();
         current.workloads[0].allocs_per_sim += 7;
         current.flatness[0].ratio = committed.flatness[0].ratio * 3.0;
         let lines = delta_summary(&current, &committed);
-        // One line per gated metric per row, plus the flatness rows.
-        assert_eq!(lines.len(), 10, "{lines:?}");
+        // One line per gated metric per row, plus the flatness and
+        // service rows (9 workload + 1 flatness + 5 service).
+        assert_eq!(lines.len(), 15, "{lines:?}");
         let failing: Vec<&String> = lines.iter().filter(|l| l.ends_with("FAIL")).collect();
         assert_eq!(failing.len(), 2, "{lines:?}");
         assert!(

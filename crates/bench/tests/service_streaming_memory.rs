@@ -10,7 +10,11 @@
 //! allocator — the same instrument the benchmark baseline gates on.
 
 use mcloud_bench::alloc;
-use mcloud_service::{poisson, simulate_service, Arrival, ServiceConfig};
+use mcloud_service::{
+    class_stream, poisson, simulate_service, simulate_service_stream, AdmissionPolicy, Arrival,
+    RateProfile, RequestClass, ServiceConfig,
+};
+use mcloud_simkit::NullSink;
 
 fn arrivals(horizon_hours: f64) -> Vec<Arrival> {
     // ~2 requests/hour of 1-degree mosaics: a steady stream with enough
@@ -65,5 +69,87 @@ fn service_peak_memory_is_backlog_bounded_not_request_bounded() {
         "service allocations scaled with request count: {} -> {}",
         delta_small.allocs,
         delta_large.allocs
+    );
+
+    // --- The full streaming campaign: generator + simulator, no Vec ----
+    //
+    // Above, the arrivals were pre-materialized to isolate the
+    // simulator's own working set. The service-scale CI gate cares about
+    // the composed pipeline: a seeded class stream feeding
+    // simulate_service_stream directly, arrivals never collected. A 10x
+    // longer campaign must hold the same peak heap. Default sizing keeps
+    // the test fast in debug CI; MCLOUD_SERVICE_SCALE=full (set by the
+    // release service-scale job) runs the 10^6-request year.
+    let full = std::env::var("MCLOUD_SERVICE_SCALE").as_deref() == Ok("full");
+    let classes = [
+        RequestClass {
+            rate_per_hour: 84.0,
+            degrees: 1.0,
+            priority: 2,
+        },
+        RequestClass {
+            rate_per_hour: 28.0,
+            degrees: 2.0,
+            priority: 1,
+        },
+        RequestClass {
+            rate_per_hour: 6.0,
+            degrees: 4.0,
+            priority: 0,
+        },
+    ];
+    let profile = RateProfile {
+        base_rate_per_hour: 1.0,
+        diurnal_amplitude: 0.6,
+        seasonal_amplitude: 0.25,
+        flash_crowds: Vec::new(),
+    };
+    let stream_cfg = ServiceConfig {
+        local_slots: 64,
+        burst_threshold: None,
+        queue_bound: Some(32),
+        admission: AdmissionPolicy::Reject,
+        ..ServiceConfig::default_burst()
+    };
+    let (short_h, long_h) = if full { (876.0, 8760.0) } else { (87.6, 876.0) };
+    let campaign = |horizon: f64| {
+        simulate_service_stream(
+            class_stream(&classes, &profile, horizon, 2008),
+            &stream_cfg,
+            &mut NullSink,
+            |_| {},
+        )
+    };
+    std::hint::black_box(campaign(short_h)); // warm-up
+
+    let (report_short, delta_short) = alloc::measure(|| std::hint::black_box(campaign(short_h)));
+    let (report_long, delta_long) = alloc::measure(|| std::hint::black_box(campaign(long_h)));
+    assert!(
+        report_long.offered() >= 9 * report_short.offered(),
+        "campaign sizes too close: {} vs {}",
+        report_short.offered(),
+        report_long.offered()
+    );
+    if full {
+        assert!(
+            report_long.offered() >= 1_000_000,
+            "the full campaign must offer >= 10^6 requests, got {}",
+            report_long.offered()
+        );
+    }
+    assert!(
+        delta_long.peak_above_start <= 2 * delta_short.peak_above_start.max(16 * 1024),
+        "streaming campaign peak memory scaled with request count: \
+         {} requests -> {} peak bytes, {} requests -> {} peak bytes",
+        report_short.offered(),
+        delta_short.peak_above_start,
+        report_long.offered(),
+        delta_long.peak_above_start
+    );
+    assert!(
+        delta_long.allocs <= delta_short.allocs + delta_short.allocs / 2 + 64,
+        "streaming campaign allocations scaled with request count: {} -> {}",
+        delta_short.allocs,
+        delta_long.allocs
     );
 }

@@ -10,8 +10,11 @@ use mcloud_core::{
 use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Pricing};
 use mcloud_dag::{from_dax, to_dax, to_dot, DotStyle, Workflow};
 use mcloud_montage::{generate, Band, MosaicConfig};
-use mcloud_service::{bursty, poisson, simulate_service, ServiceConfig};
-use mcloud_simkit::WorkerPool;
+use mcloud_service::{
+    bursty, class_stream, plan_capacity, poisson, simulate_service, simulate_service_stream,
+    AdmissionPolicy, FlashCrowd, PlanSpec, RateProfile, RequestClass, ServiceConfig,
+};
+use mcloud_simkit::{NullSink, WorkerPool};
 use mcloud_sweep::{
     cheapest_within_deadline, geometric_processors, pareto_frontier, processor_sweep,
     processor_sweep_progress, CostTimePoint, Table,
@@ -509,18 +512,122 @@ flags:
     }
 }
 
+/// Parses repeatable `--burst start:duration:multiplier` windows.
+fn parse_bursts(args: &Args) -> Result<Vec<(f64, f64, f64)>, String> {
+    let mut bursts = Vec::new();
+    for spec in args.get_all("burst") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "--burst expects start:duration:multiplier, got '{spec}'"
+            ));
+        }
+        let parse = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("bad burst component '{s}'"))
+        };
+        bursts.push((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
+    }
+    Ok(bursts)
+}
+
+/// Parses repeatable `--class degrees:rate:priority` request classes.
+fn parse_classes(args: &Args) -> Result<Vec<RequestClass>, String> {
+    let mut classes = Vec::new();
+    for spec in args.get_all("class") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "--class expects degrees:rate:priority, got '{spec}'"
+            ));
+        }
+        let degrees: f64 = parts[0]
+            .parse()
+            .map_err(|_| format!("bad class degrees '{}'", parts[0]))?;
+        let rate_per_hour: f64 = parts[1]
+            .parse()
+            .map_err(|_| format!("bad class rate '{}'", parts[1]))?;
+        let priority: u8 = parts[2]
+            .parse()
+            .map_err(|_| format!("bad class priority '{}'", parts[2]))?;
+        classes.push(RequestClass {
+            rate_per_hour,
+            degrees,
+            priority,
+        });
+    }
+    Ok(classes)
+}
+
+/// Builds a [`RateProfile`] from `--diurnal`, `--seasonal`, and
+/// repeatable `--flash start:duration:multiplier` flags.
+fn rate_profile_from(args: &Args, base_rate: f64) -> Result<RateProfile, String> {
+    let mut profile = RateProfile::constant(base_rate);
+    profile.diurnal_amplitude = args.get_or("diurnal", 0.0)?;
+    profile.seasonal_amplitude = args.get_or("seasonal", 0.0)?;
+    for spec in args.get_all("flash") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "--flash expects start:duration:multiplier, got '{spec}'"
+            ));
+        }
+        let parse = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("bad flash component '{s}'"))
+        };
+        profile.flash_crowds.push(FlashCrowd {
+            start_hour: parse(parts[0])?,
+            duration_hours: parse(parts[1])?,
+            multiplier: parse(parts[2])?,
+        });
+    }
+    profile.validate()?;
+    Ok(profile)
+}
+
+/// Parses `--admission` (reject | deflect | admit-all).
+fn parse_admission(args: &Args) -> Result<AdmissionPolicy, String> {
+    match args.get("admission") {
+        None => Ok(AdmissionPolicy::AdmitAll),
+        Some("reject") => Ok(AdmissionPolicy::Reject),
+        Some("deflect") => Ok(AdmissionPolicy::Deflect),
+        Some("admit-all") | Some("admit") => Ok(AdmissionPolicy::AdmitAll),
+        Some(other) => Err(format!(
+            "unknown admission policy '{other}' (reject | deflect | admit-all)"
+        )),
+    }
+}
+
 fn cmd_plan(rest: &[String]) -> Result<String, String> {
     if wants_help(rest) {
         return Ok("\
 mcloud plan — sweep provisioning levels and recommend one
 
-flags:
+per-request mode (default):
   --degrees D          mosaic size (default 1)
   --deadline-hours H   turnaround promise (required)
   --requests N         scale the bill to a campaign of N requests
   --max-procs P        top of the geometric sweep (default 128)
-  plus all `mcloud simulate` execution flags"
+  plus all `mcloud simulate` execution flags
+
+capacity mode (--slo-p99 selects it): search auto-scale pool
+configurations for the cheapest one meeting a p99 turnaround SLO
+against a seeded demand forecast.
+  --slo-p99 H          p99 turnaround SLO in hours (required)
+  --rate R             total offered requests/hour (default 2)
+  --horizon H          campaign length in hours (default 168)
+  --seed N             arrival stream seed (default 2008)
+  --class D:R:P        request class degrees:rate:priority (repeatable;
+                       overrides the default 70/25/5 mix and --rate)
+  --diurnal A          diurnal amplitude 0..1 (default 0.3)
+  --seasonal A         seasonal amplitude 0..1 (default 0)
+  --flash S:D:M        flash crowd start_h:duration_h:multiplier
+                       (repeatable)
+  --format F           text | json (default text)
+  --out PATH           write the plan to a file instead of stdout"
             .to_string());
+    }
+    if rest.iter().any(|a| a == "--slo-p99") {
+        return cmd_plan_capacity(rest);
     }
     let mut flags = SIM_FLAGS.to_vec();
     flags.extend(["deadline-hours", "requests", "max-procs"]);
@@ -580,6 +687,58 @@ flags:
         }
     }
     Ok(out)
+}
+
+/// The `plan --slo-p99` branch: the service-level capacity planner.
+fn cmd_plan_capacity(rest: &[String]) -> Result<String, String> {
+    let args = Args::parse(
+        rest,
+        &[
+            "slo-p99", "rate", "horizon", "seed", "class", "diurnal", "seasonal", "flash",
+            "format", "out",
+        ],
+    )?;
+    let slo: f64 = args.require("slo-p99")?;
+    let rate: f64 = args.get_or("rate", 2.0)?;
+    let horizon: f64 = args.get_or("horizon", 168.0)?;
+    let mut spec = PlanSpec::new(slo, rate, horizon);
+    spec.seed = args.get_or("seed", 2008u64)?;
+    let classes = parse_classes(&args)?;
+    if !classes.is_empty() {
+        spec.classes = classes;
+    }
+    spec.modulation.diurnal_amplitude = args.get_or("diurnal", 0.3)?;
+    spec.modulation.seasonal_amplitude = args.get_or("seasonal", 0.0)?;
+    for spec_str in args.get_all("flash") {
+        let parts: Vec<&str> = spec_str.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "--flash expects start:duration:multiplier, got '{spec_str}'"
+            ));
+        }
+        let parse = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("bad flash component '{s}'"))
+        };
+        spec.modulation.flash_crowds.push(FlashCrowd {
+            start_hour: parse(parts[0])?,
+            duration_hours: parse(parts[1])?,
+            multiplier: parse(parts[2])?,
+        });
+    }
+    let plan = plan_capacity(&spec)?;
+    let doc = match args.get("format").unwrap_or("text") {
+        "text" => mcloud_service::plan_text(&spec, &plan),
+        "json" => mcloud_service::plan_json(&spec, &plan),
+        other => return Err(format!("unknown plan format '{other}' (text | json)")),
+    };
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        return Ok(format!(
+            "wrote capacity plan ({} candidates) to {path}\n",
+            plan.candidates.len()
+        ));
+    }
+    Ok(doc)
 }
 
 fn cmd_sweep(rest: &[String]) -> Result<String, String> {
@@ -834,7 +993,23 @@ flags:
   --request-failure-prob P  chance each request run fails and is redone
   --request-retry-max N     retries allowed per request (default 0)
   --fault-seed N       seed for request-failure draws (default 2008)
-  --seed N             arrival stream seed (default 2008)"
+  --seed N             arrival stream seed (default 2008)
+
+campaign flags (any of these switches to the streaming generator:
+arrivals are produced lazily, so year-long 10^6-request campaigns run
+in backlog-bounded memory):
+  --class D:R:P        request class degrees:rate:priority (repeatable;
+                       replaces --rate/--degrees)
+  --diurnal A          diurnal rate amplitude 0..1 (default 0)
+  --seasonal A         seasonal rate amplitude 0..1 (default 0)
+  --flash S:D:M        flash crowd start_h:duration_h:multiplier
+                       (repeatable)
+
+admission control (either mode):
+  --queue-bound N      reject/deflect arrivals when N requests wait
+  --admission P        overflow policy: reject | deflect (required with
+                       --queue-bound)
+  --metrics-out PATH   write the Prometheus metrics exposition to a file"
             .to_string());
     }
     let args = Args::parse(
@@ -852,30 +1027,20 @@ flags:
             "request-retry-max",
             "fault-seed",
             "seed",
+            "class",
+            "diurnal",
+            "seasonal",
+            "flash",
+            "queue-bound",
+            "admission",
+            "metrics-out",
         ],
     )?;
     let rate: f64 = args.get_or("rate", 0.5)?;
     let horizon: f64 = args.get_or("horizon-hours", 720.0)?;
     let degrees: f64 = args.get_or("degrees", 1.0)?;
     let seed: u64 = args.get_or("seed", 2008u64)?;
-    let mut bursts = Vec::new();
-    for spec in args.get_all("burst") {
-        let parts: Vec<&str> = spec.split(':').collect();
-        if parts.len() != 3 {
-            return Err(format!(
-                "--burst expects start:duration:multiplier, got '{spec}'"
-            ));
-        }
-        let parse = |s: &str| -> Result<f64, String> {
-            s.parse().map_err(|_| format!("bad burst component '{s}'"))
-        };
-        bursts.push((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
-    }
-    let arrivals = if bursts.is_empty() {
-        poisson(rate, horizon, degrees, seed)
-    } else {
-        bursty(rate, horizon, degrees, &bursts, seed)
-    };
+    let bursts = parse_bursts(&args)?;
     let cfg = ServiceConfig {
         local_slots: args.get_or("slots", 2u32)?,
         local_procs_per_request: args.get_or("local-procs", 8u32)?,
@@ -886,25 +1051,84 @@ flags:
         request_failure_prob: args.get_or("request-failure-prob", 0.0)?,
         request_retry_max: args.get_or("request-retry-max", 0u32)?,
         fault_seed: args.get_or("fault-seed", 2008u64)?,
+        queue_bound: args.get_parsed::<usize>("queue-bound")?,
+        admission: parse_admission(&args)?,
     };
     cfg.validate()?;
-    let report = simulate_service(&arrivals, &cfg);
-    Ok(format!(
+
+    let campaign_mode =
+        args.has("class") || args.has("diurnal") || args.has("seasonal") || args.has("flash");
+    let report = if campaign_mode {
+        // Streaming path: arrivals come off a lazy generator, never a
+        // materialized Vec — memory stays bounded by the live backlog.
+        if !bursts.is_empty() {
+            return Err(
+                "--burst belongs to the legacy generator; use --flash with campaign flags"
+                    .to_string(),
+            );
+        }
+        let classes = if args.has("class") {
+            parse_classes(&args)?
+        } else {
+            vec![RequestClass {
+                rate_per_hour: rate,
+                degrees,
+                priority: 0,
+            }]
+        };
+        let profile = rate_profile_from(&args, 1.0)?; // base ignored per class
+        let stream = class_stream(&classes, &profile, horizon, seed);
+        simulate_service_stream(stream, &cfg, &mut NullSink, |_| {})
+    } else {
+        let arrivals = if bursts.is_empty() {
+            poisson(rate, horizon, degrees, seed)
+        } else {
+            bursty(rate, horizon, degrees, &bursts, seed)
+        };
+        simulate_service(&arrivals, &cfg)
+    };
+
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, report.prometheus_text())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let mut out = format!(
         "traffic         {} requests over {horizon:.0} h ({:.2}/h observed)\n\
-         served          {} local, {} cloud\n\
-         cloud spend     {}\n\
-         waits           mean {:.2} h, max {:.2} h\n\
-         turnaround      mean {:.2} h, p95 {:.2} h\n",
-        arrivals.len(),
-        arrivals.len() as f64 / horizon,
+         served          {} local, {} cloud\n",
+        report.offered(),
+        report.offered() as f64 / horizon,
         report.local_requests(),
         report.cloud_requests(),
+    );
+    if cfg.queue_bound.is_some() {
+        out.push_str(&format!(
+            "admission       {} rejected, {} deflected (queue bound {})\n",
+            report.rejected_requests(),
+            report.deflected_requests(),
+            cfg.queue_bound.unwrap_or(0),
+        ));
+    }
+    out.push_str(&format!(
+        "cloud spend     {}\n\
+         waits           mean {:.2} h, max {:.2} h\n\
+         turnaround      mean {:.2} h, p95 {:.2} h\n",
         report.cloud_cost,
         report.mean_wait_hours(),
         report.max_wait_hours(),
         report.mean_turnaround_hours(),
         report.turnaround_quantile(0.95),
-    ))
+    ));
+    if campaign_mode {
+        out.push_str(&format!(
+            "p99             {:.2} h turnaround\n\
+             backlog         mean {:.2}, peak {:.0}\n",
+            report.turnaround_quantile(0.99),
+            report.backlog_mean,
+            report.backlog_peak,
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_autoscale(rest: &[String]) -> Result<String, String> {
@@ -920,6 +1144,11 @@ flags:
   --scale-up-queue K   rent a slot when K requests wait (default 2)
   --boot-s S           VM boot delay per slot (default 120)
   --procs-per-slot P   processors per slot (default 16)
+  --idle-release-s S   grace period before an idle slot above the floor
+                       is released (default 0 = immediate)
+  --queue-bound N      reject/deflect arrivals when N requests wait
+  --admission P        overflow policy: reject | deflect (required with
+                       --queue-bound)
   --burst S:D:M        overload window (repeatable)
   --seed N             arrival stream seed (default 2008)"
             .to_string());
@@ -935,6 +1164,9 @@ flags:
             "scale-up-queue",
             "boot-s",
             "procs-per-slot",
+            "idle-release-s",
+            "queue-bound",
+            "admission",
             "burst",
             "seed",
         ],
@@ -943,19 +1175,7 @@ flags:
     let horizon: f64 = args.get_or("horizon-hours", 720.0)?;
     let degrees: f64 = args.get_or("degrees", 1.0)?;
     let seed: u64 = args.get_or("seed", 2008u64)?;
-    let mut bursts = Vec::new();
-    for spec in args.get_all("burst") {
-        let parts: Vec<&str> = spec.split(':').collect();
-        if parts.len() != 3 {
-            return Err(format!(
-                "--burst expects start:duration:multiplier, got '{spec}'"
-            ));
-        }
-        let parse = |s: &str| -> Result<f64, String> {
-            s.parse().map_err(|_| format!("bad burst component '{s}'"))
-        };
-        bursts.push((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
-    }
+    let bursts = parse_bursts(&args)?;
     let arrivals = if bursts.is_empty() {
         poisson(rate, horizon, degrees, seed)
     } else {
@@ -968,13 +1188,16 @@ flags:
         max_slots: args.get_or("max-slots", 8u32)?,
         scale_up_queue: args.get_or("scale-up-queue", 2usize)?,
         boot_s: args.get_or("boot-s", 120.0)?,
+        idle_release_s: args.get_or("idle-release-s", 0.0)?,
         procs_per_slot: procs,
         slot_cost_per_hour: mcloud_cost::Money::from_dollars(procs as f64 * 0.10),
+        queue_bound: args.get_parsed::<usize>("queue-bound")?,
+        admission: parse_admission(&args)?,
         exec: ExecConfig::paper_default(),
     };
     cfg.validate()?;
     let r = simulate_autoscale(&arrivals, &cfg);
-    Ok(format!(
+    let mut out = format!(
         "traffic        {} requests over {horizon:.0} h\n\
          pool           peak {} slots, {} rentals, {:.0} slot-hours\n\
          spend          {} rental + {} data management = {}\n\
@@ -988,7 +1211,14 @@ flags:
         r.total_cost(),
         r.mean_wait_hours(),
         r.max_wait_hours(),
-    ))
+    );
+    if cfg.queue_bound.is_some() {
+        out.push_str(&format!(
+            "admission      {} rejected, {} deflected ({} deflect spend)\n",
+            r.rejected, r.deflected, r.deflect_cost,
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

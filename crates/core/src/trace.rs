@@ -211,6 +211,9 @@ pub fn trace_to_jsonl(wf: &Workflow, events: &[TimedEvent]) -> String {
             TraceEvent::RequestFinished { req } => {
                 format!(r#"{{"t_us":{t},"ev":"request_finished","req":{req}}}"#)
             }
+            TraceEvent::RequestRejected { req } => {
+                format!(r#"{{"t_us":{t},"ev":"request_rejected","req":{req}}}"#)
+            }
         };
         out.push_str(&line);
         out.push('\n');
@@ -337,6 +340,9 @@ pub fn trace_from_jsonl(text: &str) -> Result<Vec<TimedEvent>, String> {
                 cloud: num(line, "cloud")?,
             },
             "request_finished" => TraceEvent::RequestFinished {
+                req: num(line, "req")?,
+            },
+            "request_rejected" => TraceEvent::RequestRejected {
                 req: num(line, "req")?,
             },
             other => return Err(format!("unknown event type {other:?} in line: {line}")),

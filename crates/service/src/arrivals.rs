@@ -3,8 +3,18 @@
 //! The paper's first question is motivated by a service that "sometimes
 //! ... needs more resources than it has, so it reaches out to the cloud
 //! from time to time to meet the additional demands". These generators
-//! produce the demand side of that story: steady Poisson traffic and
-//! bursty overload patterns, all seeded and deterministic.
+//! produce the demand side of that story: steady Poisson traffic, bursty
+//! overload patterns, and planet-scale modulated multi-class mixes — all
+//! seeded and deterministic.
+//!
+//! Arrivals are produced lazily: every generator is an [`ArrivalStream`]
+//! (an `Iterator<Item = Arrival>` yielding time-sorted arrivals), so a
+//! 10^8-request campaign costs O(1) memory on the generator side. The
+//! original `Vec`-returning constructors ([`poisson`], [`bursty`],
+//! [`mixed`], [`periodic`]) survive as thin materializing wrappers that
+//! collect the equivalent stream — byte-for-byte identical to the
+//! sequences they produced before streams existed (a property pinned by
+//! `tests/arrival_streams.rs`).
 
 use mcloud_simkit::SimRng;
 
@@ -17,43 +27,504 @@ pub struct Arrival {
     pub degrees: f64,
 }
 
+/// A lazy, seeded, deterministic stream of [`Arrival`]s.
+///
+/// Contract: the stream yields arrivals in non-decreasing `at_hours`
+/// order, and a stream rebuilt from the same parameters and seed yields
+/// the identical sequence (bit-for-bit, including the RNG draw order).
+/// The trait is blanket-implemented for every `Iterator<Item = Arrival>`
+/// so adapters built with `map`/`filter`/[`MergedStream`] stay streams.
+pub trait ArrivalStream: Iterator<Item = Arrival> {}
+
+impl<I: Iterator<Item = Arrival>> ArrivalStream for I {}
+
 /// A homogeneous Poisson stream: `rate_per_hour` requests per hour over
 /// `horizon_hours`, all for `degrees`-sized mosaics. Deterministic per
 /// seed; arrivals are sorted by time.
+#[derive(Debug, Clone)]
+pub struct PoissonStream {
+    rng: SimRng,
+    rate_per_hour: f64,
+    horizon_hours: f64,
+    degrees: f64,
+    t: f64,
+}
+
+impl PoissonStream {
+    /// Seeded stream with exponential inter-arrival gaps.
+    ///
+    /// # Panics
+    /// Panics if the rate or horizon is not positive and finite.
+    pub fn new(rate_per_hour: f64, horizon_hours: f64, degrees: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_hour.is_finite() && rate_per_hour > 0.0,
+            "rate must be positive, got {rate_per_hour}"
+        );
+        assert!(
+            horizon_hours.is_finite() && horizon_hours > 0.0,
+            "horizon must be positive, got {horizon_hours}"
+        );
+        PoissonStream {
+            rng: SimRng::new(seed),
+            rate_per_hour,
+            horizon_hours,
+            degrees,
+            t: 0.0,
+        }
+    }
+}
+
+impl Iterator for PoissonStream {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.t >= self.horizon_hours {
+            return None; // fused: no RNG draws past the horizon
+        }
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = self.rng.f64_in(f64::EPSILON, 1.0);
+        self.t += -u.ln() / self.rate_per_hour;
+        (self.t < self.horizon_hours).then_some(Arrival {
+            at_hours: self.t,
+            degrees: self.degrees,
+        })
+    }
+}
+
+/// A flash-crowd window: the request rate multiplies by `multiplier`
+/// while `start_hour <= t < start_hour + duration_hours`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Window start, hours from the campaign start.
+    pub start_hour: f64,
+    /// Window length in hours.
+    pub duration_hours: f64,
+    /// Rate multiplier inside the window (>= 1).
+    pub multiplier: f64,
+}
+
+/// A time-varying request rate: a base rate shaped by diurnal and
+/// seasonal cycles plus flash-crowd spikes.
+///
+/// The periodic modulations are triangle waves, not sinusoids: a
+/// triangle wave needs only `floor`, `abs` and arithmetic, so
+/// [`RateProfile::rate_at`] is bit-reproducible across platforms and
+/// optimisation levels (libm's `sin` is not guaranteed to be). The
+/// diurnal cycle peaks at 14:00 and bottoms out at 02:00; the seasonal
+/// cycle has an 8760-hour period peaking mid-year.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateProfile {
+    /// Long-run average rate before modulation, requests per hour.
+    pub base_rate_per_hour: f64,
+    /// Diurnal swing in `[0, 1)`: the rate varies by `±amplitude` around
+    /// the base over each 24-hour cycle.
+    pub diurnal_amplitude: f64,
+    /// Seasonal swing in `[0, 1)` over an 8760-hour (one-year) cycle.
+    pub seasonal_amplitude: f64,
+    /// Flash-crowd windows; overlapping windows multiply.
+    pub flash_crowds: Vec<FlashCrowd>,
+}
+
+/// Hours per diurnal cycle.
+const DIURNAL_PERIOD_HOURS: f64 = 24.0;
+/// Hour of day at which the diurnal cycle peaks.
+const DIURNAL_PEAK_HOUR: f64 = 14.0;
+/// Hours per seasonal cycle (one 365-day year).
+const SEASONAL_PERIOD_HOURS: f64 = 8760.0;
+
+/// Triangle wave with period 1: +1 at integer `x`, -1 at `x = k + 0.5`,
+/// linear in between. Pure arithmetic, hence bit-stable everywhere.
+fn triangle(x: f64) -> f64 {
+    let frac = x - x.floor();
+    4.0 * (frac - 0.5).abs() - 1.0
+}
+
+impl RateProfile {
+    /// A flat profile: no modulation, no flash crowds.
+    pub fn constant(base_rate_per_hour: f64) -> Self {
+        RateProfile {
+            base_rate_per_hour,
+            diurnal_amplitude: 0.0,
+            seasonal_amplitude: 0.0,
+            flash_crowds: Vec::new(),
+        }
+    }
+
+    /// Check the profile is simulable.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.base_rate_per_hour.is_finite() && self.base_rate_per_hour > 0.0) {
+            return Err(format!(
+                "base rate must be positive, got {}",
+                self.base_rate_per_hour
+            ));
+        }
+        for (name, a) in [
+            ("diurnal", self.diurnal_amplitude),
+            ("seasonal", self.seasonal_amplitude),
+        ] {
+            if !(a.is_finite() && (0.0..1.0).contains(&a)) {
+                return Err(format!("{name} amplitude must be in [0, 1), got {a}"));
+            }
+        }
+        for f in &self.flash_crowds {
+            if !(f.multiplier.is_finite() && f.multiplier >= 1.0) {
+                return Err(format!(
+                    "flash-crowd multiplier must be >= 1, got {}",
+                    f.multiplier
+                ));
+            }
+            if !(f.start_hour.is_finite()
+                && f.duration_hours.is_finite()
+                && f.duration_hours >= 0.0)
+            {
+                return Err(format!(
+                    "flash-crowd window must be finite with non-negative duration, \
+                     got start {} duration {}",
+                    f.start_hour, f.duration_hours
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantaneous rate at `t_hours`.
+    pub fn rate_at(&self, t_hours: f64) -> f64 {
+        let diurnal = 1.0
+            + self.diurnal_amplitude
+                * triangle((t_hours - DIURNAL_PEAK_HOUR) / DIURNAL_PERIOD_HOURS);
+        let seasonal = 1.0
+            + self.seasonal_amplitude
+                * triangle((t_hours - SEASONAL_PERIOD_HOURS / 2.0) / SEASONAL_PERIOD_HOURS);
+        let mut rate = self.base_rate_per_hour * diurnal * seasonal;
+        for f in &self.flash_crowds {
+            if t_hours >= f.start_hour && t_hours < f.start_hour + f.duration_hours {
+                rate *= f.multiplier;
+            }
+        }
+        rate
+    }
+
+    /// An upper bound on [`RateProfile::rate_at`] over all times: base
+    /// times the modulation peaks times the product of *all* flash
+    /// multipliers. Conservative when flash windows do not overlap, which
+    /// only costs thinning rejections, never correctness.
+    pub fn peak_rate(&self) -> f64 {
+        let mut peak = self.base_rate_per_hour
+            * (1.0 + self.diurnal_amplitude)
+            * (1.0 + self.seasonal_amplitude);
+        for f in &self.flash_crowds {
+            peak *= f.multiplier;
+        }
+        peak
+    }
+}
+
+/// A non-homogeneous Poisson stream generated by thinning: candidates
+/// are drawn at the profile's peak rate and accepted with probability
+/// `rate_at(t) / peak`. Exact for any bounded rate function, and
+/// deterministic because both the candidate gaps and the accept/reject
+/// coin flips come from one seeded [`SimRng`] in a fixed draw order.
+#[derive(Debug, Clone)]
+pub struct ModulatedPoissonStream {
+    rng: SimRng,
+    profile: RateProfile,
+    peak: f64,
+    horizon_hours: f64,
+    degrees: f64,
+    t: f64,
+}
+
+impl ModulatedPoissonStream {
+    /// Seeded thinning stream over `horizon_hours`.
+    ///
+    /// # Panics
+    /// Panics if the profile fails [`RateProfile::validate`] or the
+    /// horizon is not positive and finite.
+    pub fn new(profile: RateProfile, horizon_hours: f64, degrees: f64, seed: u64) -> Self {
+        if let Err(e) = profile.validate() {
+            panic!("invalid rate profile: {e}");
+        }
+        assert!(
+            horizon_hours.is_finite() && horizon_hours > 0.0,
+            "horizon must be positive, got {horizon_hours}"
+        );
+        let peak = profile.peak_rate();
+        ModulatedPoissonStream {
+            rng: SimRng::new(seed),
+            profile,
+            peak,
+            horizon_hours,
+            degrees,
+            t: 0.0,
+        }
+    }
+}
+
+impl Iterator for ModulatedPoissonStream {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        loop {
+            if self.t >= self.horizon_hours {
+                return None;
+            }
+            let u: f64 = self.rng.f64_in(f64::EPSILON, 1.0);
+            self.t += -u.ln() / self.peak;
+            if self.t >= self.horizon_hours {
+                return None;
+            }
+            if self.rng.chance(self.profile.rate_at(self.t) / self.peak) {
+                return Some(Arrival {
+                    at_hours: self.t,
+                    degrees: self.degrees,
+                });
+            }
+        }
+    }
+}
+
+/// One request class in a multi-class mix: its own Poisson rate, mosaic
+/// size, and a merge priority for simultaneous arrivals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestClass {
+    /// Long-run request rate for this class, per hour.
+    pub rate_per_hour: f64,
+    /// Mosaic size in degrees.
+    pub degrees: f64,
+    /// Tie-break priority: among arrivals at the exact same time, higher
+    /// priority goes first (equal priorities keep insertion order).
+    pub priority: u8,
+}
+
+/// Internal seed-mixing constant for per-class sub-streams — the same
+/// constant (and hence the same sub-sequences) as the original `mixed`
+/// generator used, so the adapter reproduces it byte-for-byte.
+const CLASS_SEED_MIX: u64 = 0xd134_2543_de82_ef95;
+/// Seed-mixing constant for per-burst sub-streams (matches `bursty`).
+const BURST_SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A k-way merge of time-sorted arrival streams.
+///
+/// Pops the earliest head (by `total_cmp` on `at_hours`); exact time
+/// ties go to the higher-priority lane, and among equal priorities to
+/// the lane pushed first. With all-equal priorities this is precisely
+/// the order a *stable sort* of the concatenated lane outputs would
+/// produce, which is how the merged stream reproduces the legacy
+/// `bursty`/`mixed` vectors byte-for-byte.
+#[derive(Default)]
+pub struct MergedStream {
+    lanes: Vec<Lane>,
+}
+
+struct Lane {
+    head: Option<Arrival>,
+    rest: Box<dyn ArrivalStream>,
+    priority: u8,
+}
+
+impl MergedStream {
+    /// An empty merge; feed it with [`MergedStream::push`].
+    pub fn new() -> Self {
+        MergedStream { lanes: Vec::new() }
+    }
+
+    /// Add a time-sorted lane. `priority` only breaks exact time ties.
+    pub fn push(&mut self, priority: u8, stream: impl ArrivalStream + 'static) {
+        let mut rest: Box<dyn ArrivalStream> = Box::new(stream);
+        let head = rest.next();
+        self.lanes.push(Lane {
+            head,
+            rest,
+            priority,
+        });
+    }
+
+    /// Number of lanes in the merge.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+impl std::fmt::Debug for MergedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergedStream")
+            .field("lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+impl Iterator for MergedStream {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let mut best: Option<usize> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let Some(a) = &lane.head else { continue };
+            let better = match best {
+                None => true,
+                Some(j) => {
+                    let b = self.lanes[j].head.as_ref().expect("best lane has a head");
+                    match a.at_hours.total_cmp(&b.at_hours) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        // Same instant: higher priority wins; equal
+                        // priority keeps the earlier lane (stability).
+                        std::cmp::Ordering::Equal => lane.priority > self.lanes[j].priority,
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let lane = &mut self.lanes[best?];
+        let out = lane.head.take();
+        lane.head = lane.rest.next();
+        out
+    }
+}
+
+/// The planet-scale campaign generator: one modulated Poisson stream per
+/// request class (each class's rate replaces the profile's base rate,
+/// the diurnal/seasonal/flash shape is shared), merged globally
+/// time-sorted with class priorities breaking exact ties. Per-class
+/// seeds derive from `seed` with the same mixing as [`mixed`].
+///
+/// # Panics
+/// Panics if `classes` is empty, a class rate is not positive, or the
+/// modulation profile is invalid.
+pub fn class_stream(
+    classes: &[RequestClass],
+    modulation: &RateProfile,
+    horizon_hours: f64,
+    seed: u64,
+) -> MergedStream {
+    assert!(!classes.is_empty(), "need at least one request class");
+    let mut merged = MergedStream::new();
+    for (i, class) in classes.iter().enumerate() {
+        let class_seed = seed ^ (CLASS_SEED_MIX.wrapping_mul(i as u64 + 1));
+        let profile = RateProfile {
+            base_rate_per_hour: class.rate_per_hour,
+            ..modulation.clone()
+        };
+        merged.push(
+            class.priority,
+            ModulatedPoissonStream::new(profile, horizon_hours, class.degrees, class_seed),
+        );
+    }
+    merged
+}
+
+/// The streaming form of [`bursty`]: a base lane plus one lane per
+/// overload window, merged. Identical output to the legacy vector.
+///
+/// # Panics
+/// Panics on a non-positive rate/horizon or a burst multiplier below 1.
+pub fn bursty_stream(
+    base_rate_per_hour: f64,
+    horizon_hours: f64,
+    degrees: f64,
+    bursts: &[(f64, f64, f64)],
+    seed: u64,
+) -> MergedStream {
+    let mut merged = MergedStream::new();
+    merged.push(
+        0,
+        PoissonStream::new(base_rate_per_hour, horizon_hours, degrees, seed),
+    );
+    for (i, &(start, dur, mult)) in bursts.iter().enumerate() {
+        assert!(mult >= 1.0, "burst multiplier must be >= 1");
+        let extra_rate = base_rate_per_hour * (mult - 1.0);
+        if extra_rate > 0.0 && dur > 0.0 {
+            let burst_seed = seed ^ (BURST_SEED_MIX.wrapping_mul(i as u64 + 1));
+            merged.push(
+                0,
+                PoissonStream::new(extra_rate, dur, degrees, burst_seed)
+                    .map(move |a| Arrival {
+                        at_hours: start + a.at_hours,
+                        ..a
+                    })
+                    .filter(move |a| a.at_hours < horizon_hours),
+            );
+        }
+    }
+    merged
+}
+
+/// The streaming form of [`mixed`]: one Poisson lane per `(rate,
+/// degrees)` class, merged. Identical output to the legacy vector.
+///
+/// # Panics
+/// Panics if `classes` is empty or a rate/horizon is not positive.
+pub fn mixed_stream(classes: &[(f64, f64)], horizon_hours: f64, seed: u64) -> MergedStream {
+    assert!(!classes.is_empty(), "need at least one request class");
+    let mut merged = MergedStream::new();
+    for (i, &(rate, degrees)) in classes.iter().enumerate() {
+        let class_seed = seed ^ (CLASS_SEED_MIX.wrapping_mul(i as u64 + 1));
+        merged.push(
+            0,
+            PoissonStream::new(rate, horizon_hours, degrees, class_seed),
+        );
+    }
+    merged
+}
+
+/// A deterministic periodic stream: one request every `period_hours`,
+/// starting at `period_hours` (useful for hand-checkable tests).
+#[derive(Debug, Clone)]
+pub struct PeriodicStream {
+    period_hours: f64,
+    horizon_hours: f64,
+    degrees: f64,
+    t: f64,
+}
+
+impl PeriodicStream {
+    /// Stream of evenly spaced arrivals.
+    ///
+    /// # Panics
+    /// Panics if the period is not positive.
+    pub fn new(period_hours: f64, horizon_hours: f64, degrees: f64) -> Self {
+        assert!(period_hours > 0.0);
+        PeriodicStream {
+            period_hours,
+            horizon_hours,
+            degrees,
+            t: period_hours,
+        }
+    }
+}
+
+impl Iterator for PeriodicStream {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.t >= self.horizon_hours {
+            return None;
+        }
+        let at_hours = self.t;
+        self.t += self.period_hours;
+        Some(Arrival {
+            at_hours,
+            degrees: self.degrees,
+        })
+    }
+}
+
+/// A homogeneous Poisson stream materialized to a `Vec`: `rate_per_hour`
+/// requests per hour over `horizon_hours`, all for `degrees`-sized
+/// mosaics. Deterministic per seed; arrivals are sorted by time.
 ///
 /// # Panics
 /// Panics if the rate or horizon is not positive and finite.
 pub fn poisson(rate_per_hour: f64, horizon_hours: f64, degrees: f64, seed: u64) -> Vec<Arrival> {
-    assert!(
-        rate_per_hour.is_finite() && rate_per_hour > 0.0,
-        "rate must be positive, got {rate_per_hour}"
-    );
-    assert!(
-        horizon_hours.is_finite() && horizon_hours > 0.0,
-        "horizon must be positive, got {horizon_hours}"
-    );
-    let mut rng = SimRng::new(seed);
-    let mut t = 0.0f64;
-    let mut out = Vec::new();
-    loop {
-        // Exponential inter-arrival via inverse transform.
-        let u: f64 = rng.f64_in(f64::EPSILON, 1.0);
-        t += -u.ln() / rate_per_hour;
-        if t >= horizon_hours {
-            break;
-        }
-        out.push(Arrival {
-            at_hours: t,
-            degrees,
-        });
-    }
-    out
+    PoissonStream::new(rate_per_hour, horizon_hours, degrees, seed).collect()
 }
 
-/// A bursty stream: a steady base rate plus overload windows during which
-/// the rate multiplies — the "sporadic overloads of mosaic requests" of
-/// the paper's introduction. `bursts` are `(start_hour, duration_hours,
-/// rate_multiplier)` windows.
+/// A bursty stream materialized to a `Vec`: a steady base rate plus
+/// overload windows during which the rate multiplies — the "sporadic
+/// overloads of mosaic requests" of the paper's introduction. `bursts`
+/// are `(start_hour, duration_hours, rate_multiplier)` windows.
 pub fn bursty(
     base_rate_per_hour: f64,
     horizon_hours: f64,
@@ -61,53 +532,21 @@ pub fn bursty(
     bursts: &[(f64, f64, f64)],
     seed: u64,
 ) -> Vec<Arrival> {
-    let mut out = poisson(base_rate_per_hour, horizon_hours, degrees, seed);
-    for (i, &(start, dur, mult)) in bursts.iter().enumerate() {
-        assert!(mult >= 1.0, "burst multiplier must be >= 1");
-        let extra_rate = base_rate_per_hour * (mult - 1.0);
-        if extra_rate > 0.0 && dur > 0.0 {
-            let burst_seed = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
-            for a in poisson(extra_rate, dur, degrees, burst_seed) {
-                let at_hours = start + a.at_hours;
-                if at_hours < horizon_hours {
-                    out.push(Arrival { at_hours, degrees });
-                }
-            }
-        }
-    }
-    out.sort_by(|a, b| a.at_hours.total_cmp(&b.at_hours));
-    out
+    bursty_stream(base_rate_per_hour, horizon_hours, degrees, bursts, seed).collect()
 }
 
-/// A mixed-class stream: independent Poisson processes per request class
-/// (`rate_per_hour`, `degrees`), merged and time-sorted. This is what the
-/// real portal sees — mostly small cutouts with occasional survey-scale
-/// 4-degree requests.
+/// A mixed-class stream materialized to a `Vec`: independent Poisson
+/// processes per request class (`rate_per_hour`, `degrees`), merged and
+/// time-sorted. This is what the real portal sees — mostly small cutouts
+/// with occasional survey-scale 4-degree requests.
 pub fn mixed(classes: &[(f64, f64)], horizon_hours: f64, seed: u64) -> Vec<Arrival> {
-    assert!(!classes.is_empty(), "need at least one request class");
-    let mut out = Vec::new();
-    for (i, &(rate, degrees)) in classes.iter().enumerate() {
-        let class_seed = seed ^ (0xd134_2543_de82_ef95u64.wrapping_mul(i as u64 + 1));
-        out.extend(poisson(rate, horizon_hours, degrees, class_seed));
-    }
-    out.sort_by(|a, b| a.at_hours.total_cmp(&b.at_hours));
-    out
+    mixed_stream(classes, horizon_hours, seed).collect()
 }
 
-/// A deterministic periodic stream: one request every `period_hours`,
-/// starting at `period_hours` (useful for hand-checkable tests).
+/// A deterministic periodic stream materialized to a `Vec`: one request
+/// every `period_hours`, starting at `period_hours`.
 pub fn periodic(period_hours: f64, horizon_hours: f64, degrees: f64) -> Vec<Arrival> {
-    assert!(period_hours > 0.0);
-    let mut out = Vec::new();
-    let mut t = period_hours;
-    while t < horizon_hours {
-        out.push(Arrival {
-            at_hours: t,
-            degrees,
-        });
-        t += period_hours;
-    }
-    out
+    PeriodicStream::new(period_hours, horizon_hours, degrees).collect()
 }
 
 #[cfg(test)]
@@ -132,6 +571,15 @@ mod tests {
     fn poisson_is_deterministic_per_seed() {
         assert_eq!(poisson(5.0, 100.0, 2.0, 7), poisson(5.0, 100.0, 2.0, 7));
         assert_ne!(poisson(5.0, 100.0, 2.0, 7), poisson(5.0, 100.0, 2.0, 8));
+    }
+
+    #[test]
+    fn poisson_stream_is_fused() {
+        let mut s = PoissonStream::new(1.0, 10.0, 1.0, 3);
+        let n = s.by_ref().count();
+        assert!(n > 0);
+        assert_eq!(s.next(), None);
+        assert_eq!(s.next(), None);
     }
 
     #[test]
@@ -202,5 +650,138 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn poisson_rejects_zero_rate() {
         poisson(0.0, 10.0, 1.0, 1);
+    }
+
+    #[test]
+    fn triangle_wave_hits_its_extremes() {
+        assert_eq!(triangle(0.0), 1.0);
+        assert_eq!(triangle(0.5), -1.0);
+        assert_eq!(triangle(1.0), 1.0);
+        assert_eq!(triangle(-0.5), -1.0);
+        assert_eq!(triangle(0.25), 0.0);
+    }
+
+    #[test]
+    fn rate_profile_modulates_and_bounds() {
+        let profile = RateProfile {
+            base_rate_per_hour: 10.0,
+            diurnal_amplitude: 0.5,
+            seasonal_amplitude: 0.0,
+            flash_crowds: vec![FlashCrowd {
+                start_hour: 100.0,
+                duration_hours: 10.0,
+                multiplier: 3.0,
+            }],
+        };
+        profile.validate().expect("valid profile");
+        // Peak of the diurnal cycle at 14:00, trough at 02:00.
+        assert_eq!(profile.rate_at(14.0), 15.0);
+        assert_eq!(profile.rate_at(2.0), 5.0);
+        // Flash window multiplies; boundary is half-open.
+        assert!(profile.rate_at(105.0) > 2.9 * profile.rate_at(105.0 - 24.0));
+        assert_eq!(profile.rate_at(110.0), profile.rate_at(110.0 - 24.0));
+        // rate_at never exceeds peak_rate.
+        let peak = profile.peak_rate();
+        for i in 0..2000 {
+            let t = i as f64 * 0.1;
+            assert!(profile.rate_at(t) <= peak + 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn modulated_stream_tracks_the_profile_shape() {
+        let profile = RateProfile {
+            base_rate_per_hour: 20.0,
+            diurnal_amplitude: 0.8,
+            seasonal_amplitude: 0.0,
+            flash_crowds: Vec::new(),
+        };
+        let arrivals: Vec<Arrival> =
+            ModulatedPoissonStream::new(profile, 2400.0, 1.0, 11).collect();
+        assert!(arrivals.windows(2).all(|w| w[0].at_hours <= w[1].at_hours));
+        // Empirical rate near the base over whole cycles.
+        let rate = arrivals.len() as f64 / 2400.0;
+        assert!((rate - 20.0).abs() < 1.0, "empirical rate {rate}");
+        // Day hours (peak half of the cycle) see clearly more traffic
+        // than night hours.
+        let hour_of_day = |a: &Arrival| a.at_hours.rem_euclid(24.0);
+        let day = arrivals
+            .iter()
+            .filter(|a| (8.0..20.0).contains(&hour_of_day(a)))
+            .count();
+        let night = arrivals.len() - day;
+        assert!(day as f64 > 1.3 * night as f64, "day {day} night {night}");
+    }
+
+    #[test]
+    fn modulated_stream_is_deterministic_per_seed() {
+        let profile = RateProfile {
+            base_rate_per_hour: 5.0,
+            diurnal_amplitude: 0.3,
+            seasonal_amplitude: 0.1,
+            flash_crowds: vec![FlashCrowd {
+                start_hour: 50.0,
+                duration_hours: 5.0,
+                multiplier: 4.0,
+            }],
+        };
+        let a: Vec<Arrival> = ModulatedPoissonStream::new(profile.clone(), 300.0, 1.0, 7).collect();
+        let b: Vec<Arrival> = ModulatedPoissonStream::new(profile.clone(), 300.0, 1.0, 7).collect();
+        let c: Vec<Arrival> = ModulatedPoissonStream::new(profile, 300.0, 1.0, 8).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate profile")]
+    fn modulated_stream_rejects_bad_amplitude() {
+        let profile = RateProfile {
+            diurnal_amplitude: 1.5,
+            ..RateProfile::constant(1.0)
+        };
+        ModulatedPoissonStream::new(profile, 10.0, 1.0, 1);
+    }
+
+    #[test]
+    fn class_stream_merges_priorities_and_shapes() {
+        let classes = [
+            RequestClass {
+                rate_per_hour: 8.0,
+                degrees: 1.0,
+                priority: 2,
+            },
+            RequestClass {
+                rate_per_hour: 1.0,
+                degrees: 4.0,
+                priority: 0,
+            },
+        ];
+        let modulation = RateProfile::constant(1.0);
+        let arrivals: Vec<Arrival> = class_stream(&classes, &modulation, 500.0, 13).collect();
+        assert!(arrivals.windows(2).all(|w| w[0].at_hours <= w[1].at_hours));
+        let small = arrivals.iter().filter(|a| a.degrees == 1.0).count();
+        let large = arrivals.iter().filter(|a| a.degrees == 4.0).count();
+        assert!(small > 4 * large && large > 0, "{small} vs {large}");
+        // Deterministic.
+        let again: Vec<Arrival> = class_stream(&classes, &modulation, 500.0, 13).collect();
+        assert_eq!(arrivals, again);
+    }
+
+    #[test]
+    fn merge_breaks_exact_ties_by_priority_then_insertion() {
+        // Two periodic lanes with identical timestamps: the priority-1
+        // lane must come out first at every shared instant, and two
+        // equal-priority lanes keep push order.
+        let mut merged = MergedStream::new();
+        merged.push(0, PeriodicStream::new(2.0, 9.0, 1.0));
+        merged.push(1, PeriodicStream::new(2.0, 9.0, 4.0));
+        merged.push(0, PeriodicStream::new(2.0, 9.0, 2.0));
+        let out: Vec<Arrival> = merged.collect();
+        let degrees: Vec<f64> = out.iter().map(|a| a.degrees).collect();
+        assert_eq!(
+            degrees,
+            vec![4.0, 1.0, 2.0, 4.0, 1.0, 2.0, 4.0, 1.0, 2.0, 4.0, 1.0, 2.0]
+        );
+        assert!(out.windows(2).all(|w| w[0].at_hours <= w[1].at_hours));
     }
 }

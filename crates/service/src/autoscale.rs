@@ -6,15 +6,21 @@
 //! overloads; this module simulates the dynamic version: slots (VM groups
 //! that each serve one request) are rented when the backlog grows, carry a
 //! boot delay, bill by the hour while held, and are released when idle.
+//!
+//! Like the service simulator, the pool consumes its arrivals as a lazy
+//! stream and folds outcomes into histograms, so memory stays bounded by
+//! the peak backlog. Admission control ([`AutoScaleConfig::queue_bound`]
+//! plus an [`AdmissionPolicy`]) keeps that backlog — and the money spent
+//! chasing it — finite even under sustained overload.
 
 use std::collections::VecDeque;
 
 use mcloud_cost::Money;
-use mcloud_simkit::{EventQueue, SimDuration, SimTime};
+use mcloud_simkit::{EventQueue, Histogram, SimDuration, SimTime};
 
 use crate::arrivals::Arrival;
 use crate::profile::ProfileTable;
-use crate::simulator::{RequestOutcome, Venue};
+use crate::simulator::{AdmissionPolicy, OutcomeFold, RequestOutcome, Venue};
 
 /// Auto-scaler configuration.
 #[derive(Debug, Clone)]
@@ -27,10 +33,18 @@ pub struct AutoScaleConfig {
     pub scale_up_queue: usize,
     /// Seconds from renting a slot until it can serve (VM boot).
     pub boot_s: f64,
+    /// Seconds a slot may sit idle above the floor before it is released;
+    /// 0 releases immediately (the historical behavior). A grace window
+    /// trades rental dollars for boot-latency on the next burst.
+    pub idle_release_s: f64,
     /// Processors per slot (sets each request's service time).
     pub procs_per_slot: u32,
     /// $ per slot-hour while rented.
     pub slot_cost_per_hour: Money,
+    /// Cap on the number of waiting requests; `None` is unbounded.
+    pub queue_bound: Option<usize>,
+    /// Overflow policy applied when `queue_bound` is reached.
+    pub admission: AdmissionPolicy,
     /// Execution model used to profile request service times and
     /// per-request data-management costs.
     pub exec: mcloud_core::ExecConfig,
@@ -45,13 +59,18 @@ impl AutoScaleConfig {
             max_slots: 8,
             scale_up_queue: 2,
             boot_s: 120.0,
+            idle_release_s: 0.0,
             procs_per_slot: 16,
             slot_cost_per_hour: Money::from_dollars(1.6),
+            queue_bound: None,
+            admission: AdmissionPolicy::AdmitAll,
             exec: mcloud_core::ExecConfig::paper_default(),
         }
     }
 
-    /// Validates bounds.
+    /// Validates bounds, and rejects combinations that could never meet
+    /// any SLO — a pool that can strand arrivals forever is a
+    /// configuration error, not a simulation result.
     pub fn validate(&self) -> Result<(), String> {
         if self.max_slots == 0 || self.max_slots < self.min_slots {
             return Err(format!(
@@ -65,26 +84,73 @@ impl AutoScaleConfig {
         if !(self.boot_s.is_finite() && self.boot_s >= 0.0) {
             return Err(format!("invalid boot_s {}", self.boot_s));
         }
+        if !(self.idle_release_s.is_finite() && self.idle_release_s >= 0.0) {
+            return Err(format!("invalid idle_release_s {}", self.idle_release_s));
+        }
         if self.min_slots == 0 && self.scale_up_queue > 1 {
             return Err("with min_slots = 0 the scale-up trigger must be a single \
                  waiting request, or the first arrival waits forever"
                 .into());
         }
+        if self.queue_bound.is_some() && self.admission == AdmissionPolicy::AdmitAll {
+            return Err(format!(
+                "a bounded queue (queue_bound = {}) needs an overflow policy: \
+                 with admission = AdmitAll (rejects and deflects disabled) a \
+                 full queue would strand arrivals forever — use Reject or \
+                 Deflect",
+                self.queue_bound.unwrap_or(0)
+            ));
+        }
+        if self.queue_bound.is_none() && self.admission != AdmissionPolicy::AdmitAll {
+            return Err(
+                "an overflow policy (Reject/Deflect) requires a queue_bound; \
+                 an unbounded queue never overflows"
+                    .to_string(),
+            );
+        }
+        if self
+            .queue_bound
+            .is_some_and(|b| b < self.scale_up_queue && self.min_slots == 0)
+        {
+            return Err(format!(
+                "queue_bound ({}) below scale_up_queue ({}) with min_slots = 0: \
+                 the backlog can never reach the scale-up trigger, so the pool \
+                 would never rent its first slot and every request would \
+                 overflow",
+                self.queue_bound.unwrap_or(0),
+                self.scale_up_queue
+            ));
+        }
         self.exec.validate()
     }
 }
 
-/// Result of an auto-scaled pool simulation.
+/// Result of an auto-scaled pool simulation: streaming folds, constant
+/// memory. Per-request detail streams through
+/// [`simulate_autoscale_each`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct AutoScaleReport {
-    /// Every request, in arrival order (all served in the pool).
-    pub outcomes: Vec<RequestOutcome>,
+    /// Requests served in the pool.
+    pub requests: u64,
+    /// Requests turned away by admission control.
+    pub rejected: u64,
+    /// Requests deflected to per-request cloud resources (served, but
+    /// outside the pool; billed in `deflect_cost`).
+    pub deflected: u64,
+    /// Distribution of per-request slot waits, hours, folded in arrival
+    /// order.
+    pub wait_hist: Histogram,
+    /// Distribution of per-request turnarounds, hours, folded in arrival
+    /// order.
+    pub turnaround_hist: Histogram,
     /// Total slot-hours rented.
     pub slot_hours: f64,
     /// Rental spend (`slot_hours x rate`).
     pub rental_cost: Money,
     /// Per-request data-management spend (transfers + storage).
     pub dm_cost: Money,
+    /// Spend on deflected requests (full per-request cloud price).
+    pub deflect_cost: Money,
     /// Most slots simultaneously rented.
     pub peak_slots: u32,
     /// Number of rent operations (including the initial `min_slots`).
@@ -92,57 +158,105 @@ pub struct AutoScaleReport {
 }
 
 impl AutoScaleReport {
-    /// Rental plus data-management spend.
+    /// Rental plus data-management plus deflection spend.
     pub fn total_cost(&self) -> Money {
-        self.rental_cost + self.dm_cost
+        self.rental_cost + self.dm_cost + self.deflect_cost
+    }
+
+    /// Total demand offered to the pool: served plus rejected.
+    pub fn offered(&self) -> u64 {
+        self.requests + self.rejected
     }
 
     /// Mean wait for a slot, hours.
     pub fn mean_wait_hours(&self) -> f64 {
-        if self.outcomes.is_empty() {
-            return 0.0;
-        }
-        self.outcomes
-            .iter()
-            .map(RequestOutcome::wait_hours)
-            .sum::<f64>()
-            / self.outcomes.len() as f64
+        self.wait_hist.mean()
     }
 
     /// Longest wait, hours.
     pub fn max_wait_hours(&self) -> f64 {
-        self.outcomes
-            .iter()
-            .map(RequestOutcome::wait_hours)
-            .fold(0.0, f64::max)
+        self.wait_hist.max()
+    }
+
+    /// Mean turnaround (arrival to completion), hours.
+    pub fn mean_turnaround_hours(&self) -> f64 {
+        self.turnaround_hist.mean()
+    }
+
+    /// Empirical `q`-quantile of turnaround, `0 <= q <= 1`; same
+    /// conventions as `ServiceReport::turnaround_quantile`.
+    pub fn turnaround_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        self.turnaround_hist.quantile(q)
     }
 }
 
 #[derive(Debug)]
 enum Ev {
-    Arrive(usize),
     /// A rented slot finished booting.
     SlotReady,
     /// A slot finished serving a request.
     ServiceDone,
+    /// An idle-release grace window expired; release one idle slot above
+    /// the floor if any remains idle.
+    IdleExpire,
 }
 
-/// Simulates the auto-scaled pool over an arrival stream.
+/// Simulates the auto-scaled pool over a materialized arrival slice.
 ///
 /// # Panics
 /// Panics on invalid configuration or unsorted arrivals.
 pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoScaleReport {
-    cfg.validate().expect("invalid autoscale configuration");
+    simulate_autoscale_stream(arrivals.iter().copied(), cfg, |_| {})
+}
+
+/// Like [`simulate_autoscale`], but streams every [`RequestOutcome`] to
+/// `on_outcome` in arrival-index order (rejected requests are counted,
+/// not visited).
+///
+/// # Panics
+/// Panics on invalid configuration or unsorted arrivals.
+pub fn simulate_autoscale_each(
+    arrivals: &[Arrival],
+    cfg: &AutoScaleConfig,
+    on_outcome: impl FnMut(&RequestOutcome),
+) -> AutoScaleReport {
+    simulate_autoscale_stream(arrivals.iter().copied(), cfg, on_outcome)
+}
+
+/// The streaming core: consumes any time-sorted
+/// [`ArrivalStream`](crate::arrivals::ArrivalStream) lazily — arrivals
+/// are merged against the event calendar one at a time (an arrival ties
+/// ahead of any pool event at the same instant, matching the historical
+/// all-events-upfront order), so campaign memory is bounded by the peak
+/// backlog, not the request count.
+///
+/// # Panics
+/// Panics on invalid configuration or unsorted arrivals.
+pub fn simulate_autoscale_stream(
+    arrivals: impl IntoIterator<Item = Arrival>,
+    cfg: &AutoScaleConfig,
+    on_outcome: impl FnMut(&RequestOutcome),
+) -> AutoScaleReport {
     let mut profiles = ProfileTable::new(cfg.exec.clone());
+    simulate_autoscale_core(arrivals, cfg, &mut profiles, on_outcome)
+}
+
+/// [`simulate_autoscale_stream`] with a caller-supplied profile cache, so
+/// batch evaluators (the capacity planner) can reuse warm engine profiles
+/// across many candidate configurations that share an `ExecConfig`.
+/// Results are independent of the cache's warmth — profiles are memoized
+/// pure functions of `(degrees, procs)`.
+pub(crate) fn simulate_autoscale_core(
+    arrivals: impl IntoIterator<Item = Arrival>,
+    cfg: &AutoScaleConfig,
+    profiles: &mut ProfileTable,
+    on_outcome: impl FnMut(&RequestOutcome),
+) -> AutoScaleReport {
+    cfg.validate().expect("invalid autoscale configuration");
+    let mut arrivals = arrivals.into_iter().peekable();
 
     let mut events: EventQueue<Ev> = EventQueue::new();
-    for (i, a) in arrivals.iter().enumerate() {
-        assert!(
-            i == 0 || arrivals[i - 1].at_hours <= a.at_hours,
-            "arrivals must be sorted by time"
-        );
-        events.push(SimTime::from_secs_f64(a.at_hours * 3600.0), Ev::Arrive(i));
-    }
 
     // Pool state. Slots are fungible: we track counts, not identities.
     let mut idle_slots = 0u32; // rented, booted, not serving
@@ -154,9 +268,15 @@ pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoSc
     let mut slot_hours = 0.0f64;
     let mut last_accrual = SimTime::ZERO;
 
-    let mut waiting: VecDeque<usize> = VecDeque::new();
-    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; arrivals.len()];
+    // FIFO backlog; the arrival rides along because a stream cannot be
+    // re-indexed.
+    let mut waiting: VecDeque<(usize, Arrival)> = VecDeque::new();
+    let mut fold = OutcomeFold::new(on_outcome);
+    let mut next_index = 0usize;
+    let mut last_arrival_hours = f64::NEG_INFINITY;
     let mut dm_cost = Money::ZERO;
+    let mut deflected = 0u64;
+    let mut deflect_cost = Money::ZERO;
 
     // Rent the floor immediately (booting).
     for _ in 0..cfg.min_slots {
@@ -177,113 +297,194 @@ pub fn simulate_autoscale(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> AutoSc
         }};
     }
 
-    while let Some((now, ev)) = events.pop() {
-        accrue!(now);
-        match ev {
-            Ev::Arrive(i) => {
-                waiting.push_back(i);
-                // Serve immediately if a slot is idle.
-                if idle_slots > 0 {
-                    idle_slots -= 1;
-                    busy += 1;
-                    start_service(
-                        waiting.pop_front().unwrap(),
-                        now,
-                        arrivals,
-                        cfg,
-                        &mut profiles,
-                        &mut events,
-                        &mut outcomes,
-                        &mut dm_cost,
+    // Releases one slot that just went idle, honouring the floor and the
+    // idle-release grace window.
+    macro_rules! park_idle {
+        ($now:expr) => {{
+            if rented > cfg.min_slots && cfg.idle_release_s == 0.0 {
+                rented -= 1; // idle above the floor: release immediately
+            } else {
+                idle_slots += 1;
+                if rented > cfg.min_slots {
+                    events.push(
+                        $now + SimDuration::from_secs_f64(cfg.idle_release_s),
+                        Ev::IdleExpire,
                     );
-                } else if waiting.len() >= cfg.scale_up_queue && rented < cfg.max_slots {
-                    rented += 1;
-                    rentals += 1;
-                    booting += 1;
-                    peak_slots = peak_slots.max(rented);
-                    events.push(now + SimDuration::from_secs_f64(cfg.boot_s), Ev::SlotReady);
                 }
             }
+        }};
+    }
+
+    loop {
+        let arrival_due = match (arrivals.peek(), events.peek_time()) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(a), Some(t)) => SimTime::from_secs_f64(a.at_hours * 3600.0) <= t,
+        };
+        if arrival_due {
+            let a = arrivals.next().expect("peeked arrival");
+            let i = next_index;
+            next_index += 1;
+            assert!(
+                last_arrival_hours <= a.at_hours,
+                "arrivals must be sorted by time"
+            );
+            last_arrival_hours = a.at_hours;
+            let now = SimTime::from_secs_f64(a.at_hours * 3600.0);
+            accrue!(now);
+            // Admission control fires only when no slot could serve the
+            // request immediately and the backlog is at its bound.
+            if idle_slots == 0 && cfg.queue_bound.is_some_and(|b| waiting.len() >= b) {
+                match cfg.admission {
+                    AdmissionPolicy::Reject => fold.push_rejected(i),
+                    AdmissionPolicy::Deflect => {
+                        // Full per-request cloud price: CPU plus data
+                        // management, same as a service cloud burst.
+                        let profile = profiles.fixed(a.degrees, cfg.procs_per_slot);
+                        let cost = profile.cost;
+                        deflected += 1;
+                        deflect_cost += cost;
+                        let start_h = now.as_hours_f64();
+                        fold.push(RequestOutcome {
+                            index: i,
+                            degrees: a.degrees,
+                            arrival_hours: a.at_hours,
+                            start_hours: start_h,
+                            finish_hours: start_h + profile.makespan_hours,
+                            venue: Venue::Cloud,
+                            cost,
+                            attempts: 1,
+                        });
+                    }
+                    // validate() rejects a bound without a policy.
+                    AdmissionPolicy::AdmitAll => unreachable!("bounded queue without a policy"),
+                }
+                continue;
+            }
+            waiting.push_back((i, a));
+            // Serve immediately if a slot is idle.
+            if idle_slots > 0 {
+                idle_slots -= 1;
+                busy += 1;
+                let (j, aj) = waiting.pop_front().expect("just pushed");
+                start_service(
+                    j,
+                    aj,
+                    now,
+                    cfg,
+                    profiles,
+                    &mut events,
+                    &mut fold,
+                    &mut dm_cost,
+                );
+            } else if waiting.len() >= cfg.scale_up_queue && rented < cfg.max_slots {
+                rented += 1;
+                rentals += 1;
+                booting += 1;
+                peak_slots = peak_slots.max(rented);
+                events.push(now + SimDuration::from_secs_f64(cfg.boot_s), Ev::SlotReady);
+            }
+            continue;
+        }
+        let Some((now, ev)) = events.pop() else { break };
+        accrue!(now);
+        match ev {
             Ev::SlotReady => {
                 booting -= 1;
-                if let Some(i) = waiting.pop_front() {
+                if let Some((i, a)) = waiting.pop_front() {
                     busy += 1;
                     start_service(
                         i,
+                        a,
                         now,
-                        arrivals,
                         cfg,
-                        &mut profiles,
+                        profiles,
                         &mut events,
-                        &mut outcomes,
+                        &mut fold,
                         &mut dm_cost,
                     );
-                } else if rented > cfg.min_slots {
+                } else if rented > cfg.min_slots && cfg.idle_release_s == 0.0 {
                     rented -= 1; // booted into an empty queue: release
                 } else {
                     idle_slots += 1;
+                    if rented > cfg.min_slots {
+                        events.push(
+                            now + SimDuration::from_secs_f64(cfg.idle_release_s),
+                            Ev::IdleExpire,
+                        );
+                    }
                 }
             }
             Ev::ServiceDone => {
                 busy -= 1;
-                if let Some(i) = waiting.pop_front() {
+                if let Some((i, a)) = waiting.pop_front() {
                     busy += 1;
                     start_service(
                         i,
+                        a,
                         now,
-                        arrivals,
                         cfg,
-                        &mut profiles,
+                        profiles,
                         &mut events,
-                        &mut outcomes,
+                        &mut fold,
                         &mut dm_cost,
                     );
-                } else if rented > cfg.min_slots {
-                    rented -= 1; // idle above the floor: release
                 } else {
-                    idle_slots += 1;
+                    park_idle!(now);
+                }
+            }
+            Ev::IdleExpire => {
+                // Slots are fungible, so the grace window is approximate:
+                // the slot that scheduled this check may have been reused
+                // since. Release one slot only if some slot is still idle
+                // and the pool sits above its floor.
+                if idle_slots > 0 && rented > cfg.min_slots {
+                    idle_slots -= 1;
+                    rented -= 1;
                 }
             }
         }
     }
     debug_assert_eq!(busy, 0);
     debug_assert_eq!(booting, 0);
+    debug_assert_eq!(fold.next, next_index, "every request is decided");
 
-    let outcomes: Vec<RequestOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every request served"))
-        .collect();
     AutoScaleReport {
-        outcomes,
+        requests: fold.served_local + fold.served_cloud,
+        rejected: fold.rejected,
+        deflected,
+        wait_hist: fold.wait_hist,
+        turnaround_hist: fold.turnaround_hist,
         slot_hours,
         rental_cost: cfg.slot_cost_per_hour * slot_hours,
         dm_cost,
+        deflect_cost,
         peak_slots,
         rentals,
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn start_service(
+fn start_service<F: FnMut(&RequestOutcome)>(
     i: usize,
+    a: Arrival,
     now: SimTime,
-    arrivals: &[Arrival],
     cfg: &AutoScaleConfig,
     profiles: &mut ProfileTable,
     events: &mut EventQueue<Ev>,
-    outcomes: &mut [Option<RequestOutcome>],
+    fold: &mut OutcomeFold<F>,
     dm_cost: &mut Money,
 ) {
     // Service time from the engine profile; the slot rental covers CPU, so
     // the request itself is charged only its data-management share.
-    let profile = profiles.fixed(arrivals[i].degrees, cfg.procs_per_slot);
-    let dm = profiles.dm_cost(arrivals[i].degrees, cfg.procs_per_slot);
+    let profile = profiles.fixed(a.degrees, cfg.procs_per_slot);
+    let dm = profiles.dm_cost(a.degrees, cfg.procs_per_slot);
     *dm_cost += dm;
     let finish = now + SimDuration::from_hours_f64(profile.makespan_hours);
-    outcomes[i] = Some(RequestOutcome {
+    fold.push(RequestOutcome {
         index: i,
-        degrees: arrivals[i].degrees,
-        arrival_hours: arrivals[i].at_hours,
+        degrees: a.degrees,
+        arrival_hours: a.at_hours,
         start_hours: now.as_hours_f64(),
         finish_hours: finish.as_hours_f64(),
         venue: Venue::Cloud,

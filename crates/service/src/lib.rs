@@ -27,13 +27,25 @@
 
 mod arrivals;
 mod autoscale;
+pub mod planner;
 mod profile;
 mod simulator;
 
-pub use arrivals::{bursty, mixed, periodic, poisson, Arrival};
-pub use autoscale::{simulate_autoscale, AutoScaleConfig, AutoScaleReport};
+pub use arrivals::{
+    bursty, bursty_stream, class_stream, mixed, mixed_stream, periodic, poisson, Arrival,
+    ArrivalStream, FlashCrowd, MergedStream, ModulatedPoissonStream, PeriodicStream, PoissonStream,
+    RateProfile, RequestClass,
+};
+pub use autoscale::{
+    simulate_autoscale, simulate_autoscale_each, simulate_autoscale_stream, AutoScaleConfig,
+    AutoScaleReport,
+};
+pub use planner::{
+    plan_capacity, plan_capacity_with, plan_json, plan_text, CapacityPlan, PlanCandidate, PlanSpec,
+};
 pub use profile::{ProfileTable, RequestProfile};
 pub use simulator::{
-    service_trace_jsonl, simulate_service, simulate_service_each, simulate_service_with_sink,
-    RequestOutcome, ServiceConfig, ServiceReport, Venue,
+    service_trace_jsonl, simulate_service, simulate_service_each, simulate_service_stream,
+    simulate_service_with_sink, AdmissionPolicy, RequestOutcome, ServiceConfig, ServiceReport,
+    Venue,
 };

@@ -16,7 +16,20 @@
 //! traffic takes memory proportional to the *peak backlog*, not the
 //! request count. Callers that do want every [`RequestOutcome`] (tests,
 //! trace tooling) use [`simulate_service_each`], which streams them to a
-//! visitor in arrival order.
+//! visitor in arrival order. The core ([`simulate_service_stream`])
+//! consumes any [`ArrivalStream`](crate::arrivals::ArrivalStream), so the
+//! demand side never has to exist as a `Vec` either: generator + simulator
+//! together run 10^6–10^8-request campaigns in backlog-bounded memory.
+//!
+//! # Admission control
+//!
+//! A planet-scale service cannot queue unboundedly. With
+//! [`ServiceConfig::queue_bound`] set, an arrival that finds the backlog
+//! full is handled by the [`AdmissionPolicy`]: `Reject` turns it away
+//! (counted in [`ServiceReport::rejected`], narrated as
+//! [`TraceEvent::RequestRejected`]), `Deflect` serves it on per-request
+//! cloud resources at the cloud price. Either way the waiting queue — and
+//! with it the simulator's memory — stays bounded.
 
 use std::collections::VecDeque;
 
@@ -37,6 +50,20 @@ pub enum Venue {
     Local,
     /// Cloud resources provisioned for this request.
     Cloud,
+}
+
+/// What happens to an arrival that finds a bounded waiting queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything. Only valid with an unbounded queue — a bound
+    /// with no overflow policy would strand arrivals forever, so
+    /// validation rejects that combination up front.
+    AdmitAll,
+    /// Turn the request away: it is counted as rejected, never served.
+    Reject,
+    /// Serve it on per-request cloud resources at the cloud price
+    /// instead of queueing (load shedding that costs money, not users).
+    Deflect,
 }
 
 /// Service configuration.
@@ -64,6 +91,11 @@ pub struct ServiceConfig {
     pub request_retry_max: u32,
     /// Seed for the request-level fault stream.
     pub fault_seed: u64,
+    /// Cap on the number of waiting requests; `None` is the legacy
+    /// unbounded FIFO. The cap also bounds the simulator's memory.
+    pub queue_bound: Option<usize>,
+    /// Overflow policy applied when `queue_bound` is reached.
+    pub admission: AdmissionPolicy,
 }
 
 impl ServiceConfig {
@@ -80,6 +112,8 @@ impl ServiceConfig {
             request_failure_prob: 0.0,
             request_retry_max: 0,
             fault_seed: 0,
+            queue_bound: None,
+            admission: AdmissionPolicy::AdmitAll,
         }
     }
 
@@ -95,6 +129,21 @@ impl ServiceConfig {
         }
         if !(0.0..1.0).contains(&self.request_failure_prob) {
             return Err("request_failure_prob must be in [0, 1)".to_string());
+        }
+        if self.queue_bound.is_some() && self.admission == AdmissionPolicy::AdmitAll {
+            return Err(format!(
+                "a bounded queue (queue_bound = {}) needs an overflow policy: \
+                 with admission = AdmitAll a full queue would strand arrivals \
+                 forever — use Reject or Deflect",
+                self.queue_bound.unwrap_or(0)
+            ));
+        }
+        if self.queue_bound.is_none() && self.admission != AdmissionPolicy::AdmitAll {
+            return Err(
+                "an overflow policy (Reject/Deflect) requires a queue_bound; \
+                 an unbounded queue never overflows"
+                    .to_string(),
+            );
         }
         self.exec.validate()
     }
@@ -147,6 +196,11 @@ pub struct ServiceReport {
     pub served_local: u64,
     /// Requests burst to the cloud.
     pub served_cloud: u64,
+    /// Requests turned away by admission control (never served).
+    pub rejected: u64,
+    /// Requests deflected to per-request cloud resources by admission
+    /// control (a subset of `served_cloud`).
+    pub deflected: u64,
     /// Distribution of per-request slot waits, hours, folded in arrival
     /// order.
     pub wait_hist: Histogram,
@@ -178,6 +232,21 @@ impl ServiceReport {
     /// Requests burst to the cloud.
     pub fn cloud_requests(&self) -> usize {
         self.served_cloud as usize
+    }
+
+    /// Total demand offered to the service: served plus rejected.
+    pub fn offered(&self) -> usize {
+        (self.served_local + self.served_cloud + self.rejected) as usize
+    }
+
+    /// Requests turned away by admission control.
+    pub fn rejected_requests(&self) -> usize {
+        self.rejected as usize
+    }
+
+    /// Requests deflected to per-request cloud resources.
+    pub fn deflected_requests(&self) -> usize {
+        self.deflected as usize
     }
 
     /// Total spend.
@@ -261,6 +330,27 @@ impl ServiceReport {
             &[("venue", "cloud")],
             self.served_cloud,
         );
+        reg.set_counter(
+            "mcloud_requests_admitted_total",
+            "Requests admitted (served locally or in the cloud).",
+            det,
+            &[],
+            self.served_local + self.served_cloud,
+        );
+        reg.set_counter(
+            "mcloud_requests_rejected_total",
+            "Requests turned away by admission control.",
+            det,
+            &[],
+            self.rejected,
+        );
+        reg.set_counter(
+            "mcloud_requests_deflected_total",
+            "Requests deflected to per-request cloud resources.",
+            det,
+            &[],
+            self.deflected,
+        );
         reg.set_gauge(
             "mcloud_spend_dollars",
             "Total service spend in dollars.",
@@ -326,22 +416,34 @@ pub fn simulate_service_with_sink<S: EventSink>(
     simulate_service_each(arrivals, cfg, sink, |_| {})
 }
 
+/// A request's decided fate, buffered until all its predecessors are
+/// decided too.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    Pending,
+    Served(RequestOutcome),
+    Rejected,
+}
+
 /// Drains completed [`RequestOutcome`]s to the visitor in arrival-index
 /// order, buffering only the out-of-order window (bounded by the peak
 /// backlog, not the request count), and folds each drained outcome into
 /// the report's histograms so the fold order matches arrival order.
-struct OutcomeFold<F: FnMut(&RequestOutcome)> {
-    buf: VecDeque<Option<RequestOutcome>>,
-    next: usize,
-    wait_hist: Histogram,
-    turnaround_hist: Histogram,
-    served_local: u64,
-    served_cloud: u64,
+/// Rejected requests hold their place in the window (a rejection *is* a
+/// decision) but are only counted, never visited.
+pub(crate) struct OutcomeFold<F: FnMut(&RequestOutcome)> {
+    buf: VecDeque<Fate>,
+    pub(crate) next: usize,
+    pub(crate) wait_hist: Histogram,
+    pub(crate) turnaround_hist: Histogram,
+    pub(crate) served_local: u64,
+    pub(crate) served_cloud: u64,
+    pub(crate) rejected: u64,
     visit: F,
 }
 
 impl<F: FnMut(&RequestOutcome)> OutcomeFold<F> {
-    fn new(visit: F) -> Self {
+    pub(crate) fn new(visit: F) -> Self {
         OutcomeFold {
             buf: VecDeque::new(),
             next: 0,
@@ -349,40 +451,58 @@ impl<F: FnMut(&RequestOutcome)> OutcomeFold<F> {
             turnaround_hist: Histogram::new(),
             served_local: 0,
             served_cloud: 0,
+            rejected: 0,
             visit,
         }
     }
 
-    fn push(&mut self, o: RequestOutcome) {
-        debug_assert!(o.index >= self.next, "outcome {} delivered twice", o.index);
-        let at = o.index - self.next;
+    pub(crate) fn push(&mut self, o: RequestOutcome) {
+        let index = o.index;
+        self.decide(index, Fate::Served(o));
+    }
+
+    pub(crate) fn push_rejected(&mut self, index: usize) {
+        self.decide(index, Fate::Rejected);
+    }
+
+    fn decide(&mut self, index: usize, fate: Fate) {
+        debug_assert!(index >= self.next, "request {index} decided twice");
+        let at = index - self.next;
         if at >= self.buf.len() {
-            self.buf.resize_with(at + 1, || None);
+            self.buf.resize(at + 1, Fate::Pending);
         }
-        self.buf[at] = Some(o);
-        while let Some(Some(_)) = self.buf.front() {
-            let o = self.buf.pop_front().unwrap().unwrap();
-            self.next += 1;
-            // The clock is quantized to microseconds, so a request served
-            // on arrival can report a wait a fraction of a microsecond
-            // below zero; the histogram wants true durations.
-            self.wait_hist.record(o.wait_hours().max(0.0));
-            self.turnaround_hist.record(o.turnaround_hours().max(0.0));
-            match o.venue {
-                Venue::Local => self.served_local += 1,
-                Venue::Cloud => self.served_cloud += 1,
+        self.buf[at] = fate;
+        while let Some(front) = self.buf.front() {
+            match *front {
+                Fate::Pending => break,
+                Fate::Served(o) => {
+                    self.buf.pop_front();
+                    self.next += 1;
+                    // The clock is quantized to microseconds, so a request
+                    // served on arrival can report a wait a fraction of a
+                    // microsecond below zero; the histogram wants true
+                    // durations.
+                    self.wait_hist.record(o.wait_hours().max(0.0));
+                    self.turnaround_hist.record(o.turnaround_hours().max(0.0));
+                    match o.venue {
+                        Venue::Local => self.served_local += 1,
+                        Venue::Cloud => self.served_cloud += 1,
+                    }
+                    (self.visit)(&o);
+                }
+                Fate::Rejected => {
+                    self.buf.pop_front();
+                    self.next += 1;
+                    self.rejected += 1;
+                }
             }
-            (self.visit)(&o);
         }
     }
 }
 
-/// The streaming core: like [`simulate_service_with_sink`], but also
-/// hands every [`RequestOutcome`] to `on_outcome` in arrival-index order
-/// as soon as it (and all its predecessors) are decided. Memory stays
-/// proportional to the peak backlog — arrivals are merged into the event
-/// calendar lazily and outcomes are folded into the report's histograms
-/// instead of being collected.
+/// Slice front-end for [`simulate_service_stream`]: streams every
+/// [`RequestOutcome`] to `on_outcome` in arrival-index order. Kept for
+/// callers that already hold a materialized arrival vector.
 ///
 /// # Panics
 /// Panics if the configuration fails validation or the arrivals are not
@@ -393,8 +513,29 @@ pub fn simulate_service_each<S: EventSink>(
     sink: &mut S,
     on_outcome: impl FnMut(&RequestOutcome),
 ) -> ServiceReport {
+    simulate_service_stream(arrivals.iter().copied(), cfg, sink, on_outcome)
+}
+
+/// The streaming core: consumes any time-sorted
+/// [`ArrivalStream`](crate::arrivals::ArrivalStream), narrates request
+/// lifecycles into `sink`, and hands every [`RequestOutcome`] to
+/// `on_outcome` in arrival-index order as soon as it (and all its
+/// predecessors) are decided. Nothing is materialized — neither the
+/// demand nor the outcomes — so memory stays proportional to the peak
+/// backlog even for 10^8-request campaigns.
+///
+/// # Panics
+/// Panics if the configuration fails validation or the arrivals are not
+/// sorted by time.
+pub fn simulate_service_stream<S: EventSink>(
+    arrivals: impl IntoIterator<Item = Arrival>,
+    cfg: &ServiceConfig,
+    sink: &mut S,
+    on_outcome: impl FnMut(&RequestOutcome),
+) -> ServiceReport {
     cfg.validate().expect("invalid service configuration");
     let mut profiles = ProfileTable::new(cfg.exec.clone());
+    let mut arrivals = arrivals.into_iter().peekable();
 
     // Each request's attempt count is drawn when it arrives — arrivals
     // are processed in index order, so the draw stream is identical to
@@ -412,13 +553,16 @@ pub fn simulate_service_each<S: EventSink>(
     };
 
     let mut events: EventQueue<Ev> = EventQueue::new();
-    let mut next_arrival = 0usize;
+    let mut next_index = 0usize;
+    let mut last_arrival_hours = f64::NEG_INFINITY;
     let mut free_slots = cfg.local_slots;
-    // FIFO backlog of (arrival index, pre-drawn attempt count).
-    let mut waiting: VecDeque<(usize, u32)> = VecDeque::new();
+    // FIFO backlog of (arrival index, arrival, pre-drawn attempt count);
+    // the arrival rides along because a stream cannot be re-indexed.
+    let mut waiting: VecDeque<(usize, Arrival, u32)> = VecDeque::new();
     let mut fold = OutcomeFold::new(on_outcome);
     let mut backlog = TimeWeighted::new();
     let mut cloud_cost = Money::ZERO;
+    let mut deflected = 0u64;
     let mut local_busy_hours = 0.0f64;
     let mut last_now = SimTime::ZERO;
 
@@ -427,19 +571,20 @@ pub fn simulate_service_each<S: EventSink>(
         // without enqueueing every arrival up front. An arrival ties
         // ahead of any completion at the same instant, exactly as if all
         // arrivals had been pushed first with the lowest sequence numbers.
-        let arrival_due = next_arrival < arrivals.len()
-            && match events.peek_time() {
-                None => true,
-                Some(t) => hours(arrivals[next_arrival].at_hours) <= t,
-            };
+        let arrival_due = match (arrivals.peek(), events.peek_time()) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(a), Some(t)) => hours(a.at_hours) <= t,
+        };
         if arrival_due {
-            let i = next_arrival;
-            next_arrival += 1;
-            let a = &arrivals[i];
+            let a = arrivals.next().expect("peeked arrival");
+            let i = next_index;
+            next_index += 1;
             assert!(
-                i == 0 || arrivals[i - 1].at_hours <= a.at_hours,
+                last_arrival_hours <= a.at_hours,
                 "arrivals must be sorted by time"
             );
+            last_arrival_hours = a.at_hours;
             let now = hours(a.at_hours);
             last_now = now;
             let attempts = draw_attempts();
@@ -448,9 +593,9 @@ pub fn simulate_service_each<S: EventSink>(
                 free_slots -= 1;
                 start_local(
                     i,
+                    a,
                     attempts,
                     now,
-                    arrivals,
                     cfg,
                     &mut profiles,
                     &mut events,
@@ -459,34 +604,44 @@ pub fn simulate_service_each<S: EventSink>(
                     sink,
                 );
             } else if cfg.burst_threshold.is_some_and(|k| waiting.len() >= k) {
-                let profile = profiles.fixed(a.degrees, cfg.cloud_procs_per_request);
-                let cost = profile.cost * attempts as f64;
-                let run_hours = profile.makespan_hours * attempts as f64;
-                cloud_cost += cost;
-                let start_h = now.as_hours_f64();
-                sink.emit(
-                    now,
-                    TraceEvent::RequestStarted {
-                        req: i as u32,
-                        cloud: true,
-                    },
-                );
-                fold.push(RequestOutcome {
-                    index: i,
-                    degrees: a.degrees,
-                    arrival_hours: a.at_hours,
-                    start_hours: start_h,
-                    finish_hours: start_h + run_hours,
-                    venue: Venue::Cloud,
-                    cost,
+                start_cloud(
+                    i,
+                    a,
                     attempts,
-                });
-                if sink.enabled() {
-                    let finish = now + mcloud_simkit::SimDuration::from_hours_f64(run_hours);
-                    events.push(finish, Ev::CloudDone(i));
+                    now,
+                    cfg,
+                    &mut profiles,
+                    &mut events,
+                    &mut fold,
+                    &mut cloud_cost,
+                    sink,
+                );
+            } else if cfg.queue_bound.is_some_and(|b| waiting.len() >= b) {
+                match cfg.admission {
+                    AdmissionPolicy::Reject => {
+                        sink.emit(now, TraceEvent::RequestRejected { req: i as u32 });
+                        fold.push_rejected(i);
+                    }
+                    AdmissionPolicy::Deflect => {
+                        deflected += 1;
+                        start_cloud(
+                            i,
+                            a,
+                            attempts,
+                            now,
+                            cfg,
+                            &mut profiles,
+                            &mut events,
+                            &mut fold,
+                            &mut cloud_cost,
+                            sink,
+                        );
+                    }
+                    // validate() rejects a bound without a policy.
+                    AdmissionPolicy::AdmitAll => unreachable!("bounded queue without a policy"),
                 }
             } else {
-                waiting.push_back((i, attempts));
+                waiting.push_back((i, a, attempts));
                 backlog.set(now, waiting.len() as f64);
             }
             continue;
@@ -496,13 +651,13 @@ pub fn simulate_service_each<S: EventSink>(
         match ev {
             Ev::LocalDone(done) => {
                 sink.emit(now, TraceEvent::RequestFinished { req: done as u32 });
-                if let Some((i, attempts)) = waiting.pop_front() {
+                if let Some((i, a, attempts)) = waiting.pop_front() {
                     backlog.set(now, waiting.len() as f64);
                     start_local(
                         i,
+                        a,
                         attempts,
                         now,
-                        arrivals,
                         cfg,
                         &mut profiles,
                         &mut events,
@@ -520,10 +675,12 @@ pub fn simulate_service_each<S: EventSink>(
         }
     }
 
-    debug_assert_eq!(fold.next, arrivals.len(), "every request is served");
+    debug_assert_eq!(fold.next, next_index, "every request is decided");
     ServiceReport {
         served_local: fold.served_local,
         served_cloud: fold.served_cloud,
+        rejected: fold.rejected,
+        deflected,
         wait_hist: fold.wait_hist,
         turnaround_hist: fold.turnaround_hist,
         backlog_mean: backlog.mean(last_now),
@@ -536,9 +693,9 @@ pub fn simulate_service_each<S: EventSink>(
 #[allow(clippy::too_many_arguments)]
 fn start_local<S: EventSink, F: FnMut(&RequestOutcome)>(
     i: usize,
+    a: Arrival,
     attempts: u32,
     now: SimTime,
-    arrivals: &[Arrival],
     cfg: &ServiceConfig,
     profiles: &mut ProfileTable,
     events: &mut EventQueue<Ev>,
@@ -546,7 +703,7 @@ fn start_local<S: EventSink, F: FnMut(&RequestOutcome)>(
     local_busy_hours: &mut f64,
     sink: &mut S,
 ) {
-    let profile = profiles.owned(arrivals[i].degrees, cfg.local_procs_per_request);
+    let profile = profiles.owned(a.degrees, cfg.local_procs_per_request);
     let run_hours = profile.makespan_hours * attempts as f64;
     let start_h = now.as_hours_f64();
     let finish = now + mcloud_simkit::SimDuration::from_hours_f64(run_hours);
@@ -560,8 +717,8 @@ fn start_local<S: EventSink, F: FnMut(&RequestOutcome)>(
     );
     fold.push(RequestOutcome {
         index: i,
-        degrees: arrivals[i].degrees,
-        arrival_hours: arrivals[i].at_hours,
+        degrees: a.degrees,
+        arrival_hours: a.at_hours,
         start_hours: start_h,
         finish_hours: finish.as_hours_f64(),
         venue: Venue::Local,
@@ -569,6 +726,49 @@ fn start_local<S: EventSink, F: FnMut(&RequestOutcome)>(
         attempts,
     });
     events.push(finish, Ev::LocalDone(i));
+}
+
+/// Serves a request on per-request cloud resources right now — the path
+/// shared by threshold bursts and admission-control deflections.
+#[allow(clippy::too_many_arguments)]
+fn start_cloud<S: EventSink, F: FnMut(&RequestOutcome)>(
+    i: usize,
+    a: Arrival,
+    attempts: u32,
+    now: SimTime,
+    cfg: &ServiceConfig,
+    profiles: &mut ProfileTable,
+    events: &mut EventQueue<Ev>,
+    fold: &mut OutcomeFold<F>,
+    cloud_cost: &mut Money,
+    sink: &mut S,
+) {
+    let profile = profiles.fixed(a.degrees, cfg.cloud_procs_per_request);
+    let cost = profile.cost * attempts as f64;
+    let run_hours = profile.makespan_hours * attempts as f64;
+    *cloud_cost += cost;
+    let start_h = now.as_hours_f64();
+    sink.emit(
+        now,
+        TraceEvent::RequestStarted {
+            req: i as u32,
+            cloud: true,
+        },
+    );
+    fold.push(RequestOutcome {
+        index: i,
+        degrees: a.degrees,
+        arrival_hours: a.at_hours,
+        start_hours: start_h,
+        finish_hours: start_h + run_hours,
+        venue: Venue::Cloud,
+        cost,
+        attempts,
+    });
+    if sink.enabled() {
+        let finish = now + mcloud_simkit::SimDuration::from_hours_f64(run_hours);
+        events.push(finish, Ev::CloudDone(i));
+    }
 }
 
 fn hours(h: f64) -> SimTime {
@@ -593,6 +793,9 @@ pub fn service_trace_jsonl(events: &[mcloud_simkit::TimedEvent]) -> String {
             }
             TraceEvent::RequestFinished { req } => {
                 format!(r#"{{"t_us":{t},"ev":"request_finished","req":{req}}}"#)
+            }
+            TraceEvent::RequestRejected { req } => {
+                format!(r#"{{"t_us":{t},"ev":"request_rejected","req":{req}}}"#)
             }
             _ => continue,
         };
@@ -717,6 +920,8 @@ mod tests {
         ServiceReport {
             served_local: ts.len() as u64,
             served_cloud: 0,
+            rejected: 0,
+            deflected: 0,
             wait_hist,
             turnaround_hist,
             backlog_mean: 0.0,

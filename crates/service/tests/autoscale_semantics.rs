@@ -1,7 +1,10 @@
 //! Semantics of the auto-scaled standing pool.
 
 use mcloud_cost::Money;
-use mcloud_service::{bursty, periodic, poisson, simulate_autoscale, Arrival, AutoScaleConfig};
+use mcloud_service::{
+    bursty, periodic, poisson, simulate_autoscale, simulate_autoscale_each, AdmissionPolicy,
+    Arrival, AutoScaleConfig, AutoScaleReport,
+};
 
 fn at(hours: f64) -> Arrival {
     Arrival {
@@ -14,6 +17,14 @@ fn base() -> AutoScaleConfig {
     AutoScaleConfig::default_pool()
 }
 
+/// Run the pool and also sum the per-request busy time (finish - start)
+/// via the streaming visitor, since the report keeps only aggregates.
+fn run_with_busy(arrivals: &[Arrival], cfg: &AutoScaleConfig) -> (AutoScaleReport, f64) {
+    let mut busy = 0.0;
+    let report = simulate_autoscale_each(arrivals, cfg, |o| busy += o.finish_hours - o.start_hours);
+    (report, busy)
+}
+
 #[test]
 fn light_traffic_stays_at_the_floor() {
     // One request every 2 h against a ~0.55 h service time: one slot is
@@ -22,7 +33,10 @@ fn light_traffic_stays_at_the_floor() {
     let report = simulate_autoscale(&arrivals, &base());
     assert_eq!(report.peak_slots, 1);
     assert_eq!(report.rentals, 1);
-    assert_eq!(report.outcomes.len(), arrivals.len());
+    assert_eq!(report.requests, arrivals.len() as u64);
+    assert_eq!(report.offered(), arrivals.len() as u64);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.deflected, 0);
     // The floor slot is rented for the whole horizon (until events drain).
     assert!(report.slot_hours > 20.0);
 }
@@ -77,19 +91,15 @@ fn boot_delay_is_visible_in_waits() {
 fn rental_accounting_is_consistent() {
     let arrivals = poisson(2.0, 48.0, 1.0, 5);
     let cfg = base();
-    let report = simulate_autoscale(&arrivals, &cfg);
+    let (report, busy) = run_with_busy(&arrivals, &cfg);
     assert!(report
         .rental_cost
         .approx_eq(cfg.slot_cost_per_hour * report.slot_hours, 1e-9));
+    assert_eq!(report.deflect_cost, Money::ZERO);
     assert!(report
         .total_cost()
         .approx_eq(report.rental_cost + report.dm_cost, 1e-12));
     // Slot-hours at least cover the served work.
-    let busy: f64 = report
-        .outcomes
-        .iter()
-        .map(|o| o.finish_hours - o.start_hours)
-        .sum();
     assert!(report.slot_hours + 1e-9 >= busy);
     // DM costs are small but nonzero (transfers happen per request).
     assert!(report.dm_cost > Money::ZERO);
@@ -103,18 +113,80 @@ fn zero_floor_pools_rent_on_demand() {
         ..base()
     };
     let arrivals = vec![at(0.0), at(10.0)];
-    let report = simulate_autoscale(&arrivals, &cfg);
-    assert_eq!(report.outcomes.len(), 2);
+    let (report, busy) = run_with_busy(&arrivals, &cfg);
+    assert_eq!(report.requests, 2);
     assert_eq!(report.peak_slots, 1);
     assert_eq!(report.rentals, 2, "slot released between distant requests");
     // Rented time is near the service time, not the horizon: the point of
     // scaling to zero.
-    let busy: f64 = report
-        .outcomes
-        .iter()
-        .map(|o| o.finish_hours - o.start_hours)
-        .sum();
     assert!(report.slot_hours < busy + 0.5);
+}
+
+#[test]
+fn idle_grace_keeps_the_slot_warm() {
+    // Same two distant requests; a generous idle grace period keeps the
+    // slot rented across the gap, trading rental hours for one fewer
+    // boot.
+    let eager = AutoScaleConfig {
+        min_slots: 0,
+        scale_up_queue: 1,
+        ..base()
+    };
+    let patient = AutoScaleConfig {
+        idle_release_s: 12.0 * 3600.0,
+        ..eager.clone()
+    };
+    let arrivals = vec![at(0.0), at(10.0)];
+    let eager_report = simulate_autoscale(&arrivals, &eager);
+    let patient_report = simulate_autoscale(&arrivals, &patient);
+    assert_eq!(eager_report.rentals, 2);
+    assert_eq!(patient_report.rentals, 1, "grace period spans the gap");
+    assert!(patient_report.slot_hours > eager_report.slot_hours);
+    // The warm slot skips the second boot, so the second request waits
+    // less overall.
+    assert!(patient_report.mean_wait_hours() <= eager_report.mean_wait_hours());
+}
+
+#[test]
+fn bounded_queue_rejects_overflow() {
+    let cfg = AutoScaleConfig {
+        min_slots: 1,
+        max_slots: 1,
+        queue_bound: Some(2),
+        admission: AdmissionPolicy::Reject,
+        ..base()
+    };
+    // Six simultaneous arrivals (after the floor slot's 2-minute boot)
+    // against one slot and a 2-deep queue: one in service, two queued,
+    // three turned away.
+    let arrivals: Vec<Arrival> = (0..6).map(|_| at(0.1)).collect();
+    let report = simulate_autoscale(&arrivals, &cfg);
+    assert_eq!(report.offered(), 6);
+    assert_eq!(report.rejected, 3);
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.deflected, 0);
+}
+
+#[test]
+fn deflected_overflow_is_served_and_priced() {
+    let cfg = AutoScaleConfig {
+        min_slots: 1,
+        max_slots: 1,
+        queue_bound: Some(2),
+        admission: AdmissionPolicy::Deflect,
+        ..base()
+    };
+    let arrivals: Vec<Arrival> = (0..6).map(|_| at(0.1)).collect();
+    let report = simulate_autoscale(&arrivals, &cfg);
+    assert_eq!(report.offered(), 6);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.deflected, 3);
+    assert_eq!(report.requests, 6, "deflected requests are still served");
+    assert!(report.deflect_cost > Money::ZERO);
+    assert!(report.total_cost().approx_eq(
+        report.rental_cost + report.dm_cost + report.deflect_cost,
+        1e-9
+    ));
 }
 
 #[test]
@@ -164,6 +236,44 @@ fn ceiling_below_floor_rejected() {
     let cfg = AutoScaleConfig {
         min_slots: 4,
         max_slots: 2,
+        ..base()
+    };
+    simulate_autoscale(&[at(0.0)], &cfg);
+}
+
+#[test]
+#[should_panic(expected = "needs an overflow policy")]
+fn bounded_queue_without_policy_rejected() {
+    let cfg = AutoScaleConfig {
+        queue_bound: Some(4),
+        admission: AdmissionPolicy::AdmitAll,
+        ..base()
+    };
+    simulate_autoscale(&[at(0.0)], &cfg);
+}
+
+#[test]
+#[should_panic(expected = "requires a queue_bound")]
+fn policy_without_bound_rejected() {
+    let cfg = AutoScaleConfig {
+        queue_bound: None,
+        admission: AdmissionPolicy::Reject,
+        ..base()
+    };
+    simulate_autoscale(&[at(0.0)], &cfg);
+}
+
+#[test]
+#[should_panic(expected = "never rent its first slot")]
+fn unreachable_scale_up_trigger_rejected() {
+    // A zero floor scales up at queue depth 1, but a queue bound of 0
+    // means the backlog can never reach depth 1: every request would
+    // overflow forever. The validator must refuse this up front.
+    let cfg = AutoScaleConfig {
+        min_slots: 0,
+        scale_up_queue: 1,
+        queue_bound: Some(0),
+        admission: AdmissionPolicy::Reject,
         ..base()
     };
     simulate_autoscale(&[at(0.0)], &cfg);

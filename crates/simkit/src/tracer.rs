@@ -195,6 +195,11 @@ pub enum TraceEvent {
         /// Request index in arrival order.
         req: u32,
     },
+    /// A service request was turned away by admission control.
+    RequestRejected {
+        /// Request index in arrival order.
+        req: u32,
+    },
 }
 
 /// A timestamped [`TraceEvent`].
@@ -279,6 +284,8 @@ pub struct TraceCounters {
     pub requests_queued: u64,
     /// Service requests started.
     pub requests_started: u64,
+    /// Service requests turned away by admission control.
+    pub requests_rejected: u64,
     /// Failed tasks granted another attempt.
     pub tasks_retried: u64,
     /// Whole-processor preemptions (busy or idle victims).
@@ -437,6 +444,7 @@ impl EventSink for RecordingSink {
             }
             TraceEvent::RequestQueued { .. } => self.counters.requests_queued += 1,
             TraceEvent::RequestStarted { .. } => self.counters.requests_started += 1,
+            TraceEvent::RequestRejected { .. } => self.counters.requests_rejected += 1,
             TraceEvent::TaskRetried { .. } => self.counters.tasks_retried += 1,
             TraceEvent::ProcessorPreempted { .. } => self.counters.preemptions += 1,
             TraceEvent::TransferFailed { bytes, .. } => {

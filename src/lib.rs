@@ -63,9 +63,13 @@ pub mod prelude {
         pipeline_stage, Band, MosaicConfig, MONTAGE_PIPELINE,
     };
     pub use mcloud_service::{
-        bursty, mixed, periodic, poisson, service_trace_jsonl, simulate_autoscale,
-        simulate_service, simulate_service_each, simulate_service_with_sink, Arrival,
-        AutoScaleConfig, AutoScaleReport, RequestOutcome, ServiceConfig, ServiceReport, Venue,
+        bursty, bursty_stream, class_stream, mixed, mixed_stream, periodic, plan_capacity,
+        plan_json, plan_text, poisson, service_trace_jsonl, simulate_autoscale,
+        simulate_autoscale_each, simulate_autoscale_stream, simulate_service,
+        simulate_service_each, simulate_service_stream, simulate_service_with_sink,
+        AdmissionPolicy, Arrival, ArrivalStream, AutoScaleConfig, AutoScaleReport, CapacityPlan,
+        FlashCrowd, MergedStream, PlanCandidate, PlanSpec, RateProfile, RequestClass,
+        RequestOutcome, ServiceConfig, ServiceReport, Venue,
     };
     pub use mcloud_simkit::{
         Channel, EventSink, Histogram, MetricClass, NullSink, RecordingSink, Registry, TimedEvent,
