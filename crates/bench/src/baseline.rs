@@ -60,6 +60,21 @@
 //! `service_requests_per_sec` throughput column gated tolerantly like the
 //! other wall-clock numbers.
 //!
+//! Schema v6 adds the incremental-sweep rows: dense processor axes walked
+//! once from scratch and once through the checkpoint/fork chain
+//! ([`mcloud_core::IncrementalChain`]), both single-threaded in the same
+//! process. Two regimes are committed: `P = 1..=64` on the 4° mosaic
+//! (wide workflow — adjacent points diverge within ~`P` events, so the
+//! chain can only ever reuse a short prefix) and `P = 1..=256` on the 1°
+//! mosaic (the axis extends past peak parallelism, so most points resume
+//! from a terminal checkpoint with zero replay). The chain's resume/reuse
+//! counters are deterministic and exactly gated (they pin the
+//! witness/cadence semantics); the two points/sec columns are gated
+//! tolerantly; and the `speedup` quotient — both sides measured in the
+//! *same run*, so machine speed cancels — must stay above
+//! [`SWEEP_SPEEDUP_GATE`] on the 1° showcase row (see
+//! [`sweep_speedup_floor`]).
+//!
 //! The JSON is hand-emitted with fixed key order so a re-run on identical
 //! hardware diffs minimally, and parsed back with a small field scanner —
 //! no external dependencies.
@@ -69,7 +84,7 @@ use std::time::Instant;
 
 use mcloud_core::{
     simulate, simulate_batch, simulate_batch_on, simulate_with_scratch, BatchScratch, DataMode,
-    ExecConfig, SimScratch,
+    ExecConfig, IncrementalChain, Provisioning, SimScratch, SweepAxis,
 };
 use mcloud_dag::Workflow;
 use mcloud_montage::{generate, MosaicConfig};
@@ -310,6 +325,140 @@ pub fn measure_service_scale(budget_ms: u64) -> Vec<ServiceScaleRow> {
     }]
 }
 
+/// One incremental-sweep row (schema v6): a whole sweep axis walked once
+/// from scratch and once through the checkpoint/fork chain. The resume
+/// and event-reuse counters are pure functions of the engine and chain
+/// semantics (single chain, fixed cadence), so the gate compares them
+/// exactly; the points/sec columns are wall-clock and gated tolerantly;
+/// and the same-run `speedup` quotient must hold the row's
+/// [`sweep_speedup_floor`], when it has one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Stable axis identifier, e.g. `processors/4deg-regular`.
+    pub axis: String,
+    /// Sweep points on the axis.
+    pub points: u64,
+    /// Points that resumed from a checkpoint (deterministic).
+    pub resumed: u64,
+    /// Events skipped by restores (deterministic).
+    pub reused_events: u64,
+    /// Events a from-scratch walk processes in total (deterministic).
+    pub total_events: u64,
+    /// Points/sec of the sequential from-scratch walk
+    /// (environment-dependent).
+    pub scratch_points_per_sec: f64,
+    /// Points/sec of the incremental walk (environment-dependent).
+    pub incremental_points_per_sec: f64,
+    /// `incremental / scratch` points-per-sec quotient — both sides from
+    /// the same run, so machine speed cancels out.
+    pub speedup: f64,
+}
+
+/// Minimum timed whole-axis walks per side of the sweep row.
+const MIN_SWEEP_RUNS: u32 = 3;
+
+/// The sweep-scale scenario: the paper's largest canonical mosaic on a
+/// dense processor axis. The 4° mosaic has ~677 tasks ready at `t = 0`,
+/// so adjacent points genuinely diverge within the first ~P events and
+/// the chain can only reuse a short prefix — this row locks the
+/// wide-workflow regime where incremental must simply never lose.
+const SWEEP_DEGREES: f64 = 4.0;
+
+/// Top of the dense `1..=N` processor axis the 4° sweep row walks.
+const SWEEP_MAX_PROCS: u32 = 64;
+
+/// The sublinearity showcase: a dense axis extending well past the 1°
+/// mosaic's peak parallelism (~50 concurrent tasks). Beyond that width
+/// the pool never exhausts, the divergence witness never fires, and each
+/// point resumes from the previous point's terminal checkpoint replaying
+/// zero events — the whole-axis walk is sublinear in points.
+const SWEEP_SUBLINEAR_DEGREES: f64 = 1.0;
+
+/// Top of the dense `1..=N` processor axis the 1° showcase row walks.
+const SWEEP_SUBLINEAR_MAX_PROCS: u32 = 256;
+
+/// Measures one sweep row on a dense `1..=max_procs` processor axis of
+/// the `degrees` mosaic: one counted chain walk for the deterministic
+/// counters, then timed whole-axis walks (best-of) for both sides.
+/// Everything runs inline on this thread — lane settings do not move
+/// these numbers.
+pub fn measure_sweep_row(degrees: f64, max_procs: u32, budget_ms: u64) -> SweepRow {
+    let wf = generate(&MosaicConfig::new(degrees));
+    let base = ExecConfig::paper_default();
+    let cfgs: Vec<ExecConfig> = (1..=max_procs)
+        .map(|p| ExecConfig {
+            provisioning: Provisioning::Fixed { processors: p },
+            ..base.clone()
+        })
+        .collect();
+
+    let chain_walk = || {
+        let mut chain = IncrementalChain::new(SweepAxis::Processors);
+        for (i, cfg) in cfgs.iter().enumerate() {
+            std::hint::black_box(chain.run_point(&wf, cfg, cfgs.get(i + 1)));
+        }
+        chain.stats()
+    };
+    // Counted walk (doubles as warm-up for the timed ones).
+    let stats = chain_walk();
+
+    let budget_s = budget_ms as f64 / 1e3;
+    let time_side = |walk: &mut dyn FnMut()| {
+        let mut best_s = f64::INFINITY;
+        let mut runs = 0u32;
+        let all = Instant::now();
+        loop {
+            let start = Instant::now();
+            walk();
+            best_s = best_s.min(start.elapsed().as_secs_f64());
+            runs += 1;
+            if (runs >= MIN_SWEEP_RUNS && all.elapsed().as_secs_f64() >= budget_s) || runs >= 10_000
+            {
+                break;
+            }
+        }
+        cfgs.len() as f64 / best_s.max(1e-9)
+    };
+
+    let mut scratch = SimScratch::new();
+    std::hint::black_box(simulate_with_scratch(&wf, &cfgs[0], &mut scratch)); // warm
+    let scratch_pps = time_side(&mut || {
+        for cfg in &cfgs {
+            std::hint::black_box(simulate_with_scratch(&wf, cfg, &mut scratch));
+        }
+    });
+    let incremental_pps = time_side(&mut || {
+        std::hint::black_box(chain_walk());
+    });
+
+    SweepRow {
+        axis: format!("processors/{degrees}deg-regular"),
+        points: stats.points,
+        resumed: stats.resumed,
+        reused_events: stats.reused_events,
+        total_events: stats.total_events,
+        scratch_points_per_sec: scratch_pps,
+        incremental_points_per_sec: incremental_pps,
+        speedup: incremental_pps / scratch_pps.max(1e-9),
+    }
+}
+
+/// Measures the committed sweep-scale rows: dense `1..=64` processors on
+/// the 4° mosaic (wide-workflow regime, short reusable prefixes) and
+/// dense `1..=256` on the 1° mosaic (the sublinear regime, where points
+/// past peak parallelism resume with zero replay and must clear
+/// [`SWEEP_SPEEDUP_GATE`]).
+pub fn measure_sweep_scale(budget_ms: u64) -> Vec<SweepRow> {
+    vec![
+        measure_sweep_row(SWEEP_DEGREES, SWEEP_MAX_PROCS, budget_ms),
+        measure_sweep_row(
+            SWEEP_SUBLINEAR_DEGREES,
+            SWEEP_SUBLINEAR_MAX_PROCS,
+            budget_ms,
+        ),
+    ]
+}
+
 /// Derives the per-mode flatness rows from a set of workload measurements
 /// (the `1deg` and `16deg` rows of each mode must be present).
 pub fn flatness_rows(workloads: &[WorkloadMeasurement]) -> Vec<FlatnessRow> {
@@ -350,6 +499,9 @@ pub struct Baseline {
     /// Service-scale campaign rows (schema v5): exact request counters
     /// plus tolerant requests/sec throughput.
     pub service: Vec<ServiceScaleRow>,
+    /// Incremental-sweep rows (schema v6): exact resume/reuse counters
+    /// plus tolerant points/sec and the hard same-run speedup floor.
+    pub sweeps: Vec<SweepRow>,
 }
 
 /// Simulations per [`simulate_batch`] call in the batch timing loop —
@@ -519,13 +671,14 @@ pub fn measure_all(budget_ms: u64, mut progress: impl FnMut(&WorkloadMeasurement
         scaling: measure_scaling(budget_ms),
         flatness,
         service: measure_service_scale(budget_ms),
+        sweeps: measure_sweep_scale(budget_ms),
     }
 }
 
 // --- JSON ------------------------------------------------------------------
 
 /// Schema tag written into (and required from) the baseline file.
-pub const SCHEMA: &str = "mcloud-bench-baseline/v5";
+pub const SCHEMA: &str = "mcloud-bench-baseline/v6";
 
 /// Serializes a baseline as pretty-printed JSON with a fixed key order.
 pub fn to_json(b: &Baseline) -> String {
@@ -595,6 +748,26 @@ pub fn to_json(b: &Baseline) -> String {
             r.scenario, r.offered, r.admitted, r.rejected, r.deflected, r.requests_per_sec,
         );
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"sweeps\": [\n");
+    for (i, r) in b.sweeps.iter().enumerate() {
+        let comma = if i + 1 < b.sweeps.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"axis\": \"{}\", \"points\": {}, \"resumed\": {}, \
+             \"reused_events\": {}, \"total_events\": {}, \
+             \"scratch_points_per_sec\": {:.2}, \
+             \"incremental_points_per_sec\": {:.2}, \"speedup\": {:.2}}}{comma}",
+            r.axis,
+            r.points,
+            r.resumed,
+            r.reused_events,
+            r.total_events,
+            r.scratch_points_per_sec,
+            r.incremental_points_per_sec,
+            r.speedup,
+        );
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -633,11 +806,27 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
     let mut scaling = Vec::new();
     let mut flatness = Vec::new();
     let mut service = Vec::new();
+    let mut sweeps = Vec::new();
     for line in text.lines() {
         let line = line.trim();
-        // The service row is classified first: its key set must never be
-        // shadowed by the broader "name"/"workers"/"mode" matchers below.
-        if line.starts_with('{') && line.contains("\"scenario\"") {
+        // The sweep and service rows are classified first: their key sets
+        // must never be shadowed by the broader "name"/"workers"/"mode"
+        // matchers below.
+        if line.starts_with('{') && line.contains("\"axis\"") {
+            let get = |key: &str| {
+                num_field(line, key).ok_or_else(|| format!("missing numeric field {key:?}: {line}"))
+            };
+            sweeps.push(SweepRow {
+                axis: str_field(line, "axis").ok_or_else(|| format!("missing axis: {line}"))?,
+                points: get("points")? as u64,
+                resumed: get("resumed")? as u64,
+                reused_events: get("reused_events")? as u64,
+                total_events: get("total_events")? as u64,
+                scratch_points_per_sec: get("scratch_points_per_sec")?,
+                incremental_points_per_sec: get("incremental_points_per_sec")?,
+                speedup: get("speedup")?,
+            });
+        } else if line.starts_with('{') && line.contains("\"scenario\"") {
             let get = |key: &str| {
                 num_field(line, key).ok_or_else(|| format!("missing numeric field {key:?}: {line}"))
             };
@@ -711,6 +900,7 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
         scaling,
         flatness,
         service,
+        sweeps,
     })
 }
 
@@ -743,6 +933,33 @@ pub const BATCH_SPEEDUP_GATE: f64 = 1.5;
 
 /// Workload rows the [`BATCH_SPEEDUP_GATE`] applies to.
 pub const SPEEDUP_GATED_ROWS: [&str; 2] = ["1deg/regular", "4deg/regular"];
+
+/// Minimum incremental-over-scratch points/sec quotient required on
+/// sweep rows with a hard floor (see [`sweep_speedup_floor`]). Both sides
+/// of the quotient come from the same single-threaded measurement run, so
+/// absolute machine speed cancels — this is the tentpole's "whole-axis
+/// sweeps are sublinear in points" claim, held as a hard floor rather
+/// than a tolerance band.
+pub const SWEEP_SPEEDUP_GATE: f64 = 2.0;
+
+/// Hard same-run speedup floor for a sweep row, if it carries one.
+///
+/// The 1° showcase row extends past the mosaic's peak parallelism, where
+/// the divergence witness never fires and most points replay zero events
+/// — it must clear [`SWEEP_SPEEDUP_GATE`]. The dense 4° row measures the
+/// wide-workflow regime: with ~677 tasks ready at `t = 0`, runs at `P`
+/// and `P + 1` processors genuinely diverge within ~`P` events, so only
+/// a short prefix is ever reusable and the honest quotient sits near 1.1x.
+/// That row's quotient is informational; its reuse is still locked
+/// exactly through the resume/reuse counters and the tolerant points/sec
+/// columns.
+pub fn sweep_speedup_floor(axis: &str) -> Option<f64> {
+    if axis.starts_with("processors/1deg") {
+        Some(SWEEP_SPEEDUP_GATE)
+    } else {
+        None
+    }
+}
 
 /// Growth factor tolerated on a per-mode 1°/16° events/sec ratio before
 /// the flatness gate fails. The ratio is a same-run quotient, so absolute
@@ -933,6 +1150,70 @@ pub fn compare(current: &Baseline, committed: &Baseline) -> Vec<String> {
             ));
         }
     }
+    for b in &committed.sweeps {
+        let Some(c) = current.sweeps.iter().find(|r| r.axis == b.axis) else {
+            violations.push(format!(
+                "sweep/{}: row missing from the current measurement",
+                b.axis
+            ));
+            continue;
+        };
+        // The chain's resume/reuse counters are pure functions of the
+        // witness and cadence semantics: any drift means the incremental
+        // engine changed behaviour, never noise.
+        for (metric, old, new) in [
+            ("sweep points", b.points, c.points),
+            ("resumed points", b.resumed, c.resumed),
+            ("reused events", b.reused_events, c.reused_events),
+            ("total events", b.total_events, c.total_events),
+        ] {
+            if new != old {
+                violations.push(format!(
+                    "sweep/{}: {metric} changed {old} -> {new} (semantics drift?)",
+                    b.axis
+                ));
+            }
+        }
+        for (metric, old, new) in [
+            (
+                "scratch points/sec",
+                b.scratch_points_per_sec,
+                c.scratch_points_per_sec,
+            ),
+            (
+                "incremental points/sec",
+                b.incremental_points_per_sec,
+                c.incremental_points_per_sec,
+            ),
+        ] {
+            let floor = old * (1.0 - THROUGHPUT_TOLERANCE);
+            if new < floor {
+                violations.push(format!(
+                    "sweep/{}: {metric} fell more than {:.0}% below baseline ({:.2} < {:.2})",
+                    b.axis,
+                    THROUGHPUT_TOLERANCE * 100.0,
+                    new,
+                    floor
+                ));
+            }
+        }
+        // Same-run quotient: on floored rows, incremental must beat
+        // scratch by the gate on the current machine, whatever its
+        // absolute speed.
+        if let Some(floor) = sweep_speedup_floor(&b.axis) {
+            if c.speedup < floor {
+                violations.push(format!(
+                    "sweep/{}: incremental speedup {:.2}x is below the {:.1}x floor \
+                     ({:.2} vs {:.2} points/sec)",
+                    b.axis,
+                    c.speedup,
+                    floor,
+                    c.incremental_points_per_sec,
+                    c.scratch_points_per_sec
+                ));
+            }
+        }
+    }
     violations
 }
 
@@ -1074,6 +1355,43 @@ pub fn delta_summary(current: &Baseline, committed: &Baseline) -> Vec<String> {
             ),
         }
     }
+    for b in &committed.sweeps {
+        let name = format!("sweep/{}", b.axis);
+        match current.sweeps.iter().find(|r| r.axis == b.axis) {
+            Some(c) => {
+                for (metric, old, new) in [
+                    ("points", b.points, c.points),
+                    ("resumed", b.resumed, c.resumed),
+                    ("reused_events", b.reused_events, c.reused_events),
+                    ("total_events", b.total_events, c.total_events),
+                ] {
+                    push(&name, metric, old.to_string(), new.to_string(), new != old);
+                }
+                push(
+                    &name,
+                    "incr_points_per_sec",
+                    format!("{:.2}", b.incremental_points_per_sec),
+                    format!("{:.2}", c.incremental_points_per_sec),
+                    c.incremental_points_per_sec
+                        < b.incremental_points_per_sec * (1.0 - THROUGHPUT_TOLERANCE),
+                );
+                push(
+                    &name,
+                    "speedup",
+                    format!("{:.2}", b.speedup),
+                    format!("{:.2}", c.speedup),
+                    sweep_speedup_floor(&b.axis).is_some_and(|floor| c.speedup < floor),
+                );
+            }
+            None => push(
+                &name,
+                "(whole row)",
+                "present".into(),
+                "absent".into(),
+                true,
+            ),
+        }
+    }
     lines
 }
 
@@ -1124,6 +1442,28 @@ mod tests {
                 deflected: 0,
                 requests_per_sec: 50_000.0,
             }],
+            sweeps: vec![
+                SweepRow {
+                    axis: "processors/4deg-regular".into(),
+                    points: 64,
+                    resumed: 40,
+                    reused_events: 1_500,
+                    total_events: 240_000,
+                    scratch_points_per_sec: 1_500.0,
+                    incremental_points_per_sec: 1_700.0,
+                    speedup: 1.13,
+                },
+                SweepRow {
+                    axis: "processors/1deg-regular".into(),
+                    points: 128,
+                    resumed: 90,
+                    reused_events: 20_000,
+                    total_events: 32_000,
+                    scratch_points_per_sec: 20_000.0,
+                    incremental_points_per_sec: 52_000.0,
+                    speedup: 2.6,
+                },
+            ],
         }
     }
 
@@ -1164,6 +1504,21 @@ mod tests {
         assert_eq!(s.rejected, 1_000);
         assert_eq!(s.deflected, 0);
         assert!((s.requests_per_sec - 50_000.0).abs() < 1.0);
+        assert_eq!(parsed.sweeps.len(), 2);
+        let w = &parsed.sweeps[0];
+        assert_eq!(w.axis, "processors/4deg-regular");
+        assert_eq!(w.points, 64);
+        assert_eq!(w.resumed, 40);
+        assert_eq!(w.reused_events, 1_500);
+        assert_eq!(w.total_events, 240_000);
+        assert!((w.scratch_points_per_sec - 1_500.0).abs() < 0.01);
+        assert!((w.incremental_points_per_sec - 1_700.0).abs() < 0.01);
+        assert!((w.speedup - 1.13).abs() < 0.01);
+        let w = &parsed.sweeps[1];
+        assert_eq!(w.axis, "processors/1deg-regular");
+        assert_eq!(w.points, 128);
+        assert_eq!(w.resumed, 90);
+        assert!((w.speedup - 2.6).abs() < 0.01);
     }
 
     #[test]
@@ -1249,6 +1604,7 @@ mod tests {
             scaling: vec![],
             flatness: vec![],
             service: vec![],
+            sweeps: vec![],
         };
         // An empty committed set can't happen via from_json, but the gate
         // still reports the mismatch rather than silently passing.
@@ -1445,6 +1801,76 @@ mod tests {
     }
 
     #[test]
+    fn sweep_counter_drift_is_flagged_in_both_directions() {
+        let committed = sample();
+        let mut current = sample();
+        // Fewer resumes with more replayed events: the witness or cadence
+        // changed — exact drift, both directions.
+        current.sweeps[0].resumed -= 1;
+        current.sweeps[0].reused_events -= 500;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("resumed points"), "{v:?}");
+        assert!(v[1].contains("reused events"), "{v:?}");
+    }
+
+    #[test]
+    fn sweep_speedup_floor_is_hard() {
+        let committed = sample();
+        let mut current = sample();
+        // Losing the sublinear win on the showcase row fails even when
+        // points/sec stays within the tolerant band.
+        current.sweeps[1].incremental_points_per_sec = 21_000.0;
+        current.sweeps[1].speedup = 1.05;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("below the 2.0x floor"), "{v:?}");
+        // At the floor it passes.
+        current.sweeps[1].speedup = SWEEP_SPEEDUP_GATE;
+        current.sweeps[1].incremental_points_per_sec = 41_000.0;
+        assert!(compare(&current, &committed).is_empty());
+        // The wide-workflow 4° row carries no hard floor: its quotient is
+        // informational (reuse is locked by the exact counters).
+        current.sweeps[0].speedup = 0.9;
+        assert!(compare(&current, &committed).is_empty());
+        assert!(sweep_speedup_floor("processors/4deg-regular").is_none());
+        assert_eq!(
+            sweep_speedup_floor("processors/1deg-regular"),
+            Some(SWEEP_SPEEDUP_GATE)
+        );
+    }
+
+    #[test]
+    fn missing_sweep_row_fails_the_gate() {
+        let committed = sample();
+        let mut current = sample();
+        current.sweeps.clear();
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("sweep/processors/4deg-regular"), "{v:?}");
+        assert!(v[1].contains("sweep/processors/1deg-regular"), "{v:?}");
+    }
+
+    #[test]
+    fn tiny_sweep_row_measures_deterministically_and_reuses_events() {
+        // A small axis in debug builds: the deterministic chain counters
+        // must agree between independent measurements, and the chain must
+        // actually resume points on a plain processor axis. The axis
+        // reaches past the 1° mosaic's peak parallelism (~50), where the
+        // witness stops firing and resumes replay zero events.
+        let a = measure_sweep_row(1.0, 64, 1);
+        let b = measure_sweep_row(1.0, 64, 1);
+        assert_eq!(a.axis, "processors/1deg-regular");
+        assert_eq!(a.points, 64);
+        assert_eq!(a.resumed, b.resumed);
+        assert_eq!(a.reused_events, b.reused_events);
+        assert_eq!(a.total_events, b.total_events);
+        assert!(a.resumed > 0, "{a:?}");
+        assert!(a.reused_events > 0, "{a:?}");
+        assert!(a.total_events > a.reused_events, "{a:?}");
+    }
+
+    #[test]
     fn service_scale_measurement_is_deterministic() {
         // The counted campaign twice over: the deterministic counters
         // must agree exactly, and the scenario must actually exercise
@@ -1469,9 +1895,9 @@ mod tests {
         current.workloads[0].allocs_per_sim += 7;
         current.flatness[0].ratio = committed.flatness[0].ratio * 3.0;
         let lines = delta_summary(&current, &committed);
-        // One line per gated metric per row, plus the flatness and
-        // service rows (9 workload + 1 flatness + 5 service).
-        assert_eq!(lines.len(), 15, "{lines:?}");
+        // One line per gated metric per row, plus the flatness, service
+        // and sweep rows (9 workload + 1 flatness + 5 service + 2×6 sweep).
+        assert_eq!(lines.len(), 27, "{lines:?}");
         let failing: Vec<&String> = lines.iter().filter(|l| l.ends_with("FAIL")).collect();
         assert_eq!(failing.len(), 2, "{lines:?}");
         assert!(

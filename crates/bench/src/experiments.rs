@@ -9,8 +9,8 @@ use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Money, Pricing};
 use mcloud_dag::Workflow;
 use mcloud_montage::{generate, MosaicConfig};
 use mcloud_sweep::{
-    ccr_sweep, geometric_processors, mode_matrix, pareto_frontier, processor_sweep, CostTimePoint,
-    Table,
+    ccr_sweep, fault_rate_sweep_incremental, geometric_processors, mode_matrix, pareto_frontier,
+    processor_sweep, processor_sweep_incremental, CostTimePoint, Table,
 };
 
 /// The paper's three canonical mosaic sizes.
@@ -39,8 +39,10 @@ pub fn fig_processor_sweep(degrees: f64) -> Table {
     let base_regular = ExecConfig::paper_default().mode(DataMode::Regular);
     let base_cleanup = ExecConfig::paper_default().mode(DataMode::DynamicCleanup);
     let procs = geometric_processors(128);
-    let regular = processor_sweep(&wf, &base_regular, &procs);
-    let cleanup = processor_sweep(&wf, &base_cleanup, &procs);
+    // Incremental re-simulation: byte-identical to `processor_sweep`,
+    // sublinear in points (adjacent counts fork off shared checkpoints).
+    let regular = processor_sweep_incremental(&wf, &base_regular, &procs);
+    let cleanup = processor_sweep_incremental(&wf, &base_cleanup, &procs);
 
     let mut t = Table::new(vec![
         "processors",
@@ -391,19 +393,22 @@ pub fn failure_sweep(degrees: f64) -> Table {
         "cost_overhead_pct",
         "runtime_hours",
     ]);
-    let base = simulate(&wf, &ExecConfig::paper_default());
-    for prob in [0.0, 0.02, 0.05, 0.1, 0.2, 0.3] {
-        let cfg = if prob > 0.0 {
-            ExecConfig::paper_default().with_faults(prob, 2008)
-        } else {
-            ExecConfig::paper_default()
-        };
-        let r = simulate(&wf, &cfg);
+    // The zero-rate point doubles as the overhead baseline; the chain
+    // builds the same per-rate configs `with_faults` would.
+    let points = fault_rate_sweep_incremental(
+        &wf,
+        &ExecConfig::paper_default(),
+        &[0.0, 0.02, 0.05, 0.1, 0.2, 0.3],
+        2008,
+    );
+    let base = &points[0].report;
+    for p in &points {
+        let r = &p.report;
         let overhead = (r.total_cost().dollars() - base.total_cost().dollars())
             / base.total_cost().dollars()
             * 100.0;
         t.push_row(vec![
-            format!("{prob:.2}"),
+            format!("{:.2}", p.failure_prob),
             r.task_executions.to_string(),
             r.failed_attempts.to_string(),
             format!("{:.3}", r.total_cost().dollars()),
@@ -421,7 +426,6 @@ pub fn failure_sweep(degrees: f64) -> Table {
 /// (at brutal rates) the graceful dead-letter abort.
 pub fn fault_reliability_table() -> Table {
     use mcloud_core::{FaultModel, RetryPolicy};
-    use mcloud_sweep::fault_rate_sweep;
     let wf = canonical(1.0);
     let base = ExecConfig {
         faults: Some(FaultModel {
@@ -432,7 +436,7 @@ pub fn fault_reliability_table() -> Table {
         }),
         ..ExecConfig::fixed(8).with_retry(RetryPolicy::bounded(3))
     };
-    let points = fault_rate_sweep(&wf, &base, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2], 2008);
+    let points = fault_rate_sweep_incremental(&wf, &base, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2], 2008);
     let mut t = Table::new(vec![
         "failure_prob",
         "attempts",
@@ -596,7 +600,7 @@ pub fn bandwidth_sweep(degrees: f64, processors: u32) -> Table {
         provisioning: Provisioning::Fixed { processors },
         ..ExecConfig::paper_default()
     };
-    for (point, mbps) in mcloud_sweep::bandwidth_sweep(&wf, &base, &bps)
+    for (point, mbps) in mcloud_sweep::bandwidth_sweep_incremental(&wf, &base, &bps)
         .iter()
         .zip(mbps_axis)
     {

@@ -1,0 +1,267 @@
+//! Incremental re-simulation across adjacent sweep points.
+//!
+//! A whole-axis sweep (processor counts, link bandwidths, fault rates)
+//! re-simulates mostly shared prefixes: a `P = 64` run is event-for-event
+//! identical to `P = 63` until the 64th slot is first wanted. This module
+//! makes that observation operational. Each run records a **divergence
+//! witness** — the first event at which the *next* point's configuration
+//! becomes observable — plus periodic [`SimCheckpoint`] snapshots of the
+//! full deterministic state. The next point then restores the latest
+//! snapshot (always strictly before the witness, by construction), applies
+//! the axis delta, and replays only the divergent suffix.
+//!
+//! The contract is byte-identity: a resumed point produces exactly the
+//! [`Report`] a from-scratch run would, or the chain falls back to `t = 0`
+//! whenever the witness cannot bound divergence (unsupported axis
+//! combinations, trace recording, structural config changes). Differential
+//! tests and the `sweep-equivalence` CI job hold the line.
+
+use mcloud_dag::Workflow;
+
+use crate::config::{ExecConfig, Provisioning};
+use crate::engine::{
+    run_probed, run_resumed, simulate_with_scratch, AxisProbe, IncCtl, SimCheckpoint, SimScratch,
+};
+use crate::report::Report;
+
+/// The sweep axis a chain walks; decides which divergence witness runs
+/// arm and which delta a restore applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepAxis {
+    /// `Provisioning::Fixed { processors }` varies; witness = first pool
+    /// exhaustion with a dispatchable task waiting. Sound only while the
+    /// pool grows point-over-point and no preemption process observes the
+    /// pool size (`proc_mttf_s == 0`).
+    Processors,
+    /// `bandwidth_bps` varies; witness = first transfer submission.
+    Bandwidth,
+    /// Fault rates vary (same seed, same MTTF); witness = first RNG draw
+    /// whose outcome or stream consumption differs between the two rates.
+    FaultRate,
+}
+
+/// Counters an incremental sweep accumulates, for speedup accounting and
+/// the fallback-visibility the drivers report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Sweep points executed through the chain.
+    pub points: u64,
+    /// Points that resumed from a checkpoint instead of replaying from
+    /// `t = 0`.
+    pub resumed: u64,
+    /// Events skipped by restores (work a from-scratch sweep would redo).
+    pub reused_events: u64,
+    /// Events a from-scratch sweep would process in total (reused +
+    /// replayed).
+    pub total_events: u64,
+}
+
+impl IncrementalStats {
+    /// Points that could not be resumed (first point, missing witness, or
+    /// unchainable configuration pair).
+    pub fn fallbacks(&self) -> u64 {
+        self.points - self.resumed
+    }
+}
+
+/// Runs the points of one sweep axis in order, forking each run off the
+/// previous point's checkpoint when the divergence witness proves it
+/// sound, and from `t = 0` otherwise.
+///
+/// Feed points with [`IncrementalChain::run_point`], passing the *next*
+/// point's configuration so the run can arm its witness. Reports are
+/// byte-identical to [`crate::simulate`] on every point.
+#[derive(Debug)]
+pub struct IncrementalChain {
+    axis: SweepAxis,
+    scratch: SimScratch,
+    /// Checkpoint from the previous run, valid for `armed_for`.
+    restore: Option<Box<SimCheckpoint>>,
+    /// The configuration `restore` was armed toward.
+    armed_for: Option<ExecConfig>,
+    /// A retired checkpoint kept purely so the next recording reuses its
+    /// buffers.
+    spare: Option<Box<SimCheckpoint>>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalChain {
+    /// A fresh chain for one axis.
+    pub fn new(axis: SweepAxis) -> Self {
+        IncrementalChain {
+            axis,
+            scratch: SimScratch::new(),
+            restore: None,
+            armed_for: None,
+            spare: None,
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// The axis this chain walks.
+    pub fn axis(&self) -> SweepAxis {
+        self.axis
+    }
+
+    /// Accumulated reuse counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Simulates one sweep point, resuming from the previous point's
+    /// checkpoint when its witness proved that sound. `next` is the
+    /// configuration of the following point (or `None` at the end of the
+    /// axis); it arms this run's witness so the *next* call can resume.
+    ///
+    /// The returned [`Report`] is byte-identical to
+    /// [`crate::simulate`]`(wf, cfg)` — traced configurations simply fall
+    /// back to a full-fidelity run per point.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`ExecConfig::validate`].
+    pub fn run_point(
+        &mut self,
+        wf: &Workflow,
+        cfg: &ExecConfig,
+        next: Option<&ExecConfig>,
+    ) -> Report {
+        // Trace recording bypasses the probed engine entirely so traces
+        // (and their span ordering) stay bit-for-bit what `simulate`
+        // produces.
+        if cfg.record_trace {
+            self.restore = None;
+            self.armed_for = None;
+            self.stats.points += 1;
+            let report = simulate_with_scratch(wf, cfg, &mut self.scratch);
+            self.stats.total_events += report.events_processed;
+            return report;
+        }
+        let probe = next
+            .filter(|n| chainable(self.axis, cfg, n))
+            .map(|n| probe_for(self.axis, n));
+        let mut ctl = IncCtl::new(probe, self.spare.take());
+        let restore = self
+            .restore
+            .take()
+            .filter(|_| self.armed_for.as_ref() == Some(cfg));
+        let report = match restore {
+            Some(ck) => {
+                let r = run_resumed(wf, cfg, &mut self.scratch, &ck, self.axis, &mut ctl);
+                self.stats.resumed += 1;
+                self.stats.reused_events += ck.pops;
+                self.spare = Some(ck);
+                r
+            }
+            None => run_probed(wf, cfg, &mut self.scratch, &mut ctl),
+        };
+        if ctl.snapshot_fresh {
+            // The snapshot was recorded with the probe armed toward
+            // `next`, strictly before any witness: valid for `next`.
+            self.restore = ctl.snapshot.take();
+            self.armed_for = next.cloned();
+        } else {
+            self.armed_for = None;
+            if self.spare.is_none() {
+                self.spare = ctl.snapshot.take(); // stale buffer, recycle
+            }
+        }
+        self.stats.points += 1;
+        self.stats.total_events += report.events_processed;
+        report
+    }
+}
+
+/// Builds the witness probe a run arms toward `next`.
+fn probe_for(axis: SweepAxis, next: &ExecConfig) -> AxisProbe {
+    match axis {
+        SweepAxis::Processors => AxisProbe::Processors,
+        SweepAxis::Bandwidth => AxisProbe::Bandwidth,
+        SweepAxis::FaultRate => {
+            let f = next.faults.as_ref().expect("chainable requires faults");
+            AxisProbe::FaultRate {
+                next_task_prob: f.task_failure_prob,
+                next_transfer_prob: f.transfer_failure_prob,
+            }
+        }
+    }
+}
+
+/// Whether a witness recorded while running `cur` can soundly bound the
+/// divergence of `next` — i.e. the two runs are provably event-identical
+/// until the witness fires.
+///
+/// Beyond the per-axis conditions, the two configurations must be equal in
+/// every non-axis field (checked by normalized equality), because any
+/// other difference could change behavior before the witness.
+fn chainable(axis: SweepAxis, cur: &ExecConfig, next: &ExecConfig) -> bool {
+    if cur.record_trace || next.record_trace {
+        return false;
+    }
+    match axis {
+        SweepAxis::Processors => {
+            let (Provisioning::Fixed { processors: a }, Provisioning::Fixed { processors: b }) =
+                (cur.provisioning, next.provisioning)
+            else {
+                return false;
+            };
+            if b < a {
+                return false; // the pool only grows along the chain
+            }
+            // Preemption samples its inter-arrival times from the pool
+            // size, so any MTTF makes every event capacity-dependent.
+            if cur.faults.as_ref().is_some_and(|f| f.proc_mttf_s > 0.0) {
+                return false;
+            }
+            let mut norm = next.clone();
+            norm.provisioning = cur.provisioning;
+            norm == *cur
+        }
+        SweepAxis::Bandwidth => {
+            let mut norm = next.clone();
+            norm.bandwidth_bps = cur.bandwidth_bps;
+            norm == *cur
+        }
+        SweepAxis::FaultRate => {
+            // A `None`-faults point has no injector at all: structurally
+            // different from any positive-rate point, so the chain breaks
+            // there (the forced-fallback case the tests pin down).
+            let (Some(cf), Some(_)) = (cur.faults.as_ref(), next.faults.as_ref()) else {
+                return false;
+            };
+            let mut norm = next.clone();
+            let nf = norm.faults.as_mut().expect("checked above");
+            nf.task_failure_prob = cf.task_failure_prob;
+            nf.transfer_failure_prob = cf.transfer_failure_prob;
+            // Equality here also forces identical seeds and MTTFs — only
+            // the two failure rates may differ along this axis.
+            norm == *cur
+        }
+    }
+}
+
+/// A human-readable reason why an incremental sweep over `axis` starting
+/// from `base` must run every point from scratch, or `None` when chaining
+/// can engage. Drivers still produce byte-identical output either way —
+/// this exists so the CLI can tell the user the `--incremental` flag is a
+/// no-op for their configuration.
+pub fn incremental_unsupported_reason(axis: SweepAxis, base: &ExecConfig) -> Option<String> {
+    if base.record_trace {
+        return Some(
+            "trace recording requires full-fidelity runs; every point simulates from scratch"
+                .to_string(),
+        );
+    }
+    match axis {
+        SweepAxis::Processors => {
+            if base.faults.as_ref().is_some_and(|f| f.proc_mttf_s > 0.0) {
+                return Some(
+                    "preemption (proc_mttf_s > 0) samples from the pool size; every point \
+                     simulates from scratch"
+                        .to_string(),
+                );
+            }
+            None
+        }
+        SweepAxis::Bandwidth | SweepAxis::FaultRate => None,
+    }
+}

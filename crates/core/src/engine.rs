@@ -33,6 +33,7 @@ use mcloud_simkit::{
     TraceEvent,
 };
 
+use crate::checkpoint::SweepAxis;
 use crate::config::{DataMode, ExecConfig, Provisioning};
 use crate::report::{KernelStats, Report};
 use crate::soa::{FileTable, InFlightTable, ReadySet, TaskTable};
@@ -105,7 +106,7 @@ pub fn simulate_traced(wf: &Workflow, cfg: &ExecConfig) -> (Report, RecordingSin
     (report, sink)
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     /// A shared stage-in transfer finished (Regular/Cleanup). `attempt`
     /// counts submissions of this transfer (1-based) for retry budgeting.
@@ -207,6 +208,39 @@ impl Default for SimScratch {
     }
 }
 
+/// Checkpointing clones the whole scratch; `clone_from` is field-wise so
+/// a recycled snapshot buffer (and the lane scratch a restore lands in)
+/// reuses its existing allocations instead of reallocating every column.
+impl Clone for SimScratch {
+    fn clone(&self) -> Self {
+        SimScratch {
+            events: self.events.clone(),
+            pool: self.pool.clone(),
+            tasks: self.tasks.clone(),
+            files: self.files.clone(),
+            ready: self.ready.clone(),
+            storage_blocked: self.storage_blocked.clone(),
+            wait_hist: self.wait_hist.clone(),
+            run_seconds: self.run_seconds.clone(),
+            in_flight: self.in_flight.clone(),
+            instance_seconds: self.instance_seconds.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.events.clone_from(&src.events);
+        self.pool.clone_from(&src.pool);
+        self.tasks.clone_from(&src.tasks);
+        self.files.clone_from(&src.files);
+        self.ready.clone_from(&src.ready);
+        self.storage_blocked.clone_from(&src.storage_blocked);
+        self.wait_hist.clone_from(&src.wait_hist);
+        self.run_seconds.clone_from(&src.run_seconds);
+        self.in_flight.clone_from(&src.in_flight);
+        self.instance_seconds.clone_from(&src.instance_seconds);
+    }
+}
+
 impl SimScratch {
     /// Creates an empty scratch. The first run sizes every buffer; later
     /// runs over same-or-smaller workflows reuse the capacity.
@@ -236,6 +270,200 @@ impl SimScratch {
         self.in_flight.reset(capacity as usize);
         self.instance_seconds.clear();
     }
+}
+
+/// Every scalar (non-scratch) field of a running [`Engine`], captured so a
+/// checkpoint can rebuild the engine mid-run. Together with [`SimScratch`]
+/// this is the *complete* deterministic state of a simulation: restoring
+/// both and re-entering the event loop replays the identical suffix.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineState {
+    link: FcfsChannel,
+    link_out: Option<FcfsChannel>,
+    storage: TimeWeighted,
+    ready_occ: TimeWeighted,
+    wait_stats: mcloud_simkit::RunningStats,
+    vm_ready_at: SimTime,
+    tasks_done: usize,
+    stageouts_pending: usize,
+    bytes_in: u64,
+    bytes_out: u64,
+    transfers_in: u64,
+    transfers_out: u64,
+    end_time: SimTime,
+    failed_attempts: u64,
+    injector: Option<FaultInjector>,
+    retries: u64,
+    preemptions: u64,
+    transfer_failures: u64,
+    wasted_cpu_s: f64,
+    wasted_bytes_in: u64,
+    wasted_bytes_out: u64,
+    aborted: bool,
+}
+
+/// A full snapshot of a simulation's deterministic state, taken between
+/// events: the struct-of-arrays tables, ready bitmap, calendar-queue arena,
+/// processor bitmap, RNG streams, and every accrued counter. All of it is
+/// plain `Vec`s and scalars, so a snapshot is a handful of memcpys.
+///
+/// Checkpoints power the incremental sweep drivers: a run records one at
+/// the latest point known to precede the next sweep point's divergence,
+/// and that point's run restores it instead of replaying from `t = 0`.
+#[derive(Debug, Clone)]
+pub struct SimCheckpoint {
+    pub(crate) scratch: SimScratch,
+    pub(crate) state: EngineState,
+    /// Events fully processed when the snapshot was taken.
+    pub(crate) pops: u64,
+}
+
+impl SimCheckpoint {
+    /// Number of events already processed at the snapshot point — the work
+    /// a restore skips.
+    pub fn events_reused(&self) -> u64 {
+        self.pops
+    }
+}
+
+/// Which divergence witness a probed run watches for, parameterized by the
+/// *next* sweep point where the witness needs its configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AxisProbe {
+    /// First time the pool is exhausted while a dispatchable task waits —
+    /// the first instant a larger pool would have granted a slot.
+    Processors,
+    /// First transfer submission — the first instant a different link
+    /// bandwidth becomes observable.
+    Bandwidth,
+    /// First fault draw whose outcome or stream consumption differs
+    /// between this point's rates and the next point's.
+    FaultRate {
+        next_task_prob: f64,
+        next_transfer_prob: f64,
+    },
+}
+
+/// First snapshot after this many processed events; the interval doubles
+/// up to [`SNAPSHOT_MAX_STRIDE`] and then grows arithmetically. The early
+/// snapshots are dense because witnesses cluster early (a small pool runs
+/// dry within tens of events); the geometric ramp keeps long runs at a
+/// dozen-odd snapshots while bounding the replay lost between the last
+/// snapshot and the witness.
+const SNAPSHOT_FIRST_POPS: u64 = 16;
+const SNAPSHOT_MAX_STRIDE: u64 = 2048;
+
+/// Per-run incremental-simulation control: the armed probe, the witness it
+/// recorded (as an event count), and the snapshot slot being recorded.
+#[derive(Debug, Default)]
+pub(crate) struct IncCtl {
+    /// Witness to watch for; `None` disables snapshots and witnesses.
+    pub probe: Option<AxisProbe>,
+    /// `events.popped()` when the witness fired: the prefix through event
+    /// `witness_pops - 1` is proven identical at the next sweep point.
+    pub witness_pops: Option<u64>,
+    /// Snapshot cadence: next `events.popped()` value to snapshot at.
+    pub next_snapshot_at: u64,
+    /// The snapshot being recorded (pre-seeded with a recycled buffer by
+    /// the chain; every retake reuses its allocations).
+    pub snapshot: Option<Box<SimCheckpoint>>,
+    /// Set when `snapshot` was (re)recorded during this run — i.e. it is
+    /// valid for the configuration the probe was armed toward.
+    pub snapshot_fresh: bool,
+}
+
+impl IncCtl {
+    pub fn new(probe: Option<AxisProbe>, recycled: Option<Box<SimCheckpoint>>) -> Self {
+        IncCtl {
+            probe,
+            witness_pops: None,
+            next_snapshot_at: SNAPSHOT_FIRST_POPS,
+            snapshot: recycled,
+            snapshot_fresh: false,
+        }
+    }
+}
+
+/// Builds the inbound link (and the optional outbound one) exactly as a
+/// fresh engine would — shared by `Engine::new` and the bandwidth-axis
+/// restore, which swaps in new channels built from the new configuration.
+fn build_links(cfg: &ExecConfig) -> (FcfsChannel, Option<FcfsChannel>) {
+    let mut link = FcfsChannel::new(cfg.bandwidth_bps);
+    for &(start_s, dur_s) in &cfg.storage_outages {
+        let start = SimTime::from_secs_f64(start_s);
+        link.add_blackout(start, start + SimDuration::from_secs_f64(dur_s));
+    }
+    let link_out = cfg.duplex_link.then(|| link.clone());
+    (link, link_out)
+}
+
+/// Runs one sweep point from scratch with a divergence probe armed,
+/// recording snapshots and the witness into `ctl`. Byte-identical to
+/// [`simulate_with_scratch`] for untraced configurations: the probe only
+/// reads state the engine already computes, and probed fault draws consume
+/// the RNG stream exactly like plain ones.
+pub(crate) fn run_probed(
+    wf: &Workflow,
+    cfg: &ExecConfig,
+    scr: &mut SimScratch,
+    ctl: &mut IncCtl,
+) -> Report {
+    cfg.validate().expect("invalid execution configuration");
+    let mut engine = Engine::new(wf, cfg, NullSink, scr);
+    engine.inc = Some(ctl);
+    engine.run()
+}
+
+/// Runs one sweep point from a checkpoint taken at the *previous* point,
+/// applying the axis delta to the restored state and replaying only the
+/// suffix. The caller must have proven (via the previous run's witness)
+/// that the two points are event-identical through the snapshot.
+pub(crate) fn run_resumed(
+    wf: &Workflow,
+    cfg: &ExecConfig,
+    scr: &mut SimScratch,
+    ck: &SimCheckpoint,
+    axis: SweepAxis,
+    ctl: &mut IncCtl,
+) -> Report {
+    cfg.validate().expect("invalid execution configuration");
+    scr.clone_from(&ck.scratch);
+    let mut st = ck.state.clone();
+    match axis {
+        SweepAxis::Processors => {
+            let Provisioning::Fixed { processors } = cfg.provisioning else {
+                unreachable!("processor-axis chaining requires fixed provisioning");
+            };
+            // Pre-witness the smaller pool never ran dry, so the extra
+            // slots were unobservable: growing the restored pool yields
+            // the state a from-scratch run at `processors` would hold.
+            scr.pool.grow(processors);
+            scr.in_flight.grow(processors as usize);
+        }
+        SweepAxis::Bandwidth => {
+            // Pre-witness no transfer was ever submitted, so a fresh pair
+            // of channels at the new bandwidth is exactly the state a
+            // from-scratch run would hold.
+            let (link, link_out) = build_links(cfg);
+            st.link = link;
+            st.link_out = link_out;
+        }
+        SweepAxis::FaultRate => {
+            // Pre-witness every draw agreed in outcome and stream
+            // position, so the same injector mid-stream with the new
+            // rates is exactly the from-scratch state.
+            if let (Some(inj), Some(f)) = (st.injector.as_mut(), cfg.faults.as_ref()) {
+                inj.set_spec(FaultSpec {
+                    task_failure_prob: f.task_failure_prob,
+                    transfer_failure_prob: f.transfer_failure_prob,
+                    proc_mttf_s: f.proc_mttf_s,
+                });
+            }
+        }
+    }
+    let mut engine = Engine::resume(wf, cfg, NullSink, scr, st);
+    engine.inc = Some(ctl);
+    engine.run_loop()
 }
 
 struct Engine<'a, S: EventSink> {
@@ -288,17 +516,15 @@ struct Engine<'a, S: EventSink> {
     /// Set when a task or transfer exhausts its retry budget: the run
     /// stops dispatching work and finishes with a partial report.
     aborted: bool,
+    /// Incremental-simulation control (probe + snapshot slot), present
+    /// only when a sweep chain drives this run.
+    inc: Option<&'a mut IncCtl>,
 }
 
 impl<'a, S: EventSink> Engine<'a, S> {
     fn new(wf: &'a Workflow, cfg: &'a ExecConfig, sink: S, scr: &'a mut SimScratch) -> Self {
         scr.reset(wf, cfg);
-        let mut link = FcfsChannel::new(cfg.bandwidth_bps);
-        for &(start_s, dur_s) in &cfg.storage_outages {
-            let start = SimTime::from_secs_f64(start_s);
-            link.add_blackout(start, start + SimDuration::from_secs_f64(dur_s));
-        }
-        let link_out = cfg.duplex_link.then(|| link.clone());
+        let (link, link_out) = build_links(cfg);
         let vm_ready_at = match cfg.provisioning {
             Provisioning::Fixed { .. } => SimTime::from_secs_f64(cfg.vm.startup_s),
             Provisioning::OnDemand => SimTime::ZERO,
@@ -345,13 +571,227 @@ impl<'a, S: EventSink> Engine<'a, S> {
             wasted_bytes_in: 0,
             wasted_bytes_out: 0,
             aborted: false,
+            inc: None,
+        }
+    }
+
+    /// Rebuilds an engine mid-run from a restored scratch and captured
+    /// state: the inverse of [`Engine::capture_state`] plus the scratch
+    /// restore the caller already performed. `run_loop` continues exactly
+    /// where the checkpointed run stood.
+    fn resume(
+        wf: &'a Workflow,
+        cfg: &'a ExecConfig,
+        sink: S,
+        scr: &'a mut SimScratch,
+        st: EngineState,
+    ) -> Self {
+        Engine {
+            wf,
+            cfg,
+            sink,
+            scr,
+            link: st.link,
+            link_out: st.link_out,
+            storage: st.storage,
+            ready_occ: st.ready_occ,
+            wait_stats: st.wait_stats,
+            vm_ready_at: st.vm_ready_at,
+            tasks_done: st.tasks_done,
+            stageouts_pending: st.stageouts_pending,
+            bytes_in: st.bytes_in,
+            bytes_out: st.bytes_out,
+            transfers_in: st.transfers_in,
+            transfers_out: st.transfers_out,
+            end_time: st.end_time,
+            failed_attempts: st.failed_attempts,
+            injector: st.injector,
+            retries: st.retries,
+            preemptions: st.preemptions,
+            transfer_failures: st.transfer_failures,
+            wasted_cpu_s: st.wasted_cpu_s,
+            wasted_bytes_in: st.wasted_bytes_in,
+            wasted_bytes_out: st.wasted_bytes_out,
+            aborted: st.aborted,
+            inc: None,
+        }
+    }
+
+    /// Clones every non-scratch field into a restorable [`EngineState`].
+    fn capture_state(&self) -> EngineState {
+        EngineState {
+            link: self.link.clone(),
+            link_out: self.link_out.clone(),
+            storage: self.storage.clone(),
+            ready_occ: self.ready_occ.clone(),
+            wait_stats: self.wait_stats.clone(),
+            vm_ready_at: self.vm_ready_at,
+            tasks_done: self.tasks_done,
+            stageouts_pending: self.stageouts_pending,
+            bytes_in: self.bytes_in,
+            bytes_out: self.bytes_out,
+            transfers_in: self.transfers_in,
+            transfers_out: self.transfers_out,
+            end_time: self.end_time,
+            failed_attempts: self.failed_attempts,
+            injector: self.injector.clone(),
+            retries: self.retries,
+            preemptions: self.preemptions,
+            transfer_failures: self.transfer_failures,
+            wasted_cpu_s: self.wasted_cpu_s,
+            wasted_bytes_in: self.wasted_bytes_in,
+            wasted_bytes_out: self.wasted_bytes_out,
+            aborted: self.aborted,
+        }
+    }
+
+    /// Records a checkpoint when the cadence policy (or loop exit) says
+    /// to, but never after the witness has fired: every retained snapshot
+    /// therefore precedes the divergence point and is valid for the next
+    /// sweep point. Called at the top of the event loop — `popped()`
+    /// events are fully processed, including their dispatch.
+    fn maybe_snapshot(&mut self) {
+        let pops = self.scr.events.popped();
+        let terminal = self.scr.events.is_empty();
+        match self.inc.as_deref_mut() {
+            Some(ctl) if ctl.probe.is_some() && ctl.witness_pops.is_none() => {
+                if pops < ctl.next_snapshot_at && !terminal {
+                    return;
+                }
+                // Geometric-then-arithmetic cadence: double the stride up
+                // to the cap, bounding lost replay without snapshotting a
+                // long run dozens of times.
+                while ctl.next_snapshot_at <= pops {
+                    ctl.next_snapshot_at += ctl.next_snapshot_at.min(SNAPSHOT_MAX_STRIDE);
+                }
+            }
+            _ => return,
+        }
+        let state = self.capture_state();
+        let ctl = self.inc.as_deref_mut().expect("checked above");
+        match ctl.snapshot.as_deref_mut() {
+            // Retakes reuse the slot's buffers (field-wise `clone_from`).
+            Some(ck) => {
+                ck.scratch.clone_from(self.scr);
+                ck.state = state;
+                ck.pops = pops;
+            }
+            None => {
+                ctl.snapshot = Some(Box::new(SimCheckpoint {
+                    scratch: self.scr.clone(),
+                    state,
+                    pops,
+                }));
+            }
+        }
+        ctl.snapshot_fresh = true;
+    }
+
+    /// Processor-axis witness: the pool just ran dry while a dispatchable
+    /// task was waiting — the first instant a larger pool would have
+    /// granted one more slot, so runs at higher processor counts diverge
+    /// exactly here and snapshots before this event remain valid for them.
+    fn note_pool_exhausted(&mut self) {
+        let pops = self.scr.events.popped();
+        if let Some(ctl) = self.inc.as_deref_mut() {
+            if matches!(ctl.probe, Some(AxisProbe::Processors)) && ctl.witness_pops.is_none() {
+                ctl.witness_pops = Some(pops);
+            }
+        }
+    }
+
+    /// Bandwidth-axis witness: the first transfer submission — the first
+    /// instant the link bandwidth becomes observable.
+    fn note_transfer_submitted(&mut self) {
+        let pops = self.scr.events.popped();
+        if let Some(ctl) = self.inc.as_deref_mut() {
+            if matches!(ctl.probe, Some(AxisProbe::Bandwidth)) && ctl.witness_pops.is_none() {
+                ctl.witness_pops = Some(pops);
+            }
+        }
+    }
+
+    /// One task-failure draw, probed against the next sweep point's rate
+    /// when the fault axis is being watched. Stream consumption is
+    /// identical to the plain draw.
+    fn draw_task_fails(&mut self) -> bool {
+        let alt = match self.inc.as_deref() {
+            Some(ctl) if ctl.witness_pops.is_none() => match ctl.probe {
+                Some(AxisProbe::FaultRate { next_task_prob, .. }) => Some(next_task_prob),
+                _ => None,
+            },
+            _ => None,
+        };
+        match alt {
+            Some(alt) => {
+                let (fails, diverged) = match self.injector.as_mut() {
+                    Some(i) => i.task_attempt_fails_probed(alt),
+                    None => (false, alt > 0.0),
+                };
+                if diverged {
+                    let pops = self.scr.events.popped();
+                    if let Some(ctl) = self.inc.as_deref_mut() {
+                        ctl.witness_pops = Some(pops);
+                    }
+                }
+                fails
+            }
+            None => self
+                .injector
+                .as_mut()
+                .is_some_and(|i| i.task_attempt_fails()),
+        }
+    }
+
+    /// One transfer-failure draw, probed like [`Engine::draw_task_fails`].
+    fn draw_transfer_fails(&mut self) -> bool {
+        let alt = match self.inc.as_deref() {
+            Some(ctl) if ctl.witness_pops.is_none() => match ctl.probe {
+                Some(AxisProbe::FaultRate {
+                    next_transfer_prob, ..
+                }) => Some(next_transfer_prob),
+                _ => None,
+            },
+            _ => None,
+        };
+        match alt {
+            Some(alt) => {
+                let (fails, diverged) = match self.injector.as_mut() {
+                    Some(i) => i.transfer_fails_probed(alt),
+                    None => (false, alt > 0.0),
+                };
+                if diverged {
+                    let pops = self.scr.events.popped();
+                    if let Some(ctl) = self.inc.as_deref_mut() {
+                        ctl.witness_pops = Some(pops);
+                    }
+                }
+                fails
+            }
+            None => self.injector.as_mut().is_some_and(|i| i.transfer_fails()),
         }
     }
 
     fn run(mut self) -> Report {
         self.bootstrap();
         self.dispatch(SimTime::ZERO);
-        while let Some((now, ev)) = self.scr.events.pop() {
+        self.run_loop()
+    }
+
+    /// The event loop plus run epilogue, entered either fresh (after
+    /// `bootstrap`) or mid-run from a restored checkpoint.
+    fn run_loop(mut self) -> Report {
+        loop {
+            // Snapshot *before* popping: `popped()` events are fully
+            // processed, and a witness firing during event `w` proves the
+            // prefix through `w - 1`, so every retained snapshot is
+            // strictly pre-divergence. An empty queue snapshots the
+            // terminal state, giving never-diverging points a zero-replay
+            // resume (the epilogue below re-runs under the new config).
+            self.maybe_snapshot();
+            let Some((now, ev)) = self.scr.events.pop() else {
+                break;
+            };
             match ev {
                 Ev::FileArrived { file, attempt } => self.on_file_arrived(now, file, attempt),
                 Ev::InputArrived {
@@ -472,7 +912,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         bytes: u64,
         task: Option<TaskId>,
     ) -> bool {
-        let failed = self.injector.as_mut().is_some_and(|i| i.transfer_fails());
+        let failed = self.draw_transfer_fails();
         if failed {
             self.transfer_failures += 1;
             match chan {
@@ -896,6 +1336,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         bytes: u64,
         task: Option<TaskId>,
     ) -> mcloud_simkit::TransferGrant {
+        self.note_transfer_submitted();
         let grant = self.link.submit(now, bytes);
         self.bytes_in += bytes;
         self.transfers_in += 1;
@@ -923,6 +1364,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         bytes: u64,
         task: Option<TaskId>,
     ) -> mcloud_simkit::TransferGrant {
+        self.note_transfer_submitted();
         let grant = match self.link_out.as_mut() {
             Some(out) => out.submit(now, bytes),
             None => self.link.submit(now, bytes),
@@ -995,6 +1437,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
                 continue; // try the next-priority candidate
             }
             let Some(proc) = self.scr.pool.try_acquire(now) else {
+                // A dispatchable task found the pool dry: the processor-
+                // axis divergence witness.
+                self.note_pool_exhausted();
                 break;
             };
             self.remove_ready(now, rank);
@@ -1058,11 +1503,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
         // above) but produced nothing; the retry policy decides whether
         // the task goes back to the ready queue. A timed-out attempt
         // fails deterministically without consuming a fault draw.
-        let failed = timed_out
-            || self
-                .injector
-                .as_mut()
-                .is_some_and(|i| i.task_attempt_fails());
+        let failed = timed_out || self.draw_task_fails();
         narrate!(
             self,
             now,

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 mod batch;
+mod checkpoint;
 mod config;
 mod engine;
 mod gantt;
@@ -41,13 +42,16 @@ pub use batch::{
     simulate_batch, simulate_batch_on, simulate_batch_progress, simulate_batch_workflows,
     BatchScratch,
 };
+pub use checkpoint::{
+    incremental_unsupported_reason, IncrementalChain, IncrementalStats, SweepAxis,
+};
 pub use config::{
     DataMode, ExecConfig, FaultModel, Provisioning, RetryPolicy, SchedulePolicy, VmOverhead,
     PAPER_BANDWIDTH_BPS,
 };
 pub use engine::{
     simulate, simulate_traced, simulate_with_scratch, simulate_with_sink,
-    simulate_with_sink_scratch, SimScratch,
+    simulate_with_sink_scratch, SimCheckpoint, SimScratch,
 };
 pub use gantt::{gantt_csv, gantt_text};
 pub use profile::{

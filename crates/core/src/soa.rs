@@ -31,6 +31,10 @@ pub(crate) const FILE_STAGED_OUT: u8 = 1 << 0;
 pub(crate) const FILE_IN_STORAGE: u8 = 1 << 1;
 
 /// Per-task state as parallel arrays indexed by `TaskId::index()`.
+///
+/// `Clone`/`clone_from` exist for checkpointing: every column is a plain
+/// `Vec` of `Copy` data, so a snapshot is a handful of memcpys and a
+/// restore into a warm table reuses its buffers.
 #[derive(Debug, Default)]
 pub(crate) struct TaskTable {
     /// Parents not yet finished (readiness counter).
@@ -270,6 +274,18 @@ impl InFlightTable {
         self.finish.resize(capacity, EventId::NONE);
     }
 
+    /// Adds idle slots up to `capacity` (the processor-axis checkpoint
+    /// restore, mirroring `ProcessorPool::grow`).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is smaller than the current slot count.
+    pub fn grow(&mut self, capacity: usize) {
+        assert!(capacity >= self.task.len(), "grow cannot shrink");
+        self.task.resize(capacity, IDLE);
+        self.started.resize(capacity, SimTime::ZERO);
+        self.finish.resize(capacity, EventId::NONE);
+    }
+
     #[inline]
     pub fn occupy(&mut self, proc: usize, task: TaskId, started: SimTime, finish: EventId) {
         self.task[proc] = task.0;
@@ -298,6 +314,59 @@ impl InFlightTable {
         Some(out)
     }
 }
+
+/// Expands to `Clone` with a buffer-reusing `clone_from` for a struct whose
+/// fields are plain `Vec`s and scalars — the shape every table here has.
+/// Derived `Clone` would work, but its default `clone_from` reallocates
+/// every column; checkpoint recording recycles one snapshot buffer many
+/// times per run, so the field-wise form keeps that path allocation-free.
+macro_rules! impl_table_clone {
+    ($ty:ident { vecs: [$($v:ident),* $(,)?], scalars: [$($s:ident),* $(,)?] }) => {
+        impl Clone for $ty {
+            fn clone(&self) -> Self {
+                $ty {
+                    $($v: self.$v.clone(),)*
+                    $($s: self.$s,)*
+                }
+            }
+
+            fn clone_from(&mut self, src: &Self) {
+                $(self.$v.clone_from(&src.$v);)*
+                $(self.$s = src.$s;)*
+            }
+        }
+    };
+}
+
+impl_table_clone!(TaskTable {
+    vecs: [
+        pending_parents,
+        missing_inputs,
+        flags,
+        failures,
+        ready_time,
+        priority,
+        output_bytes,
+        staged_in_bytes,
+        outputs_remaining,
+    ],
+    scalars: []
+});
+
+impl_table_clone!(FileTable {
+    vecs: [remaining_consumers, flags],
+    scalars: []
+});
+
+impl_table_clone!(ReadySet {
+    vecs: [bits, summary, task_of],
+    scalars: [cursor, len]
+});
+
+impl_table_clone!(InFlightTable {
+    vecs: [task, started, finish],
+    scalars: []
+});
 
 #[cfg(test)]
 mod tests {

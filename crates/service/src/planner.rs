@@ -269,10 +269,17 @@ pub fn plan_capacity_with(
         cfg.validate()?;
     }
 
+    // Warm one table over the whole (degrees × procs_per_slot) candidate
+    // grid with incremental re-simulation (ascending processor counts fork
+    // off shared checkpoints), then clone the filled cache into every
+    // lane: no lane re-simulates a profile another lane already needs.
+    let degrees: Vec<f64> = spec.classes.iter().map(|c| c.degrees).collect();
+    let procs: Vec<u32> = candidates.iter().map(|c| c.procs_per_slot).collect();
+    let mut proto = ProfileTable::new(spec.exec.clone());
+    proto.warm_fixed(&degrees, &procs);
+
     let pool = WorkerPool::global();
-    let mut tables: Vec<ProfileTable> = (0..pool.lanes().max(1))
-        .map(|_| ProfileTable::new(spec.exec.clone()))
-        .collect();
+    let mut tables: Vec<ProfileTable> = (0..pool.lanes().max(1)).map(|_| proto.clone()).collect();
     let evaluated: Vec<PlanCandidate> =
         pool.map_with_state(&mut tables, &candidates, |profiles, cfg| {
             let report = simulate_autoscale_core(spec.stream(), cfg, profiles, |_| {});

@@ -9,7 +9,10 @@
 
 use std::collections::HashMap;
 
-use mcloud_core::{simulate_with_scratch, ExecConfig, Provisioning, SimScratch};
+use mcloud_core::{
+    simulate_with_scratch, ExecConfig, IncrementalChain, Provisioning, Report, SimScratch,
+    SweepAxis,
+};
 use mcloud_cost::Money;
 use mcloud_montage::{generate, MosaicConfig};
 
@@ -27,7 +30,11 @@ pub struct RequestProfile {
 }
 
 /// A memoizing profile source backed by the workflow engine.
-#[derive(Debug)]
+///
+/// Cloning a table copies its cache (and warm buffers), so a table warmed
+/// once with [`ProfileTable::warm_fixed`] can be fanned out across worker
+/// lanes without re-simulating anything.
+#[derive(Debug, Clone)]
 pub struct ProfileTable {
     exec: ExecConfig,
     cache: HashMap<(u64, u32), RequestProfile>,
@@ -60,13 +67,54 @@ impl ProfileTable {
             ..self.exec.clone()
         };
         let report = simulate_with_scratch(&wf, &cfg, &mut self.scratch);
-        let profile = RequestProfile {
+        let profile = Self::profile_of(&report);
+        self.cache.insert(key, profile);
+        profile
+    }
+
+    fn profile_of(report: &Report) -> RequestProfile {
+        RequestProfile {
             makespan_hours: report.makespan_hours(),
             cost: report.total_cost(),
             dm_cost: report.costs.data_management(),
-        };
-        self.cache.insert(key, profile);
-        profile
+        }
+    }
+
+    /// Pre-simulates the `degrees` × `processors` grid through one
+    /// incremental chain per mosaic size: ascending processor counts fork
+    /// off each other's checkpoints instead of replaying from `t = 0`, so
+    /// warming a whole candidate grid costs far fewer events than
+    /// independent cache misses would. The cached profiles are
+    /// byte-identical to what [`ProfileTable::fixed`] computes (the
+    /// chain's contract), so later lookups simply hit the cache.
+    pub fn warm_fixed(&mut self, degrees: &[f64], processors: &[u32]) {
+        let mut procs: Vec<u32> = processors.to_vec();
+        procs.sort_unstable();
+        procs.dedup();
+        for &d in degrees {
+            let todo: Vec<u32> = procs
+                .iter()
+                .copied()
+                .filter(|&p| !self.cache.contains_key(&(d.to_bits(), p)))
+                .collect();
+            if todo.is_empty() {
+                continue;
+            }
+            let wf = generate(&MosaicConfig::new(d));
+            let cfgs: Vec<ExecConfig> = todo
+                .iter()
+                .map(|&p| ExecConfig {
+                    provisioning: Provisioning::Fixed { processors: p },
+                    ..self.exec.clone()
+                })
+                .collect();
+            let mut chain = IncrementalChain::new(SweepAxis::Processors);
+            for (i, (&p, cfg)) in todo.iter().zip(&cfgs).enumerate() {
+                let report = chain.run_point(&wf, cfg, cfgs.get(i + 1));
+                self.cache
+                    .insert((d.to_bits(), p), Self::profile_of(&report));
+            }
+        }
     }
 
     /// Same schedule as [`ProfileTable::fixed`], but billed at zero — a
@@ -114,6 +162,24 @@ mod tests {
         let direct = simulate(&generate(&MosaicConfig::new(1.0)), &ExecConfig::fixed(8));
         assert!((p.makespan_hours - direct.makespan_hours()).abs() < 1e-12);
         assert!(p.cost.approx_eq(direct.total_cost(), 1e-12));
+    }
+
+    #[test]
+    fn warm_fixed_matches_cold_lookups_exactly() {
+        let mut warm = ProfileTable::new(ExecConfig::paper_default());
+        // Unsorted with duplicates: warming sorts, dedups, and chains.
+        warm.warm_fixed(&[0.5, 1.0], &[16, 4, 8, 4]);
+        assert_eq!(warm.cached(), 6);
+        let mut cold = ProfileTable::new(ExecConfig::paper_default());
+        for d in [0.5, 1.0] {
+            for p in [4, 8, 16] {
+                assert_eq!(warm.fixed(d, p), cold.fixed(d, p), "({d}, {p})");
+            }
+        }
+        // Every lookup above hit the warm cache — nothing re-simulated.
+        assert_eq!(warm.cached(), 6);
+        // A clone carries the cache with it.
+        assert_eq!(warm.clone().cached(), 6);
     }
 
     #[test]

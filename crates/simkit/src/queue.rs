@@ -78,7 +78,7 @@ const NO_RUN: usize = usize::MAX;
 /// One slab entry: an event plus its intrusive chain link. `payload` is
 /// taken on delivery and dropped on lazy cancellation cleanup; a `None`
 /// payload marks a slot sitting on the free list.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot<E> {
     time: SimTime,
     seq: u64,
@@ -170,7 +170,7 @@ pub struct QueueStats {
 }
 
 /// A grow-only bitset over dense sequence numbers.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct PendingBits {
     words: Vec<u64>,
     /// Number of set bits, so `len()` is O(1).
@@ -209,6 +209,54 @@ impl PendingBits {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E: Clone> Clone for EventQueue<E> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            heads: self.heads.clone(),
+            mask: self.mask,
+            width_bits: self.width_bits,
+            cur_day: self.cur_day,
+            run: self.run.clone(),
+            run_bucket: self.run_bucket,
+            spill: self.spill.clone(),
+            next_seq: self.next_seq,
+            pending: self.pending.clone(),
+            last_popped: self.last_popped,
+            popped: self.popped,
+            cancelled: self.cancelled,
+            resizes: self.resizes,
+            cursor_jumps: self.cursor_jumps,
+            peak_pending: self.peak_pending,
+        }
+    }
+
+    /// Field-wise `clone_from` so checkpoint restore reuses the arena,
+    /// ring, and bitset buffers of the destination queue instead of
+    /// reallocating them on every sweep point.
+    fn clone_from(&mut self, src: &Self) {
+        self.slots.clone_from(&src.slots);
+        self.free.clone_from(&src.free);
+        self.heads.clone_from(&src.heads);
+        self.mask = src.mask;
+        self.width_bits = src.width_bits;
+        self.cur_day = src.cur_day;
+        self.run.clone_from(&src.run);
+        self.run_bucket = src.run_bucket;
+        self.spill.clone_from(&src.spill);
+        self.next_seq = src.next_seq;
+        self.pending.words.clone_from(&src.pending.words);
+        self.pending.count = src.pending.count;
+        self.last_popped = src.last_popped;
+        self.popped = src.popped;
+        self.cancelled = src.cancelled;
+        self.resizes = src.resizes;
+        self.cursor_jumps = src.cursor_jumps;
+        self.peak_pending = src.peak_pending;
     }
 }
 
@@ -654,6 +702,39 @@ mod tests {
         q.push(t(10.0), ());
         q.pop();
         q.push(t(5.0), ());
+    }
+
+    #[test]
+    fn clone_replays_the_identical_pop_sequence() {
+        // Build a queue mid-run (some pops, cancels, same-time ties), then
+        // clone it: original and clone must pop the exact same sequence,
+        // and mutating one must not disturb the other.
+        let mut q = EventQueue::new();
+        let mut cancel_me = Vec::new();
+        for i in 0..200u32 {
+            let id = q.push(t((i % 7) as f64 + 1.0), i);
+            if i % 13 == 0 {
+                cancel_me.push(id);
+            }
+        }
+        for id in cancel_me {
+            q.cancel(id);
+        }
+        for _ in 0..50 {
+            q.pop();
+        }
+        let mut fork = q.clone();
+        assert_eq!(fork.len(), q.len());
+        assert_eq!(fork.stats(), q.stats());
+        fork.push(t(100.0), 9999); // diverge the fork only
+        let mut restored = EventQueue::new();
+        restored.clone_from(&q);
+        let a: Vec<(SimTime, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<(SimTime, u32)> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(a, b);
+        let f: Vec<(SimTime, u32)> = std::iter::from_fn(|| fork.pop()).collect();
+        assert_eq!(f.last(), Some(&(t(100.0), 9999)));
+        assert_eq!(f.len(), a.len() + 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 mod crossover;
+mod incremental;
 mod par;
 mod pareto;
 mod plot;
@@ -36,6 +37,11 @@ mod sweeps;
 mod table;
 
 pub use crossover::find_crossover;
+pub use incremental::{
+    bandwidth_sweep_incremental, bandwidth_sweep_incremental_stats, fault_rate_sweep_incremental,
+    fault_rate_sweep_incremental_stats, processor_sweep_incremental,
+    processor_sweep_incremental_progress, processor_sweep_incremental_stats,
+};
 pub use par::par_map;
 pub use pareto::{cheapest_within_deadline, pareto_frontier, CostTimePoint};
 pub use plot::{LinePlot, Series};

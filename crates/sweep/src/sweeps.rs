@@ -63,16 +63,10 @@ pub struct BandwidthPoint {
     pub report: Report,
 }
 
-/// Simulates the workflow at each task-failure rate, in parallel. Every
-/// point uses the same `seed`, so the sweep isolates the rate axis; the
-/// retry policy comes from `base`.
-pub fn fault_rate_sweep(
-    wf: &Workflow,
-    base: &ExecConfig,
-    probs: &[f64],
-    seed: u64,
-) -> Vec<FaultRatePoint> {
-    let cfgs: Vec<ExecConfig> = probs
+/// Per-point configurations of a task-failure-rate axis. Shared by the
+/// from-scratch and incremental drivers so the two paths cannot drift.
+pub(crate) fn fault_rate_configs(base: &ExecConfig, probs: &[f64], seed: u64) -> Vec<ExecConfig> {
+    probs
         .iter()
         .map(|&p| {
             // A zero-rate point keeps the base configuration untouched, so
@@ -90,7 +84,41 @@ pub fn fault_rate_sweep(
                 ..base.clone()
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Per-point configurations of a processor axis (fixed provisioning).
+pub(crate) fn processor_configs(base: &ExecConfig, processors: &[u32]) -> Vec<ExecConfig> {
+    processors
+        .iter()
+        .map(|&p| ExecConfig {
+            provisioning: Provisioning::Fixed { processors: p },
+            ..base.clone()
+        })
+        .collect()
+}
+
+/// Per-point configurations of a link-bandwidth axis.
+pub(crate) fn bandwidth_configs(base: &ExecConfig, bandwidths_bps: &[f64]) -> Vec<ExecConfig> {
+    bandwidths_bps
+        .iter()
+        .map(|&bps| ExecConfig {
+            bandwidth_bps: bps,
+            ..base.clone()
+        })
+        .collect()
+}
+
+/// Simulates the workflow at each task-failure rate, in parallel. Every
+/// point uses the same `seed`, so the sweep isolates the rate axis; the
+/// retry policy comes from `base`.
+pub fn fault_rate_sweep(
+    wf: &Workflow,
+    base: &ExecConfig,
+    probs: &[f64],
+    seed: u64,
+) -> Vec<FaultRatePoint> {
+    let cfgs = fault_rate_configs(base, probs, seed);
     let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
     probs
         .iter()
@@ -125,13 +153,7 @@ pub fn processor_sweep(
     base: &ExecConfig,
     processors: &[u32],
 ) -> Vec<ProcessorPoint> {
-    let cfgs: Vec<ExecConfig> = processors
-        .iter()
-        .map(|&p| ExecConfig {
-            provisioning: Provisioning::Fixed { processors: p },
-            ..base.clone()
-        })
-        .collect();
+    let cfgs = processor_configs(base, processors);
     let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
     processors
         .iter()
@@ -154,13 +176,7 @@ pub fn processor_sweep_progress(
     processors: &[u32],
     on_progress: &(dyn Fn(usize, usize) + Sync),
 ) -> Vec<ProcessorPoint> {
-    let cfgs: Vec<ExecConfig> = processors
-        .iter()
-        .map(|&p| ExecConfig {
-            provisioning: Provisioning::Fixed { processors: p },
-            ..base.clone()
-        })
-        .collect();
+    let cfgs = processor_configs(base, processors);
     let reports = simulate_batch_progress(wf, &cfgs, &mut BatchScratch::new(), on_progress);
     processors
         .iter()
@@ -197,13 +213,7 @@ pub fn bandwidth_sweep(
     base: &ExecConfig,
     bandwidths_bps: &[f64],
 ) -> Vec<BandwidthPoint> {
-    let cfgs: Vec<ExecConfig> = bandwidths_bps
-        .iter()
-        .map(|&bps| ExecConfig {
-            bandwidth_bps: bps,
-            ..base.clone()
-        })
-        .collect();
+    let cfgs = bandwidth_configs(base, bandwidths_bps);
     let reports = simulate_batch(wf, &cfgs, &mut BatchScratch::new());
     bandwidths_bps
         .iter()
