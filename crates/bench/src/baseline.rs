@@ -75,6 +75,20 @@
 //! [`SWEEP_SPEEDUP_GATE`] on the 1° showcase row (see
 //! [`sweep_speedup_floor`]).
 //!
+//! Schema v7 adds the content-addressed cache row
+//! ([`mcloud_cache::ResultCache`]): a processor grid simulated twice
+//! through [`mcloud_cache::simulate_batch_cached`] against a *local*
+//! cache for exact `cold_misses` / `warm_hits` counters, a four-thread
+//! race on one cold key whose `single_flight_computes` must stay exactly
+//! 1 (however the threads interleave, single-flight lets one compute
+//! through), and a capacity-planner double-run via
+//! [`mcloud_service::plan_capacity_with_cache`] whose second pass must
+//! replay at least 90% of the candidate grid from lookups
+//! ([`PLAN_REPLAY_GATE_PCT`] — machine-local, both numbers from the
+//! current run). The counters are deterministic and exactly gated; the
+//! `warm_hits_per_sec` throughput column is gated tolerantly like every
+//! other wall-clock number.
+//!
 //! The JSON is hand-emitted with fixed key order so a re-run on identical
 //! hardware diffs minimally, and parsed back with a small field scanner —
 //! no external dependencies.
@@ -459,6 +473,117 @@ pub fn measure_sweep_scale(budget_ms: u64) -> Vec<SweepRow> {
     ]
 }
 
+/// One content-addressed cache row (schema v7): the result cache probed
+/// exactly the way the hot consumers use it. The hit/miss/single-flight
+/// counters are pure functions of the cache and digest semantics, so the
+/// gate compares them exactly; `warm_hits_per_sec` is wall-clock and
+/// gated tolerantly; and the planner-replay quotient is a same-run,
+/// machine-local hard floor (see [`PLAN_REPLAY_GATE_PCT`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheRow {
+    /// Stable scenario identifier.
+    pub scenario: String,
+    /// Misses the cold batch pass records — one per distinct grid point
+    /// (deterministic).
+    pub cold_misses: u64,
+    /// Memory hits the warm batch pass records — the whole grid
+    /// (deterministic).
+    pub warm_hits: u64,
+    /// Simulations that actually ran when four threads raced one cold
+    /// key through single-flight — exactly 1, however the threads
+    /// interleave (deterministic).
+    pub single_flight_computes: u64,
+    /// Candidates in the capacity-planner grid (deterministic).
+    pub plan_candidates: u64,
+    /// Candidates the planner's second run answered from cache
+    /// (deterministic; must cover ≥ [`PLAN_REPLAY_GATE_PCT`]% of the
+    /// grid).
+    pub plan_warm_hits: u64,
+    /// Warm grid probes served per wall-clock second
+    /// (environment-dependent).
+    pub warm_hits_per_sec: f64,
+}
+
+/// Top of the dense `1..=N` processor grid the cache row probes.
+const CACHE_GRID_PROCS: u32 = 16;
+
+/// Measures the cache row against *local* [`ResultCache`]s (never the
+/// process-wide one, so the counters are exact and isolated): a cold and
+/// a warm batch pass over a dense 1° processor grid, a four-thread
+/// single-flight race on one cold key, a capacity-planner double-run,
+/// then timed whole-grid warm passes (best-of) for the throughput column.
+pub fn measure_cache(budget_ms: u64) -> Vec<CacheRow> {
+    use mcloud_cache::{simulate_batch_cached, simulate_cached, ResultCache, DEFAULT_BUDGET_BYTES};
+    use mcloud_service::{plan_capacity_with_cache, PlanSpec};
+
+    let wf = generate(&MosaicConfig::new(1.0));
+    let base = ExecConfig::paper_default();
+    let cfgs: Vec<ExecConfig> = (1..=CACHE_GRID_PROCS)
+        .map(|p| ExecConfig {
+            provisioning: Provisioning::Fixed { processors: p },
+            ..base.clone()
+        })
+        .collect();
+
+    // Cold then warm batch pass: the miss and hit counters are exact.
+    let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+    let mut scratch = BatchScratch::new();
+    std::hint::black_box(simulate_batch_cached(&wf, &cfgs, &mut scratch, &cache));
+    let cold_misses = cache.counters().misses;
+    std::hint::black_box(simulate_batch_cached(&wf, &cfgs, &mut scratch, &cache));
+    let warm_hits = cache.counters().hits_mem;
+
+    // Single-flight: four threads race the same cold key on a fresh
+    // cache. Whatever the interleaving — all coalesced behind one
+    // compute, or serialized into hits — exactly one simulation runs.
+    let race = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                std::hint::black_box(simulate_cached(&wf, &cfgs[0], &race));
+            });
+        }
+    });
+    let single_flight_computes = race.counters().computes;
+
+    // Planner double-run: the second pass over an unchanged spec must
+    // replay the candidate grid from lookups.
+    let spec = PlanSpec::new(7.0, 3.0, 72.0);
+    let candidates = spec.default_candidates();
+    let plan_cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+    let _ = plan_capacity_with_cache(&spec, candidates.clone(), &plan_cache)
+        .expect("the committed plan spec validates");
+    let before = plan_cache.counters().hits_mem;
+    let _ = plan_capacity_with_cache(&spec, candidates.clone(), &plan_cache)
+        .expect("the committed plan spec validates");
+    let plan_warm_hits = plan_cache.counters().hits_mem - before;
+
+    // Warm-probe throughput: whole fully-warm grid passes, best-of.
+    let budget_s = budget_ms as f64 / 1e3;
+    let mut best_s = f64::INFINITY;
+    let mut runs = 0u32;
+    let all = Instant::now();
+    loop {
+        let start = Instant::now();
+        std::hint::black_box(simulate_batch_cached(&wf, &cfgs, &mut scratch, &cache));
+        best_s = best_s.min(start.elapsed().as_secs_f64());
+        runs += 1;
+        if (runs >= MIN_TIMED_RUNS && all.elapsed().as_secs_f64() >= budget_s) || runs >= 10_000 {
+            break;
+        }
+    }
+
+    vec![CacheRow {
+        scenario: "1deg-procs-grid+plan-replay".to_string(),
+        cold_misses,
+        warm_hits,
+        single_flight_computes,
+        plan_candidates: candidates.len() as u64,
+        plan_warm_hits,
+        warm_hits_per_sec: cfgs.len() as f64 / best_s.max(1e-9),
+    }]
+}
+
 /// Derives the per-mode flatness rows from a set of workload measurements
 /// (the `1deg` and `16deg` rows of each mode must be present).
 pub fn flatness_rows(workloads: &[WorkloadMeasurement]) -> Vec<FlatnessRow> {
@@ -502,6 +627,10 @@ pub struct Baseline {
     /// Incremental-sweep rows (schema v6): exact resume/reuse counters
     /// plus tolerant points/sec and the hard same-run speedup floor.
     pub sweeps: Vec<SweepRow>,
+    /// Content-addressed cache rows (schema v7): exact hit/miss/
+    /// single-flight counters, the machine-local planner-replay floor,
+    /// plus tolerant warm-probe throughput.
+    pub cache: Vec<CacheRow>,
 }
 
 /// Simulations per [`simulate_batch`] call in the batch timing loop —
@@ -672,13 +801,14 @@ pub fn measure_all(budget_ms: u64, mut progress: impl FnMut(&WorkloadMeasurement
         flatness,
         service: measure_service_scale(budget_ms),
         sweeps: measure_sweep_scale(budget_ms),
+        cache: measure_cache(budget_ms),
     }
 }
 
 // --- JSON ------------------------------------------------------------------
 
 /// Schema tag written into (and required from) the baseline file.
-pub const SCHEMA: &str = "mcloud-bench-baseline/v6";
+pub const SCHEMA: &str = "mcloud-bench-baseline/v7";
 
 /// Serializes a baseline as pretty-printed JSON with a fixed key order.
 pub fn to_json(b: &Baseline) -> String {
@@ -768,6 +898,24 @@ pub fn to_json(b: &Baseline) -> String {
             r.speedup,
         );
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"cache\": [\n");
+    for (i, r) in b.cache.iter().enumerate() {
+        let comma = if i + 1 < b.cache.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"scenario\": \"{}\", \"cold_misses\": {}, \"warm_hits\": {}, \
+             \"single_flight_computes\": {}, \"plan_candidates\": {}, \
+             \"plan_warm_hits\": {}, \"warm_hits_per_sec\": {:.0}}}{comma}",
+            r.scenario,
+            r.cold_misses,
+            r.warm_hits,
+            r.single_flight_computes,
+            r.plan_candidates,
+            r.plan_warm_hits,
+            r.warm_hits_per_sec,
+        );
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -807,12 +955,28 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
     let mut flatness = Vec::new();
     let mut service = Vec::new();
     let mut sweeps = Vec::new();
+    let mut cache = Vec::new();
     for line in text.lines() {
         let line = line.trim();
-        // The sweep and service rows are classified first: their key sets
-        // must never be shadowed by the broader "name"/"workers"/"mode"
-        // matchers below.
-        if line.starts_with('{') && line.contains("\"axis\"") {
+        // The cache, sweep and service rows are classified first: their
+        // key sets must never be shadowed by the broader matchers below
+        // (a cache row carries "scenario" too, so its unique
+        // "cold_misses" key is checked before the service matcher).
+        if line.starts_with('{') && line.contains("\"cold_misses\"") {
+            let get = |key: &str| {
+                num_field(line, key).ok_or_else(|| format!("missing numeric field {key:?}: {line}"))
+            };
+            cache.push(CacheRow {
+                scenario: str_field(line, "scenario")
+                    .ok_or_else(|| format!("missing scenario: {line}"))?,
+                cold_misses: get("cold_misses")? as u64,
+                warm_hits: get("warm_hits")? as u64,
+                single_flight_computes: get("single_flight_computes")? as u64,
+                plan_candidates: get("plan_candidates")? as u64,
+                plan_warm_hits: get("plan_warm_hits")? as u64,
+                warm_hits_per_sec: get("warm_hits_per_sec")?,
+            });
+        } else if line.starts_with('{') && line.contains("\"axis\"") {
             let get = |key: &str| {
                 num_field(line, key).ok_or_else(|| format!("missing numeric field {key:?}: {line}"))
             };
@@ -901,6 +1065,7 @@ pub fn from_json(text: &str) -> Result<Baseline, String> {
         flatness,
         service,
         sweeps,
+        cache,
     })
 }
 
@@ -961,6 +1126,13 @@ pub fn sweep_speedup_floor(axis: &str) -> Option<f64> {
     }
 }
 
+/// Minimum share of the capacity-planner candidate grid the second run
+/// over an unchanged spec must replay from cache, in percent. Both sides
+/// of the quotient come from the *current* measurement run, so the check
+/// is machine-local — this is the tentpole's "re-planning an unchanged
+/// spec replays the grid from lookups" claim, held as a hard floor.
+pub const PLAN_REPLAY_GATE_PCT: u64 = 90;
+
 /// Growth factor tolerated on a per-mode 1°/16° events/sec ratio before
 /// the flatness gate fails. The ratio is a same-run quotient, so absolute
 /// machine speed cancels out of it; what remains is the cache-hierarchy
@@ -990,7 +1162,12 @@ pub const FLATNESS_TOLERANCE: f64 = 2.0;
 ///   run, so the check is machine-local and cannot flake on hardware
 ///   differences from the committed file;
 /// * a per-mode 1°/16° events/sec ratio more than [`FLATNESS_TOLERANCE`]×
-///   the committed ratio, or a mode whose flatness row disappeared.
+///   the committed ratio, or a mode whose flatness row disappeared;
+/// * any drift in the cache row's hit/miss/single-flight counters
+///   (deterministic, exact), a planner replay below
+///   [`PLAN_REPLAY_GATE_PCT`]% of the current run's candidate grid
+///   (machine-local), or a warm-probe throughput drop of more than
+///   [`THROUGHPUT_TOLERANCE`].
 ///
 /// Improvements never fail the gate; re-baseline to lock them in.
 pub fn compare(current: &Baseline, committed: &Baseline) -> Vec<String> {
@@ -1214,6 +1391,54 @@ pub fn compare(current: &Baseline, committed: &Baseline) -> Vec<String> {
             }
         }
     }
+    for b in &committed.cache {
+        let Some(c) = current.cache.iter().find(|r| r.scenario == b.scenario) else {
+            violations.push(format!(
+                "cache/{}: row missing from the current measurement",
+                b.scenario
+            ));
+            continue;
+        };
+        // The hit/miss/single-flight counters are pure functions of the
+        // cache and digest semantics: any drift means the memoization
+        // layer changed behaviour, never noise.
+        for (metric, old, new) in [
+            ("cold misses", b.cold_misses, c.cold_misses),
+            ("warm hits", b.warm_hits, c.warm_hits),
+            (
+                "single-flight computes",
+                b.single_flight_computes,
+                c.single_flight_computes,
+            ),
+            ("plan candidates", b.plan_candidates, c.plan_candidates),
+        ] {
+            if new != old {
+                violations.push(format!(
+                    "cache/{}: {metric} changed {old} -> {new} (semantics drift?)",
+                    b.scenario
+                ));
+            }
+        }
+        // Machine-local replay floor: both numbers from the current run.
+        if c.plan_warm_hits * 100 < c.plan_candidates * PLAN_REPLAY_GATE_PCT {
+            violations.push(format!(
+                "cache/{}: re-planning replayed only {} of {} candidates from \
+                 cache, below the {}% floor",
+                b.scenario, c.plan_warm_hits, c.plan_candidates, PLAN_REPLAY_GATE_PCT
+            ));
+        }
+        let floor = b.warm_hits_per_sec * (1.0 - THROUGHPUT_TOLERANCE);
+        if c.warm_hits_per_sec < floor {
+            violations.push(format!(
+                "cache/{}: warm hits/sec fell more than {:.0}% below baseline \
+                 ({:.0} < {:.0})",
+                b.scenario,
+                THROUGHPUT_TOLERANCE * 100.0,
+                c.warm_hits_per_sec,
+                floor
+            ));
+        }
+    }
     violations
 }
 
@@ -1392,6 +1617,46 @@ pub fn delta_summary(current: &Baseline, committed: &Baseline) -> Vec<String> {
             ),
         }
     }
+    for b in &committed.cache {
+        let name = format!("cache/{}", b.scenario);
+        match current.cache.iter().find(|r| r.scenario == b.scenario) {
+            Some(c) => {
+                for (metric, old, new) in [
+                    ("cold_misses", b.cold_misses, c.cold_misses),
+                    ("warm_hits", b.warm_hits, c.warm_hits),
+                    (
+                        "single_flight_computes",
+                        b.single_flight_computes,
+                        c.single_flight_computes,
+                    ),
+                    ("plan_candidates", b.plan_candidates, c.plan_candidates),
+                ] {
+                    push(&name, metric, old.to_string(), new.to_string(), new != old);
+                }
+                push(
+                    &name,
+                    "plan_warm_hits",
+                    b.plan_warm_hits.to_string(),
+                    c.plan_warm_hits.to_string(),
+                    c.plan_warm_hits * 100 < c.plan_candidates * PLAN_REPLAY_GATE_PCT,
+                );
+                push(
+                    &name,
+                    "warm_hits_per_sec",
+                    format!("{:.0}", b.warm_hits_per_sec),
+                    format!("{:.0}", c.warm_hits_per_sec),
+                    c.warm_hits_per_sec < b.warm_hits_per_sec * (1.0 - THROUGHPUT_TOLERANCE),
+                );
+            }
+            None => push(
+                &name,
+                "(whole row)",
+                "present".into(),
+                "absent".into(),
+                true,
+            ),
+        }
+    }
     lines
 }
 
@@ -1464,6 +1729,15 @@ mod tests {
                     speedup: 2.6,
                 },
             ],
+            cache: vec![CacheRow {
+                scenario: "1deg-procs-grid+plan-replay".into(),
+                cold_misses: 16,
+                warm_hits: 16,
+                single_flight_computes: 1,
+                plan_candidates: 74,
+                plan_warm_hits: 74,
+                warm_hits_per_sec: 90_000.0,
+            }],
         }
     }
 
@@ -1519,6 +1793,15 @@ mod tests {
         assert_eq!(w.points, 128);
         assert_eq!(w.resumed, 90);
         assert!((w.speedup - 2.6).abs() < 0.01);
+        assert_eq!(parsed.cache.len(), 1);
+        let r = &parsed.cache[0];
+        assert_eq!(r.scenario, "1deg-procs-grid+plan-replay");
+        assert_eq!(r.cold_misses, 16);
+        assert_eq!(r.warm_hits, 16);
+        assert_eq!(r.single_flight_computes, 1);
+        assert_eq!(r.plan_candidates, 74);
+        assert_eq!(r.plan_warm_hits, 74);
+        assert!((r.warm_hits_per_sec - 90_000.0).abs() < 1.0);
     }
 
     #[test]
@@ -1605,6 +1888,7 @@ mod tests {
             flatness: vec![],
             service: vec![],
             sweeps: vec![],
+            cache: vec![],
         };
         // An empty committed set can't happen via from_json, but the gate
         // still reports the mismatch rather than silently passing.
@@ -1895,9 +2179,10 @@ mod tests {
         current.workloads[0].allocs_per_sim += 7;
         current.flatness[0].ratio = committed.flatness[0].ratio * 3.0;
         let lines = delta_summary(&current, &committed);
-        // One line per gated metric per row, plus the flatness, service
-        // and sweep rows (9 workload + 1 flatness + 5 service + 2×6 sweep).
-        assert_eq!(lines.len(), 27, "{lines:?}");
+        // One line per gated metric per row, plus the flatness, service,
+        // sweep and cache rows (9 workload + 1 flatness + 5 service +
+        // 2×6 sweep + 6 cache).
+        assert_eq!(lines.len(), 33, "{lines:?}");
         let failing: Vec<&String> = lines.iter().filter(|l| l.ends_with("FAIL")).collect();
         assert_eq!(failing.len(), 2, "{lines:?}");
         assert!(
@@ -1925,5 +2210,90 @@ mod tests {
             vec![1, 2, 4]
         );
         assert!(rows.iter().all(|r| r.batch_sims_per_sec > 0.0));
+    }
+
+    #[test]
+    fn cache_counter_drift_is_flagged_in_both_directions() {
+        let committed = sample();
+        let mut current = sample();
+        // A point dropping out of the warm pass while the cold pass grew
+        // is drift on both counters, whichever direction each moved.
+        current.cache[0].cold_misses += 1;
+        current.cache[0].warm_hits -= 1;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("cold misses"), "{v:?}");
+        assert!(v[1].contains("warm hits"), "{v:?}");
+        // A second simulation slipping past single-flight likewise.
+        let mut current = sample();
+        current.cache[0].single_flight_computes = 2;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("single-flight computes"), "{v:?}");
+    }
+
+    #[test]
+    fn plan_replay_floor_is_machine_local_and_hard() {
+        let committed = sample();
+        let mut current = sample();
+        // 66 of 74 replayed (89.2%): below the 90% floor, even though the
+        // committed row would never have shown it.
+        current.cache[0].plan_warm_hits = 66;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("below the 90% floor"), "{v:?}");
+        // 67 of 74 (90.5%) clears it.
+        current.cache[0].plan_warm_hits = 67;
+        assert!(compare(&current, &committed).is_empty());
+    }
+
+    #[test]
+    fn cache_throughput_gate_is_tolerant_not_absent() {
+        let committed = sample();
+        let mut current = sample();
+        current.cache[0].warm_hits_per_sec = committed.cache[0].warm_hits_per_sec * 0.5;
+        assert!(compare(&current, &committed).is_empty());
+        current.cache[0].warm_hits_per_sec = committed.cache[0].warm_hits_per_sec * 0.2;
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("warm hits/sec"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_cache_row_fails_the_gate() {
+        let committed = sample();
+        let mut current = sample();
+        current.cache.clear();
+        let v = compare(&current, &committed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("cache/1deg-procs-grid+plan-replay"), "{v:?}");
+    }
+
+    #[test]
+    fn tiny_cache_row_measures_deterministically() {
+        // The cache row twice over: every counter is a pure function of
+        // the cache and digest semantics, so independent measurements
+        // must agree exactly — and the row must show the shape the gate
+        // relies on (full warm coverage, one compute through the race,
+        // a ≥90% planner replay).
+        let a = measure_cache(1);
+        let b = measure_cache(1);
+        assert_eq!(a.len(), 1);
+        let (a, b) = (&a[0], &b[0]);
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.cold_misses, b.cold_misses);
+        assert_eq!(a.warm_hits, b.warm_hits);
+        assert_eq!(a.single_flight_computes, b.single_flight_computes);
+        assert_eq!(a.plan_candidates, b.plan_candidates);
+        assert_eq!(a.plan_warm_hits, b.plan_warm_hits);
+        assert_eq!(a.cold_misses, CACHE_GRID_PROCS as u64);
+        assert_eq!(a.warm_hits, CACHE_GRID_PROCS as u64);
+        assert_eq!(a.single_flight_computes, 1);
+        assert!(a.plan_candidates > 0);
+        assert!(
+            a.plan_warm_hits * 100 >= a.plan_candidates * PLAN_REPLAY_GATE_PCT,
+            "{a:?}"
+        );
+        assert!(a.warm_hits_per_sec > 0.0);
     }
 }

@@ -1,0 +1,157 @@
+//! Cache-aware simulation entries.
+//!
+//! [`simulate_batch_cached`] is the drop-in for
+//! [`simulate_batch`](mcloud_core::simulate_batch): it fingerprints the
+//! workflow once, probes the cache per config, simulates only the misses
+//! (still batched through the persistent worker pool), and returns
+//! reports in input order — byte-identical to an uncached batch, because
+//! the codec round-trip is exact and simulation is deterministic.
+
+use std::collections::HashMap;
+
+use mcloud_core::{
+    fingerprint_workflow, simulate, simulate_batch, workflow_exec_digest, BatchScratch, Digest,
+    ExecConfig, Report,
+};
+use mcloud_dag::Workflow;
+
+use crate::codec::{decode_report, encode_report};
+use crate::store::ResultCache;
+
+/// Simulates `wf` under every config, answering already-seen
+/// (workflow, config) pairs from `cache` and batching the misses through
+/// [`simulate_batch`] on the worker pool. Output order matches `cfgs`;
+/// duplicate configs are simulated once.
+pub fn simulate_batch_cached(
+    wf: &Workflow,
+    cfgs: &[ExecConfig],
+    scratch: &mut BatchScratch,
+    cache: &ResultCache,
+) -> Vec<Report> {
+    if cfgs.is_empty() {
+        return Vec::new();
+    }
+    let fp = fingerprint_workflow(wf);
+    let keys: Vec<Digest> = cfgs
+        .iter()
+        .map(|cfg| workflow_exec_digest(fp, cfg))
+        .collect();
+
+    let mut out: Vec<Option<Report>> = Vec::with_capacity(cfgs.len());
+    let mut miss_of: HashMap<Digest, usize> = HashMap::new();
+    let mut miss_cfgs: Vec<ExecConfig> = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        let hit = cache.get(key).and_then(|bytes| decode_report(&bytes).ok());
+        if hit.is_none() && !miss_of.contains_key(&key) {
+            miss_of.insert(key, miss_cfgs.len());
+            miss_cfgs.push(cfgs[i].clone());
+        }
+        out.push(hit);
+    }
+    if miss_cfgs.is_empty() {
+        return out.into_iter().map(|r| r.unwrap()).collect();
+    }
+
+    let fresh = simulate_batch(wf, &miss_cfgs, scratch);
+    for (&key, &slot) in &miss_of {
+        cache.insert(key, encode_report(&fresh[slot]));
+    }
+    out.into_iter()
+        .zip(&keys)
+        .map(|(hit, key)| hit.unwrap_or_else(|| fresh[miss_of[key]].clone()))
+        .collect()
+}
+
+/// Single-scenario convenience with full single-flight protection:
+/// concurrent callers asking for the same (workflow, config) pair run
+/// one simulation between them. This is the point-query path `mcloud
+/// serve` style consumers use.
+pub fn simulate_cached(wf: &Workflow, cfg: &ExecConfig, cache: &ResultCache) -> Report {
+    let key = workflow_exec_digest(fingerprint_workflow(wf), cfg);
+    let bytes = cache
+        .get_or_compute(key, || Ok(encode_report(&simulate(wf, cfg))))
+        .expect("compute closure is infallible");
+    match decode_report(&bytes) {
+        Ok(report) => report,
+        // An impossibly corrupt in-memory entry: fall back to simulating.
+        Err(_) => simulate(wf, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DEFAULT_BUDGET_BYTES;
+    use mcloud_core::{DataMode, Provisioning};
+    use mcloud_montage::{generate, MosaicConfig};
+
+    fn grid() -> Vec<ExecConfig> {
+        [1u32, 2, 4, 8, 16]
+            .iter()
+            .map(|&p| ExecConfig {
+                provisioning: Provisioning::Fixed { processors: p },
+                ..ExecConfig::on_demand(DataMode::Regular)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cached_batch_equals_uncached_batch() {
+        let wf = generate(&MosaicConfig::new(0.5));
+        let cfgs = grid();
+        let plain = simulate_batch(&wf, &cfgs, &mut BatchScratch::new());
+
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+        let cold = simulate_batch_cached(&wf, &cfgs, &mut BatchScratch::new(), &cache);
+        assert_eq!(plain, cold);
+        assert_eq!(cache.counters().misses, cfgs.len() as u64);
+
+        // Second pass: pure hits, still identical.
+        let warm = simulate_batch_cached(&wf, &cfgs, &mut BatchScratch::new(), &cache);
+        assert_eq!(plain, warm);
+        let c = cache.counters();
+        assert_eq!(c.hits_mem, cfgs.len() as u64);
+        assert_eq!(c.misses, cfgs.len() as u64, "no new misses");
+    }
+
+    #[test]
+    fn duplicate_configs_simulate_once() {
+        let wf = generate(&MosaicConfig::new(0.2));
+        let one = ExecConfig::fixed(4);
+        let cfgs = vec![one.clone(), one.clone(), one];
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+        let reports = simulate_batch_cached(&wf, &cfgs, &mut BatchScratch::new(), &cache);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn partial_warmth_mixes_hits_and_misses() {
+        let wf = generate(&MosaicConfig::new(0.2));
+        let cfgs = grid();
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+        // Warm only the first two points.
+        simulate_batch_cached(&wf, &cfgs[..2], &mut BatchScratch::new(), &cache);
+        let all = simulate_batch_cached(&wf, &cfgs, &mut BatchScratch::new(), &cache);
+        let plain = simulate_batch(&wf, &cfgs, &mut BatchScratch::new());
+        assert_eq!(all, plain);
+        let c = cache.counters();
+        assert_eq!(c.hits_mem, 2);
+        assert_eq!(c.misses, cfgs.len() as u64);
+    }
+
+    #[test]
+    fn point_queries_cache_across_workflow_regenerations() {
+        // Regenerating the same recipe fingerprints identically, so the
+        // second call is a hit even though the Workflow value is new.
+        let cfg = ExecConfig::fixed(8);
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+        let a = simulate_cached(&generate(&MosaicConfig::new(0.2)), &cfg, &cache);
+        let b = simulate_cached(&generate(&MosaicConfig::new(0.2)), &cfg, &cache);
+        assert_eq!(a, b);
+        let c = cache.counters();
+        assert_eq!((c.computes, c.hits_mem), (1, 1));
+    }
+}

@@ -1,0 +1,45 @@
+//! # mcloud-cache
+//!
+//! Content-addressed memoization for the simulator. Every run in this
+//! workspace is byte-deterministic, so a (scenario → result) pair never
+//! goes stale: once a canonical scenario digest (see
+//! `mcloud_core::scenario`) has been simulated, the result can be served
+//! from a lookup forever — across sweep axes, planner grids, repeated
+//! `mcloud serve` queries, and (via the disk tier) across processes.
+//!
+//! Three pieces:
+//!
+//! - [`ResultCache`]: a sharded, lock-striped, LRU byte store with a
+//!   configurable byte budget, single-flight miss coalescing, an optional
+//!   one-file-per-entry disk tier (atomic renames, corrupt entries
+//!   ignored), and deterministic `mcloud_cache_*` telemetry counters;
+//! - a binary [`Report`](mcloud_core::Report) codec
+//!   ([`encode_report`]/[`decode_report`]) whose round-trip is exact to
+//!   the bit, so a cached report is indistinguishable from a fresh one;
+//! - cache-aware simulation entries ([`simulate_batch_cached`],
+//!   [`simulate_cached`]) that slot in where `simulate_batch`/`simulate`
+//!   were called and skip every already-evaluated point.
+//!
+//! ```
+//! use mcloud_cache::{simulate_cached, ResultCache, DEFAULT_BUDGET_BYTES};
+//! use mcloud_core::ExecConfig;
+//! use mcloud_montage::montage_1_degree;
+//!
+//! let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+//! let wf = montage_1_degree();
+//! let cold = simulate_cached(&wf, &ExecConfig::fixed(8), &cache);
+//! let warm = simulate_cached(&wf, &ExecConfig::fixed(8), &cache); // hash lookup
+//! assert_eq!(cold, warm);
+//! assert_eq!(cache.counters().hits_mem, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batch;
+mod codec;
+mod store;
+
+pub use batch::{simulate_batch_cached, simulate_cached};
+pub use codec::{decode_report, encode_report};
+pub use store::{configure_global, global, CacheCounters, ResultCache, DEFAULT_BUDGET_BYTES};

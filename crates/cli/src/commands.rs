@@ -6,7 +6,7 @@ use mcloud_core::{
     attribute_profile_costs, incremental_unsupported_reason, profile_json, profile_svg,
     profile_text, profile_trace, simulate, simulate_traced, trace_from_jsonl, trace_to_chrome,
     trace_to_jsonl, DataMode, ExecConfig, FaultModel, RetryPolicy, SchedulePolicy, SweepAxis,
-    VmOverhead,
+    VmOverhead, FROM_SCRATCH_NOTE,
 };
 use mcloud_cost::{ArchiveOrRecompute, Campaign, DatasetHosting, Pricing};
 use mcloud_dag::{from_dax, to_dax, to_dot, DotStyle, Workflow};
@@ -42,6 +42,8 @@ commands:
   economics   archive-vs-recompute and dataset-hosting break-evens
   service     simulate a month of requests with cloud bursting
   autoscale   simulate an auto-scaled standing pool (dynamic Question 2)
+  serve       answer what-if scenario queries over stdio or HTTP, with
+              content-addressed result caching
   help        this text
 
 run `mcloud <command> --help` for per-command flags.
@@ -67,12 +69,13 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "economics" => cmd_economics(rest),
         "service" => cmd_service(rest),
         "autoscale" => cmd_autoscale(rest),
+        "serve" => crate::serve::cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
 
-fn wants_help(rest: &[String]) -> bool {
+pub(crate) fn wants_help(rest: &[String]) -> bool {
     rest.iter().any(|a| a == "--help" || a == "-h")
 }
 
@@ -87,7 +90,7 @@ fn parse_mode(s: &str) -> Result<DataMode, String> {
     }
 }
 
-fn parse_band(s: &str) -> Result<Band, String> {
+pub(crate) fn parse_band(s: &str) -> Result<Band, String> {
     match s {
         "j" | "J" => Ok(Band::J),
         "h" | "H" => Ok(Band::H),
@@ -117,7 +120,7 @@ fn workflow_from(args: &Args) -> Result<Workflow, String> {
 }
 
 /// Shared execution flags: mode, bandwidth, prestaged, vm, faults, outages.
-fn exec_from(args: &Args) -> Result<ExecConfig, String> {
+pub(crate) fn exec_from(args: &Args) -> Result<ExecConfig, String> {
     let mut cfg = ExecConfig::paper_default();
     if let Some(mode) = args.get("mode") {
         cfg = cfg.mode(parse_mode(mode)?);
@@ -175,7 +178,7 @@ fn exec_from(args: &Args) -> Result<ExecConfig, String> {
     Ok(cfg)
 }
 
-const SIM_FLAGS: &[&str] = &[
+pub(crate) const SIM_FLAGS: &[&str] = &[
     "degrees",
     "seed",
     "region",
@@ -764,7 +767,7 @@ flags:
   --degrees D          mosaic size (default 1)
   --max-procs P        top of the geometric ladder (default 128)
   --incremental        checkpoint/fork re-simulation (the default)
-  --no-incremental     simulate every point from scratch instead
+  --no-incremental     every point simulates from scratch
   --progress           live `sweep done/total` heartbeat on stderr, plus
                        a worker-lane summary after the sweep (wall-clock;
                        never part of the stdout table)
@@ -789,6 +792,11 @@ flags:
         if let Some(reason) = incremental_unsupported_reason(SweepAxis::Processors, &cfg) {
             eprintln!("note: {reason}");
         }
+    } else {
+        // The same closing phrase as the unsupported-combination notes
+        // above (FROM_SCRATCH_NOTE), so every from-scratch path reads
+        // the same on stderr.
+        eprintln!("note: --no-incremental: {FROM_SCRATCH_NOTE}");
     }
 
     let points = if args.has("progress") {
@@ -1265,7 +1273,37 @@ mod tests {
         assert!(run_str("simulate --help").unwrap().contains("--degrees"));
         assert!(run_str("plan --help").unwrap().contains("--deadline-hours"));
         assert!(run_str("service --help").unwrap().contains("--burst"));
+        assert!(run_str("serve --help").unwrap().contains("--listen"));
         assert!(run_str("bogus").unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn from_scratch_notes_share_one_phrase() {
+        // The sweep help's --no-incremental line, the stderr note it
+        // triggers, and every unsupported-combination fallback reason in
+        // core end with the same FROM_SCRATCH_NOTE phrase.
+        let help = run_str("sweep --help").unwrap();
+        assert!(
+            help.contains(&format!("--no-incremental     {FROM_SCRATCH_NOTE}")),
+            "{help}"
+        );
+
+        let mut traced = ExecConfig::paper_default();
+        traced.record_trace = true;
+        let reason = incremental_unsupported_reason(SweepAxis::Processors, &traced)
+            .expect("tracing forces the from-scratch fallback");
+        assert!(reason.ends_with(FROM_SCRATCH_NOTE), "{reason}");
+
+        let mut preempting = ExecConfig::paper_default();
+        preempting.faults = Some(FaultModel {
+            task_failure_prob: 0.0,
+            transfer_failure_prob: 0.0,
+            proc_mttf_s: 1000.0,
+            seed: 1,
+        });
+        let reason = incremental_unsupported_reason(SweepAxis::Processors, &preempting)
+            .expect("preemption forces the from-scratch fallback");
+        assert!(reason.ends_with(FROM_SCRATCH_NOTE), "{reason}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 mod args;
 mod commands;
+mod json;
+mod serve;
 
 pub use args::Args;
 pub use commands::{run, USAGE};

@@ -6,7 +6,11 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match mcloud_cli::run(&argv) {
         Ok(report) => {
-            println!("{report}");
+            // `mcloud serve` writes its responses to the transport and
+            // returns an empty report; don't print a stray blank line.
+            if !report.is_empty() {
+                println!("{report}");
+            }
             ExitCode::SUCCESS
         }
         Err(message) => {

@@ -246,22 +246,25 @@ fn chainable(axis: SweepAxis, cur: &ExecConfig, next: &ExecConfig) -> bool {
 /// no-op for their configuration.
 pub fn incremental_unsupported_reason(axis: SweepAxis, base: &ExecConfig) -> Option<String> {
     if base.record_trace {
-        return Some(
-            "trace recording requires full-fidelity runs; every point simulates from scratch"
-                .to_string(),
-        );
+        return Some(format!(
+            "trace recording requires full-fidelity runs; {FROM_SCRATCH_NOTE}"
+        ));
     }
     match axis {
         SweepAxis::Processors => {
             if base.faults.as_ref().is_some_and(|f| f.proc_mttf_s > 0.0) {
-                return Some(
-                    "preemption (proc_mttf_s > 0) samples from the pool size; every point \
-                     simulates from scratch"
-                        .to_string(),
-                );
+                return Some(format!(
+                    "preemption (proc_mttf_s > 0) samples from the pool size; {FROM_SCRATCH_NOTE}"
+                ));
             }
             None
         }
         SweepAxis::Bandwidth | SweepAxis::FaultRate => None,
     }
 }
+
+/// The shared tail of every "no chaining here" explanation — the
+/// unchainable-config reasons above and the CLI's `--no-incremental`
+/// note both end with this exact phrase, so the stderr wording stays
+/// consistent however scratch mode was reached.
+pub const FROM_SCRATCH_NOTE: &str = "every point simulates from scratch";

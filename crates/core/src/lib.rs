@@ -35,6 +35,7 @@ mod engine;
 mod gantt;
 mod profile;
 mod report;
+mod scenario;
 mod soa;
 mod trace;
 
@@ -44,6 +45,7 @@ pub use batch::{
 };
 pub use checkpoint::{
     incremental_unsupported_reason, IncrementalChain, IncrementalStats, SweepAxis,
+    FROM_SCRATCH_NOTE,
 };
 pub use config::{
     DataMode, ExecConfig, FaultModel, Provisioning, RetryPolicy, SchedulePolicy, VmOverhead,
@@ -59,5 +61,10 @@ pub use profile::{
     CostAttribution, LevelProfile, TaskProfile, WorkflowProfile, RESIDUAL_LABEL, SHARED_IN_LABEL,
     SHARED_OUT_LABEL, STORAGE_LABEL, WASTED_LABEL,
 };
-pub use report::{KernelStats, Report, TaskSpan};
+pub use report::{report_json, KernelStats, Report, TaskSpan};
+pub use scenario::{
+    encode_exec_config, fingerprint_workflow, norm_f64_bits, workflow_exec_digest, Canon, Digest,
+    Scenario, ScenarioRecipe, DOMAIN_PLAN, DOMAIN_SCENARIO, DOMAIN_WORKFLOW, DOMAIN_WORKFLOW_EXEC,
+    SCENARIO_SCHEMA_VERSION,
+};
 pub use trace::{trace_from_jsonl, trace_to_chrome, trace_to_jsonl};

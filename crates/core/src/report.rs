@@ -128,6 +128,65 @@ pub struct Report {
     pub trace: Option<Vec<TaskSpan>>,
 }
 
+/// Renders a run report as deterministic single-document JSON
+/// (hand-rolled, fixed key order — the same convention as the profile
+/// and plan emitters). This is what `mcloud serve` answers a `simulate`
+/// query with; because every field comes straight off the [`Report`],
+/// a cache-served report emits byte-identically to a fresh one.
+pub fn report_json(r: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mcloud-report/v1\",\n");
+    out.push_str(&format!(
+        "  \"makespan_hours\": {:.6},\n  \"completed\": {},\n  \"tasks_completed\": {},\n",
+        r.makespan_hours(),
+        r.completed,
+        r.tasks_completed
+    ));
+    out.push_str(&format!(
+        "  \"cost\": {{\"total_dollars\": {:.6}, \"cpu_dollars\": {:.6}, \
+         \"storage_dollars\": {:.6}, \"transfer_in_dollars\": {:.6}, \
+         \"transfer_out_dollars\": {:.6}}},\n",
+        r.total_cost().dollars(),
+        r.costs.cpu.dollars(),
+        r.costs.storage.dollars(),
+        r.costs.transfer_in.dollars(),
+        r.costs.transfer_out.dollars()
+    ));
+    out.push_str(&format!(
+        "  \"data\": {{\"gb_in\": {:.6}, \"gb_out\": {:.6}, \"transfers_in\": {}, \
+         \"transfers_out\": {}, \"storage_gb_hours\": {:.6}, \"storage_peak_gb\": {:.6}}},\n",
+        r.gb_in(),
+        r.gb_out(),
+        r.transfers_in,
+        r.transfers_out,
+        r.storage_gb_hours(),
+        r.storage_peak_bytes / BYTES_PER_GB
+    ));
+    out.push_str(&format!(
+        "  \"compute\": {{\"processors\": {}, \"peak_concurrency\": {}, \
+         \"cpu_utilization\": {:.6}, \"cpu_seconds_billed\": {:.6}, \
+         \"task_executions\": {}, \"events_processed\": {}}},\n",
+        r.processors.map_or("null".to_string(), |p| p.to_string()),
+        r.peak_concurrency,
+        r.cpu_utilization,
+        r.cpu_seconds_billed,
+        r.task_executions,
+        r.events_processed
+    ));
+    out.push_str(&format!(
+        "  \"faults\": {{\"failed_attempts\": {}, \"retries\": {}, \"preemptions\": {}, \
+         \"transfer_failures\": {}, \"wasted_cpu_seconds\": {:.6}}},\n",
+        r.failed_attempts, r.retries, r.preemptions, r.transfer_failures, r.wasted_cpu_seconds
+    ));
+    out.push_str(&format!(
+        "  \"queue_wait\": {{\"mean_s\": {:.6}, \"max_s\": {:.6}}}\n",
+        r.queue_wait_mean_s, r.queue_wait_max_s
+    ));
+    out.push_str("}\n");
+    out
+}
+
 impl Report {
     /// Total cost of the run.
     pub fn total_cost(&self) -> Money {

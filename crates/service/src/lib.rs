@@ -41,7 +41,8 @@ pub use autoscale::{
     AutoScaleReport,
 };
 pub use planner::{
-    plan_capacity, plan_capacity_with, plan_json, plan_text, CapacityPlan, PlanCandidate, PlanSpec,
+    plan_capacity, plan_capacity_with, plan_capacity_with_cache, plan_json, plan_text,
+    CapacityPlan, PlanCandidate, PlanSpec,
 };
 pub use profile::{ProfileTable, RequestProfile};
 pub use simulator::{

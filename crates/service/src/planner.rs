@@ -15,6 +15,8 @@
 //! profiles behind the service times are simulated once per lane, not
 //! once per candidate.
 
+use mcloud_cache::ResultCache;
+use mcloud_core::{encode_exec_config, Canon, Digest, DOMAIN_PLAN};
 use mcloud_cost::Money;
 use mcloud_simkit::WorkerPool;
 use mcloud_sweep::{cheapest_within_deadline, pareto_frontier, CostTimePoint};
@@ -254,12 +256,30 @@ pub fn plan_capacity(spec: &PlanSpec) -> Result<CapacityPlan, String> {
 /// count) and picks the cheapest one that serves every request with a
 /// p99 turnaround within the SLO. Ties go to the earlier candidate.
 ///
+/// Candidate outcomes are memoized in the process-wide
+/// [`ResultCache`](mcloud_cache): each (spec, candidate) pair is
+/// content-addressed, so re-planning an unchanged spec replays the grid
+/// from lookups — no profile warming, no simulation — and a tweaked spec
+/// re-evaluates only what its digest no longer covers (i.e. everything,
+/// since the spec is part of every key; but overlapping *candidate
+/// lists* under the same spec share work).
+///
 /// Returns `Err` for an invalid spec or an empty candidate list; a
 /// *feasible-but-unmet* SLO is not an error — the plan comes back with
 /// `best: None` and the scorecards explain why.
 pub fn plan_capacity_with(
     spec: &PlanSpec,
     candidates: Vec<AutoScaleConfig>,
+) -> Result<CapacityPlan, String> {
+    plan_capacity_with_cache(spec, candidates, mcloud_cache::global())
+}
+
+/// [`plan_capacity_with`] against an explicit cache — what benches and
+/// tests use to get exact, isolated hit/miss counts.
+pub fn plan_capacity_with_cache(
+    spec: &PlanSpec,
+    candidates: Vec<AutoScaleConfig>,
+    cache: &ResultCache,
 ) -> Result<CapacityPlan, String> {
     spec.validate()?;
     if candidates.is_empty() {
@@ -269,22 +289,57 @@ pub fn plan_capacity_with(
         cfg.validate()?;
     }
 
-    // Warm one table over the whole (degrees × procs_per_slot) candidate
-    // grid with incremental re-simulation (ascending processor counts fork
-    // off shared checkpoints), then clone the filled cache into every
-    // lane: no lane re-simulates a profile another lane already needs.
-    let degrees: Vec<f64> = spec.classes.iter().map(|c| c.degrees).collect();
-    let procs: Vec<u32> = candidates.iter().map(|c| c.procs_per_slot).collect();
-    let mut proto = ProfileTable::new(spec.exec.clone());
-    proto.warm_fixed(&degrees, &procs);
+    // Probe the cache for every candidate before paying for anything:
+    // when the whole grid hits (a re-plan of an unchanged spec), even the
+    // profile warming is skipped.
+    let spec_canon = spec_canon(spec);
+    let keys: Vec<Digest> = candidates
+        .iter()
+        .map(|cfg| candidate_digest(&spec_canon, cfg))
+        .collect();
+    let mut evaluated: Vec<Option<PlanCandidate>> = candidates
+        .iter()
+        .zip(&keys)
+        .map(|(cfg, &key)| {
+            cache
+                .get(key)
+                .and_then(|bytes| decode_outcome(&bytes, spec, cfg))
+        })
+        .collect();
 
-    let pool = WorkerPool::global();
-    let mut tables: Vec<ProfileTable> = (0..pool.lanes().max(1)).map(|_| proto.clone()).collect();
-    let evaluated: Vec<PlanCandidate> =
-        pool.map_with_state(&mut tables, &candidates, |profiles, cfg| {
-            let report = simulate_autoscale_core(spec.stream(), cfg, profiles, |_| {});
-            score(spec, cfg, &report)
-        });
+    let miss_idx: Vec<usize> = (0..candidates.len())
+        .filter(|&i| evaluated[i].is_none())
+        .collect();
+    if !miss_idx.is_empty() {
+        // Warm one table over the missing (degrees × procs_per_slot)
+        // grid with incremental re-simulation (ascending processor counts
+        // fork off shared checkpoints), then clone the filled cache into
+        // every lane: no lane re-simulates a profile another lane already
+        // needs.
+        let degrees: Vec<f64> = spec.classes.iter().map(|c| c.degrees).collect();
+        let procs: Vec<u32> = miss_idx
+            .iter()
+            .map(|&i| candidates[i].procs_per_slot)
+            .collect();
+        let mut proto = ProfileTable::new(spec.exec.clone());
+        proto.warm_fixed(&degrees, &procs);
+
+        let miss_cfgs: Vec<AutoScaleConfig> =
+            miss_idx.iter().map(|&i| candidates[i].clone()).collect();
+        let pool = WorkerPool::global();
+        let mut tables: Vec<ProfileTable> =
+            (0..pool.lanes().max(1)).map(|_| proto.clone()).collect();
+        let fresh: Vec<PlanCandidate> =
+            pool.map_with_state(&mut tables, &miss_cfgs, |profiles, cfg| {
+                let report = simulate_autoscale_core(spec.stream(), cfg, profiles, |_| {});
+                score(spec, cfg, &report)
+            });
+        for (&i, candidate) in miss_idx.iter().zip(fresh) {
+            cache.insert(keys[i], encode_outcome(&candidate));
+            evaluated[i] = Some(candidate);
+        }
+    }
+    let evaluated: Vec<PlanCandidate> = evaluated.into_iter().map(|c| c.unwrap()).collect();
 
     // Cost-vs-p99 trade-off via the sweep crate's frontier tools: a
     // rejecting candidate never qualifies, so its "time" is +inf.
@@ -323,6 +378,124 @@ fn score(spec: &PlanSpec, cfg: &AutoScaleConfig, report: &AutoScaleReport) -> Pl
         total_cost: report.total_cost(),
         meets_slo: report.rejected == 0 && p99 <= spec.slo_p99_hours,
     }
+}
+
+/// Canonical encoding of everything about the *spec* that a candidate's
+/// outcome depends on. `modulation.base_rate_per_hour` is deliberately
+/// excluded — [`class_stream`] ignores it in favour of per-class rates,
+/// so two specs differing only there are the same scenario (a
+/// normalization rule, like NaN pinning in `mcloud_core::scenario`).
+fn spec_canon(spec: &PlanSpec) -> Canon {
+    let mut c = Canon::new(DOMAIN_PLAN);
+    c.f64(spec.slo_p99_hours);
+    c.len(spec.classes.len());
+    for class in &spec.classes {
+        c.f64(class.rate_per_hour);
+        c.f64(class.degrees);
+        c.u8(class.priority);
+    }
+    c.f64(spec.modulation.diurnal_amplitude);
+    c.f64(spec.modulation.seasonal_amplitude);
+    c.len(spec.modulation.flash_crowds.len());
+    for fc in &spec.modulation.flash_crowds {
+        c.f64(fc.start_hour);
+        c.f64(fc.duration_hours);
+        c.f64(fc.multiplier);
+    }
+    c.f64(spec.horizon_hours);
+    c.u64(spec.seed);
+    c.u32(spec.procs_per_slot);
+    c.f64(spec.slot_cost_per_hour.dollars());
+    c.f64(spec.boot_s);
+    encode_exec_config(&mut c, &spec.exec);
+    c
+}
+
+/// Content address of one (spec, candidate) evaluation: the spec's
+/// canonical bytes followed by every [`AutoScaleConfig`] field.
+fn candidate_digest(spec: &Canon, cfg: &AutoScaleConfig) -> Digest {
+    let mut c = spec.clone();
+    c.u32(cfg.min_slots);
+    c.u32(cfg.max_slots);
+    c.u64(cfg.scale_up_queue as u64);
+    c.f64(cfg.boot_s);
+    c.f64(cfg.idle_release_s);
+    c.u32(cfg.procs_per_slot);
+    c.f64(cfg.slot_cost_per_hour.dollars());
+    match cfg.queue_bound {
+        None => c.u8(0),
+        Some(b) => {
+            c.u8(1);
+            c.u64(b as u64);
+        }
+    }
+    c.u8(match cfg.admission {
+        AdmissionPolicy::AdmitAll => 0,
+        AdmissionPolicy::Reject => 1,
+        AdmissionPolicy::Deflect => 2,
+    });
+    encode_exec_config(&mut c, &cfg.exec);
+    c.finish()
+}
+
+/// Magic + version leading every cached candidate outcome. The version
+/// byte keys invalidation if the scorecard ever grows a field.
+const OUTCOME_MAGIC: &[u8; 4] = b"MCPO";
+const OUTCOME_VERSION: u8 = 1;
+
+/// Serializes a scorecard's measured fields (everything except the
+/// config, which the probing caller already holds, and `meets_slo`,
+/// which is recomputed from the decoded numbers so the cached and fresh
+/// paths provably agree).
+fn encode_outcome(c: &PlanCandidate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 8 * 6 + 4);
+    out.extend_from_slice(OUTCOME_MAGIC);
+    out.push(OUTCOME_VERSION);
+    out.extend_from_slice(&c.requests.to_le_bytes());
+    out.extend_from_slice(&c.rejected.to_le_bytes());
+    out.extend_from_slice(&c.deflected.to_le_bytes());
+    out.extend_from_slice(&c.p99_turnaround_hours.to_bits().to_le_bytes());
+    out.extend_from_slice(&c.mean_turnaround_hours.to_bits().to_le_bytes());
+    out.extend_from_slice(&c.peak_slots.to_le_bytes());
+    out.extend_from_slice(&c.total_cost.dollars().to_bits().to_le_bytes());
+    out
+}
+
+/// Inverse of [`encode_outcome`]; `None` (treated as a miss) for any
+/// malformed or differently-versioned entry.
+fn decode_outcome(bytes: &[u8], spec: &PlanSpec, cfg: &AutoScaleConfig) -> Option<PlanCandidate> {
+    let expected = 4 + 1 + 8 * 3 + 8 * 2 + 4 + 8;
+    if bytes.len() != expected || &bytes[..4] != OUTCOME_MAGIC || bytes[4] != OUTCOME_VERSION {
+        return None;
+    }
+    let mut at = 5;
+    let u64_at = |n: &mut usize| {
+        let v = u64::from_le_bytes(bytes[*n..*n + 8].try_into().unwrap());
+        *n += 8;
+        v
+    };
+    let requests = u64_at(&mut at);
+    let rejected = u64_at(&mut at);
+    let deflected = u64_at(&mut at);
+    let p99_turnaround_hours = f64::from_bits(u64_at(&mut at));
+    let mean_turnaround_hours = f64::from_bits(u64_at(&mut at));
+    let peak_slots = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    at += 4;
+    let cost_dollars = f64::from_bits(u64_at(&mut at));
+    if !cost_dollars.is_finite() {
+        return None;
+    }
+    Some(PlanCandidate {
+        cfg: cfg.clone(),
+        requests,
+        rejected,
+        deflected,
+        p99_turnaround_hours,
+        mean_turnaround_hours,
+        peak_slots,
+        total_cost: Money::from_dollars(cost_dollars),
+        meets_slo: rejected == 0 && p99_turnaround_hours <= spec.slo_p99_hours,
+    })
 }
 
 fn policy_label(cfg: &AutoScaleConfig) -> &'static str {
@@ -507,6 +680,7 @@ pub fn plan_json(spec: &PlanSpec, plan: &CapacityPlan) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcloud_cache::DEFAULT_BUDGET_BYTES;
 
     fn quick_spec() -> PlanSpec {
         // Small horizon so the grid evaluates fast in debug builds. The
@@ -569,6 +743,91 @@ mod tests {
                 assert!(!dominates, "candidate {i} dominates frontier member {j}");
             }
         }
+    }
+
+    #[test]
+    fn replanning_an_unchanged_spec_replays_the_grid_from_cache() {
+        let spec = quick_spec();
+        let candidates = spec.default_candidates();
+        let n = candidates.len() as u64;
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+
+        let cold = plan_capacity_with_cache(&spec, candidates.clone(), &cache).expect("plan");
+        assert_eq!(cache.counters().misses, n, "cold grid is all misses");
+
+        let warm = plan_capacity_with_cache(&spec, candidates, &cache).expect("plan");
+        let c = cache.counters();
+        assert_eq!(c.hits_mem, n, "warm grid is 100% hits");
+        assert_eq!(c.misses, n, "no new simulations");
+
+        assert_eq!(plan_text(&spec, &cold), plan_text(&spec, &warm));
+        assert_eq!(plan_json(&spec, &cold), plan_json(&spec, &warm));
+        assert_eq!(cold.best, warm.best);
+    }
+
+    #[test]
+    fn plan_digests_track_the_spec_but_ignore_the_unused_base_rate() {
+        let spec = quick_spec();
+        let cfg = AutoScaleConfig::default_pool();
+        let d0 = candidate_digest(&spec_canon(&spec), &cfg);
+
+        let mut s = spec.clone();
+        s.seed += 1;
+        assert_ne!(candidate_digest(&spec_canon(&s), &cfg), d0);
+
+        let mut s = spec.clone();
+        s.slo_p99_hours = 6.5;
+        assert_ne!(candidate_digest(&spec_canon(&s), &cfg), d0);
+
+        let mut s = spec.clone();
+        s.classes[0].rate_per_hour += 0.25;
+        assert_ne!(candidate_digest(&spec_canon(&s), &cfg), d0);
+
+        // The one normalization rule: class_stream ignores the profile's
+        // base rate, so the digest must too.
+        let mut s = spec.clone();
+        s.modulation.base_rate_per_hour = 42.0;
+        assert_eq!(candidate_digest(&spec_canon(&s), &cfg), d0);
+
+        let mut c2 = cfg.clone();
+        c2.max_slots += 1;
+        assert_ne!(candidate_digest(&spec_canon(&spec), &c2), d0);
+
+        let mut c2 = cfg;
+        c2.queue_bound = Some(16);
+        assert_ne!(candidate_digest(&spec_canon(&spec), &c2), d0);
+    }
+
+    #[test]
+    fn cached_outcomes_round_trip_through_the_codec() {
+        let spec = quick_spec();
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+        let plan =
+            plan_capacity_with_cache(&spec, spec.default_candidates(), &cache).expect("plan");
+        for c in &plan.candidates {
+            let back = decode_outcome(&encode_outcome(c), &spec, &c.cfg).expect("round-trip");
+            assert_eq!(back.requests, c.requests);
+            assert_eq!(back.rejected, c.rejected);
+            assert_eq!(back.deflected, c.deflected);
+            assert_eq!(
+                back.p99_turnaround_hours.to_bits(),
+                c.p99_turnaround_hours.to_bits()
+            );
+            assert_eq!(
+                back.mean_turnaround_hours.to_bits(),
+                c.mean_turnaround_hours.to_bits()
+            );
+            assert_eq!(back.peak_slots, c.peak_slots);
+            assert_eq!(back.total_cost, c.total_cost);
+            assert_eq!(back.meets_slo, c.meets_slo);
+        }
+        // Corrupt entries read as misses, never as garbage candidates.
+        let good = encode_outcome(&plan.candidates[0]);
+        let cfg = &plan.candidates[0].cfg;
+        assert!(decode_outcome(&good[..good.len() - 1], &spec, cfg).is_none());
+        let mut wrong_version = good.clone();
+        wrong_version[4] ^= 1;
+        assert!(decode_outcome(&wrong_version, &spec, cfg).is_none());
     }
 
     #[test]

@@ -115,6 +115,74 @@ impl Histogram {
         self.max = 0.0;
     }
 
+    /// Serialization support: the complete internal state as
+    /// `(buckets, zeros, count, sum, min, max)`. Together with
+    /// [`Histogram::from_raw_parts`] this is an exact round-trip — the
+    /// rebuilt histogram compares equal bit for bit, which is what the
+    /// result cache's binary report codec relies on.
+    pub fn raw_parts(&self) -> (&[(i64, u64)], u64, u64, f64, f64, f64) {
+        (
+            &self.buckets,
+            self.zeros,
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+        )
+    }
+
+    /// Rebuilds a histogram from [`Histogram::raw_parts`] output.
+    ///
+    /// Returns `Err` instead of a structurally invalid histogram when the
+    /// parts are inconsistent (unsorted or duplicate bucket indices, empty
+    /// buckets, a count that doesn't add up, non-finite aggregates) — the
+    /// disk cache treats that as a corrupt entry and ignores it.
+    pub fn from_raw_parts(
+        buckets: Vec<(i64, u64)>,
+        zeros: u64,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<Histogram, String> {
+        let mut bucketed: u64 = 0;
+        let mut prev: Option<i64> = None;
+        for &(idx, n) in &buckets {
+            if n == 0 {
+                return Err(format!("histogram bucket {idx} has zero count"));
+            }
+            if prev.is_some_and(|p| p >= idx) {
+                return Err("histogram buckets not strictly sorted".to_string());
+            }
+            prev = Some(idx);
+            bucketed = bucketed
+                .checked_add(n)
+                .ok_or_else(|| "histogram bucket counts overflow".to_string())?;
+        }
+        if zeros.checked_add(bucketed) != Some(count) {
+            return Err(format!(
+                "histogram count mismatch: {zeros} zeros + {bucketed} bucketed != {count}"
+            ));
+        }
+        if !(sum.is_finite() && min.is_finite() && max.is_finite()) {
+            return Err("histogram aggregates must be finite".to_string());
+        }
+        if count == 0 && (sum != 0.0 || min != 0.0 || max != 0.0 || !buckets.is_empty()) {
+            return Err("empty histogram must have zero aggregates".to_string());
+        }
+        if count > 0 && (min > max || min < 0.0) {
+            return Err(format!("histogram min/max inconsistent: {min}..{max}"));
+        }
+        Ok(Histogram {
+            buckets,
+            zeros,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -450,5 +518,40 @@ mod tests {
         let mut h = Histogram::new();
         h.record(1.0);
         h.quantile(1.5);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0.0, 0.0, 1.0, 1.5, 3.25, 1e-9, 7.5e8] {
+            h.record(v);
+        }
+        let (buckets, zeros, count, sum, min, max) = h.raw_parts();
+        let back =
+            Histogram::from_raw_parts(buckets.to_vec(), zeros, count, sum, min, max).unwrap();
+        assert_eq!(h, back);
+
+        let empty = Histogram::new();
+        let (b, z, c, s, lo, hi) = empty.raw_parts();
+        assert_eq!(
+            Histogram::from_raw_parts(b.to_vec(), z, c, s, lo, hi).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_corrupt_state() {
+        // Unsorted buckets.
+        assert!(Histogram::from_raw_parts(vec![(5, 1), (3, 1)], 0, 2, 3.0, 1.0, 2.0).is_err());
+        // Zero-count bucket.
+        assert!(Histogram::from_raw_parts(vec![(3, 0)], 0, 0, 0.0, 0.0, 0.0).is_err());
+        // Count mismatch.
+        assert!(Histogram::from_raw_parts(vec![(3, 1)], 0, 5, 1.0, 1.0, 1.0).is_err());
+        // Non-finite sum.
+        assert!(Histogram::from_raw_parts(vec![(3, 1)], 0, 1, f64::NAN, 1.0, 1.0).is_err());
+        // min > max.
+        assert!(Histogram::from_raw_parts(vec![(3, 2)], 0, 2, 3.0, 2.0, 1.0).is_err());
+        // Non-empty aggregates on an empty histogram.
+        assert!(Histogram::from_raw_parts(Vec::new(), 0, 0, 1.0, 0.0, 0.0).is_err());
     }
 }

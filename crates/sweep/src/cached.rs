@@ -1,0 +1,127 @@
+//! Cache-aware sweep drivers.
+//!
+//! Same axes and byte-identical results as the from-scratch drivers in
+//! [`crate::sweeps`] (the per-point configs come from the *same* shared
+//! builders, so the two paths cannot drift), but every point already in
+//! the [`ResultCache`] is answered by a lookup instead of a simulation.
+//! A sweep re-run with overlapping points — a widened ladder, a repeated
+//! CLI invocation with a shared `MCLOUD_CACHE_DIR`, a serve query — only
+//! pays for the new points.
+
+use mcloud_cache::{simulate_batch_cached, ResultCache};
+use mcloud_core::{BatchScratch, ExecConfig};
+use mcloud_dag::Workflow;
+
+use crate::sweeps::{
+    bandwidth_configs, fault_rate_configs, processor_configs, BandwidthPoint, FaultRatePoint,
+    ProcessorPoint,
+};
+
+/// [`processor_sweep`](crate::processor_sweep) through the cache:
+/// identical output, already-evaluated processor counts skip simulation.
+pub fn processor_sweep_cached(
+    wf: &Workflow,
+    base: &ExecConfig,
+    processors: &[u32],
+    cache: &ResultCache,
+) -> Vec<ProcessorPoint> {
+    let cfgs = processor_configs(base, processors);
+    let reports = simulate_batch_cached(wf, &cfgs, &mut BatchScratch::new(), cache);
+    processors
+        .iter()
+        .zip(reports)
+        .map(|(&p, report)| ProcessorPoint {
+            processors: p,
+            report,
+        })
+        .collect()
+}
+
+/// [`bandwidth_sweep`](crate::bandwidth_sweep) through the cache.
+pub fn bandwidth_sweep_cached(
+    wf: &Workflow,
+    base: &ExecConfig,
+    bandwidths_bps: &[f64],
+    cache: &ResultCache,
+) -> Vec<BandwidthPoint> {
+    let cfgs = bandwidth_configs(base, bandwidths_bps);
+    let reports = simulate_batch_cached(wf, &cfgs, &mut BatchScratch::new(), cache);
+    bandwidths_bps
+        .iter()
+        .zip(reports)
+        .map(|(&bps, report)| BandwidthPoint {
+            bandwidth_bps: bps,
+            report,
+        })
+        .collect()
+}
+
+/// [`fault_rate_sweep`](crate::fault_rate_sweep) through the cache. The
+/// fault seed is part of each point's digest, so a different `seed` can
+/// never alias a cached point.
+pub fn fault_rate_sweep_cached(
+    wf: &Workflow,
+    base: &ExecConfig,
+    probs: &[f64],
+    seed: u64,
+    cache: &ResultCache,
+) -> Vec<FaultRatePoint> {
+    let cfgs = fault_rate_configs(base, probs, seed);
+    let reports = simulate_batch_cached(wf, &cfgs, &mut BatchScratch::new(), cache);
+    probs
+        .iter()
+        .zip(reports)
+        .map(|(&p, report)| FaultRatePoint {
+            failure_prob: p,
+            report,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bandwidth_sweep, fault_rate_sweep, geometric_processors, processor_sweep};
+    use mcloud_cache::DEFAULT_BUDGET_BYTES;
+    use mcloud_montage::{generate, MosaicConfig};
+
+    #[test]
+    fn cached_drivers_match_scratch_drivers_on_every_axis() {
+        let wf = generate(&MosaicConfig::new(0.5));
+        let base = ExecConfig::paper_default();
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+
+        let procs = geometric_processors(16);
+        assert_eq!(
+            processor_sweep_cached(&wf, &base, &procs, &cache),
+            processor_sweep(&wf, &base, &procs)
+        );
+
+        let bws = [5e6, 10e6, 20e6];
+        assert_eq!(
+            bandwidth_sweep_cached(&wf, &base, &bws, &cache),
+            bandwidth_sweep(&wf, &base, &bws)
+        );
+
+        let probs = [0.0, 0.02, 0.05];
+        let fixed = ExecConfig::fixed(8).with_retry(mcloud_core::RetryPolicy::bounded(3));
+        assert_eq!(
+            fault_rate_sweep_cached(&wf, &fixed, &probs, 2008, &cache),
+            fault_rate_sweep(&wf, &fixed, &probs, 2008)
+        );
+    }
+
+    #[test]
+    fn widened_ladder_only_simulates_new_points() {
+        let wf = generate(&MosaicConfig::new(0.2));
+        let base = ExecConfig::paper_default();
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES, None);
+        processor_sweep_cached(&wf, &base, &geometric_processors(8), &cache); // 1,2,4,8
+        let before = cache.counters().misses;
+        assert_eq!(before, 4);
+        processor_sweep_cached(&wf, &base, &geometric_processors(32), &cache); // + 16,32
+        let c = cache.counters();
+        assert_eq!(c.misses - before, 2, "only P=16 and P=32 simulate");
+        assert_eq!(c.hits_mem, 4);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cached;
 mod crossover;
 mod incremental;
 mod par;
@@ -36,6 +37,7 @@ mod plot;
 mod sweeps;
 mod table;
 
+pub use cached::{bandwidth_sweep_cached, fault_rate_sweep_cached, processor_sweep_cached};
 pub use crossover::find_crossover;
 pub use incremental::{
     bandwidth_sweep_incremental, bandwidth_sweep_incremental_stats, fault_rate_sweep_incremental,

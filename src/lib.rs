@@ -38,6 +38,7 @@
 //! assert!(report.total_cost().dollars() < 1.5);
 //! ```
 
+pub use mcloud_cache as cache;
 pub use mcloud_core as core;
 pub use mcloud_cost as cost;
 pub use mcloud_dag as dag;
